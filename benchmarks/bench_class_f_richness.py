@@ -1,0 +1,103 @@
+"""CLM-RICH — quantifying Section II's "rich class of permutations".
+
+Regenerates:
+- the exact census at n = 2, 3 (F vs BPC vs Omega vs InverseOmega),
+  witnessing Theorems 2 and 3 and the Fig. 5 gap;
+- sampled F-density at larger n;
+- Theorem 4/5/6 composite constructions landing in F;
+- the product counterexample.
+"""
+
+from conftest import emit
+
+from repro.analysis import (
+    bpc_count,
+    class_census,
+    estimate_class_f_density,
+)
+from repro.core import (
+    Permutation,
+    enumerate_class_f,
+    in_class_f,
+)
+from repro.permclasses import (
+    JPartition,
+    blocks_and_within,
+    hierarchical,
+    within_blocks,
+)
+
+
+def test_census(benchmark):
+    census2 = class_census(2)
+    census3 = benchmark.pedantic(class_census, args=(3,), rounds=1,
+                                 iterations=1)
+    body = []
+    for c in (census2, census3):
+        body.append(
+            f"n={c.order}: N!={c.total}  |F|={c.in_f}  "
+            f"|BPC|={c.in_bpc}  |Omega|={c.in_omega}  "
+            f"|InvOmega|={c.in_inverse_omega}  "
+            f"Omega\\F={c.omega_not_f}  BPC\\F={c.bpc_not_f}  "
+            f"InvOmega\\F={c.inverse_omega_not_f}"
+        )
+    emit("CLM-RICH: exact class census", "\n".join(body))
+    for c in (census2, census3):
+        assert c.bpc_not_f == 0            # Theorem 2
+        assert c.inverse_omega_not_f == 0  # Theorem 3
+        assert c.omega_not_f > 0           # Fig. 5 phenomenon
+        assert c.in_f > c.in_omega         # F is the bigger class
+    assert census2.in_f == 20
+    assert census3.in_f == 11632
+
+
+def test_density_estimates(benchmark, rng):
+    def densities():
+        return {
+            order: estimate_class_f_density(order, 300, rng)
+            for order in (3, 4, 5)
+        }
+
+    d = benchmark.pedantic(densities, rounds=1, iterations=1)
+    emit("CLM-RICH: sampled |F(n)|/N!",
+         "\n".join(f"n={k}: {v:.5f}" for k, v in d.items()))
+    assert d[3] > d[4] >= d[5]  # density falls with n
+    assert abs(d[3] - 11632 / 40320) < 0.12
+
+
+def test_theorem_456_constructions(benchmark, rng):
+    f2 = list(enumerate_class_f(2))
+    f1 = list(enumerate_class_f(1))
+
+    def build_composites():
+        jp = JPartition(4, (1, 3))
+        t4 = within_blocks(jp, [rng.choice(f2) for _ in range(4)])
+        t5 = blocks_and_within(jp, rng.choice(f2),
+                               [rng.choice(f2) for _ in range(4)])
+        t6 = hierarchical(4, [(0, 2), (1,), (3,)],
+                          [rng.choice(f2), rng.choice(f1),
+                           rng.choice(f1)])
+        return t4, t5, t6
+
+    t4, t5, t6 = benchmark(build_composites)
+    assert in_class_f(t4) and in_class_f(t5) and in_class_f(t6)
+    emit("CLM-RICH: Theorem 4/5/6 composites",
+         f"Theorem 4 sample: {t4.as_tuple()} -> in F\n"
+         f"Theorem 5 sample: {t5.as_tuple()} -> in F\n"
+         f"Theorem 6 sample: {t6.as_tuple()} -> in F")
+
+
+def test_product_counterexample(benchmark):
+    a = Permutation((3, 0, 1, 2))
+    b = Permutation((0, 1, 3, 2))
+
+    def check():
+        product = a.then(b)
+        return in_class_f(a), in_class_f(b), in_class_f(product), product
+
+    a_in, b_in, prod_in, product = benchmark(check)
+    assert a_in and b_in and not prod_in
+    assert product == (2, 0, 1, 3)
+    emit("CLM-RICH: F not closed under product",
+         f"A = {a.as_tuple()} in F; B = {b.as_tuple()} in F; "
+         f"A·B = {product.as_tuple()} NOT in F")

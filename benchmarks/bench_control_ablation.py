@@ -1,0 +1,59 @@
+"""ABL-CTRL — ablation of the "upper input" control choice (Fig. 3).
+
+The paper's rule reads bit b of the *upper* input's tag.  The mirror
+rule (obey the lower input) yields an equally large but different
+class: by the network's vertical symmetry, D is lower-routable iff
+``i -> ~D(~i)`` is upper-routable.  Measured: identical class sizes at
+every order tested; identical sets at n = 2 (F(2) happens to be
+complement-invariant); 6528 membership flips at n = 3.
+"""
+
+from itertools import permutations
+
+from conftest import emit
+
+from repro.core import BenesNetwork, Permutation
+from repro.core.membership import in_class_f
+
+
+def test_control_ablation_census(benchmark):
+    def census():
+        upper = BenesNetwork(3)
+        lower = BenesNetwork(3, control="lower")
+        up_count = low_count = differ = 0
+        for p in permutations(range(8)):
+            a = upper.route(p).success
+            b = lower.route(p).success
+            up_count += a
+            low_count += b
+            differ += a != b
+        return up_count, low_count, differ
+
+    up_count, low_count, differ = benchmark.pedantic(
+        census, rounds=1, iterations=1
+    )
+    emit("ABL-CTRL: upper vs lower input control at n = 3",
+         f"|F_upper| = {up_count}\n|F_lower| = {low_count}\n"
+         f"membership flips = {differ}")
+    assert up_count == low_count == 11632
+    assert differ == 6528
+
+
+def test_control_mirror_identity(benchmark, rng):
+    order = 4
+    n = 1 << order
+    lower = BenesNetwork(order, control="lower")
+
+    def check():
+        from repro.core import random_permutation
+        hits = 0
+        for _ in range(100):
+            p = random_permutation(n, rng)
+            conjugated = Permutation(
+                (n - 1) ^ p[(n - 1) ^ i] for i in range(n)
+            )
+            assert lower.route(p).success == in_class_f(conjugated)
+            hits += lower.route(p).success
+        return hits
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,72 @@
+"""ABL-DUAL — ablation of the Section IV dual-network proposal.
+
+The paper proposes an SIMD machine with both a direct PE network E(n)
+and the attached self-routing B(n), arguing F(n) permutations go much
+faster through B(n) because every E(n) routing step pays an instruction
+broadcast.  This ablation sweeps the instruction-overhead factor and
+shows where each network wins.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core import random_class_f, random_permutation, in_class_f
+from repro.simd import DualNetworkComputer
+
+
+@pytest.mark.parametrize("overhead", [1, 5, 20])
+def test_dual_dispatch(benchmark, overhead, rng):
+    order = 5
+    machine = DualNetworkComputer(order, step_gate_cost=overhead)
+    perm = random_class_f(order, rng)
+    report = benchmark(machine.permute, perm)
+    # 4 log N - 3 PSC routes x overhead vs 2 log N - 1 gate delays:
+    # even at overhead 1 the attached network wins for n > 1
+    assert report.chosen == "benes"
+    assert report.gate_delays == 2 * order - 1
+
+
+def test_dual_crossover_table(benchmark, rng):
+    def table():
+        rows = [f"{'overhead':>9} {'class':>8} {'benes':>7} "
+                f"{'e-net':>7} {'chosen':>10}"]
+        order = 5
+        f_perm = random_class_f(order, rng)
+        non_f = random_permutation(1 << order, rng)
+        while in_class_f(non_f):
+            non_f = random_permutation(1 << order, rng)
+        for overhead in (1, 5, 20):
+            machine = DualNetworkComputer(order,
+                                          step_gate_cost=overhead)
+            for label, perm in (("F", f_perm), ("non-F", non_f)):
+                b, e, _ = machine.estimate_costs(perm)
+                report = machine.permute(perm)
+                rows.append(
+                    f"{overhead:>9} {label:>8} "
+                    f"{b if b is not None else '-':>7} {e:>7} "
+                    f"{report.chosen:>10}"
+                )
+        return "\n".join(rows)
+
+    body = benchmark.pedantic(table, rounds=1, iterations=1)
+    emit("ABL-DUAL: dual-network dispatch vs instruction overhead "
+         "(gate delays; paper: 'much less time ... through B(n)')",
+         body)
+
+
+def test_dual_speedup_grows_with_overhead(benchmark, rng):
+    order = 6
+    perm = random_class_f(order, rng)
+
+    def speedups():
+        out = []
+        for overhead in (1, 5, 20, 100):
+            machine = DualNetworkComputer(order,
+                                          step_gate_cost=overhead)
+            b, e, _ = machine.estimate_costs(perm)
+            out.append(e / b)
+        return out
+
+    ratios = benchmark(speedups)
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 100  # overhead 100: ~(4n-3)*100 / (2n-1)

@@ -1,0 +1,64 @@
+"""ABL-FAULT — fault masking in the self-routing network.
+
+A property of the control scheme the paper does not discuss but which
+falls out of it: switches downstream of a fault re-derive their states
+from the tags that actually arrive, so a stuck switch in the
+*distribution* half (stages 0 .. n-2) is often masked, while a flipped
+state in the last n stages (which write destination bits) always
+misroutes.  This benchmark measures masking rates by stage.
+"""
+
+from conftest import emit
+
+from repro.core import BenesNetwork, random_class_f
+
+
+def _masking_rates(order, trials, rng):
+    net = BenesNetwork(order)
+    rates = []
+    for stage in range(net.n_stages):
+        masked = 0
+        for _ in range(trials):
+            perm = random_class_f(order, rng)
+            healthy = net.route(perm, trace=True)
+            flipped = 1 - int(healthy.stages[stage].states[0])
+            faulty = net.route(perm,
+                               stuck_switches={(stage, 0): flipped})
+            masked += faulty.success
+        rates.append(masked / trials)
+    return rates
+
+
+def test_fault_masking_by_stage(benchmark, rng):
+    order, trials = 4, 60
+    rates = benchmark.pedantic(
+        _masking_rates, args=(order, trials, rng), rounds=1, iterations=1
+    )
+    body = "\n".join(
+        f"stage {s}: masking rate {rate:5.2f}"
+        f"{'   (distribution half)' if s < order - 1 else ''}"
+        for s, rate in enumerate(rates)
+    )
+    emit("ABL-FAULT: probability a flipped switch state is masked "
+         f"(B({order}), {trials} random F permutations per stage)",
+         body)
+    # shape: some masking in the first n-1 stages, none afterwards
+    assert any(rate > 0 for rate in rates[: order - 1])
+    assert all(rate == 0 for rate in rates[order - 1:])
+
+
+def test_identity_tolerates_any_distribution_fault(benchmark):
+    order = 5
+    net = BenesNetwork(order)
+
+    def sweep():
+        outcomes = []
+        for stage in range(order - 1):
+            for index in (0, net.n_terminals // 2 - 1):
+                result = net.route(list(range(1 << order)),
+                                   stuck_switches={(stage, index): 1})
+                outcomes.append(result.success)
+        return outcomes
+
+    outcomes = benchmark(sweep)
+    assert all(outcomes)

@@ -1,0 +1,47 @@
+"""FIG1 — the recursive structure of B(n) (Fig. 1).
+
+Regenerates the structural facts Fig. 1 depicts: ``2 log N - 1``
+stages of ``N/2`` switches (``N log N - N/2`` total), with the
+unshuffle links into the two ``B(n-1)`` sub-networks and the shuffle
+links out of them — and times topology construction across sizes.
+"""
+
+from conftest import emit
+
+from repro.core import BenesNetwork
+from repro.core.topology import BenesTopology, shuffle_link, unshuffle_link
+from repro.viz import render_topology
+
+
+def _structure_table() -> str:
+    rows = [f"{'n':>3} {'N':>6} {'stages':>7} {'switches':>9} "
+            f"{'N*logN-N/2':>11}"]
+    for order in range(1, 11):
+        net = BenesNetwork(order)
+        n = net.n_terminals
+        rows.append(
+            f"{order:>3} {n:>6} {net.n_stages:>7} {net.n_switches:>9} "
+            f"{n * order - n // 2:>11}"
+        )
+    return "\n".join(rows)
+
+
+def test_fig1_structure_counts(benchmark):
+    table = benchmark(_structure_table)
+    emit("FIG1: B(n) structure (paper: 2logN-1 stages, "
+         "N logN - N/2 switches)", table)
+    for order in range(1, 11):
+        net = BenesNetwork(order)
+        n = net.n_terminals
+        assert net.n_stages == 2 * order - 1
+        assert net.n_switches == n * order - n // 2
+
+
+def test_fig1_recursive_wiring(benchmark):
+    topo = benchmark(BenesTopology.build, 6)
+    topo.validate()
+    # Fig. 1 wiring: first link unshuffles into sub-networks, last link
+    # shuffles out of them.
+    assert topo.links[0] == unshuffle_link(6)
+    assert topo.links[-1] == shuffle_link(6)
+    emit("FIG1: B(3) layout", render_topology(3))

@@ -1,0 +1,37 @@
+"""FIG2 — the two-state binary switch (Fig. 2)."""
+
+from conftest import emit
+
+from repro.core.switch import CROSS, STRAIGHT, BinarySwitch, Signal
+from repro.viz import render_switch
+
+
+def test_fig2_switch_states(benchmark):
+    def exercise():
+        sw = BinarySwitch()
+        outcomes = []
+        for state in (STRAIGHT, CROSS):
+            sw.set_state(state)
+            outcomes.append(sw.transfer("upper", "lower"))
+        return outcomes
+
+    straight, cross = benchmark(exercise)
+    assert straight == ("upper", "lower")
+    assert cross == ("lower", "upper")
+    emit("FIG2: binary switch", render_switch())
+
+
+def test_fig2_self_setting_logic(benchmark):
+    # Fig. 3 logic on a single switch: state = tag bit b of upper input.
+    def exercise():
+        states = []
+        for tag in range(8):
+            for b in range(3):
+                sw = BinarySwitch()
+                sw.self_route(Signal(tag=tag), Signal(tag=(tag + 1) % 8), b)
+                states.append(int(sw.state))
+        return states
+
+    states = benchmark(exercise)
+    expected = [(tag >> b) & 1 for tag in range(8) for b in range(3)]
+    assert states == expected

@@ -1,0 +1,47 @@
+"""FIG3 — the stage <-> destination-tag-bit control scheme (Fig. 3).
+
+'The state of a switch in stage b or stage 2n-2-b, 0 <= b <= n-1, is
+determined by bit b of the destination tag of its upper input.'
+"""
+
+from conftest import emit
+
+from repro.core import BenesNetwork, random_permutation
+from repro.core.topology import BenesTopology
+
+
+def _schedule_table() -> str:
+    rows = ["order   per-stage control bits (palindrome)"]
+    for order in range(1, 8):
+        bits = BenesTopology.build(order).control_bits()
+        rows.append(f"{order:>5}   {bits}")
+    return "\n".join(rows)
+
+
+def test_fig3_control_bit_schedule(benchmark):
+    table = benchmark(_schedule_table)
+    emit("FIG3: control-bit schedule", table)
+    for order in range(1, 8):
+        bits = BenesTopology.build(order).control_bits()
+        assert bits == tuple(
+            min(s, 2 * order - 2 - s) for s in range(2 * order - 1)
+        )
+
+
+def test_fig3_rule_holds_during_routing(benchmark, rng):
+    # Route random F permutations and check every recorded switch state
+    # equals the claimed tag bit of its upper input.
+    net = BenesNetwork(4)
+    from repro.permclasses import BPCSpec
+
+    perms = [BPCSpec.random(4, rng).to_permutation() for _ in range(10)]
+
+    def route_all():
+        return [net.route(p, trace=True) for p in perms]
+
+    results = benchmark(route_all)
+    for result in results:
+        for st in result.stages:
+            for i, state in enumerate(st.states):
+                upper_tag = st.input_tags[2 * i]
+                assert int(state) == (upper_tag >> st.control_bit) & 1

@@ -1,0 +1,35 @@
+"""FIG4 — bit reversal self-routed on B(3) (Fig. 4).
+
+Regenerates the worked figure: the binary destination tag on every line
+at every stage, all switches set from tag bits, every signal arriving.
+Also times self-routing of the bit-reversal permutation across network
+sizes.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core import BenesNetwork
+from repro.core.bits import reverse_bits
+from repro.permclasses import bit_reversal
+from repro.viz import render_route
+
+
+def test_fig4_trace(benchmark):
+    net = BenesNetwork(3)
+    perm = bit_reversal(3).to_permutation()
+    result = benchmark(net.route, perm, None, False, True)
+    assert result.success
+    emit("FIG4: bit reversal on self-routing B(3)",
+         render_route(result, 3))
+    # the figure's headline facts
+    assert result.realized == perm
+    assert len(result.stages) == 5
+
+
+@pytest.mark.parametrize("order", [3, 5, 7, 9])
+def test_fig4_bit_reversal_scales(benchmark, order):
+    net = BenesNetwork(order)
+    perm = [reverse_bits(i, order) for i in range(1 << order)]
+    result = benchmark(net.route, perm)
+    assert result.success

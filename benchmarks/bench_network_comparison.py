@@ -1,0 +1,94 @@
+"""CLM-NETS — the Section I network comparison.
+
+Regenerates the trade-off table the paper's introduction walks through:
+switch counts, stage delays, realizable-permutation counts and setup
+regimes for the Benes network (self-routing and external), the omega
+network, the crossbar, Batcher's bitonic network, Lang-Stone, and the
+NS[13] family — plus measured realizable *fractions* on random
+permutations for the self-routing networks.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import comparison_table
+from repro.core import BenesNetwork, random_permutation
+from repro.networks import BitonicNetwork, Crossbar, OmegaNetwork
+
+
+def _fmt_cost_table(n_terminals):
+    rows = [f"network costs at N = {n_terminals}:",
+            f"{'network':<26} {'switches':>9} {'delay':>6} "
+            f"{'realizable':>12}  setup"]
+    for cost in comparison_table(n_terminals):
+        realizable = (str(cost.realizable) if cost.realizable is not None
+                      and cost.realizable < 10**9
+                      else ("~10^%d" % len(str(cost.realizable))
+                            if cost.realizable else "|F(n)|"))
+        rows.append(f"{cost.name:<26} {cost.switches:>9} "
+                    f"{cost.delay:>6} {realizable:>12}  {cost.setup}")
+    return "\n".join(rows)
+
+
+def test_cost_table(benchmark):
+    table = benchmark(_fmt_cost_table, 64)
+    emit("CLM-NETS: Section I comparison", table)
+    costs = {c.name: c for c in comparison_table(64)}
+    benes = costs["Benes (self-routing)"]
+    omega = costs["Omega (self-routing)"]
+    batcher = costs["Batcher bitonic"]
+    odd_even = costs["Batcher odd-even merge"]
+    xbar = costs["Crossbar"]
+    # the paper's ordering claims
+    assert omega.switches < benes.switches <= 2 * omega.switches
+    assert benes.delay == 2 * omega.delay - 1
+    assert batcher.switches > benes.switches
+    assert batcher.delay > benes.delay
+    assert xbar.switches > batcher.switches
+    # the cheaper Batcher variant is still costlier than the Benes
+    assert benes.switches < odd_even.switches < batcher.switches
+
+
+@pytest.mark.parametrize("order", [3, 4, 5])
+def test_realizable_fraction_shape(benchmark, order, rng):
+    """Benes self-routing realizes strictly more random permutations
+    than the omega network at every size (|F| >> |Omega|), while
+    Batcher and crossbar realize everything."""
+    n = 1 << order
+    benes, omega = BenesNetwork(order), OmegaNetwork(order)
+    batcher, xbar = BitonicNetwork(order), Crossbar(order)
+    samples = [random_permutation(n, rng) for _ in range(300)]
+
+    def census():
+        wins = {"benes": 0, "omega": 0, "batcher": 0, "crossbar": 0}
+        for p in samples:
+            wins["benes"] += benes.route(p).success
+            wins["omega"] += omega.route(p).success
+            wins["batcher"] += batcher.route(p).success
+            wins["crossbar"] += xbar.route(p).success
+        return wins
+
+    wins = benchmark.pedantic(census, rounds=1, iterations=1)
+    emit(f"CLM-NETS: realizable counts over 300 random permutations, "
+         f"N = {n}", str(wins))
+    assert wins["benes"] >= wins["omega"]
+    assert wins["batcher"] == wins["crossbar"] == len(samples)
+
+
+def test_routing_latency_by_network(benchmark, rng):
+    """Delay comparison on an identity route: omega (log N) < benes
+    (2 log N - 1) < batcher (logN(logN+1)/2) stages."""
+    order = 6
+    nets = {
+        "omega": OmegaNetwork(order),
+        "benes": BenesNetwork(order),
+        "batcher": BitonicNetwork(order),
+        "crossbar": Crossbar(order),
+    }
+
+    def delays():
+        return {name: net.delay for name, net in nets.items()}
+
+    d = benchmark(delays)
+    assert d["omega"] < d["benes"] < d["batcher"]
+    assert d["crossbar"] == 1

@@ -1,0 +1,74 @@
+"""CLM-PIPE — pipelined operation (Section IV).
+
+Measured claims: with registers between stages the network accepts one
+N-vector per clock (not necessarily under the same permutation); the
+first permuted vector emerges after 2 log N - 1 clocks and each
+subsequent one after unit delay.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core import PipelinedBenes
+from repro.permclasses import BPCSpec, table_i_specs
+
+
+@pytest.mark.parametrize("order", [3, 5, 7])
+def test_pipeline_stream(benchmark, order, rng):
+    vectors = [
+        list(BPCSpec.random(order, rng).to_permutation())
+        for _ in range(10)
+    ]
+
+    def stream():
+        pipe = PipelinedBenes(order)
+        return pipe.run(vectors)
+
+    outs = benchmark(stream)
+    assert all(o.result.success for o in outs)
+    assert all(o.latency == 2 * order - 1 for o in outs)
+    emerged = [o.emerged_at for o in outs]
+    assert all(b - a == 1 for a, b in zip(emerged, emerged[1:]))
+
+
+def test_pipeline_vs_serial_table(benchmark, rng):
+    def table():
+        rows = [f"{'n':>3} {'vectors':>8} {'latency':>8} "
+                f"{'pipelined clocks':>17} {'serial clocks':>14} "
+                f"{'speedup':>8}"]
+        for order in (3, 5, 7):
+            vectors = [
+                list(spec.to_permutation())
+                for _, spec in table_i_specs(order)
+            ] * 3
+            pipe = PipelinedBenes(order)
+            outs = pipe.run(vectors)
+            total = outs[-1].emerged_at
+            serial = len(vectors) * (2 * order - 1)
+            rows.append(
+                f"{order:>3} {len(vectors):>8} {2 * order - 1:>8} "
+                f"{total:>17} {serial:>14} {serial / total:>8.2f}"
+            )
+        return "\n".join(rows)
+
+    body = benchmark.pedantic(table, rounds=1, iterations=1)
+    emit("CLM-PIPE: pipelined throughput "
+         "(paper: first vector after 2logN-1, then one per clock)",
+         body)
+
+
+def test_pipeline_mixed_permutations(benchmark, rng):
+    """Back-to-back vectors under different permutations (the paper's
+    'not necessarily according to the same permutation')."""
+    order = 4
+    specs = table_i_specs(order)
+    vectors = [list(spec.to_permutation()) for _, spec in specs]
+
+    def stream():
+        return PipelinedBenes(order).run(vectors)
+
+    outs = benchmark(stream)
+    assert [tuple(o.result.requested) for o in outs] == [
+        tuple(v) for v in vectors
+    ]
+    assert all(o.result.success for o in outs)

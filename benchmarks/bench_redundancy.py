@@ -1,0 +1,38 @@
+"""ABL-REDUN — setting redundancy / counted rearrangeability.
+
+The Benes network's rearrangeability (all N! permutations realizable)
+is usually proved; here it is *counted*: enumerating every one of the
+``2^{N logN - N/2}`` switch settings shows each permutation realized by
+at least one (in fact many) settings.  The multiplicity spread is the
+slack the looping algorithm's free choices and the self-routing
+scheme's canonical settings both live in.
+"""
+
+from conftest import emit
+
+from repro.analysis.redundancy import setting_multiplicity, total_settings
+
+
+def test_counted_rearrangeability_n2(benchmark):
+    counts = benchmark(setting_multiplicity, 2)
+    assert len(counts) == 24
+    assert sum(counts.values()) == total_settings(2) == 64
+    assert min(counts.values()) == 2
+    assert max(counts.values()) == 4
+
+
+def test_counted_rearrangeability_n3(benchmark):
+    counts = benchmark.pedantic(
+        setting_multiplicity, args=(3,), kwargs={"limit_order": 3},
+        rounds=1, iterations=1,
+    )
+    assert len(counts) == 40320          # every permutation of 8
+    assert sum(counts.values()) == total_settings(3) == 1 << 20
+    emit("ABL-REDUN: B(3) setting redundancy",
+         f"settings: 2^20 = {1 << 20}\n"
+         f"distinct permutations realized: {len(counts)} = 8!\n"
+         f"multiplicity: min {min(counts.values())}, "
+         f"max {max(counts.values())}, "
+         f"mean {(1 << 20) / len(counts):.1f}")
+    assert min(counts.values()) == 8
+    assert max(counts.values()) == 256

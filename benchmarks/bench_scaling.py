@@ -1,0 +1,71 @@
+"""ABL-SCALE — simulator scaling sweep.
+
+Not a paper claim, but an adoption requirement: the structural
+simulator and the SIMD simulations stay usable at thousands of
+terminals.  Measured: one self-routed pass through B(12) (4096 lines,
+23 stages, 47104 switches), Waksman setup at the same size, and the
+SIMD routers at N = 1024.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core import BenesNetwork, random_class_f, setup_states
+from repro.core import random_permutation
+from repro.permclasses import BPCSpec
+from repro.simd import CCC, PSC, permute_ccc, permute_psc
+
+
+@pytest.mark.parametrize("order", [10, 12])
+def test_structural_route_scaling(benchmark, order, rng):
+    net = BenesNetwork(order)
+    perm = random_class_f(order, rng)
+    result = benchmark(net.route, perm)
+    assert result.success
+
+
+@pytest.mark.parametrize("order", [10, 12])
+def test_waksman_scaling(benchmark, order, rng):
+    perm = random_permutation(1 << order, rng)
+    states = benchmark(setup_states, perm)
+    assert len(states) == 2 * order - 1
+
+
+def test_simd_scaling(benchmark, rng):
+    order = 10
+    spec = BPCSpec.random(order, rng)
+    perm = spec.to_permutation()
+
+    def both():
+        ccc = permute_ccc(CCC(order), perm)
+        psc = permute_psc(PSC(order), perm)
+        return ccc, psc
+
+    ccc, psc = benchmark(both)
+    assert ccc.success and psc.success
+    assert ccc.unit_routes == 19 and psc.unit_routes == 37
+
+
+def test_scaling_summary(benchmark, rng):
+    import time
+
+    def table():
+        rows = [f"{'n':>3} {'N':>6} {'switches':>9} "
+                f"{'route (ms)':>11} {'setup (ms)':>11}"]
+        for order in (8, 10, 12):
+            net = BenesNetwork(order)
+            perm = random_class_f(order, rng)
+            t0 = time.perf_counter()
+            net.route(perm)
+            t_route = (time.perf_counter() - t0) * 1e3
+            t0 = time.perf_counter()
+            setup_states(random_permutation(1 << order, rng))
+            t_setup = (time.perf_counter() - t0) * 1e3
+            rows.append(
+                f"{order:>3} {1 << order:>6} {net.n_switches:>9} "
+                f"{t_route:>11.1f} {t_setup:>11.1f}"
+            )
+        return "\n".join(rows)
+
+    body = benchmark.pedantic(table, rounds=1, iterations=1)
+    emit("ABL-SCALE: simulator scaling", body)

@@ -1,0 +1,116 @@
+"""CLM-SETUP — self-routing vs external setup (Section I).
+
+The paper's motivation: routing time through B(n) is O(log N), but
+computing switch settings for an arbitrary permutation costs
+O(N log N) serially (Waksman looping) — so the *setup dominates*.  The
+self-routing scheme removes the setup entirely for class-F
+permutations.
+
+Measured here:
+- wall-clock of Waksman setup alone vs full self-routed transit, across
+  sizes (the setup grows ~N log N while a single tag decision is O(1)
+  per switch — total transit work is the same order, but self-routing
+  needs no serial precomputation and no extra memory pass);
+- the operation-count view: setup touches all N log N - N/2 switches
+  plus the looping traversal, self-routing decides each switch locally;
+- external setup realizes permutations outside F.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core import (
+    BenesNetwork,
+    in_class_f,
+    random_permutation,
+    setup_states,
+)
+from repro.permclasses import BPCSpec
+from repro.simd import parallel_setup_states
+
+
+@pytest.mark.parametrize("order", [4, 6, 8, 10])
+def test_waksman_setup_cost(benchmark, order, rng):
+    perm = random_permutation(1 << order, rng)
+    states = benchmark(setup_states, perm)
+    assert len(states) == 2 * order - 1
+
+
+@pytest.mark.parametrize("order", [4, 6, 8, 10])
+def test_self_routing_total_cost(benchmark, order, rng):
+    net = BenesNetwork(order)
+    perm = BPCSpec.random(order, rng).to_permutation()
+    result = benchmark(net.route, perm)
+    assert result.success
+
+
+def test_external_setup_realizes_non_f(benchmark, rng):
+    order = 6
+    net = BenesNetwork(order)
+    # find a random permutation outside F (overwhelmingly likely)
+    perm = random_permutation(1 << order, rng)
+    while in_class_f(perm):
+        perm = random_permutation(1 << order, rng)
+
+    def setup_and_route():
+        return net.route_with_states(setup_states(perm)).realized
+
+    realized = benchmark(setup_and_route)
+    assert realized == perm
+
+
+@pytest.mark.parametrize("order", [4, 6, 8])
+def test_parallel_setup_cost(benchmark, order, rng):
+    """The paper's §I comparison: even an N-PE parallel setup costs
+    polylog broadcast steps per permutation; self-routing costs none."""
+    perm = random_permutation(1 << order, rng)
+    run = benchmark(parallel_setup_states, perm)
+    # O(log^2 N) broadcast steps, far below the serial O(N log N) work
+    assert run.total_steps <= 2 * order * order + 8 * order
+    net = BenesNetwork(order)
+    assert net.route_with_states(run.states).realized == perm
+
+
+def test_setup_regimes_table(benchmark, rng):
+    def table():
+        rows = [f"{'n':>3} {'N':>6} {'serial ops ~NlogN':>18} "
+                f"{'parallel steps':>15} {'self-routing':>13}"]
+        for order in (4, 6, 8, 10):
+            n = 1 << order
+            perm = random_permutation(n, rng)
+            run = parallel_setup_states(perm)
+            rows.append(f"{order:>3} {n:>6} {n * order:>18} "
+                        f"{run.total_steps:>15} {'0 (in-flight)':>13}")
+        return "\n".join(rows)
+
+    body = benchmark.pedantic(table, rounds=1, iterations=1)
+    emit("CLM-SETUP: setup regimes "
+         "(serial Waksman vs N-PE parallel looping vs self-routing)",
+         body)
+
+
+def test_setup_summary_table(benchmark, rng):
+    import time
+
+    def measure():
+        rows = [f"{'n':>3} {'N':>6} {'waksman setup (ms)':>19} "
+                f"{'self-routed transit (ms)':>25}"]
+        for order in (4, 6, 8, 10):
+            n = 1 << order
+            net = BenesNetwork(order)
+            arbitrary = random_permutation(n, rng)
+            f_perm = BPCSpec.random(order, rng).to_permutation()
+            t0 = time.perf_counter()
+            setup_states(arbitrary)
+            t_setup = (time.perf_counter() - t0) * 1e3
+            t0 = time.perf_counter()
+            net.route(f_perm)
+            t_route = (time.perf_counter() - t0) * 1e3
+            rows.append(f"{order:>3} {n:>6} {t_setup:>19.3f} "
+                        f"{t_route:>25.3f}")
+        return "\n".join(rows)
+
+    table = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit("CLM-SETUP: serial setup vs self-routing "
+         "(paper: O(N logN) setup dominates O(logN) transit; "
+         "self-routing needs none)", table)

@@ -1,0 +1,90 @@
+"""CLM-CCC — the Section III cube-connected-computer results.
+
+Measured claims:
+- any F(n) permutation in exactly 2 log N - 1 interchanges
+  (4 log N - 2 unit-routes in the two-transfer cost model);
+- Omega permutations in n interchanges (skip first n-1);
+- InverseOmega permutations in n interchanges (skip last n-1);
+- BPC permutations skip every dimension with A_j = +j;
+- BPC tags computed locally in O(log N) steps, keeping the total
+  O(log N).
+"""
+
+import pytest
+from conftest import emit
+
+from repro.permclasses import BPCSpec, cyclic_shift
+from repro.simd import CCC, load_bpc_tags, permute_ccc
+
+
+@pytest.mark.parametrize("order", [4, 6, 8, 10])
+def test_ccc_routes_general_f(benchmark, order, rng):
+    perm = BPCSpec.random(order, rng).to_permutation()
+    run = benchmark(permute_ccc, CCC(order), perm)
+    assert run.success
+    assert run.unit_routes == 2 * order - 1
+
+
+def test_ccc_two_transfer_model(benchmark, rng):
+    order = 6
+    perm = BPCSpec.random(order, rng).to_permutation()
+    machine = CCC(order, routes_per_interchange=2)
+    run = benchmark(permute_ccc, machine, perm)
+    assert run.unit_routes == 4 * order - 2
+
+
+@pytest.mark.parametrize("order", [4, 6, 8])
+def test_ccc_omega_skip(benchmark, order):
+    perm = cyclic_shift(order, 3)
+    run = benchmark(permute_ccc, CCC(order), perm, None, None, True)
+    assert run.success
+    assert run.unit_routes == order
+
+
+@pytest.mark.parametrize("order", [4, 6, 8])
+def test_ccc_inverse_omega_skip(benchmark, order):
+    perm = cyclic_shift(order, 3)
+    run = benchmark(
+        permute_ccc, CCC(order), perm, None, None, False, True
+    )
+    assert run.success
+    assert run.unit_routes == order
+
+
+def test_ccc_bpc_skip_and_local_tags(benchmark, rng):
+    order = 8
+    spec = BPCSpec((0, 1, 2, 3, 5, 4, 7, 6), (False,) * 8)
+
+    def full_flow():
+        machine = CCC(order)
+        steps = load_bpc_tags(machine, spec)
+        run = permute_ccc(machine, list(machine.read("D")),
+                          bpc_spec=spec)
+        return steps, run
+
+    steps, run = benchmark(full_flow)
+    assert run.success
+    assert steps == order                      # O(log N) tag generation
+    # dims 0..3 fixed -> 8 of the 15 iterations skipped
+    assert run.unit_routes == 2 * order - 1 - 8
+
+
+def test_ccc_route_count_table(benchmark, rng):
+    def table():
+        rows = [f"{'n':>3} {'N':>6} {'general F':>10} {'omega':>6} "
+                f"{'inv-omega':>10}"]
+        for order in (3, 5, 7, 9):
+            general = permute_ccc(
+                CCC(order), BPCSpec.random(order, rng).to_permutation()
+            ).unit_routes
+            om = permute_ccc(CCC(order), cyclic_shift(order, 1),
+                             omega=True).unit_routes
+            iom = permute_ccc(CCC(order), cyclic_shift(order, 1),
+                              inverse_omega=True).unit_routes
+            rows.append(f"{order:>3} {1 << order:>6} {general:>10} "
+                        f"{om:>6} {iom:>10}")
+        return "\n".join(rows)
+
+    body = benchmark.pedantic(table, rounds=1, iterations=1)
+    emit("CLM-CCC: unit-routes on an N-PE CCC "
+         "(paper: 2logN-1 general, logN with skip rules)", body)

@@ -1,0 +1,67 @@
+"""CLM-MCC — the Section III mesh-connected-computer result.
+
+Measured claim: any F(n) permutation on a sqrt(N) x sqrt(N) MCC in
+exactly ``7 sqrt(N) - 8`` unit-routes (each dimension-b interchange
+costs 2^{k+1} unit-routes at mesh distance 2^k).
+"""
+
+import pytest
+from conftest import emit
+
+from repro.permclasses import BPCSpec, matrix_transpose
+from repro.simd import MCC, permute_mcc
+
+
+@pytest.mark.parametrize("side_order", [1, 2, 3, 4])
+def test_mcc_routes_general_f(benchmark, side_order, rng):
+    order = 2 * side_order
+    perm = BPCSpec.random(order, rng).to_permutation()
+    run = benchmark(permute_mcc, MCC(side_order), perm)
+    assert run.success
+    assert run.unit_routes == 7 * (1 << side_order) - 8
+
+
+def test_mcc_transpose_with_skip(benchmark):
+    side_order = 3
+    spec = matrix_transpose(2 * side_order)
+    run = benchmark(permute_mcc, MCC(side_order),
+                    spec.to_permutation(), None, spec)
+    assert run.success
+    # transpose moves every bit: nothing skipped, full 7 sqrt(N) - 8
+    assert run.unit_routes == 7 * (1 << side_order) - 8
+
+
+def test_mcc_route_count_table(benchmark, rng):
+    def table():
+        rows = [f"{'q':>3} {'N':>6} {'sqrt(N)':>8} {'7sqrtN-8':>9} "
+                f"{'measured':>9}"]
+        for q in (1, 2, 3, 4):
+            order = 2 * q
+            run = permute_mcc(
+                MCC(q), BPCSpec.random(order, rng).to_permutation()
+            )
+            assert run.success
+            rows.append(f"{q:>3} {1 << order:>6} {1 << q:>8} "
+                        f"{7 * (1 << q) - 8:>9} {run.unit_routes:>9}")
+        return "\n".join(rows)
+
+    body = benchmark.pedantic(table, rounds=1, iterations=1)
+    emit("CLM-MCC: unit-routes on a sqrt(N) x sqrt(N) MCC", body)
+
+
+def test_mcc_interchange_cost_geometry(benchmark):
+    # the cost model underlying the 7 sqrt(N) - 8 bound
+    machine = MCC(3)
+
+    def interchange_costs():
+        costs = []
+        for dim in range(machine.dimensions):
+            machine.set_register("R", list(range(machine.n_pes)))
+            before = machine.stats.unit_routes
+            machine.interchange(("R",), dim)
+            costs.append(machine.stats.unit_routes - before)
+        return costs
+
+    costs = benchmark(interchange_costs)
+    # dims 0..2 horizontal at distances 1,2,4; dims 3..5 vertical same
+    assert costs == [2, 4, 8, 2, 4, 8]

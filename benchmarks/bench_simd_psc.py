@@ -1,0 +1,56 @@
+"""CLM-PSC — the Section III perfect-shuffle-computer results.
+
+Measured claims:
+- any F(n) permutation in exactly 4 log N - 3 unit-routes
+  (exchange/unshuffle in, middle exchange, shuffle/exchange out);
+- Omega permutations with the first loop replaced by a single shuffle
+  (2 log N unit-routes);
+- InverseOmega permutations with the second loop replaced by a single
+  unshuffle.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.permclasses import BPCSpec, cyclic_shift
+from repro.simd import PSC, permute_psc
+
+
+@pytest.mark.parametrize("order", [4, 6, 8, 10])
+def test_psc_routes_general_f(benchmark, order, rng):
+    perm = BPCSpec.random(order, rng).to_permutation()
+    run = benchmark(permute_psc, PSC(order), perm)
+    assert run.success
+    assert run.unit_routes == 4 * order - 3
+
+
+@pytest.mark.parametrize("order", [4, 6, 8])
+def test_psc_omega_shortcut(benchmark, order):
+    perm = cyclic_shift(order, 5)
+    run = benchmark(permute_psc, PSC(order), perm, None, True)
+    assert run.success
+    assert run.unit_routes == 2 * order  # shuffle + n exchanges + n-1 shuffles
+
+
+@pytest.mark.parametrize("order", [4, 6, 8])
+def test_psc_inverse_omega_shortcut(benchmark, order):
+    perm = cyclic_shift(order, 5)
+    run = benchmark(permute_psc, PSC(order), perm, None, False, True)
+    assert run.success
+    assert run.unit_routes == 2 * order
+
+
+def test_psc_route_count_table(benchmark, rng):
+    def table():
+        rows = [f"{'n':>3} {'N':>6} {'4logN-3':>8} {'measured':>9}"]
+        for order in (3, 5, 7, 9):
+            run = permute_psc(
+                PSC(order), BPCSpec.random(order, rng).to_permutation()
+            )
+            assert run.success
+            rows.append(f"{order:>3} {1 << order:>6} "
+                        f"{4 * order - 3:>8} {run.unit_routes:>9}")
+        return "\n".join(rows)
+
+    body = benchmark.pedantic(table, rounds=1, iterations=1)
+    emit("CLM-PSC: unit-routes on an N-PE PSC", body)

@@ -1,0 +1,78 @@
+"""CLM-SORT — the sorting baseline (Section III).
+
+The paper: Batcher's bitonic sort gives the asymptotically best known
+*arbitrary*-permutation algorithms — O(log^2 N) on CCC/PSC — while the
+self-routing simulation does class-F permutations in O(log N).
+
+Shape to reproduce: the class-F router wins by a factor that grows as
+(log N + 1)/2 on the CCC; the sort wins on generality (it realizes
+everything).
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core import in_class_f, random_permutation
+from repro.permclasses import BPCSpec
+from repro.simd import (
+    CCC,
+    PSC,
+    permute_ccc,
+    sort_permute_ccc,
+    sort_permute_psc,
+)
+
+
+@pytest.mark.parametrize("order", [4, 6, 8])
+def test_ccc_sort_cost(benchmark, order, rng):
+    perm = random_permutation(1 << order, rng)
+    run = benchmark(sort_permute_ccc, CCC(order), perm)
+    assert run.success
+    assert run.route_instructions == order * (order + 1) // 2
+
+
+@pytest.mark.parametrize("order", [4, 6, 8])
+def test_psc_sort_cost(benchmark, order, rng):
+    perm = random_permutation(1 << order, rng)
+    run = benchmark(sort_permute_psc, PSC(order), perm)
+    assert run.success
+    # Stone schedule: n^2 shuffles + data-dependent exchanges
+    assert run.unit_routes >= order * order
+
+
+def test_crossover_table(benchmark, rng):
+    def table():
+        rows = [f"{'n':>3} {'N':>6} {'F-router':>9} {'sort':>6} "
+                f"{'ratio':>6}"]
+        ratios = []
+        for order in (3, 5, 7, 9):
+            perm = BPCSpec.random(order, rng).to_permutation()
+            froutes = permute_ccc(CCC(order), perm).unit_routes
+            sroutes = sort_permute_ccc(CCC(order), perm).unit_routes
+            ratios.append(sroutes / froutes)
+            rows.append(f"{order:>3} {1 << order:>6} {froutes:>9} "
+                        f"{sroutes:>6} {sroutes / froutes:>6.2f}")
+        return "\n".join(rows), ratios
+
+    body, ratios = benchmark.pedantic(table, rounds=1, iterations=1)
+    emit("CLM-SORT: class-F routing vs bitonic sort on the CCC "
+         "(paper: O(logN) vs O(log^2 N))", body)
+    # the advantage grows with N — the asymptotic separation
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > ratios[0] >= 1.0
+
+
+def test_sort_generality(benchmark, rng):
+    """What the sort buys: it realizes permutations outside F."""
+    order = 5
+    perm = random_permutation(32, rng)
+    while in_class_f(perm):
+        perm = random_permutation(32, rng)
+
+    def both():
+        f_run = permute_ccc(CCC(order), perm)
+        s_run = sort_permute_ccc(CCC(order), perm)
+        return f_run.success, s_run.success
+
+    f_ok, s_ok = benchmark(both)
+    assert not f_ok and s_ok

@@ -1,0 +1,95 @@
+"""TAB1 — Table I: example permutations in BPC(n).
+
+Regenerates the table (name + A-vector) at several sizes, checks every
+row's A-vector against an independent definition of the permutation,
+and verifies Theorem 2 on each (membership in F)."""
+
+from conftest import emit
+
+from repro.core import BenesNetwork, in_class_f
+from repro.core.bits import (
+    interleave_bits,
+    reverse_bits,
+    rotate_left,
+    rotate_right,
+)
+from repro.permclasses import is_bpc, table_i_specs
+
+
+def _independent_definitions(order):
+    """Each Table I row defined directly on indices, not via BPC."""
+    n = 1 << order
+    q = order // 2
+    side = 1 << q
+    defs = {
+        "bit reversal": [reverse_bits(i, order) for i in range(n)],
+        "vector reversal": [n - 1 - i for i in range(n)],
+        "perfect shuffle": [rotate_left(i, order) for i in range(n)],
+        "unshuffle": [rotate_right(i, order) for i in range(n)],
+    }
+    if order % 2 == 0:
+        defs["matrix transpose"] = [
+            (i % side) * side + (i // side) for i in range(n)
+        ]
+        defs["shuffled row major"] = [
+            interleave_bits(i // side, i % side, q) for i in range(n)
+        ]
+        srm = defs["shuffled row major"]
+        inverse = [0] * n
+        for src, dst in enumerate(srm):
+            inverse[dst] = src
+        defs["bit shuffle"] = inverse
+    return defs
+
+
+def _table(order):
+    rows = [f"Table I at n = {order} (N = {1 << order}):",
+            f"{'permutation':<20} {'A-vector':<30} {'in F(n)':>8}"]
+    for name, spec in table_i_specs(order):
+        rows.append(
+            f"{name:<20} {str(spec):<30} "
+            f"{str(in_class_f(spec.to_permutation())):>8}"
+        )
+    return "\n".join(rows)
+
+
+def test_table1_avectors_match_definitions(benchmark):
+    order = 4
+
+    def check():
+        defs = _independent_definitions(order)
+        results = {}
+        for name, spec in table_i_specs(order):
+            results[name] = spec.to_permutation().as_tuple() == tuple(
+                defs[name]
+            )
+        return results
+
+    results = benchmark(check)
+    assert all(results.values()), results
+    emit("TAB1: Table I", _table(4) + "\n\n" + _table(6))
+
+
+def test_table1_all_rows_route(benchmark):
+    order = 6
+    net = BenesNetwork(order)
+    specs = table_i_specs(order)
+
+    def route_all():
+        return [net.route(spec.to_permutation()).success
+                for _, spec in specs]
+
+    outcomes = benchmark(route_all)
+    assert all(outcomes)
+
+
+def test_table1_recognition_roundtrip(benchmark):
+    order = 6
+
+    def recognize_all():
+        return [
+            is_bpc(spec.to_permutation()) == spec
+            for _, spec in table_i_specs(order)
+        ]
+
+    assert all(benchmark(recognize_all))

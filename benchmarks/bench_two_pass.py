@@ -1,0 +1,51 @@
+"""ABL-2PASS — two-pass universality.
+
+Extension result: every permutation — including those outside F(n) —
+is realized by two self-routed transits (one ordinary, one omega-mode)
+with zero setup: ``D = omega_2 ∘ omega_1`` with ``omega_1`` inverse-
+omega and ``omega_2`` omega.  Delay ``2 x (2 log N - 1)`` versus one
+transit plus an O(N log N) serial setup.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core import BenesNetwork, random_permutation
+from repro.core.twopass import route_two_pass, two_pass_decomposition
+from repro.permclasses import is_inverse_omega, is_omega
+
+
+@pytest.mark.parametrize("order", [4, 6, 8])
+def test_two_pass_decomposition(benchmark, order, rng):
+    perm = random_permutation(1 << order, rng)
+    first, second = benchmark(two_pass_decomposition, perm)
+    assert first.then(second) == perm
+    assert is_inverse_omega(first)
+    assert is_omega(second)
+
+
+@pytest.mark.parametrize("order", [4, 6])
+def test_two_pass_routing(benchmark, order, rng):
+    net = BenesNetwork(order)
+    perm = random_permutation(1 << order, rng)
+    data = list(range(1 << order))
+    routed = benchmark(route_two_pass, perm, data, net)
+    assert routed == perm.apply(data)
+
+
+def test_two_pass_summary(benchmark, rng):
+    def table():
+        rows = [f"{'n':>3} {'N':>6} {'two-pass delay':>15} "
+                f"{'one-pass + serial setup':>24}"]
+        for order in (4, 6, 8, 10):
+            n = 1 << order
+            rows.append(
+                f"{order:>3} {n:>6} "
+                f"{2 * (2 * order - 1):>15} "
+                f"{f'{2 * order - 1} + O({n * order})':>24}"
+            )
+        return "\n".join(rows)
+
+    body = benchmark.pedantic(table, rounds=1, iterations=1)
+    emit("ABL-2PASS: universal routing without setup "
+         "(delay in stages; setup in serial operations)", body)

@@ -1,0 +1,19 @@
+"""Shared benchmark fixtures."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1980)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a reproduced table/figure so `pytest benchmarks/ -s`
+    shows the paper artifacts next to the timings."""
+    bar = "=" * max(len(title), 8)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

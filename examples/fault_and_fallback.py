@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Operating the self-routing network outside the happy path.
+
+Three situations a deployed interconnect faces, and what this library's
+machinery does about each:
+
+1. a permutation **outside F(n)** — the planner classifies it and the
+   two-pass trick realizes it with zero setup;
+2. a **stuck switch** — self-routing's adaptive downstream control
+   masks distribution-stage faults and pinpoints fatal ones;
+3. choosing per permutation between the attached network and the PE
+   interconnect (the dual-network machine of Section IV).
+
+Run:  python examples/fault_and_fallback.py
+"""
+
+import random
+
+from repro import BenesNetwork, plan
+from repro.core import random_class_f, random_permutation, in_class_f
+from repro.core.twopass import route_two_pass, two_pass_decomposition
+from repro.simd import DualNetworkComputer
+
+
+def main() -> None:
+    rng = random.Random(2026)
+    order = 4
+    n = 1 << order
+    net = BenesNetwork(order)
+
+    # ------------------------------------------------------------------
+    # 1. An arbitrary permutation: classify, then route in two passes.
+    # ------------------------------------------------------------------
+    perm = random_permutation(n, rng)
+    while in_class_f(perm):
+        perm = random_permutation(n, rng)
+    report = plan(perm)
+    print(f"permutation outside F: {perm.as_tuple()}")
+    print(f"  planner verdict : {report.network_strategy} "
+          f"(alternatives: {', '.join(report.alternatives)})")
+    print(f"  Theorem 1 witness: {report.failure_witness}")
+
+    first, second = two_pass_decomposition(perm)
+    print(f"  two-pass split  : inverse-omega {first.as_tuple()}")
+    print(f"                    then omega    {second.as_tuple()}")
+    data = [f"d{i}" for i in range(n)]
+    routed = route_two_pass(perm, data, net)
+    print(f"  two-pass routing correct: {routed == perm.apply(data)}\n")
+
+    # ------------------------------------------------------------------
+    # 2. Stuck switches: masked in the distribution half, fatal later.
+    # ------------------------------------------------------------------
+    f_perm = random_class_f(order, rng)
+    print(f"fault injection while routing {f_perm.as_tuple()}:")
+    healthy = net.route(f_perm, trace=True)
+    for stage in (0, order - 1, net.n_stages - 1):
+        flipped = 1 - int(healthy.stages[stage].states[0])
+        faulty = net.route(f_perm,
+                           stuck_switches={(stage, 0): flipped})
+        zone = ("distribution half" if stage < order - 1
+                else "destination-writing half")
+        outcome = ("MASKED (rerouted through the other sub-network)"
+                   if faulty.success else
+                   f"fatal, misrouted outputs {list(faulty.misrouted)}")
+        print(f"  stuck switch at stage {stage} ({zone}): {outcome}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Dual-network dispatch (Section IV's proposed machine).
+    # ------------------------------------------------------------------
+    machine = DualNetworkComputer(order, step_gate_cost=10)
+    print("dual-network dispatch (PSC + attached B(n), "
+          "10 gate delays per routing step):")
+    for label, candidate in (("class-F", f_perm), ("outside-F", perm)):
+        rep = machine.permute(candidate)
+        print(f"  {label:<10} -> {rep.chosen:<10} "
+              f"({rep.gate_delays} gate delays; attached network "
+              f"would cost {rep.benes_gate_delays}, E-network "
+              f"{rep.e_network_gate_delays})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: the self-routing Benes network in five minutes.
+
+Covers the core API surface:
+
+1. build a network, route a permutation with destination tags;
+2. see the O(log N) self-routing succeed for a class-F permutation and
+   fail for the paper's Fig. 5 counterexample;
+3. classify permutations (F / BPC / Omega / InverseOmega);
+4. fall back to external (Waksman) switch setup for arbitrary
+   permutations;
+5. route with the omega-bit extension.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BenesNetwork,
+    Permutation,
+    bit_reversal,
+    in_class_f,
+    is_bpc,
+    is_inverse_omega,
+    is_omega,
+    setup_states,
+)
+from repro.viz import render_route
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Build B(3) — 8 inputs, 5 switch stages, 20 binary switches.
+    # ------------------------------------------------------------------
+    net = BenesNetwork(3)
+    print(f"network: {net}  (N={net.n_terminals}, "
+          f"stages={net.n_stages}, switches={net.n_switches})\n")
+
+    # ------------------------------------------------------------------
+    # 2. Self-route a Table I permutation: bit reversal (Fig. 4).
+    #    Every signal carries a log N-bit destination tag; each switch
+    #    sets itself from one tag bit. Total time: O(log N).
+    # ------------------------------------------------------------------
+    perm = bit_reversal(3).to_permutation()
+    data = list("abcdefgh")
+    routed = net.permute(perm, data)
+    print(f"bit reversal tags : {perm.as_tuple()}")
+    print(f"input data        : {data}")
+    print(f"routed data       : {routed}\n")
+
+    # ------------------------------------------------------------------
+    # 3. Not every permutation is self-routable: the class F(n).
+    # ------------------------------------------------------------------
+    fig5 = Permutation((1, 3, 2, 0))
+    print(f"D = {fig5.as_tuple()}:")
+    print(f"  in F(2)?             {in_class_f(fig5)}")
+    print(f"  in BPC(2)?           {is_bpc(fig5) is not None}")
+    print(f"  in Omega(2)?         {is_omega(fig5)}")
+    print(f"  in InverseOmega(2)?  {is_inverse_omega(fig5)}\n")
+
+    small = BenesNetwork(2)
+    result = small.route(fig5, trace=True)
+    print("self-routing attempt (Fig. 5):")
+    print(render_route(result, 2))
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. The same hardware still realizes ALL N! permutations when the
+    #    self-setting logic is disabled and switches are set externally
+    #    by the O(N log N) looping (Waksman) algorithm.
+    # ------------------------------------------------------------------
+    states = setup_states(fig5)
+    external = small.route_with_states(states, payloads=list("wxyz"))
+    print(f"external setup realizes : {external.realized.as_tuple()}")
+    print(f"routed payloads         : {list(external.payloads)}\n")
+
+    # ------------------------------------------------------------------
+    # 5. Omega permutations: one extra tag bit forces the first n-1
+    #    stages straight, and every Omega(n) permutation routes.
+    # ------------------------------------------------------------------
+    omega_routed = small.route(fig5, omega_mode=True)
+    print(f"omega-bit mode success  : {omega_routed.success}")
+
+
+if __name__ == "__main__":
+    main()

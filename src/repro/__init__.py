@@ -1,0 +1,163 @@
+"""repro — A Self-Routing Benes Network and Parallel Permutation
+Algorithms.
+
+A complete reproduction of D. Nassimi & S. Sahni, IEEE Trans. Computers
+C-30(5), 1981 (ISCA 1980): the self-routing Benes network, the class
+``F(n)`` of permutations it realizes, the BPC / omega / inverse-omega /
+FUB permutation classes, the Theorem 4-6 composition closures, and the
+Section III SIMD permutation algorithms for cube-connected,
+perfect-shuffle and mesh-connected computers — plus the baselines the
+paper compares against (omega network, Batcher bitonic sorter, full
+crossbar, Waksman external setup).
+
+Quickstart::
+
+    from repro import BenesNetwork, bit_reversal
+
+    net = BenesNetwork(3)                       # B(3): 8 x 8
+    perm = bit_reversal(3).to_permutation()     # a Table I permutation
+    out = net.permute(perm, list("abcdefgh"))   # self-routed, O(log N)
+"""
+
+from .core import (
+    BenesNetwork,
+    BenesTopology,
+    BinarySwitch,
+    Permutation,
+    PipelinedBenes,
+    RouteResult,
+    Signal,
+    SwitchState,
+    derive_upper_lower,
+    enumerate_class_f,
+    identity,
+    in_class_f,
+    in_class_f_simulated,
+    random_class_f,
+    random_permutation,
+    setup_states,
+)
+from .errors import (
+    InvalidPermutationError,
+    MachineError,
+    NotAPowerOfTwoError,
+    ReproError,
+    RoutingError,
+    SizeMismatchError,
+    SpecificationError,
+    SwitchStateError,
+)
+from .networks import (
+    BitonicNetwork,
+    Crossbar,
+    GeneralizedConnectionNetwork,
+    InverseOmegaNetwork,
+    OmegaNetwork,
+    PermutationNetwork,
+)
+from .planner import RoutingPlan, plan
+from .permclasses import (
+    BPCSpec,
+    JPartition,
+    bit_reversal,
+    bit_shuffle,
+    blocks_and_within,
+    conditional_exchange,
+    cyclic_shift,
+    hierarchical,
+    is_bpc,
+    is_inverse_omega,
+    is_omega,
+    matrix_transpose,
+    p_ordering,
+    p_ordering_with_shift,
+    perfect_shuffle,
+    segment_cyclic_shift,
+    shuffled_row_major,
+    table_i_specs,
+    unshuffle,
+    vector_reversal,
+    within_blocks,
+)
+from .simd import (
+    CCC,
+    CIC,
+    DualNetworkComputer,
+    MCC,
+    PSC,
+    parallel_setup_states,
+    permute_ccc,
+    permute_mcc,
+    permute_psc,
+    sort_permute_ccc,
+    sort_permute_psc,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BPCSpec",
+    "BenesNetwork",
+    "BenesTopology",
+    "BinarySwitch",
+    "BitonicNetwork",
+    "CCC",
+    "CIC",
+    "Crossbar",
+    "DualNetworkComputer",
+    "GeneralizedConnectionNetwork",
+    "InvalidPermutationError",
+    "InverseOmegaNetwork",
+    "JPartition",
+    "MCC",
+    "MachineError",
+    "NotAPowerOfTwoError",
+    "OmegaNetwork",
+    "PSC",
+    "Permutation",
+    "PermutationNetwork",
+    "PipelinedBenes",
+    "ReproError",
+    "RouteResult",
+    "RoutingError",
+    "RoutingPlan",
+    "Signal",
+    "SizeMismatchError",
+    "SpecificationError",
+    "SwitchState",
+    "SwitchStateError",
+    "bit_reversal",
+    "bit_shuffle",
+    "blocks_and_within",
+    "conditional_exchange",
+    "cyclic_shift",
+    "derive_upper_lower",
+    "enumerate_class_f",
+    "hierarchical",
+    "identity",
+    "in_class_f",
+    "in_class_f_simulated",
+    "is_bpc",
+    "is_inverse_omega",
+    "is_omega",
+    "matrix_transpose",
+    "p_ordering",
+    "parallel_setup_states",
+    "plan",
+    "p_ordering_with_shift",
+    "perfect_shuffle",
+    "permute_ccc",
+    "random_class_f",
+    "permute_mcc",
+    "permute_psc",
+    "random_permutation",
+    "segment_cyclic_shift",
+    "setup_states",
+    "shuffled_row_major",
+    "sort_permute_ccc",
+    "sort_permute_psc",
+    "table_i_specs",
+    "unshuffle",
+    "vector_reversal",
+    "within_blocks",
+]

@@ -1,0 +1,56 @@
+"""Quantitative analysis: Section I cost formulas and Section II class
+cardinalities."""
+
+from .cardinality import (
+    ClassCensus,
+    bpc_count,
+    class_census,
+    class_f_count,
+    class_f_count_fast,
+    estimate_class_f_density,
+)
+from .optimality import (
+    ccc_active_dimensions,
+    ccc_lower_bound,
+    mcc_interchange_floor,
+    mcc_lower_bound,
+)
+from .redundancy import setting_multiplicity, total_settings
+from .report import REPORT_SECTIONS, generate_report
+from .complexity import (
+    SETUP_COMPLEXITY,
+    NetworkCost,
+    batcher_cost,
+    benes_cost,
+    comparison_table,
+    crossbar_cost,
+    lang_stone_cost,
+    ns13_cost,
+    omega_cost,
+)
+
+__all__ = [
+    "ClassCensus",
+    "NetworkCost",
+    "REPORT_SECTIONS",
+    "SETUP_COMPLEXITY",
+    "batcher_cost",
+    "benes_cost",
+    "bpc_count",
+    "ccc_active_dimensions",
+    "ccc_lower_bound",
+    "class_census",
+    "class_f_count",
+    "class_f_count_fast",
+    "comparison_table",
+    "generate_report",
+    "crossbar_cost",
+    "estimate_class_f_density",
+    "lang_stone_cost",
+    "mcc_interchange_floor",
+    "mcc_lower_bound",
+    "ns13_cost",
+    "omega_cost",
+    "setting_multiplicity",
+    "total_settings",
+]

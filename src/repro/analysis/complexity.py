@@ -1,0 +1,200 @@
+"""Closed-form cost formulas for the networks discussed in Section I.
+
+The paper frames its contribution against the hardware cost (binary
+switches) and transmission delay (switch stages) of the alternatives;
+this module collects those formulas so benchmark CLM-NETS can print the
+comparison table and the tests can check the structural models against
+their own formulas.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import NotAPowerOfTwoError, SpecificationError
+from ..core.bits import is_power_of_two, log2_exact
+
+__all__ = [
+    "NetworkCost",
+    "benes_cost",
+    "omega_cost",
+    "crossbar_cost",
+    "batcher_cost",
+    "odd_even_cost",
+    "lang_stone_cost",
+    "ns13_cost",
+    "comparison_table",
+    "SETUP_COMPLEXITY",
+]
+
+
+@dataclass(frozen=True)
+class NetworkCost:
+    """Hardware/latency/capability summary of one network.
+
+    Attributes:
+        name: network name as used in the paper.
+        switches: binary switch (comparator / crosspoint) count.
+        delay: transmission delay in switch stages.
+        realizable: number of distinct permutations realizable under
+            the network's native (self-routing or trivial) control, or
+            ``None`` when no closed form is available.
+        setup: order-of-growth of the setup computation, as text.
+    """
+
+    name: str
+    switches: int
+    delay: int
+    realizable: Optional[int]
+    setup: str
+
+
+def _check_size(n_terminals: int) -> int:
+    if not is_power_of_two(n_terminals):
+        raise NotAPowerOfTwoError(
+            f"network size must be a power of two, got {n_terminals}"
+        )
+    return log2_exact(n_terminals)
+
+
+def benes_cost(n_terminals: int, self_routing: bool = True) -> NetworkCost:
+    """Benes ``B(n)``: ``N log N - N/2`` switches, ``2 log N - 1``
+    stages.  Under the paper's self-routing control it realizes
+    ``|F(n)|`` permutations in O(log N) total time; under external
+    (Waksman) setup it realizes all ``N!`` at ``O(N log N)`` serial
+    setup cost."""
+    order = _check_size(n_terminals)
+    if self_routing:
+        return NetworkCost(
+            name="Benes (self-routing)",
+            switches=n_terminals * order - n_terminals // 2,
+            delay=2 * order - 1,
+            realizable=None,  # |F(n)| has no closed form; see cardinality
+            setup="O(log N) (dynamic, in-flight)",
+        )
+    return NetworkCost(
+        name="Benes (external setup)",
+        switches=n_terminals * order - n_terminals // 2,
+        delay=2 * order - 1,
+        realizable=math.factorial(n_terminals),
+        setup="O(N log N) serial (looping algorithm)",
+    )
+
+
+def omega_cost(n_terminals: int) -> NetworkCost:
+    """Lawrie's omega network: ``(N/2) log N`` switches, ``log N``
+    stages, ``2^{(N/2) log N}`` realizable permutations."""
+    order = _check_size(n_terminals)
+    return NetworkCost(
+        name="Omega (self-routing)",
+        switches=(n_terminals // 2) * order,
+        delay=order,
+        realizable=1 << ((n_terminals // 2) * order),
+        setup="O(log N) (dynamic, in-flight)",
+    )
+
+
+def crossbar_cost(n_terminals: int) -> NetworkCost:
+    """Full crossbar: ``N^2`` crosspoints, unit delay, all ``N!``
+    permutations, trivial setup."""
+    _check_size(n_terminals)
+    return NetworkCost(
+        name="Crossbar",
+        switches=n_terminals * n_terminals,
+        delay=1,
+        realizable=math.factorial(n_terminals),
+        setup="trivial",
+    )
+
+
+def batcher_cost(n_terminals: int) -> NetworkCost:
+    """Batcher bitonic sorter: ``(N/2) * logN(logN+1)/2`` comparators,
+    ``logN(logN+1)/2`` stages, all permutations, self-routing."""
+    order = _check_size(n_terminals)
+    stages = order * (order + 1) // 2
+    return NetworkCost(
+        name="Batcher bitonic",
+        switches=(n_terminals // 2) * stages,
+        delay=stages,
+        realizable=math.factorial(n_terminals),
+        setup="none (sorts on tags)",
+    )
+
+
+def odd_even_cost(n_terminals: int) -> NetworkCost:
+    """Batcher odd-even merge sorter: same ``logN(logN+1)/2`` delay as
+    the bitonic variant with strictly fewer comparators for N >= 8."""
+    order = _check_size(n_terminals)
+    from ..networks.oddeven import odd_even_comparator_count
+
+    return NetworkCost(
+        name="Batcher odd-even merge",
+        switches=odd_even_comparator_count(order),
+        delay=order * (order + 1) // 2,
+        realizable=math.factorial(n_terminals),
+        setup="none (sorts on tags)",
+    )
+
+
+def lang_stone_cost(n_terminals: int) -> NetworkCost:
+    """Lang & Stone's shuffle-exchange proposal: a single shuffle stage
+    reused ``O(sqrt N)`` times — ``N/2`` switches but ``O(sqrt N)``
+    delay.  Delay is reported as the paper's bound ``2 sqrt(N)``."""
+    _check_size(n_terminals)
+    return NetworkCost(
+        name="Lang-Stone shuffle",
+        switches=n_terminals // 2,
+        delay=2 * math.isqrt(n_terminals),
+        realizable=None,
+        setup="O(sqrt N) passes",
+    )
+
+
+def ns13_cost(n_terminals: int, fan_m: int) -> NetworkCost:
+    """The parameterized family of Nassimi & Sahni [13]: for
+    ``M in {2, 4, ..., N}``, ``O(N*M*(1 + logN - logM) * logN/logM)``
+    switches and ``O(logN / logM)`` delay and setup."""
+    order = _check_size(n_terminals)
+    if not is_power_of_two(fan_m) or not 2 <= fan_m <= n_terminals:
+        raise SpecificationError(
+            f"M must be a power of two in [2, N], got {fan_m}"
+        )
+    log_m = log2_exact(fan_m)
+    switches = (
+        n_terminals * fan_m * (1 + order - log_m) * order // log_m
+    )
+    delay = max(1, order // log_m)
+    return NetworkCost(
+        name=f"NS[13] family (M={fan_m})",
+        switches=switches,
+        delay=delay,
+        realizable=math.factorial(n_terminals),
+        setup=f"O(logN/logM) = O({delay})",
+    )
+
+
+def comparison_table(n_terminals: int) -> List[NetworkCost]:
+    """The Section I comparison at one size, Benes first."""
+    return [
+        benes_cost(n_terminals, self_routing=True),
+        benes_cost(n_terminals, self_routing=False),
+        omega_cost(n_terminals),
+        crossbar_cost(n_terminals),
+        batcher_cost(n_terminals),
+        odd_even_cost(n_terminals),
+        lang_stone_cost(n_terminals),
+        ns13_cost(n_terminals, fan_m=min(4, n_terminals)),
+    ]
+
+
+#: Setup-time bounds quoted in Section I for the Benes network on the
+#: four SIMD models of Nassimi & Sahni [7], versus this paper's scheme.
+SETUP_COMPLEXITY = {
+    "serial (Waksman looping)": "O(N log N)",
+    "CIC, N PEs": "O(log N)",
+    "MCC, sqrt(N) x sqrt(N)": "O(sqrt N)",
+    "CCC/PSC, N PEs": "O(log^2 N)",
+    "self-routing (this paper)": "O(log N) total, no preprocessing",
+}

@@ -1,0 +1,56 @@
+"""Setting redundancy of the Benes network.
+
+The network has ``2^{N logN - N/2}`` distinct switch settings but only
+``N!`` permutations to realize, so settings are highly redundant — the
+slack that makes the looping algorithm's free choices possible (and
+gives the self-routing scheme room to pick a *canonical* setting for
+class-F permutations).  This module measures the redundancy exactly for
+small ``n`` by enumerating every setting with the fast path:
+
+- :func:`setting_multiplicity` — for each permutation, how many
+  settings realize it;
+- every permutation is realized at least once (rearrangeability,
+  counted rather than assumed).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Tuple
+
+from ..core.fastpath import fast_route_with_states
+from ..core.topology import stage_count, switch_count
+
+__all__ = ["setting_multiplicity", "total_settings"]
+
+
+def total_settings(order: int) -> int:
+    """``2^{N logN - N/2}`` possible switch settings."""
+    return 1 << switch_count(order)
+
+
+def setting_multiplicity(order: int, limit_order: int = 2
+                         ) -> Dict[Tuple[int, ...], int]:
+    """Enumerate every switch setting of ``B(order)`` and count how
+    many realize each permutation.
+
+    Guarded to ``order <= limit_order``: B(2) has ``2^6 = 64``
+    settings; B(3) already has ``2^20 ≈ 10^6`` (tractable but slow, so
+    opt in by raising the limit).
+    """
+    if order > limit_order:
+        raise ValueError(
+            f"setting enumeration limited to order <= {limit_order}; "
+            "raise limit_order explicitly to opt in"
+        )
+    per_stage = (1 << order) // 2
+    stages = stage_count(order)
+    counts: Dict[Tuple[int, ...], int] = {}
+    for flat in product((0, 1), repeat=per_stage * stages):
+        states = [
+            flat[s * per_stage:(s + 1) * per_stage]
+            for s in range(stages)
+        ]
+        realized = fast_route_with_states(states, order)
+        counts[realized] = counts.get(realized, 0) + 1
+    return counts

@@ -1,0 +1,154 @@
+"""One-shot reproduction report: every figure, table and claim.
+
+:func:`generate_report` regenerates the paper's artifacts as a single
+text document — the same content the per-experiment benchmarks emit,
+gathered for `benes report` and for EXPERIMENTS.md cross-checking.
+Sections can be selected by id (``FIG1`` .. ``CLM-PIPE``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core import BenesNetwork, random_class_f
+from ..core.sampling import class_f_count_recursive
+from ..permclasses import BPCSpec, bit_reversal, table_i_specs
+from ..simd import (
+    CCC,
+    MCC,
+    PSC,
+    parallel_setup_states,
+    permute_ccc,
+    permute_mcc,
+    permute_psc,
+    sort_permute_ccc,
+)
+from ..viz import render_ccc_trace, render_route, render_topology
+from .cardinality import class_census
+from .complexity import comparison_table
+
+__all__ = ["generate_report", "REPORT_SECTIONS"]
+
+
+def _fig1(rng: random.Random) -> str:
+    lines = ["structure vs formulas (2logN-1 stages, NlogN-N/2 switches):"]
+    for order in (1, 3, 6, 10):
+        net = BenesNetwork(order)
+        lines.append(
+            f"  n={order:>2}: stages={net.n_stages:>3} "
+            f"switches={net.n_switches:>6}"
+        )
+    lines.append("")
+    lines.append(render_topology(3))
+    return "\n".join(lines)
+
+
+def _fig4(rng: random.Random) -> str:
+    net = BenesNetwork(3)
+    perm = bit_reversal(3).to_permutation()
+    return render_route(net.route(perm, trace=True), 3)
+
+
+def _fig5(rng: random.Random) -> str:
+    net = BenesNetwork(2)
+    return render_route(net.route([1, 3, 2, 0], trace=True), 2)
+
+
+def _fig6(rng: random.Random) -> str:
+    run = permute_ccc(CCC(3), bit_reversal(3).to_permutation(),
+                      trace=True)
+    return render_ccc_trace(run, 3)
+
+
+def _table1(rng: random.Random) -> str:
+    lines = [f"{'permutation':<20} {'A-vector (n=4)':<26}"]
+    for name, spec in table_i_specs(4):
+        lines.append(f"{name:<20} {str(spec):<26}")
+    return "\n".join(lines)
+
+
+def _clm_nets(rng: random.Random) -> str:
+    lines = [f"{'network':<26} {'switches':>9} {'delay':>6}"]
+    for cost in comparison_table(64):
+        lines.append(f"{cost.name:<26} {cost.switches:>9} "
+                     f"{cost.delay:>6}")
+    return "\n".join(lines)
+
+
+def _clm_rich(rng: random.Random) -> str:
+    lines = []
+    for order in (2, 3):
+        c = class_census(order)
+        lines.append(
+            f"n={order}: N!={c.total} |F|={c.in_f} |BPC|={c.in_bpc} "
+            f"|Omega|={c.in_omega} Omega\\F={c.omega_not_f} "
+            f"BPC\\F={c.bpc_not_f} InvOmega\\F={c.inverse_omega_not_f}"
+        )
+    lines.append(
+        "transfer-matrix recursion agrees: "
+        + ", ".join(
+            f"|F({o})|={class_f_count_recursive(o)}" for o in (1, 2, 3)
+        )
+    )
+    lines.append("|F(4)| = 133488540928 (see EXPERIMENTS.md ABL-SAMPLE)")
+    return "\n".join(lines)
+
+
+def _clm_simd(rng: random.Random) -> str:
+    lines = [f"{'n':>3} {'CCC (2n-1)':>11} {'PSC (4n-3)':>11} "
+             f"{'MCC (7sqrtN-8)':>15} {'sort (CCC)':>11}"]
+    for order in (4, 6, 8):
+        perm = BPCSpec.random(order, rng).to_permutation()
+        ccc = permute_ccc(CCC(order), perm).unit_routes
+        psc = permute_psc(PSC(order), perm).unit_routes
+        mcc = (permute_mcc(MCC(order // 2), perm).unit_routes
+               if order % 2 == 0 else None)
+        sort = sort_permute_ccc(CCC(order), perm).unit_routes
+        lines.append(
+            f"{order:>3} {ccc:>11} {psc:>11} "
+            f"{mcc if mcc is not None else '-':>15} {sort:>11}"
+        )
+    return "\n".join(lines)
+
+
+def _clm_setup(rng: random.Random) -> str:
+    lines = [f"{'n':>3} {'parallel setup steps':>21} "
+             f"{'self-routing steps':>19}"]
+    for order in (4, 6, 8):
+        perm = random_class_f(order, rng)
+        run = parallel_setup_states(perm)
+        lines.append(f"{order:>3} {run.total_steps:>21} {'0':>19}")
+    return "\n".join(lines)
+
+
+REPORT_SECTIONS: Dict[str, Callable[[random.Random], str]] = {
+    "FIG1": _fig1,
+    "FIG4": _fig4,
+    "FIG5": _fig5,
+    "FIG6": _fig6,
+    "TAB1": _table1,
+    "CLM-NETS": _clm_nets,
+    "CLM-RICH": _clm_rich,
+    "CLM-SIMD": _clm_simd,
+    "CLM-SETUP": _clm_setup,
+}
+
+
+def generate_report(sections: Optional[Sequence[str]] = None,
+                    seed: int = 1980) -> str:
+    """Regenerate the selected report sections (default: all) as one
+    text document."""
+    rng = random.Random(seed)
+    chosen = list(REPORT_SECTIONS) if sections is None else list(sections)
+    parts: List[str] = []
+    for name in chosen:
+        if name not in REPORT_SECTIONS:
+            raise KeyError(
+                f"unknown section {name!r}; "
+                f"available: {sorted(REPORT_SECTIONS)}"
+            )
+        body = REPORT_SECTIONS[name](rng)
+        bar = "=" * max(len(name) + 4, 12)
+        parts.append(f"{bar}\n  {name}\n{bar}\n{body}\n")
+    return "\n".join(parts)

@@ -1,0 +1,250 @@
+"""Command-line interface: ``benes``.
+
+Subcommands::
+
+    benes info N                      structural summary of B(log N)
+    benes check 3,1,2,0               class membership of a permutation
+    benes plan 1,3,2,0                routing-strategy recommendation
+    benes route 3,1,2,0 [--omega]     route with a stage-by-stage trace
+    benes fig4 / fig5 / fig6          reproduce the paper's figures
+    benes table1 N                    Table I at a given size
+    benes sample N [--count k]        random self-routable permutations
+    benes census N                    classify all N! permutations
+    benes report [--sections ...]     regenerate the evaluation report
+
+Permutations are comma-separated destination-tag lists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core import (
+    BenesNetwork,
+    Permutation,
+    in_class_f,
+    random_class_f,
+    setup_states,
+)
+from .core.bits import log2_exact
+from .permclasses import (
+    bit_reversal,
+    is_bpc,
+    is_inverse_omega,
+    is_omega,
+    table_i_specs,
+)
+from .simd import CCC, permute_ccc
+from .viz import render_ccc_trace, render_route, render_topology
+
+__all__ = ["main"]
+
+
+def _parse_permutation(text: str) -> Permutation:
+    try:
+        values = [int(tok) for tok in text.replace(" ", "").split(",")]
+    except ValueError:
+        raise SystemExit(f"cannot parse permutation {text!r}: use a "
+                         "comma-separated destination list like 3,1,2,0")
+    return Permutation(values)
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    order = log2_exact(args.size)
+    print(render_topology(order))
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    perm = _parse_permutation(args.permutation)
+    spec = is_bpc(perm)
+    print(f"permutation D = {perm.as_tuple()}  (N = {perm.size})")
+    print(f"  in F(n)            : {in_class_f(perm)}")
+    print(f"  in BPC(n)          : "
+          f"{spec is not None}{f'  [{spec}]' if spec else ''}")
+    print(f"  in Omega(n)        : {is_omega(perm)}")
+    print(f"  in InverseOmega(n) : {is_inverse_omega(perm)}")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    perm = _parse_permutation(args.permutation)
+    order = perm.order
+    net = BenesNetwork(order)
+    result = net.route(perm, omega_mode=args.omega, trace=True)
+    print(render_route(result, order))
+    if not result.success and not args.omega:
+        print("\nhint: the permutation is outside the self-routing "
+              "class; external setup still realizes it:")
+        realized = net.route_with_states(setup_states(perm)).realized
+        print(f"  Waksman setup realizes: {realized.as_tuple()}")
+    return 0 if result.success else 1
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    net = BenesNetwork(3)
+    perm = bit_reversal(3).to_permutation()
+    print("Fig. 4 — bit reversal on the self-routing B(3):\n")
+    print(render_route(net.route(perm, trace=True), 3))
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    net = BenesNetwork(2)
+    perm = Permutation((1, 3, 2, 0))
+    print("Fig. 5 — D = (1,3,2,0) cannot be self-routed on B(2):\n")
+    print(render_route(net.route(perm, trace=True), 2))
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    machine = CCC(3)
+    perm = bit_reversal(3).to_permutation()
+    run = permute_ccc(machine, perm, trace=True)
+    print("Fig. 6 — the CCC algorithm performing bit reversal "
+          "(N = 8):\n")
+    print(render_ccc_trace(run, 3))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    order = log2_exact(args.size)
+    print(f"Table I — example permutations in BPC({order}):\n")
+    for name, spec in table_i_specs(order):
+        in_f = in_class_f(spec.to_permutation())
+        print(f"  {name:<20} {str(spec):<28} in F: {in_f}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis import generate_report
+
+    sections = args.sections.split(",") if args.sections else None
+    print(generate_report(sections))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .planner import plan
+
+    report = plan(_parse_permutation(args.permutation))
+    print(f"permutation D = {report.permutation.as_tuple()}")
+    print(f"  classes            : F={report.in_f} "
+          f"BPC={report.bpc is not None} Omega={report.in_omega} "
+          f"InvOmega={report.in_inverse_omega}")
+    if report.bpc is not None:
+        print(f"  A-vector           : {report.bpc}")
+    print(f"  network strategy   : {report.network_strategy}"
+          + (f" (alternatives: {', '.join(report.alternatives)})"
+             if report.alternatives else ""))
+    print(f"  SIMD strategy      : {report.simd_strategy}"
+          + (f" (skip rule: {report.skip_rule})"
+             if report.skip_rule else ""))
+    print(f"  predicted CCC cost : {report.ccc_unit_routes} unit-routes")
+    if report.failure_witness is not None:
+        print(f"  Theorem 1 conflict : {report.failure_witness}")
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    import random
+
+    order = log2_exact(args.size)
+    rng = random.Random(args.seed)
+    for _ in range(args.count):
+        perm = random_class_f(order, rng)
+        print(",".join(str(d) for d in perm))
+    return 0
+
+
+def _cmd_census(args: argparse.Namespace) -> int:
+    from .analysis import class_census
+
+    order = log2_exact(args.size)
+    c = class_census(order)
+    print(f"census of all {c.total} permutations at N = {args.size}:")
+    print(f"  |F|            : {c.in_f}")
+    print(f"  |BPC|          : {c.in_bpc}")
+    print(f"  |Omega|        : {c.in_omega}")
+    print(f"  |InverseOmega| : {c.in_inverse_omega}")
+    print(f"  Omega \\ F      : {c.omega_not_f}")
+    print(f"  BPC \\ F        : {c.bpc_not_f}   (Theorem 2)")
+    print(f"  InvOmega \\ F   : {c.inverse_omega_not_f}   (Theorem 3)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the `benes` argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="benes",
+        description="Self-routing Benes network toolkit "
+                    "(Nassimi & Sahni, 1981)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="structural summary of B(n)")
+    p_info.add_argument("size", type=int, help="N (power of two)")
+    p_info.set_defaults(func=_cmd_info)
+
+    p_check = sub.add_parser("check", help="classify a permutation")
+    p_check.add_argument("permutation", help="e.g. 3,1,2,0")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_route = sub.add_parser("route",
+                             help="self-route a permutation with trace")
+    p_route.add_argument("permutation", help="e.g. 3,1,2,0")
+    p_route.add_argument("--omega", action="store_true",
+                         help="force the first n-1 stages straight")
+    p_route.set_defaults(func=_cmd_route)
+
+    for fig, fn in (("fig4", _cmd_fig4), ("fig5", _cmd_fig5),
+                    ("fig6", _cmd_fig6)):
+        p = sub.add_parser(fig, help=f"reproduce the paper's {fig}")
+        p.set_defaults(func=fn)
+
+    p_t1 = sub.add_parser("table1", help="Table I at size N")
+    p_t1.add_argument("size", type=int, help="N (power of two)")
+    p_t1.set_defaults(func=_cmd_table1)
+
+    p_plan = sub.add_parser(
+        "plan", help="choose a routing strategy for a permutation"
+    )
+    p_plan.add_argument("permutation", help="e.g. 1,3,2,0")
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_sample = sub.add_parser(
+        "sample", help="draw random self-routable permutations"
+    )
+    p_sample.add_argument("size", type=int, help="N (power of two)")
+    p_sample.add_argument("--count", type=int, default=1)
+    p_sample.add_argument("--seed", type=int, default=None)
+    p_sample.set_defaults(func=_cmd_sample)
+
+    p_census = sub.add_parser(
+        "census", help="classify all N! permutations (N <= 8)"
+    )
+    p_census.add_argument("size", type=int, help="N (power of two, <= 8)")
+    p_census.set_defaults(func=_cmd_census)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate the reproduction report"
+    )
+    p_report.add_argument(
+        "--sections", default=None,
+        help="comma-separated ids, e.g. FIG4,CLM-SIMD (default: all)"
+    )
+    p_report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the `benes` command-line tool."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Core of the reproduction: the Benes network of Fig. 1, the
+self-routing control of Section I, the class-F machinery of Section II,
+external (Waksman) setup, and pipelined operation (Section IV)."""
+
+from .benes import BenesNetwork
+from .fastpath import fast_route_with_states, fast_self_route
+from .gates import GateCosts, network_gates, switch_gates
+from .membership import (
+    derive_upper_lower,
+    enumerate_class_f,
+    first_failure,
+    in_class_f,
+    in_class_f_simulated,
+)
+from .permutation import Permutation, identity, random_permutation
+from .pipeline import PipelinedBenes, PipelineOutput
+from .routing import RouteResult, StageTrace
+from .sampling import (
+    class_f_count_recursive,
+    pair_weight,
+    random_class_f,
+    random_class_f_uniform,
+)
+from .states import pack_states, state_bit_count, unpack_states
+from .twopass import route_two_pass, two_pass_decomposition
+from .switch import CROSS, STRAIGHT, BinarySwitch, Signal, SwitchState
+from .topology import BenesTopology, control_bit, stage_count, switch_count
+from .waksman import looping_assignment, setup_states
+
+__all__ = [
+    "BenesNetwork",
+    "BenesTopology",
+    "BinarySwitch",
+    "CROSS",
+    "GateCosts",
+    "STRAIGHT",
+    "Permutation",
+    "PipelineOutput",
+    "PipelinedBenes",
+    "RouteResult",
+    "Signal",
+    "StageTrace",
+    "SwitchState",
+    "class_f_count_recursive",
+    "control_bit",
+    "derive_upper_lower",
+    "enumerate_class_f",
+    "fast_route_with_states",
+    "fast_self_route",
+    "first_failure",
+    "identity",
+    "in_class_f",
+    "in_class_f_simulated",
+    "looping_assignment",
+    "network_gates",
+    "pack_states",
+    "pair_weight",
+    "random_class_f",
+    "random_class_f_uniform",
+    "random_permutation",
+    "route_two_pass",
+    "setup_states",
+    "stage_count",
+    "state_bit_count",
+    "switch_count",
+    "switch_gates",
+    "two_pass_decomposition",
+    "unpack_states",
+]

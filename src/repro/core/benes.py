@@ -1,0 +1,332 @@
+"""The self-routing Benes network.
+
+:class:`BenesNetwork` is the structural network of Fig. 1 driven either
+by the paper's self-routing control (Section I) or by externally
+supplied switch states (the "disable the self-setting logic" mode, used
+together with :mod:`repro.core.waksman` to realize arbitrary
+permutations).
+
+Self-routing control recap: signals carry destination tags; the switch
+in column ``s`` sets itself to bit ``min(s, 2n-2-s)`` of its **upper**
+input's tag.  The class ``F(n)`` of permutations this realizes is
+characterized in :mod:`repro.core.membership`.
+
+The *omega mode* (Section II) forces columns ``0 .. n-2`` straight,
+turning the remaining ``n`` columns into Lawrie's omega network so that
+every ``Omega(n)`` permutation becomes realizable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..errors import (
+    RoutingError,
+    SizeMismatchError,
+    SwitchStateError,
+)
+from .bits import bit as _tag_bit
+from .permutation import Permutation
+from .routing import RouteResult, StageTrace, collect_result
+from .switch import STRAIGHT, BinarySwitch, Signal, SwitchState
+from .topology import BenesTopology
+
+__all__ = ["BenesNetwork"]
+
+PermutationLike = Union[Permutation, Sequence[int]]
+
+
+class BenesNetwork:
+    """An ``N = 2^order`` input/output Benes network ``B(order)``.
+
+    The network object is stateless between calls: each :meth:`route` /
+    :meth:`route_with_states` pass creates fresh switch instances, so a
+    single network can be shared freely.
+
+    The paper's control rule reads the **upper** input's tag; passing
+    ``control="lower"`` builds the mirror-image variant in which each
+    switch obeys its lower input instead (an ablation of that design
+    choice).  By the network's vertical symmetry the lower-control
+    network realizes exactly the complement-conjugated class: ``D`` is
+    lower-routable iff ``i -> ~D(~i)`` is upper-routable.
+
+    >>> net = BenesNetwork(3)
+    >>> net.n_terminals, net.n_stages, net.n_switches
+    (8, 5, 20)
+    """
+
+    def __init__(self, order: int, control: str = "upper"):
+        if control not in ("upper", "lower"):
+            raise SwitchStateError(
+                f"control must be 'upper' or 'lower', got {control!r}"
+            )
+        self._topology = BenesTopology.build(order)
+        self._control = control
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """The paper's ``n``: ``N = 2^n`` terminals."""
+        return self._topology.order
+
+    @property
+    def n_terminals(self) -> int:
+        """Number of inputs (= outputs) ``N``."""
+        return self._topology.n_terminals
+
+    @property
+    def n_stages(self) -> int:
+        """Number of switch columns, ``2n - 1``."""
+        return self._topology.n_stages
+
+    @property
+    def n_switches(self) -> int:
+        """Total number of binary switches, ``N log N - N/2``."""
+        return self._topology.n_switches
+
+    @property
+    def delay(self) -> int:
+        """Transmission delay in switch stages (gate levels):
+        ``2 log N - 1``."""
+        return self.n_stages
+
+    @property
+    def topology(self) -> BenesTopology:
+        """The underlying flat topology (columns + links)."""
+        return self._topology
+
+    @property
+    def control(self) -> str:
+        """Which input's tag the switches obey: ``"upper"`` (the
+        paper's rule) or ``"lower"`` (the mirror ablation)."""
+        return self._control
+
+    def __repr__(self) -> str:
+        if self._control != "upper":
+            return (f"BenesNetwork(order={self.order}, "
+                    f"control={self._control!r})")
+        return f"BenesNetwork(order={self.order})"
+
+    # ------------------------------------------------------------------
+    # Input preparation
+    # ------------------------------------------------------------------
+
+    def _make_signals(self, tags: PermutationLike,
+                      payloads: Optional[Sequence] = None,
+                      omega: bool = False) -> List[Signal]:
+        perm = tags if isinstance(tags, Permutation) else Permutation(tags)
+        if perm.size != self.n_terminals:
+            raise SizeMismatchError(
+                f"permutation of size {perm.size} on a network with "
+                f"{self.n_terminals} terminals"
+            )
+        if payloads is None:
+            payloads = list(range(self.n_terminals))
+        elif len(payloads) != self.n_terminals:
+            raise SizeMismatchError(
+                f"{len(payloads)} payloads for {self.n_terminals} inputs"
+            )
+        return [
+            Signal(tag=perm[i], payload=payloads[i], omega=omega, source=i)
+            for i in range(self.n_terminals)
+        ]
+
+    # ------------------------------------------------------------------
+    # Self-routing
+    # ------------------------------------------------------------------
+
+    def route(self, tags: PermutationLike,
+              payloads: Optional[Sequence] = None,
+              omega_mode: bool = False,
+              trace: bool = False,
+              require_success: bool = False,
+              stuck_switches: Optional[dict] = None) -> RouteResult:
+        """Route one vector through the network under self-routing.
+
+        Args:
+            tags: the permutation ``D`` — ``tags[i]`` is the destination
+                of input ``i``.
+            payloads: optional data items; defaults to ``0..N-1``.
+            omega_mode: set the omega bit on every signal, forcing the
+                first ``n-1`` columns straight (realizes ``Omega(n)``).
+            trace: record a :class:`StageTrace` per column.
+            require_success: raise :class:`RoutingError` when the
+                permutation is not realized (i.e. ``D`` is outside the
+                self-routable class).
+            stuck_switches: fault injection — a mapping
+                ``{(stage, switch_index): state}`` of switches whose
+                control logic has failed stuck at ``state`` (0 or 1);
+                they ignore the tags entirely.
+
+        Returns:
+            a :class:`RouteResult`; ``result.success`` tells whether
+            ``D`` was realized.
+        """
+        if stuck_switches:
+            for (stage, index), state in stuck_switches.items():
+                if not 0 <= stage < self.n_stages:
+                    raise SwitchStateError(f"no stage {stage}")
+                if not 0 <= index < self.n_terminals // 2:
+                    raise SwitchStateError(
+                        f"no switch {index} in stage {stage}"
+                    )
+                if state not in (0, 1):
+                    raise SwitchStateError(
+                        f"invalid stuck state {state!r}"
+                    )
+        signals = self._make_signals(tags, payloads, omega=omega_mode)
+        omega_stages = self.order - 1  # columns forced straight in omega mode
+        rows = signals
+        traces: List[StageTrace] = []
+        for stage in range(self.n_stages):
+            ctrl = self._topology.control_bit(stage)
+            force = omega_mode and stage < omega_stages
+            stuck = (
+                {idx: st for (s, idx), st in stuck_switches.items()
+                 if s == stage}
+                if stuck_switches else None
+            )
+            rows, states = self._switch_column_selfset(
+                rows, ctrl, force, stuck
+            )
+            if trace:
+                traces.append(StageTrace(
+                    stage=stage,
+                    control_bit=ctrl,
+                    input_tags=tuple(s.tag for s in signals),
+                    states=states,
+                    output_tags=tuple(s.tag for s in rows),
+                ))
+            if stage < self.n_stages - 1:
+                rows = self._topology.apply_link(stage, rows)
+            signals = rows
+        result = collect_result(
+            [s.tag for s in self._make_signals(tags)], rows, traces
+        )
+        if require_success and not result.success:
+            raise RoutingError(
+                f"permutation {tuple(tags)} is not self-routable on "
+                f"B({self.order}); misrouted outputs: {result.misrouted}"
+            )
+        return result
+
+    def _switch_column_selfset(self, rows: List[Signal], ctrl: int,
+                               force_straight: bool,
+                               stuck: Optional[dict] = None
+                               ) -> Tuple[List[Signal], Tuple[SwitchState, ...]]:
+        out: List[Signal] = [None] * len(rows)  # type: ignore[list-item]
+        states: List[SwitchState] = []
+        for i in range(len(rows) // 2):
+            switch = BinarySwitch()
+            upper, lower = rows[2 * i], rows[2 * i + 1]
+            if stuck is not None and i in stuck:
+                switch.set_state(stuck[i])
+                up_out, low_out = switch.transfer(upper, lower)
+            elif force_straight:
+                switch.set_state(STRAIGHT)
+                up_out, low_out = switch.transfer(upper, lower)
+            elif self._control == "lower":
+                # mirror rule: the lower input claims the output port
+                # named by its tag bit (bit 1 -> stay low -> straight)
+                switch.set_state(1 - _tag_bit(lower.tag, ctrl))
+                up_out, low_out = switch.transfer(upper, lower)
+            else:
+                up_out, low_out = switch.self_route(upper, lower, ctrl)
+            out[2 * i], out[2 * i + 1] = up_out, low_out
+            states.append(switch.state)
+        return out, tuple(states)
+
+    def realizes(self, tags: PermutationLike) -> bool:
+        """True iff the self-routing network delivers every input of
+        ``D`` to its tagged output — i.e. ``D`` is in ``F(order)``."""
+        return self.route(tags).success
+
+    def permute(self, tags: PermutationLike, data: Sequence,
+                omega_mode: bool = False) -> list:
+        """Route ``data`` according to ``D`` and return the output
+        vector; raises :class:`RoutingError` if ``D`` is not realizable
+        under the selected control mode."""
+        result = self.route(tags, payloads=list(data),
+                            omega_mode=omega_mode, require_success=True)
+        return list(result.payloads)
+
+    # ------------------------------------------------------------------
+    # External switch control
+    # ------------------------------------------------------------------
+
+    def _check_states(self, states: Sequence[Sequence[int]]) -> None:
+        if len(states) != self.n_stages:
+            raise SwitchStateError(
+                f"need {self.n_stages} stage-state vectors, got {len(states)}"
+            )
+        per_stage = self.n_terminals // 2
+        for s, column in enumerate(states):
+            if len(column) != per_stage:
+                raise SwitchStateError(
+                    f"stage {s}: need {per_stage} states, got {len(column)}"
+                )
+            for state in column:
+                if state not in (0, 1):
+                    raise SwitchStateError(
+                        f"stage {s}: invalid switch state {state!r}"
+                    )
+
+    def route_with_states(self, states: Sequence[Sequence[int]],
+                          payloads: Optional[Sequence] = None,
+                          trace: bool = False) -> RouteResult:
+        """Drive the network with externally supplied switch states.
+
+        ``states[s][i]`` is the state (0 straight / 1 cross) of switch
+        ``i`` in column ``s``.  The ``requested`` tags of the returned
+        result are the realized destinations themselves, so
+        ``result.success`` is always True; what matters is
+        ``result.realized`` — the permutation this setting performs.
+        """
+        self._check_states(states)
+        if payloads is None:
+            payloads = list(range(self.n_terminals))
+        # Tags are unknown under external control; carry source indices
+        # and fill tags in afterwards from where each source lands.
+        rows = [
+            Signal(tag=0, payload=payloads[i], source=i)
+            for i in range(self.n_terminals)
+        ]
+        traces: List[StageTrace] = []
+        for stage in range(self.n_stages):
+            column_in = rows
+            out: List[Signal] = [None] * len(rows)  # type: ignore[list-item]
+            column_states: List[SwitchState] = []
+            for i in range(len(rows) // 2):
+                switch = BinarySwitch(SwitchState(states[stage][i]))
+                up_out, low_out = switch.transfer(rows[2 * i], rows[2 * i + 1])
+                out[2 * i], out[2 * i + 1] = up_out, low_out
+                column_states.append(switch.state)
+            rows = out
+            if trace:
+                traces.append(StageTrace(
+                    stage=stage,
+                    control_bit=None,
+                    input_tags=tuple(s.source for s in column_in),
+                    states=tuple(column_states),
+                    output_tags=tuple(s.source for s in rows),
+                ))
+            if stage < self.n_stages - 1:
+                rows = self._topology.apply_link(stage, rows)
+        dest = [0] * self.n_terminals
+        for output, sig in enumerate(rows):
+            dest[sig.source] = output
+        realized = Permutation(dest)
+        # Re-tag the arrived signals with their realized destinations so
+        # collect_result sees a consistent picture.
+        rows = [
+            Signal(tag=output, payload=sig.payload, source=sig.source)
+            for output, sig in enumerate(rows)
+        ]
+        return collect_result(realized.as_tuple(), rows, traces)
+
+    def straight_states(self) -> List[List[int]]:
+        """An all-straight state assignment (realizes the identity)."""
+        return [[0] * (self.n_terminals // 2) for _ in range(self.n_stages)]

@@ -1,0 +1,213 @@
+"""Bit-field utilities matching the paper's notation.
+
+The paper writes ``(i)_j`` for bit ``j`` of the binary representation of
+``i`` (bit 0 is least significant) and ``(i)_{j..k}`` (``j >= k``) for the
+integer whose binary representation is ``(i)_j (i)_{j-1} ... (i)_k``.
+These helpers implement that notation plus the handful of structural bit
+permutations (reversal, rotation, interleave) used by the permutation
+classes in Section II.
+
+All functions are pure and operate on plain ``int`` values.
+"""
+
+from __future__ import annotations
+
+from ..errors import NotAPowerOfTwoError
+
+__all__ = [
+    "bit",
+    "bits_of",
+    "from_bits",
+    "bit_segment",
+    "set_bit",
+    "flip_bit",
+    "complement",
+    "reverse_bits",
+    "rotate_left",
+    "rotate_right",
+    "interleave_bits",
+    "deinterleave_bits",
+    "is_power_of_two",
+    "log2_exact",
+    "popcount",
+]
+
+
+def bit(i: int, j: int) -> int:
+    """Return ``(i)_j``: bit ``j`` of ``i`` (0 = least significant).
+
+    >>> bit(0b1010, 1)
+    1
+    >>> bit(0b1010, 2)
+    0
+    """
+    if j < 0:
+        raise ValueError(f"bit index must be non-negative, got {j}")
+    return (i >> j) & 1
+
+
+def bits_of(i: int, n: int) -> tuple:
+    """Return the ``n`` low bits of ``i`` as a tuple, most significant
+    first — the order in which the paper writes ``i_{n-1} ... i_0``.
+
+    >>> bits_of(0b110, 3)
+    (1, 1, 0)
+    """
+    if n < 0:
+        raise ValueError(f"bit count must be non-negative, got {n}")
+    return tuple((i >> j) & 1 for j in range(n - 1, -1, -1))
+
+
+def from_bits(bits: "tuple | list") -> int:
+    """Inverse of :func:`bits_of`: assemble an integer from bits given
+    most significant first.
+
+    >>> from_bits((1, 1, 0))
+    6
+    """
+    value = 0
+    for b in bits:
+        if b not in (0, 1):
+            raise ValueError(f"bits must be 0 or 1, got {b!r}")
+        value = (value << 1) | b
+    return value
+
+
+def bit_segment(i: int, j: int, k: int) -> int:
+    """Return ``(i)_{j..k}``: the integer with binary representation
+    ``(i)_j (i)_{j-1} ... (i)_k`` (requires ``j >= k >= 0``).
+
+    >>> bit_segment(0b101101, 5, 3)  # top three bits of 101101
+    5
+    >>> bit_segment(0b101101, 2, 0)
+    5
+    """
+    if j < k or k < 0:
+        raise ValueError(f"need j >= k >= 0, got j={j}, k={k}")
+    width = j - k + 1
+    return (i >> k) & ((1 << width) - 1)
+
+
+def set_bit(i: int, j: int, value: int) -> int:
+    """Return ``i`` with bit ``j`` forced to ``value`` (0 or 1)."""
+    if value not in (0, 1):
+        raise ValueError(f"bit value must be 0 or 1, got {value!r}")
+    if value:
+        return i | (1 << j)
+    return i & ~(1 << j)
+
+
+def flip_bit(i: int, j: int) -> int:
+    """Return ``i^{(j)}``: ``i`` with bit ``j`` complemented.
+
+    This is the paper's cube-neighbour notation: PE(i) connects to
+    PE(i^{(b)}) across dimension ``b`` of a cube-connected computer.
+    """
+    return i ^ (1 << j)
+
+
+def complement(i: int, n: int) -> int:
+    """Return the ``n``-bit ones' complement of ``i``.
+
+    >>> complement(0b0110, 4)
+    9
+    """
+    return i ^ ((1 << n) - 1)
+
+
+def reverse_bits(i: int, n: int) -> int:
+    """Return ``i`` with its ``n``-bit representation reversed
+    (the paper's ``i^R``, the bit-reversal permutation of Fig. 4).
+
+    >>> reverse_bits(0b110, 3)
+    3
+    """
+    out = 0
+    for _ in range(n):
+        out = (out << 1) | (i & 1)
+        i >>= 1
+    return out
+
+def rotate_left(i: int, n: int, k: int = 1) -> int:
+    """Rotate the ``n``-bit representation of ``i`` left by ``k``.
+
+    A left rotation by one is the *perfect shuffle* of the index space:
+    ``i_{n-1} i_{n-2} ... i_0 -> i_{n-2} ... i_0 i_{n-1}``.
+
+    >>> rotate_left(0b100, 3)
+    1
+    """
+    if n <= 0:
+        raise ValueError(f"width must be positive, got {n}")
+    k %= n
+    mask = (1 << n) - 1
+    i &= mask
+    return ((i << k) | (i >> (n - k))) & mask
+
+
+def rotate_right(i: int, n: int, k: int = 1) -> int:
+    """Rotate the ``n``-bit representation of ``i`` right by ``k``
+    (the *unshuffle* of the index space).
+
+    >>> rotate_right(0b001, 3)
+    4
+    """
+    if n <= 0:
+        raise ValueError(f"width must be positive, got {n}")
+    return rotate_left(i, n, n - (k % n))
+
+
+def interleave_bits(r: int, c: int, q: int) -> int:
+    """Interleave the ``q``-bit numbers ``r`` and ``c``:
+    result bits are ``r_{q-1} c_{q-1} ... r_0 c_0``.
+
+    Used by the *shuffled row-major* indexing of Table I: element
+    ``(r, c)`` of a ``2^q x 2^q`` array is stored at
+    ``interleave_bits(r, c, q)``.
+
+    >>> interleave_bits(0b11, 0b00, 2)
+    10
+    """
+    out = 0
+    for j in range(q - 1, -1, -1):
+        out = (out << 2) | (bit(r, j) << 1) | bit(c, j)
+    return out
+
+
+def deinterleave_bits(i: int, q: int) -> tuple:
+    """Inverse of :func:`interleave_bits`: split a ``2q``-bit number into
+    its odd-position bits (``r``) and even-position bits (``c``).
+
+    >>> deinterleave_bits(10, 2)
+    (3, 0)
+    """
+    r = 0
+    c = 0
+    for j in range(q - 1, -1, -1):
+        r = (r << 1) | bit(i, 2 * j + 1)
+        c = (c << 1) | bit(i, 2 * j)
+    return r, c
+
+
+def is_power_of_two(x: int) -> bool:
+    """Return True iff ``x`` is a positive exact power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def log2_exact(x: int) -> int:
+    """Return ``log2(x)`` for an exact power of two, else raise
+    :class:`~repro.errors.NotAPowerOfTwoError`.
+
+    >>> log2_exact(8)
+    3
+    """
+    if not is_power_of_two(x):
+        raise NotAPowerOfTwoError(f"{x} is not a positive power of two")
+    return x.bit_length() - 1
+
+
+def popcount(i: int) -> int:
+    """Return the number of one bits in ``i`` (``i >= 0``)."""
+    if i < 0:
+        raise ValueError(f"popcount requires a non-negative value, got {i}")
+    return bin(i).count("1")

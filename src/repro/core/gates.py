@@ -1,0 +1,103 @@
+"""Gate-level cost model of the self-routing network.
+
+The paper's "very simple logic ... in each switch" (Fig. 3) and its
+closing argument — a B(n) transit is a few gate delays per stage,
+versus full instruction broadcasts per routing step on a PE network —
+are quantified here with a conventional two-level switch model:
+
+data path (per payload bit, per switch)
+    each of the two outputs is ``(a AND NOT s) OR (b AND s)``:
+    2 AND + 1 OR gates, two gate levels; one shared NOT for ``s``.
+
+control (per switch)
+    the select line ``s`` is **one wired tag bit** of the upper input
+    (stage ``b`` reads bit ``b``) — zero gates, zero levels; this is
+    exactly why the scheme is "self-routing": no computation happens
+    before the data can move.
+
+The resulting closed forms feed the CLM-NETS ablation: gate counts and
+critical-path lengths for the network and, for Section IV, the register
+bits required for pipelined operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .topology import stage_count, switch_count
+
+__all__ = [
+    "GateCosts",
+    "switch_gates",
+    "network_gates",
+    "SWITCH_LEVELS",
+]
+
+#: gate levels through one switch's data path (AND then OR).
+SWITCH_LEVELS = 2
+
+
+@dataclass(frozen=True)
+class GateCosts:
+    """Gate-level cost summary.
+
+    Attributes:
+        and_gates / or_gates / not_gates: combinational gate counts.
+        levels: critical path in gate levels.
+        register_bits: bits of inter-stage registers needed for the
+            Section IV pipelined mode (0 for combinational operation).
+    """
+
+    and_gates: int
+    or_gates: int
+    not_gates: int
+    levels: int
+    register_bits: int = 0
+
+    @property
+    def total_gates(self) -> int:
+        """All combinational gates."""
+        return self.and_gates + self.or_gates + self.not_gates
+
+
+def switch_gates(word_width: int) -> GateCosts:
+    """Gate cost of one self-setting binary switch moving
+    ``word_width``-bit words (payload + the tag itself).
+
+    Two 2:1 muxes per word bit plus one inverter for the select line;
+    the select line itself is a wired tag bit (no gates).
+    """
+    if word_width < 1:
+        raise ValueError(f"word width must be >= 1, got {word_width}")
+    return GateCosts(
+        and_gates=4 * word_width,   # 2 per output per bit
+        or_gates=2 * word_width,    # 1 per output per bit
+        not_gates=1,                # shared select inverter
+        levels=SWITCH_LEVELS,
+    )
+
+
+def network_gates(order: int, word_width: int,
+                  pipelined: bool = False) -> GateCosts:
+    """Gate cost of the full self-routing ``B(order)`` for
+    ``word_width``-bit words.
+
+    Combinational delay is ``2 levels x (2 log N - 1) stages``; with
+    ``pipelined=True`` the inter-stage register bits
+    (``N x word_width`` per boundary, ``2 log N - 2`` boundaries) are
+    included and the delay becomes per-stage (one clock each).
+    """
+    per_switch = switch_gates(word_width)
+    n_switches = switch_count(order)
+    stages = stage_count(order)
+    registers = 0
+    if pipelined:
+        boundaries = stages - 1
+        registers = boundaries * (1 << order) * word_width
+    return GateCosts(
+        and_gates=per_switch.and_gates * n_switches,
+        or_gates=per_switch.or_gates * n_switches,
+        not_gates=per_switch.not_gates * n_switches,
+        levels=SWITCH_LEVELS * stages,
+        register_bits=registers,
+    )

@@ -1,0 +1,154 @@
+"""The class ``F(n)`` of self-routable permutations (Section II).
+
+Two independent deciders are provided:
+
+- :func:`in_class_f_simulated` — route the permutation through the
+  structural network of :class:`~repro.core.benes.BenesNetwork` and see
+  whether every tag arrives;
+- :func:`in_class_f` — the paper's Theorem 1 applied recursively:
+  ``D in F(n)`` iff the derived upper/lower sub-permutations ``U`` and
+  ``L`` (equations (1) and (2)) are permutations whose high ``n-1`` bits
+  are themselves in ``F(n-1)``.
+
+Tests assert the two agree on every permutation they are given; the
+recursive form is also the basis of the cardinality counts in
+:mod:`repro.analysis.cardinality`.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations as _all_permutations
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import InvalidPermutationError
+from .benes import BenesNetwork
+from .bits import bit, log2_exact
+from .permutation import Permutation
+
+__all__ = [
+    "derive_upper_lower",
+    "in_class_f",
+    "in_class_f_simulated",
+    "enumerate_class_f",
+    "first_failure",
+]
+
+PermutationLike = Union[Permutation, Sequence[int]]
+
+
+def _as_tags(perm: PermutationLike) -> Tuple[int, ...]:
+    if isinstance(perm, Permutation):
+        return perm.as_tuple()
+    return Permutation(perm).as_tuple()
+
+
+def derive_upper_lower(perm: PermutationLike
+                       ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Equations (1) and (2): the destination tags presented to the
+    upper and lower ``B(n-1)`` sub-networks after stage 0.
+
+    ``U[i]`` (``L[i]``) is the full tag leaving the upper (lower) output
+    of stage-0 switch ``i``.  The switch state is bit 0 of the tag of
+    its upper input ``D_{2i}``:
+
+    - if ``(D_{2i})_0 == 0`` the switch is straight, so
+      ``U_i = D_{2i}`` and ``L_i = D_{2i+1}``;
+    - otherwise it crosses: ``U_i = D_{2i+1}`` and ``L_i = D_{2i}``.
+    """
+    tags = _as_tags(perm)
+    upper: List[int] = []
+    lower: List[int] = []
+    for i in range(len(tags) // 2):
+        d_up, d_low = tags[2 * i], tags[2 * i + 1]
+        if bit(d_up, 0) == 0:
+            upper.append(d_up)
+            lower.append(d_low)
+        else:
+            upper.append(d_low)
+            lower.append(d_up)
+    return tuple(upper), tuple(lower)
+
+
+def _is_perm(values: Sequence[int]) -> bool:
+    return sorted(values) == list(range(len(values)))
+
+
+def _in_f_rec(tags: Tuple[int, ...], order: int) -> bool:
+    if order == 1:
+        return True  # B(1) is a single switch: both 2-permutations work
+    upper, lower = derive_upper_lower(tags)
+    upper_hi = tuple(u >> 1 for u in upper)
+    lower_hi = tuple(l >> 1 for l in lower)
+    if not (_is_perm(upper_hi) and _is_perm(lower_hi)):
+        return False
+    return _in_f_rec(upper_hi, order - 1) and _in_f_rec(lower_hi, order - 1)
+
+
+def in_class_f(perm: PermutationLike) -> bool:
+    """Theorem 1 decision: is ``D`` realizable by the self-routing
+    ``B(n)``?  Runs in ``O(N log N)`` time.
+
+    >>> in_class_f([0, 1, 2, 3])
+    True
+    >>> in_class_f([1, 3, 2, 0])   # Fig. 5 counterexample
+    False
+    """
+    tags = _as_tags(perm)
+    return _in_f_rec(tags, log2_exact(len(tags)))
+
+
+def in_class_f_simulated(perm: PermutationLike,
+                         network: Optional[BenesNetwork] = None) -> bool:
+    """Structural decision: actually route ``D`` through ``B(n)`` and
+    check that every tag arrives at its output.  Pass an existing
+    ``network`` of the right order to reuse its topology."""
+    tags = _as_tags(perm)
+    order = log2_exact(len(tags))
+    if network is None:
+        network = BenesNetwork(order)
+    elif network.order != order:
+        raise InvalidPermutationError(
+            f"permutation of size {len(tags)} on B({network.order})"
+        )
+    return network.route(tags).success
+
+
+def enumerate_class_f(order: int) -> Iterator[Permutation]:
+    """Yield every permutation in ``F(order)`` in lexicographic order.
+
+    Exhaustive over all ``N!`` permutations — intended for ``order <= 3``
+    (``8! = 40320``); larger orders are counted by sampling in
+    :mod:`repro.analysis.cardinality`.
+    """
+    n_elements = 1 << order
+    for dest in _all_permutations(range(n_elements)):
+        if _in_f_rec(dest, order):
+            yield Permutation(dest)
+
+
+def first_failure(perm: PermutationLike) -> Optional[Tuple[int, ...]]:
+    """Diagnostic: return the first (smallest) sub-problem at which the
+    Theorem 1 recursion fails, as the offending derived tag vector, or
+    ``None`` when ``D`` is in F.
+
+    The returned vector is the multiset of high-bit destinations that
+    stopped being a permutation — i.e. the concrete conflict inside the
+    network.
+    """
+    tags = _as_tags(perm)
+    order = log2_exact(len(tags))
+
+    def rec(tags: Tuple[int, ...], order: int) -> Optional[Tuple[int, ...]]:
+        if order == 1:
+            return None
+        upper, lower = derive_upper_lower(tags)
+        for half in (tuple(u >> 1 for u in upper),
+                     tuple(l >> 1 for l in lower)):
+            if not _is_perm(half):
+                return half
+            deeper = rec(half, order - 1)
+            if deeper is not None:
+                return deeper
+        return None
+
+    return rec(tags, order)

@@ -1,0 +1,250 @@
+"""The :class:`Permutation` value type.
+
+The paper manipulates permutations ``D = (D_0, D_1, ..., D_{N-1})`` of
+``(0, 1, ..., N-1)`` with the convention that **input i is routed to
+output D_i** (``D_i`` is the *destination tag* of input ``i``).  This
+module provides an immutable, validated value type for such objects,
+together with the algebra (composition, inverse, restriction, block
+embedding) used throughout the permutation-class machinery of Section II.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..errors import InvalidPermutationError, SizeMismatchError
+from . import bits as _bits
+
+__all__ = ["Permutation", "identity", "random_permutation"]
+
+
+class Permutation:
+    """An immutable permutation of ``0..N-1`` in destination-tag form.
+
+    ``p[i]`` is the destination of input ``i``.  Instances are hashable
+    and comparable, so they can be collected in sets — the exhaustive
+    class-membership counts in :mod:`repro.analysis.cardinality` rely on
+    this.
+    """
+
+    __slots__ = ("_dest", "_hash")
+
+    def __init__(self, dest: Iterable[int]):
+        dest = tuple(dest)
+        seen = [False] * len(dest)
+        for d in dest:
+            if not isinstance(d, int) or isinstance(d, bool):
+                raise InvalidPermutationError(
+                    f"destination tags must be ints, got {d!r}"
+                )
+            if not 0 <= d < len(dest):
+                raise InvalidPermutationError(
+                    f"destination {d} out of range for size {len(dest)}"
+                )
+            if seen[d]:
+                raise InvalidPermutationError(
+                    f"destination {d} appears more than once"
+                )
+            seen[d] = True
+        self._dest = dest
+        self._hash = hash(dest)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def identity(cls, n_elements: int) -> "Permutation":
+        """The identity permutation on ``n_elements`` items."""
+        return cls(range(n_elements))
+
+    @classmethod
+    def from_mapping(cls, mapping: Callable[[int], int],
+                     n_elements: int) -> "Permutation":
+        """Build a permutation from a function ``i -> D_i``.
+
+        >>> Permutation.from_mapping(lambda i: (i + 1) % 4, 4)
+        Permutation((1, 2, 3, 0))
+        """
+        return cls(mapping(i) for i in range(n_elements))
+
+    @classmethod
+    def from_cycles(cls, cycles: Sequence[Sequence[int]],
+                    n_elements: int) -> "Permutation":
+        """Build a permutation from disjoint cycles.
+
+        Each cycle ``(a, b, c)`` sends ``a -> b -> c -> a``.
+
+        >>> Permutation.from_cycles([(0, 1, 2)], 4)
+        Permutation((1, 2, 0, 3))
+        """
+        dest = list(range(n_elements))
+        touched = set()
+        for cycle in cycles:
+            for element in cycle:
+                if element in touched:
+                    raise InvalidPermutationError(
+                        f"element {element} appears in two cycles"
+                    )
+                touched.add(element)
+            for pos, element in enumerate(cycle):
+                dest[element] = cycle[(pos + 1) % len(cycle)]
+        return cls(dest)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._dest)
+
+    def __getitem__(self, i: int) -> int:
+        return self._dest[i]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._dest)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Permutation):
+            return self._dest == other._dest
+        if isinstance(other, tuple):
+            return self._dest == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Permutation({self._dest!r})"
+
+    @property
+    def size(self) -> int:
+        """Number of elements N."""
+        return len(self._dest)
+
+    @property
+    def order(self) -> int:
+        """log2(N) when N is a power of two (the paper's ``n``)."""
+        return _bits.log2_exact(len(self._dest))
+
+    def as_tuple(self) -> tuple:
+        """The raw destination-tag tuple ``(D_0, ..., D_{N-1})``."""
+        return self._dest
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def inverse(self) -> "Permutation":
+        """The inverse permutation: ``p.inverse()[p[i]] == i``."""
+        inv = [0] * len(self._dest)
+        for i, d in enumerate(self._dest):
+            inv[d] = i
+        return Permutation(inv)
+
+    def then(self, other: "Permutation") -> "Permutation":
+        """Sequential composition *self first, then other*.
+
+        ``(p.then(q))[i] == q[p[i]]`` — data routed by ``p`` and then by
+        ``q``.  This is the natural order for chaining passes through
+        permutation networks.
+        """
+        if len(other) != len(self):
+            raise SizeMismatchError(
+                f"cannot compose sizes {len(self)} and {len(other)}"
+            )
+        return Permutation(other._dest[d] for d in self._dest)
+
+    def compose(self, other: "Permutation") -> "Permutation":
+        """Function composition ``self ∘ other`` (*other first*):
+        ``p.compose(q)[i] == p[q[i]]``."""
+        return other.then(self)
+
+    def conjugate_by(self, relabel: "Permutation") -> "Permutation":
+        """Return ``relabel ∘ self ∘ relabel^{-1}`` — the same permutation
+        expressed in relabelled coordinates."""
+        inv = relabel.inverse()
+        return relabel.compose(self).compose(inv)
+
+    def power(self, k: int) -> "Permutation":
+        """``k``-fold self-composition (``k`` may be negative)."""
+        result = Permutation.identity(len(self))
+        base = self if k >= 0 else self.inverse()
+        for _ in range(abs(k)):
+            result = result.then(base)
+        return result
+
+    # ------------------------------------------------------------------
+    # Application & structure
+    # ------------------------------------------------------------------
+
+    def apply(self, data: Sequence) -> list:
+        """Route ``data`` through the permutation: the element at input
+        ``i`` lands at output ``D_i``.
+
+        >>> Permutation((1, 2, 3, 0)).apply("abcd")
+        ['d', 'a', 'b', 'c']
+        """
+        if len(data) != len(self._dest):
+            raise SizeMismatchError(
+                f"data of length {len(data)} does not match permutation "
+                f"of size {len(self._dest)}"
+            )
+        out: list = [None] * len(self._dest)
+        for i, d in enumerate(self._dest):
+            out[d] = data[i]
+        return out
+
+    def cycles(self) -> list:
+        """Disjoint cycle decomposition (each cycle starts at its
+        smallest element; singleton fixed points included)."""
+        seen = [False] * len(self._dest)
+        out = []
+        for start in range(len(self._dest)):
+            if seen[start]:
+                continue
+            cycle = [start]
+            seen[start] = True
+            nxt = self._dest[start]
+            while nxt != start:
+                cycle.append(nxt)
+                seen[nxt] = True
+                nxt = self._dest[nxt]
+            out.append(tuple(cycle))
+        return out
+
+    def fixed_points(self) -> list:
+        """Indices with ``D_i == i``."""
+        return [i for i, d in enumerate(self._dest) if d == i]
+
+    def is_identity(self) -> bool:
+        """True iff every input maps to itself."""
+        return all(d == i for i, d in enumerate(self._dest))
+
+    def is_involution(self) -> bool:
+        """True iff the permutation is its own inverse."""
+        return all(self._dest[d] == i for i, d in enumerate(self._dest))
+
+    def parity(self) -> int:
+        """0 for an even permutation, 1 for odd."""
+        transpositions = sum(len(c) - 1 for c in self.cycles())
+        return transpositions & 1
+
+
+def identity(n_elements: int) -> Permutation:
+    """Convenience alias for :meth:`Permutation.identity`."""
+    return Permutation.identity(n_elements)
+
+
+def random_permutation(n_elements: int,
+                       rng: "_random.Random | None" = None) -> Permutation:
+    """A uniformly random permutation of ``0..n_elements-1``.
+
+    Pass an explicit ``random.Random`` for reproducibility; tests and
+    benchmarks always do.
+    """
+    rng = rng if rng is not None else _random
+    dest = list(range(n_elements))
+    rng.shuffle(dest)
+    return Permutation(dest)

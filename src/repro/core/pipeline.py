@@ -1,0 +1,195 @@
+"""Pipelined operation of the self-routing network (Section IV).
+
+The paper notes that with registers between stages the network can
+accept a *new N-element vector every clock period* — not necessarily
+under the same permutation — with the first permuted vector emerging
+after ``2 log N - 1`` clocks and each subsequent vector after one more.
+
+:class:`PipelinedBenes` models that register file: latch ``s`` holds the
+row vector waiting at the input of switch column ``s``.  Each
+:meth:`clock` advances every occupied latch through its column (applying
+the self-routing control) and across the following link, optionally
+injects a fresh vector at the input, and emits the vector (if any)
+leaving the last column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..errors import SizeMismatchError
+from .benes import BenesNetwork
+from .permutation import Permutation
+from .routing import RouteResult, collect_result
+from .switch import Signal
+
+__all__ = ["PipelinedBenes", "PipelineOutput"]
+
+PermutationLike = Union[Permutation, Sequence[int]]
+
+
+@dataclass(frozen=True)
+class PipelineOutput:
+    """A vector emerging from the pipeline.
+
+    Attributes:
+        entered_at: clock index at which the vector was injected.
+        emerged_at: clock index at which it left the last column.
+        result: the routing outcome for this vector.
+    """
+
+    entered_at: int
+    emerged_at: int
+    result: RouteResult
+
+    @property
+    def latency(self) -> int:
+        """Clocks from injection to emergence; always ``2 log N - 1``."""
+        return self.emerged_at - self.entered_at
+
+
+class _InFlight:
+    """A vector travelling through the pipeline."""
+
+    __slots__ = ("rows", "tags", "entered_at")
+
+    def __init__(self, rows: List[Signal], tags: Tuple[int, ...],
+                 entered_at: int):
+        self.rows = rows
+        self.tags = tags
+        self.entered_at = entered_at
+
+
+class PipelinedBenes:
+    """A ``B(order)`` network with inter-stage registers.
+
+    >>> pipe = PipelinedBenes(2)
+    >>> outs = pipe.run([[0, 1, 2, 3], [3, 2, 1, 0]])
+    >>> [o.latency for o in outs]
+    [3, 3]
+    """
+
+    def __init__(self, order: int):
+        self._network = BenesNetwork(order)
+        self._latches: List[Optional[_InFlight]] = (
+            [None] * self._network.n_stages
+        )
+        self._clock = 0
+
+    @property
+    def order(self) -> int:
+        """``n``: the network is ``B(n)``."""
+        return self._network.order
+
+    @property
+    def n_terminals(self) -> int:
+        """Vector width ``N``."""
+        return self._network.n_terminals
+
+    @property
+    def latency(self) -> int:
+        """Pipeline depth: ``2 log N - 1`` clocks."""
+        return self._network.n_stages
+
+    @property
+    def clock_count(self) -> int:
+        """Clocks elapsed so far."""
+        return self._clock
+
+    @property
+    def occupancy(self) -> int:
+        """Number of vectors currently in flight."""
+        return sum(1 for latch in self._latches if latch is not None)
+
+    # ------------------------------------------------------------------
+
+    def _advance_one(self, flight: _InFlight, stage: int) -> _InFlight:
+        topo = self._network.topology
+        ctrl = topo.control_bit(stage)
+        rows, _ = self._network._switch_column_selfset(
+            flight.rows, ctrl, force_straight=False
+        )
+        if stage < self._network.n_stages - 1:
+            rows = topo.apply_link(stage, rows)
+        flight.rows = rows
+        return flight
+
+    def clock(self, tags: Optional[PermutationLike] = None,
+              payloads: Optional[Sequence] = None
+              ) -> Optional[PipelineOutput]:
+        """Advance the pipeline one clock period.
+
+        Args:
+            tags: destination tags of a fresh vector to inject this
+                clock, or ``None`` to inject nothing (a bubble).
+            payloads: data accompanying the fresh vector.
+
+        Returns:
+            the vector leaving the network this clock, if any.
+        """
+        n_stages = self._network.n_stages
+        emitted: Optional[PipelineOutput] = None
+
+        last = self._latches[n_stages - 1]
+        if last is not None:
+            final = self._advance_one(last, n_stages - 1)
+            result = collect_result(final.tags, final.rows)
+            emitted = PipelineOutput(
+                entered_at=last.entered_at,
+                emerged_at=self._clock,
+                result=result,
+            )
+
+        for stage in range(n_stages - 1, 0, -1):
+            moving = self._latches[stage - 1]
+            self._latches[stage] = (
+                self._advance_one(moving, stage - 1)
+                if moving is not None else None
+            )
+
+        if tags is not None:
+            signals = self._network._make_signals(tags, payloads)
+            self._latches[0] = _InFlight(
+                rows=signals,
+                tags=tuple(sig.tag for sig in signals),
+                entered_at=self._clock,
+            )
+        else:
+            self._latches[0] = None
+
+        self._clock += 1
+        return emitted
+
+    def drain(self) -> List[PipelineOutput]:
+        """Clock bubbles until the pipeline is empty; return everything
+        that emerges, in order."""
+        outputs: List[PipelineOutput] = []
+        while self.occupancy:
+            out = self.clock()
+            if out is not None:
+                outputs.append(out)
+        return outputs
+
+    def run(self, vectors: Sequence[PermutationLike],
+            payloads: Optional[Sequence[Sequence]] = None
+            ) -> List[PipelineOutput]:
+        """Stream a sequence of vectors back-to-back and drain.
+
+        Each entry of ``vectors`` is a full destination-tag vector (the
+        permutations need not be equal).  Returns one
+        :class:`PipelineOutput` per vector, in injection order.
+        """
+        if payloads is not None and len(payloads) != len(vectors):
+            raise SizeMismatchError(
+                f"{len(payloads)} payload vectors for {len(vectors)} "
+                "tag vectors"
+            )
+        outputs: List[PipelineOutput] = []
+        for k, tags in enumerate(vectors):
+            data = payloads[k] if payloads is not None else None
+            out = self.clock(tags, data)
+            if out is not None:
+                outputs.append(out)
+        outputs.extend(self.drain())
+        return outputs

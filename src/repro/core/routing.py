@@ -1,0 +1,105 @@
+"""Routing results and per-stage traces.
+
+Routing a vector of signals through a network produces a
+:class:`RouteResult`: whether every signal reached the output terminal
+named by its destination tag, the realized input->output mapping, and —
+when tracing is enabled — a :class:`StageTrace` per switch column with
+the tags present on every row and the state every switch took.  The
+traces are what the figure-reproduction benchmarks (Figs. 4 and 5)
+render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from .permutation import Permutation
+from .switch import SwitchState
+
+__all__ = ["StageTrace", "RouteResult"]
+
+
+@dataclass(frozen=True)
+class StageTrace:
+    """Snapshot of one switch column during a routing pass.
+
+    Attributes:
+        stage: column index, 0-based from the input side.
+        control_bit: the destination-tag bit that governed this column
+            (``min(stage, 2n-2-stage)``), or ``None`` for externally
+            set switches.
+        input_tags: destination tag on each input row of the column.
+        states: the state each switch took, top to bottom.
+        output_tags: destination tag on each output row, *after* the
+            switches but *before* the link to the next column.
+    """
+
+    stage: int
+    control_bit: Optional[int]
+    input_tags: Tuple[int, ...]
+    states: Tuple[SwitchState, ...]
+    output_tags: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of routing one vector through a permutation network.
+
+    Attributes:
+        requested: the destination tags presented at the inputs
+            (``requested[i]`` = tag of input ``i``).
+        delivered: ``delivered[o]`` is the *input terminal* whose signal
+            arrived at output ``o``.
+        payloads: the payload that arrived at each output terminal.
+        success: True iff every signal arrived at the output its tag
+            names, i.e. ``delivered[requested[i]] == i`` for all ``i``.
+        misrouted: output terminals that received a signal whose tag
+            does not match them (empty on success).
+        stages: per-column traces (empty unless tracing was requested).
+    """
+
+    requested: Tuple[int, ...]
+    delivered: Tuple[int, ...]
+    payloads: Tuple[object, ...]
+    success: bool
+    misrouted: Tuple[int, ...] = ()
+    stages: Tuple[StageTrace, ...] = ()
+
+    @property
+    def realized(self) -> Permutation:
+        """The input->output mapping the network actually performed
+        (always a permutation: switches never drop or duplicate)."""
+        n_terminals = len(self.delivered)
+        dest = [0] * n_terminals
+        for output, source in enumerate(self.delivered):
+            dest[source] = output
+        return Permutation(dest)
+
+    def arrived_tags(self) -> Tuple[int, ...]:
+        """The tag that arrived at each output terminal."""
+        return tuple(self.requested[src] for src in self.delivered)
+
+
+def collect_result(requested: Sequence[int],
+                   final_rows: Sequence,
+                   stages: Sequence[StageTrace] = ()) -> RouteResult:
+    """Assemble a :class:`RouteResult` from the signals present on the
+    output rows after the last column.
+
+    ``final_rows`` holds :class:`~repro.core.switch.Signal` objects in
+    output-row order.
+    """
+    delivered = tuple(sig.source for sig in final_rows)
+    payloads = tuple(sig.payload for sig in final_rows)
+    misrouted = tuple(
+        o for o, sig in enumerate(final_rows) if sig.tag != o
+    )
+    return RouteResult(
+        requested=tuple(requested),
+        delivered=delivered,
+        payloads=payloads,
+        success=not misrouted,
+        misrouted=misrouted,
+        stages=tuple(stages),
+    )

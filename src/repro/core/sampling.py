@@ -1,0 +1,217 @@
+"""Sampling and counting the class ``F(n)`` via its recursive structure.
+
+Theorem 1 says ``D in F(n)`` iff the derived sub-permutations ``U`` and
+``L`` have high-bit parts in ``F(n-1)``.  Running the decomposition
+*backwards* gives a constructive parameterization of ``F(n)``:
+
+- choose ``u, l in F(n-1)`` (the sub-network destinations);
+- choose, for every first-column switch ``i``, the low bit ``beta_i`` of
+  the tag sent to the upper sub-network; the low bit of the tag sent
+  down is then forced: ``gamma_i = 1 - beta_{sigma(i)}`` where
+  ``sigma = u^{-1} ∘ l`` (the last-column pairing constraint);
+- choose the input arrangement of each switch, which the self-routing
+  rule constrains: ``(beta_i, gamma_i) = (0,1)`` leaves two valid
+  arrangements, ``(0,0)`` and ``(1,1)`` one each, and ``(1,0)`` none.
+
+Counting the choices along each cycle of ``sigma`` is a transfer-matrix
+product with ``M = [[2, 1], [1, 0]]`` (indexed by
+``(beta_i, beta_{sigma(i)})``), giving
+
+    #{D : U_hi = u, L_hi = l}  =  prod over cycles c of sigma
+                                      trace(M^{|c|})
+
+and hence ``|F(n)| = sum over (u, l) in F(n-1)^2`` of that product —
+validated against the exhaustive counts (20 at n=2, 11632 at n=3).
+
+:func:`random_class_f` uses the same parameterization to draw members
+of ``F(n)`` at any size (every member is reachable; the distribution is
+exactly uniform *given* ``(u, l)`` but not across them, since pair
+weights differ — see the docstring).
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Dict, List, Sequence, Tuple
+
+from .membership import enumerate_class_f
+from .permutation import Permutation
+
+__all__ = [
+    "TRANSFER_MATRIX",
+    "pair_weight",
+    "class_f_count_recursive",
+    "random_class_f",
+    "random_class_f_uniform",
+]
+
+#: ``TRANSFER_MATRIX[beta_i][beta_sigma(i)]`` = number of (gamma,
+#: arrangement) completions at switch ``i``.
+TRANSFER_MATRIX = ((2, 1), (1, 0))
+
+
+def _mat_mul(a, b):
+    return (
+        (a[0][0] * b[0][0] + a[0][1] * b[1][0],
+         a[0][0] * b[0][1] + a[0][1] * b[1][1]),
+        (a[1][0] * b[0][0] + a[1][1] * b[1][0],
+         a[1][0] * b[0][1] + a[1][1] * b[1][1]),
+    )
+
+
+def _mat_pow(m, k):
+    result = ((1, 0), (0, 1))
+    base = m
+    while k:
+        if k & 1:
+            result = _mat_mul(result, base)
+        base = _mat_mul(base, base)
+        k >>= 1
+    return result
+
+
+def _cycles_of(sigma: Sequence[int]) -> List[List[int]]:
+    seen = [False] * len(sigma)
+    cycles = []
+    for start in range(len(sigma)):
+        if seen[start]:
+            continue
+        cycle = [start]
+        seen[start] = True
+        nxt = sigma[start]
+        while nxt != start:
+            cycle.append(nxt)
+            seen[nxt] = True
+            nxt = sigma[nxt]
+        cycles.append(cycle)
+    return cycles
+
+
+def _sigma_of(u: Permutation, l: Permutation) -> List[int]:
+    """``sigma(i) = u^{-1}(l(i))``: the first-column switch whose beta
+    bit constrains switch ``i``'s gamma bit."""
+    u_inv = u.inverse()
+    return [u_inv[l[i]] for i in range(len(l))]
+
+
+def pair_weight(u: Permutation, l: Permutation) -> int:
+    """Number of distinct ``F(n)`` members whose Theorem 1
+    decomposition has upper part ``u`` and lower part ``l``
+    (both in ``F(n-1)``)."""
+    weight = 1
+    for cycle in _cycles_of(_sigma_of(u, l)):
+        power = _mat_pow(TRANSFER_MATRIX, len(cycle))
+        weight *= power[0][0] + power[1][1]
+    return weight
+
+
+def class_f_count_recursive(order: int, limit_order: int = 3) -> int:
+    """``|F(order)|`` computed from the transfer-matrix recursion over
+    all pairs of ``F(order-1)`` members.
+
+    Exact and independent of the exhaustive enumeration; guarded to
+    ``order <= limit_order`` because it enumerates ``F(order-1)``
+    explicitly (at order 4 that is 11632^2 pairs).
+    """
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    if order == 1:
+        return 2
+    if order > limit_order:
+        raise ValueError(
+            f"recursive count limited to order <= {limit_order}"
+        )
+    members = list(enumerate_class_f(order - 1))
+    return sum(
+        pair_weight(u, l) for u in members for l in members
+    )
+
+
+def _sample_cycle_betas(length: int, rng: "_random.Random"
+                        ) -> List[int]:
+    """Draw a beta assignment along one sigma-cycle with probability
+    proportional to its transfer-matrix weight (exact, via suffix
+    matrix powers)."""
+    powers = [_mat_pow(TRANSFER_MATRIX, k) for k in range(length + 1)]
+    # first element: weight of closing the cycle from state b
+    w0 = powers[length][0][0]
+    w1 = powers[length][1][1]
+    first = 0 if rng.randrange(w0 + w1) < w0 else 1
+    betas = [first]
+    for position in range(1, length):
+        prev = betas[-1]
+        remaining = length - position
+        weights = [
+            TRANSFER_MATRIX[prev][c] * powers[remaining][c][first]
+            for c in (0, 1)
+        ]
+        total = weights[0] + weights[1]
+        betas.append(0 if rng.randrange(total) < weights[0] else 1)
+    return betas
+
+
+def random_class_f(order: int,
+                   rng: "_random.Random | None" = None) -> Permutation:
+    """Draw a member of ``F(order)`` constructively, at any size.
+
+    Every member of ``F(order)`` has positive probability (the
+    parameterization is onto), and conditioned on the sub-permutation
+    pair ``(u, l)`` the draw is exactly uniform; across pairs the
+    distribution is mildly non-uniform because pair weights differ.
+    Use :func:`random_class_f_uniform` (rejection) when exact
+    uniformity matters and the order is small.
+    """
+    rng = rng if rng is not None else _random
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    if order == 1:
+        return Permutation((0, 1) if rng.getrandbits(1) else (1, 0))
+
+    upper = random_class_f(order - 1, rng)
+    lower = random_class_f(order - 1, rng)
+    half = 1 << (order - 1)
+    sigma = _sigma_of(upper, lower)
+
+    betas = [0] * half
+    for cycle in _cycles_of(sigma):
+        for element, beta in zip(cycle, _sample_cycle_betas(len(cycle),
+                                                            rng)):
+            betas[element] = beta
+
+    dest = [0] * (1 << order)
+    for i in range(half):
+        tag_up = (upper[i] << 1) | betas[i]
+        gamma = 1 - betas[sigma[i]]
+        tag_down = (lower[i] << 1) | gamma
+        if betas[i] == 0 and gamma == 1:
+            # both input arrangements are self-routable: pick one
+            if rng.getrandbits(1):
+                dest[2 * i], dest[2 * i + 1] = tag_up, tag_down
+            else:
+                dest[2 * i], dest[2 * i + 1] = tag_down, tag_up
+        elif betas[i] == 0:  # gamma == 0: upper input must carry tag_up
+            dest[2 * i], dest[2 * i + 1] = tag_up, tag_down
+        else:                # beta == 1, gamma == 1: tag_down on top
+            dest[2 * i], dest[2 * i + 1] = tag_down, tag_up
+    return Permutation(dest)
+
+
+def random_class_f_uniform(order: int,
+                           rng: "_random.Random | None" = None,
+                           max_tries: int = 100000) -> Permutation:
+    """Uniform member of ``F(order)`` by rejection from uniform random
+    permutations.  Practical for ``order <= 4`` (F-density ~0.013 at
+    order 4); raises after ``max_tries`` rejections."""
+    from .membership import in_class_f
+    from .permutation import random_permutation
+
+    rng = rng if rng is not None else _random
+    n_elements = 1 << order
+    for _ in range(max_tries):
+        candidate = random_permutation(n_elements, rng)
+        if in_class_f(candidate):
+            return candidate
+    raise RuntimeError(
+        f"no F({order}) member found in {max_tries} tries; "
+        "use random_class_f for large orders"
+    )

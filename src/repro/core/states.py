@@ -1,0 +1,74 @@
+"""Switch-state bit vectors — the setup problem's output format.
+
+Section I: *"We give the permutation D to the machine.  It returns
+N log N − N/2 bits, where each bit is the state of a switch in the
+Benes network."*  This module packs a per-column state assignment into
+exactly that bit vector (and back): bit ``s * N/2 + i`` is the state of
+switch ``i`` in column ``s``, packed MSB-first into bytes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import SwitchStateError
+from .topology import stage_count, switch_count
+
+__all__ = ["pack_states", "unpack_states", "state_bit_count"]
+
+
+def state_bit_count(order: int) -> int:
+    """Exactly ``N log N - N/2`` bits for ``B(order)``."""
+    return switch_count(order)
+
+
+def pack_states(states: Sequence[Sequence[int]]) -> bytes:
+    """Pack per-column switch states into the paper's bit vector.
+
+    >>> pack_states([[1], [0], [1]]).hex()
+    'a0'
+    """
+    bits: List[int] = []
+    for column in states:
+        for state in column:
+            if state not in (0, 1):
+                raise SwitchStateError(
+                    f"invalid switch state {state!r}"
+                )
+            bits.append(int(state))
+    out = bytearray((len(bits) + 7) // 8)
+    for position, value in enumerate(bits):
+        if value:
+            out[position // 8] |= 0x80 >> (position % 8)
+    return bytes(out)
+
+
+def unpack_states(data: bytes, order: int) -> List[List[int]]:
+    """Inverse of :func:`pack_states` for a ``B(order)`` network.
+
+    >>> unpack_states(bytes([0x80]), 1)
+    [[1]]
+    """
+    n_bits = state_bit_count(order)
+    if len(data) != (n_bits + 7) // 8:
+        raise SwitchStateError(
+            f"need {(n_bits + 7) // 8} bytes for B({order}), "
+            f"got {len(data)}"
+        )
+    per_stage = (1 << order) // 2
+    states: List[List[int]] = []
+    position = 0
+    for _stage in range(stage_count(order)):
+        column = []
+        for _switch in range(per_stage):
+            byte = data[position // 8]
+            column.append((byte >> (7 - position % 8)) & 1)
+            position += 1
+        states.append(column)
+    # trailing pad bits must be zero (detects truncated/corrupt data)
+    while position < len(data) * 8:
+        byte = data[position // 8]
+        if (byte >> (7 - position % 8)) & 1:
+            raise SwitchStateError("nonzero padding bits")
+        position += 1
+    return states

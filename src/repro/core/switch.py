@@ -1,0 +1,119 @@
+"""The two-state binary switch (Fig. 2) and its self-setting control
+logic (Fig. 3).
+
+A binary switch has two inputs (*upper*, *lower*) and two outputs.  In
+state ``STRAIGHT`` (the paper's state 0) the upper input connects to the
+upper output; in state ``CROSS`` (state 1) the inputs are exchanged.
+
+The paper's self-routing rule: the switch in stage ``b`` — or in the
+mirror stage ``2n-2-b`` — of ``B(n)`` examines **bit b of the destination
+tag carried by its upper input** and sets itself to that bit.  With the
+optional *omega bit* extension, a switch in stages ``0 .. n-2`` forces
+itself ``STRAIGHT`` whenever the omega bit accompanying the tags is set,
+which makes every Omega(n) permutation realizable (Section II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Optional, Tuple
+
+from ..errors import SwitchStateError
+from .bits import bit
+
+__all__ = ["SwitchState", "STRAIGHT", "CROSS", "BinarySwitch", "Signal"]
+
+
+class SwitchState(IntEnum):
+    """The two states of a binary switch (Fig. 2)."""
+
+    STRAIGHT = 0
+    CROSS = 1
+
+    def __invert__(self) -> "SwitchState":
+        return SwitchState(1 - int(self))
+
+
+STRAIGHT = SwitchState.STRAIGHT
+CROSS = SwitchState.CROSS
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A value travelling through the network together with its routing
+    metadata.
+
+    Attributes:
+        tag: the destination tag ``D_i`` (``log N`` bits).
+        payload: the data being routed (opaque to the network).
+        omega: the optional *omega bit*; when true, switches in the first
+            ``n-1`` stages force themselves straight.
+        source: the input terminal the signal entered at (for traces).
+    """
+
+    tag: int
+    payload: object = None
+    omega: bool = False
+    source: Optional[int] = None
+
+    def __repr__(self) -> str:  # keep traces compact
+        extra = f", payload={self.payload!r}" if self.payload is not None else ""
+        return f"Signal(tag={self.tag}{extra})"
+
+
+class BinarySwitch:
+    """A single two-state switch, optionally self-setting.
+
+    The switch can be driven in two ways:
+
+    - :meth:`set_state` + :meth:`transfer` — external control (the
+      "disable the self-setting logic" mode of Section I, used by the
+      Waksman setup);
+    - :meth:`self_route` — the paper's dynamic control: the state is
+      computed from bit ``control_bit`` of the upper input's tag.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state: SwitchState = STRAIGHT):
+        self._state = SwitchState(state)
+
+    @property
+    def state(self) -> SwitchState:
+        """Current state."""
+        return self._state
+
+    def set_state(self, state: "SwitchState | int") -> None:
+        """Externally force the switch state (0 straight / 1 cross)."""
+        if state not in (0, 1):
+            raise SwitchStateError(f"switch state must be 0 or 1, got {state!r}")
+        self._state = SwitchState(state)
+
+    def transfer(self, upper, lower) -> Tuple[object, object]:
+        """Pass the two inputs through the switch in its current state.
+
+        Returns ``(upper_output, lower_output)``.
+        """
+        if self._state is STRAIGHT:
+            return upper, lower
+        return lower, upper
+
+    def self_route(self, upper: Signal, lower: Signal, control_bit: int,
+                   force_straight_on_omega: bool = False
+                   ) -> Tuple[Signal, Signal]:
+        """Set the state from the upper input's tag, then transfer.
+
+        ``control_bit`` is the tag bit examined (the ``b`` of Fig. 3).
+        When ``force_straight_on_omega`` is true and the upper signal
+        carries ``omega=True``, the switch goes straight regardless of
+        the tag — the omega-bit extension for Omega(n) permutations.
+        """
+        if force_straight_on_omega and upper.omega:
+            self._state = STRAIGHT
+        else:
+            self._state = SwitchState(bit(upper.tag, control_bit))
+        return self.transfer(upper, lower)
+
+    def __repr__(self) -> str:
+        return f"BinarySwitch({self._state.name})"

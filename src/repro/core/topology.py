@@ -1,0 +1,190 @@
+"""Flat structural model of the Benes network ``B(n)`` (Fig. 1).
+
+The paper defines ``B(n)`` recursively: a column of ``N/2`` binary
+switches, two copies of ``B(n-1)`` (upper and lower), and a final column
+of ``N/2`` switches.  This module *flattens* that recursion into
+
+- ``2n - 1`` switch **columns**, each of ``N/2`` switches, where switch
+  ``i`` of a column always owns the column-local rows ``2i`` (upper
+  input/output) and ``2i + 1`` (lower);
+- ``2n - 2`` **links**, one between each pair of adjacent columns.  A
+  link is a permutation of rows: ``link[r]`` is the row of the next
+  column that output row ``r`` of the previous column wires to.
+
+The link following the first column of ``B(n)`` is the *unshuffle*
+(rotate-right of the row index): the upper output of switch ``i`` goes to
+input ``i`` of the upper ``B(n-1)`` (row ``i``) and the lower output to
+input ``i`` of the lower ``B(n-1)`` (row ``N/2 + i``).  The link before
+the last column is the *shuffle* (rotate-left).  Links interior to the
+sub-networks are the sub-network's links applied within each half,
+recursively — exactly the drawing of Fig. 1.
+
+The stage <-> tag-bit correspondence of the self-routing rule is
+``control_bit(s) = min(s, 2n-2-s)`` (Fig. 3): stage ``b`` and its mirror
+stage ``2n-2-b`` are both controlled by tag bit ``b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .bits import rotate_left, rotate_right
+
+__all__ = [
+    "BenesTopology",
+    "stage_count",
+    "switch_count",
+    "control_bit",
+    "unshuffle_link",
+    "shuffle_link",
+]
+
+
+def stage_count(order: int) -> int:
+    """Number of switch columns in ``B(n)``: ``2n - 1``."""
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    return 2 * order - 1
+
+
+def switch_count(order: int) -> int:
+    """Total binary switches in ``B(n)``: ``N log N - N/2``."""
+    n_inputs = 1 << order
+    return stage_count(order) * (n_inputs // 2)
+
+
+def control_bit(stage: int, order: int) -> int:
+    """Tag bit controlling the switches of ``stage`` (Fig. 3).
+
+    Stage ``b`` and stage ``2n-2-b`` are both set from tag bit ``b``,
+    so the controlling bit is ``min(stage, 2n-2-stage)``.
+    """
+    last = stage_count(order) - 1
+    if not 0 <= stage <= last:
+        raise ValueError(f"stage {stage} out of range 0..{last}")
+    return min(stage, last - stage)
+
+
+def unshuffle_link(order: int) -> Tuple[int, ...]:
+    """The link permutation following the first column of ``B(n)``:
+    row ``r`` wires to row ``rotate_right(r)`` (bit 0 becomes the
+    sub-network selector, i.e. the new top bit)."""
+    n_rows = 1 << order
+    return tuple(rotate_right(r, order) for r in range(n_rows))
+
+
+def shuffle_link(order: int) -> Tuple[int, ...]:
+    """The link permutation preceding the last column of ``B(n)``:
+    row ``r`` wires to row ``rotate_left(r)`` (the sub-network selector
+    bit returns to position 0)."""
+    n_rows = 1 << order
+    return tuple(rotate_left(r, order) for r in range(n_rows))
+
+
+def _nest_in_halves(link: Tuple[int, ...], n_rows: int) -> Tuple[int, ...]:
+    """Lift a link of the ``B(n-1)`` sub-network so it acts independently
+    inside the top and bottom halves of ``B(n)``'s row space."""
+    half = n_rows // 2
+    out = [0] * n_rows
+    for r in range(half):
+        out[r] = link[r]
+        out[half + r] = half + link[r]
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class BenesTopology:
+    """The flattened structure of ``B(n)``.
+
+    Attributes:
+        order: the paper's ``n`` (``N = 2^n`` terminals).
+        links: ``2n - 2`` row permutations; ``links[s][r]`` is the input
+            row of column ``s+1`` fed by output row ``r`` of column ``s``.
+    """
+
+    order: int
+    links: Tuple[Tuple[int, ...], ...]
+
+    @classmethod
+    def build(cls, order: int) -> "BenesTopology":
+        """Construct the topology for ``B(order)`` by the paper's
+        recursion."""
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        return cls(order=order, links=tuple(cls._build_links(order)))
+
+    @staticmethod
+    def _build_links(order: int) -> List[Tuple[int, ...]]:
+        if order == 1:
+            return []
+        n_rows = 1 << order
+        inner = [
+            _nest_in_halves(link, n_rows)
+            for link in BenesTopology._build_links(order - 1)
+        ]
+        return [unshuffle_link(order)] + inner + [shuffle_link(order)]
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def n_terminals(self) -> int:
+        """``N = 2^n`` inputs (and outputs)."""
+        return 1 << self.order
+
+    @property
+    def n_stages(self) -> int:
+        """``2n - 1`` switch columns."""
+        return stage_count(self.order)
+
+    @property
+    def switches_per_stage(self) -> int:
+        """``N / 2`` switches in every column."""
+        return self.n_terminals // 2
+
+    @property
+    def n_switches(self) -> int:
+        """``N log N - N/2`` switches in total."""
+        return switch_count(self.order)
+
+    def control_bit(self, stage: int) -> int:
+        """Tag bit controlling ``stage`` — see :func:`control_bit`."""
+        return control_bit(stage, self.order)
+
+    def control_bits(self) -> Tuple[int, ...]:
+        """The full per-stage control-bit schedule
+        ``(0, 1, ..., n-1, ..., 1, 0)``."""
+        return tuple(self.control_bit(s) for s in range(self.n_stages))
+
+    def apply_link(self, stage: int, rows: list) -> list:
+        """Wire a full row vector across the link that follows
+        ``stage``: the value on output row ``r`` of column ``stage``
+        appears on input row ``links[stage][r]`` of column ``stage+1``."""
+        link = self.links[stage]
+        out = [None] * len(rows)
+        for r, value in enumerate(rows):
+            out[link[r]] = value
+        return out
+
+    def validate(self) -> None:
+        """Check structural invariants (used by tests):
+
+        - there are exactly ``2n - 2`` links, each a permutation of rows;
+        - the first link is the unshuffle and the last is the shuffle;
+        - every link maps each half-specific structure consistently.
+        """
+        expected = self.n_stages - 1
+        if len(self.links) != expected:
+            raise AssertionError(
+                f"expected {expected} links, found {len(self.links)}"
+            )
+        for s, link in enumerate(self.links):
+            if sorted(link) != list(range(self.n_terminals)):
+                raise AssertionError(f"link {s} is not a row permutation")
+        if self.order >= 2:
+            if self.links[0] != unshuffle_link(self.order):
+                raise AssertionError("first link is not the unshuffle")
+            if self.links[-1] != shuffle_link(self.order):
+                raise AssertionError("last link is not the shuffle")

@@ -1,0 +1,116 @@
+"""Two-pass universality of the self-routing network.
+
+The class ``F(n)`` does not contain every permutation (Fig. 5) and is
+not even closed under products — yet **every** permutation can be
+performed by *two* passes through the self-routing network with no
+external setup at all:
+
+    D  =  omega_2 ∘ omega_1,
+    omega_1 ∈ InverseOmega(n) ⊆ F(n),   omega_2 ∈ Omega(n)
+
+- pass 1 routes ``omega_1`` with the ordinary self-routing control
+  (inverse-omega permutations are in F by Theorem 3);
+- pass 2 routes ``omega_2`` with the *omega bit* set (the Section II
+  extension realizes all of Omega(n)).
+
+The decomposition falls out of the Benes structure: its first ``n``
+stages are an inverse-omega network "except for some rearrangement of
+switches" (Section II).  Running the looping setup for ``D`` and
+reading where each signal sits after the first ``n`` columns gives a
+mapping ``M``; composing with the *fixed* wire relabeling
+``M_straight`` that the all-straight network performs turns it into a
+genuine inverse-omega permutation:
+
+    omega_1 = M ∘ M_straight^{-1},      omega_2 = omega_1^{-1} ∘ D.
+
+Verified exhaustively for n <= 3 and on random permutations at larger
+sizes (see ``tests/test_twopass.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .benes import BenesNetwork
+from .bits import log2_exact
+from .permutation import Permutation
+from .topology import BenesTopology
+from .waksman import setup_states
+
+__all__ = ["two_pass_decomposition", "route_two_pass"]
+
+PermutationLike = Union[Permutation, Sequence[int]]
+
+_STRAIGHT_CACHE: Dict[int, Permutation] = {}
+
+
+def _first_half_map(states: List[List[int]], order: int) -> Permutation:
+    """Where each input sits after the first ``n`` switch columns (and
+    the ``n-1`` links between them) of a Waksman-configured ``B(n)``."""
+    topology = BenesTopology.build(order)
+    n = 1 << order
+    rows: List[int] = list(range(n))  # rows[r] = source occupying row r
+    for stage in range(order):
+        column = states[stage]
+        for i in range(n // 2):
+            if column[i]:
+                rows[2 * i], rows[2 * i + 1] = (
+                    rows[2 * i + 1], rows[2 * i]
+                )
+        if stage < order - 1:
+            rows = topology.apply_link(stage, rows)
+    middle = [0] * n
+    for row, source in enumerate(rows):
+        middle[source] = row
+    return Permutation(middle)
+
+
+def _straight_map(order: int) -> Permutation:
+    """The fixed wire permutation the first half performs with every
+    switch straight — the 'rearrangement of switches' between the Benes
+    half and a true inverse-omega network."""
+    if order not in _STRAIGHT_CACHE:
+        n = 1 << order
+        straight = [[0] * (n // 2) for _ in range(2 * order - 1)]
+        _STRAIGHT_CACHE[order] = _first_half_map(straight, order)
+    return _STRAIGHT_CACHE[order]
+
+
+def two_pass_decomposition(perm: PermutationLike
+                           ) -> Tuple[Permutation, Permutation]:
+    """Split an arbitrary permutation ``D`` into ``(omega_1, omega_2)``
+    with ``omega_1.then(omega_2) == D``, ``omega_1`` inverse-omega
+    (hence self-routable) and ``omega_2`` omega (routable in omega-bit
+    mode).
+
+    >>> first, second = two_pass_decomposition([1, 3, 2, 0])
+    >>> first.then(second).as_tuple()
+    (1, 3, 2, 0)
+    """
+    perm = perm if isinstance(perm, Permutation) else Permutation(perm)
+    order = log2_exact(perm.size)
+    middle = _first_half_map(setup_states(perm), order)
+    first = middle.then(_straight_map(order).inverse())
+    second = first.inverse().then(perm)
+    return first, second
+
+
+def route_two_pass(perm: PermutationLike, data: Sequence,
+                   network: Optional[BenesNetwork] = None) -> list:
+    """Route ``data`` by an **arbitrary** permutation using two
+    self-routed transits of one Benes network — no external setup.
+
+    Pass 1 uses the ordinary control; pass 2 sets the omega bit.
+
+    >>> route_two_pass([1, 3, 2, 0], list("abcd"))
+    ['d', 'a', 'c', 'b']
+    """
+    perm = perm if isinstance(perm, Permutation) else Permutation(perm)
+    if network is None:
+        network = BenesNetwork(perm.order)
+    first, second = two_pass_decomposition(perm)
+    intermediate = network.route(first, payloads=list(data),
+                                 require_success=True)
+    final = network.route(second, payloads=list(intermediate.payloads),
+                          omega_mode=True, require_success=True)
+    return list(final.payloads)

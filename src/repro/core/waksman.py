@@ -1,0 +1,123 @@
+"""Serial Benes setup by the looping algorithm (Waksman, 1968).
+
+The paper contrasts its O(log N) self-routing control with the best
+known *serial* setup algorithm, which computes explicit switch states
+for an arbitrary permutation in ``O(N log N)`` time.  This module
+implements that algorithm against the same flat topology used by
+:class:`~repro.core.benes.BenesNetwork`, providing the "disable the
+self-setting logic and set up the switches externally" mode under which
+the network realizes all ``N!`` permutations.
+
+Algorithm sketch (per recursion level): each input pair ``(2i, 2i+1)``
+must split across the two ``B(n-1)`` sub-networks, and so must each
+output pair ``(2j, 2j+1)``.  These constraints form disjoint cycles
+alternating between input pairs and output pairs; walking each cycle
+("looping") produces a consistent sub-network assignment, from which the
+first- and last-column states follow and two half-size problems remain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from ..errors import InvalidPermutationError
+from .bits import log2_exact
+from .permutation import Permutation
+
+__all__ = ["setup_states", "looping_assignment"]
+
+PermutationLike = Union[Permutation, Sequence[int]]
+
+
+def looping_assignment(tags: Sequence[int]) -> List[int]:
+    """Assign each input terminal to a sub-network (0 = upper,
+    1 = lower) such that
+
+    - the two inputs of every first-column switch use different
+      sub-networks, and
+    - the two signals destined to the two outputs of every last-column
+      switch use different sub-networks.
+
+    Returns ``sub`` with ``sub[t]`` in {0, 1} for every input ``t``.
+    """
+    n_terminals = len(tags)
+    inverse = [0] * n_terminals
+    for t, d in enumerate(tags):
+        inverse[d] = t
+
+    sub: List[int] = [-1] * n_terminals
+    for start in range(n_terminals):
+        if sub[start] != -1:
+            continue
+        t, side = start, 0
+        while sub[t] == -1:
+            sub[t] = side
+            partner = t ^ 1          # shares an input switch with t
+            sub[partner] = 1 - side
+            # The signal from `partner` exits at output tags[partner];
+            # the sibling output must be fed from the other sub-network,
+            # i.e. from sub-network `side` — continue the loop there.
+            t = inverse[tags[partner] ^ 1]
+        if sub[t] != side:
+            raise AssertionError(
+                "looping produced an inconsistent cycle — "
+                "input was not a permutation?"
+            )
+    return sub
+
+
+def _setup(tags: List[int], order: int) -> List[List[int]]:
+    """Recursive core: switch states per column for a ``2^order``-line
+    sub-problem whose destination tags are ``tags`` (local labels)."""
+    if order == 1:
+        return [[0 if tags[0] == 0 else 1]]
+
+    half = len(tags) // 2
+    sub = looping_assignment(tags)
+
+    first = [sub[2 * i] for i in range(half)]
+    # first-column switch i: state 0 sends input 2i up; sub[2i] == 1
+    # means input 2i must go down, i.e. cross.
+    inverse = [0] * len(tags)
+    for t, d in enumerate(tags):
+        inverse[d] = t
+    last = [sub[inverse[2 * j]] for j in range(half)]
+    # last-column switch j: output 2j is its upper output; if the signal
+    # destined there travels the lower sub-network (sub == 1) the switch
+    # must cross.
+
+    upper_tags = [0] * half
+    lower_tags = [0] * half
+    for t in range(len(tags)):
+        local_in = t >> 1            # sub-network input index
+        local_out = tags[t] >> 1     # sub-network output index
+        if sub[t] == 0:
+            upper_tags[local_in] = local_out
+        else:
+            lower_tags[local_in] = local_out
+
+    upper_states = _setup(upper_tags, order - 1)
+    lower_states = _setup(lower_tags, order - 1)
+    middle = [up + low for up, low in zip(upper_states, lower_states)]
+    return [first] + middle + [last]
+
+
+def setup_states(perm: PermutationLike) -> List[List[int]]:
+    """Compute switch states realizing an **arbitrary** permutation on
+    ``B(n)``.
+
+    The result plugs straight into
+    :meth:`repro.core.benes.BenesNetwork.route_with_states`:
+
+    >>> from repro.core.benes import BenesNetwork
+    >>> states = setup_states([1, 3, 2, 0])       # not in F(2)!
+    >>> BenesNetwork(2).route_with_states(states).realized
+    Permutation((1, 3, 2, 0))
+
+    Runs in ``O(N log N)`` time, the serial bound the paper quotes.
+    """
+    perm = perm if isinstance(perm, Permutation) else Permutation(perm)
+    order = log2_exact(perm.size)
+    if order < 1:
+        raise InvalidPermutationError("need at least 2 terminals")
+    return _setup(list(perm.as_tuple()), order)

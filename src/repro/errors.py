@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidPermutationError",
+    "SizeMismatchError",
+    "NotAPowerOfTwoError",
+    "RoutingError",
+    "SwitchStateError",
+    "SpecificationError",
+    "MachineError",
+    "MaskError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class InvalidPermutationError(ReproError, ValueError):
+    """A sequence claimed to be a permutation of ``0..N-1`` is not one."""
+
+
+class SizeMismatchError(ReproError, ValueError):
+    """Two objects that must share a size (e.g. a network and a
+    permutation) have different sizes."""
+
+
+class NotAPowerOfTwoError(ReproError, ValueError):
+    """A size that must be an exact power of two is not."""
+
+
+class RoutingError(ReproError, RuntimeError):
+    """A network was asked to realize a permutation it cannot realize
+    (e.g. a non-F permutation on the self-routing Benes network when the
+    caller demanded success)."""
+
+
+class SwitchStateError(ReproError, ValueError):
+    """An externally supplied switch-state assignment is malformed."""
+
+
+class SpecificationError(ReproError, ValueError):
+    """A compact permutation descriptor (BPC A-vector, J-partition, ...)
+    is malformed."""
+
+
+class MachineError(ReproError, RuntimeError):
+    """An SIMD machine was driven with an illegal instruction
+    (e.g. a route along a connection the model does not provide)."""
+
+
+class MaskError(ReproError, ValueError):
+    """An enable mask does not match the machine's PE count."""

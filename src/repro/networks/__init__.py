@@ -1,0 +1,26 @@
+"""Baseline permutation networks compared against the self-routing
+Benes network in Section I: Lawrie's omega network (and its inverse),
+Batcher's bitonic sorter, and the full crossbar."""
+
+from .base import PermutationNetwork
+from .batcher import BitonicNetwork, bitonic_schedule
+from .crossbar import Crossbar
+from .delta import BaselineNetwork, ButterflyNetwork
+from .gcn import GCNResult, GeneralizedConnectionNetwork
+from .oddeven import OddEvenMergeNetwork, odd_even_schedule
+from .omega_net import InverseOmegaNetwork, OmegaNetwork
+
+__all__ = [
+    "BaselineNetwork",
+    "BitonicNetwork",
+    "ButterflyNetwork",
+    "Crossbar",
+    "GCNResult",
+    "GeneralizedConnectionNetwork",
+    "InverseOmegaNetwork",
+    "OddEvenMergeNetwork",
+    "OmegaNetwork",
+    "PermutationNetwork",
+    "bitonic_schedule",
+    "odd_even_schedule",
+]

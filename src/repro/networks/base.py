@@ -1,0 +1,69 @@
+"""Common interface for the permutation networks compared in Section I.
+
+Every network exposes the same cost model the paper uses — number of
+binary switches (or comparators / crosspoints) and transmission delay in
+switch stages — plus a uniform ``route``/``realizes`` API returning
+:class:`~repro.core.routing.RouteResult`, so the comparison benchmark
+can sweep Benes, omega, Batcher and crossbar networks interchangeably.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence, Union
+
+from ..core.permutation import Permutation
+from ..core.routing import RouteResult
+
+__all__ = ["PermutationNetwork"]
+
+PermutationLike = Union[Permutation, Sequence[int]]
+
+
+class PermutationNetwork(ABC):
+    """Abstract ``N``-input/``N``-output permutation network."""
+
+    @property
+    @abstractmethod
+    def order(self) -> int:
+        """``n = log2 N``."""
+
+    @property
+    def n_terminals(self) -> int:
+        """Number of inputs (= outputs)."""
+        return 1 << self.order
+
+    @property
+    @abstractmethod
+    def n_switches(self) -> int:
+        """Binary switch / comparator / crosspoint count — the paper's
+        hardware-cost metric."""
+
+    @property
+    @abstractmethod
+    def delay(self) -> int:
+        """Transmission delay in switch stages (gate levels)."""
+
+    @abstractmethod
+    def route(self, tags: PermutationLike,
+              payloads: Optional[Sequence] = None,
+              trace: bool = False) -> RouteResult:
+        """Attempt to realize the permutation under the network's own
+        (self-routing) control; ``result.success`` reports whether it
+        was realized."""
+
+    def realizes(self, tags: PermutationLike) -> bool:
+        """True iff the network realizes ``tags`` under self-routing."""
+        return self.route(tags).success
+
+    def permute(self, tags: PermutationLike, data: Sequence) -> list:
+        """Route ``data`` by ``tags``; raises on failure via the
+        concrete network's ``route``."""
+        result = self.route(tags, payloads=list(data))
+        if not result.success:
+            from ..errors import RoutingError
+
+            raise RoutingError(
+                f"{type(self).__name__} cannot realize {tuple(tags)}"
+            )
+        return list(result.payloads)

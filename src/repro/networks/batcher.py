@@ -1,0 +1,153 @@
+"""Batcher's bitonic sorting network (Section I baseline).
+
+The paper positions Batcher's network as the self-routing alternative to
+the Benes network: it realizes **all** ``N!`` permutations with no setup
+(sort on the destination tags) but pays ``O(log^2 N)`` delay and
+``O(N log^2 N)`` comparators, versus the Benes network's
+``2 log N - 1`` delay and ``N log N - N/2`` switches restricted to
+class ``F``.
+
+The construction is the classic data-oblivious bitonic sorter on
+``N = 2^n`` lines: for merge levels ``k = 1 .. n`` and sub-levels
+``j = k-1 .. 0``, compare-exchange every pair of lines differing in bit
+``j``, ascending or descending according to bit ``k`` of the line index.
+A comparator is a binary switch whose state is computed from its two
+keys, so the cost metrics are directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..core import bits as _bits
+from ..core.permutation import Permutation
+from ..core.routing import RouteResult, StageTrace, collect_result
+from ..core.switch import CROSS, STRAIGHT, Signal, SwitchState
+from ..errors import SizeMismatchError
+from .base import PermutationNetwork
+
+__all__ = ["BitonicNetwork", "bitonic_schedule"]
+
+PermutationLike = Union[Permutation, Sequence[int]]
+
+
+def bitonic_schedule(order: int) -> Iterator[Tuple[int, int]]:
+    """Yield ``(merge_level, compare_bit)`` pairs in network order.
+
+    There are ``order * (order + 1) / 2`` compare stages; stage
+    ``(k, j)`` compare-exchanges lines differing in bit ``j`` with the
+    direction selected by bit ``k`` of the line index (bit ``order`` is
+    always 0, making the final merge globally ascending).
+    """
+    for k in range(1, order + 1):
+        for j in range(k - 1, -1, -1):
+            yield k, j
+
+
+class BitonicNetwork(PermutationNetwork):
+    """A bitonic sorting network used as a permutation network.
+
+    Routing sorts the signals by destination tag; because the tags are
+    a permutation of ``0..N-1``, the sort is itself the routing and
+    every permutation succeeds.
+
+    >>> BitonicNetwork(2).realizes([1, 3, 2, 0])
+    True
+    """
+
+    def __init__(self, order: int):
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        self._order = order
+
+    @property
+    def order(self) -> int:
+        return self._order
+
+    @property
+    def n_stages(self) -> int:
+        """``log N (log N + 1) / 2`` compare stages."""
+        return self._order * (self._order + 1) // 2
+
+    @property
+    def n_switches(self) -> int:
+        """``(N/2) * log N (log N + 1) / 2`` comparators."""
+        return (self.n_terminals // 2) * self.n_stages
+
+    @property
+    def delay(self) -> int:
+        """Delay in comparator stages: ``log N (log N + 1) / 2``."""
+        return self.n_stages
+
+    def route(self, tags: PermutationLike,
+              payloads: Optional[Sequence] = None,
+              trace: bool = False) -> RouteResult:
+        perm = tags if isinstance(tags, Permutation) else Permutation(tags)
+        if perm.size != self.n_terminals:
+            raise SizeMismatchError(
+                f"permutation of size {perm.size} on a network with "
+                f"{self.n_terminals} terminals"
+            )
+        if payloads is None:
+            payloads = list(range(self.n_terminals))
+        elif len(payloads) != self.n_terminals:
+            raise SizeMismatchError(
+                f"{len(payloads)} payloads for {self.n_terminals} inputs"
+            )
+        rows: List[Signal] = [
+            Signal(tag=perm[i], payload=payloads[i], source=i)
+            for i in range(self.n_terminals)
+        ]
+        requested = [sig.tag for sig in rows]
+        traces: List[StageTrace] = []
+        for stage, (k, j) in enumerate(bitonic_schedule(self._order)):
+            before = tuple(sig.tag for sig in rows)
+            rows, states = self._compare_stage(rows, k, j)
+            if trace:
+                traces.append(StageTrace(
+                    stage=stage,
+                    control_bit=j,
+                    input_tags=before,
+                    states=states,
+                    output_tags=tuple(sig.tag for sig in rows),
+                ))
+        return collect_result(requested, rows, traces)
+
+    def _compare_stage(self, rows: List[Signal], k: int, j: int
+                       ) -> Tuple[List[Signal], Tuple[SwitchState, ...]]:
+        out = list(rows)
+        states: List[SwitchState] = []
+        for i in range(self.n_terminals):
+            partner = _bits.flip_bit(i, j)
+            if partner < i:
+                continue  # each pair handled once, from its low line
+            ascending = _bits.bit(i, k) == 0
+            swap = (rows[i].tag > rows[partner].tag) == ascending
+            if swap:
+                out[i], out[partner] = rows[partner], rows[i]
+            states.append(CROSS if swap else STRAIGHT)
+        return out, tuple(states)
+
+    def sort(self, keys: Sequence) -> list:
+        """Data-oblivious sort of arbitrary comparable ``keys`` through
+        the same comparator schedule (exposes the sorter directly, not
+        just the permutation-routing use of it)."""
+        if len(keys) != self.n_terminals:
+            raise SizeMismatchError(
+                f"{len(keys)} keys on a network with "
+                f"{self.n_terminals} lines"
+            )
+        order_key = list(keys)
+        working = list(range(len(keys)))
+        for k, j in bitonic_schedule(self._order):
+            for i in range(self.n_terminals):
+                partner = _bits.flip_bit(i, j)
+                if partner < i:
+                    continue
+                ascending = _bits.bit(i, k) == 0
+                a, b = order_key[working[i]], order_key[working[partner]]
+                if (a > b) == ascending:
+                    working[i], working[partner] = (
+                        working[partner], working[i]
+                    )
+        return [keys[w] for w in working]

@@ -1,0 +1,84 @@
+"""The full crossbar (Section I baseline): trivial to set up, ``N^2``
+crosspoints.
+
+A crossbar realizes every permutation in a single switching stage — the
+paper cites it as the easy-setup extreme whose hardware cost
+(``O(N^2)`` switches) the Benes network avoids.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from ..core.permutation import Permutation
+from ..core.routing import RouteResult, StageTrace, collect_result
+from ..core.switch import CROSS, STRAIGHT, Signal
+from ..errors import SizeMismatchError
+from .base import PermutationNetwork
+
+__all__ = ["Crossbar"]
+
+PermutationLike = Union[Permutation, Sequence[int]]
+
+
+class Crossbar(PermutationNetwork):
+    """An ``N x N`` crosspoint matrix.
+
+    Routing closes crosspoint ``(i, D_i)`` for every input — the "setup"
+    is reading the tags once, which is why the paper calls it trivial.
+
+    >>> Crossbar(2).realizes([1, 3, 2, 0])
+    True
+    """
+
+    def __init__(self, order: int):
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        self._order = order
+
+    @property
+    def order(self) -> int:
+        return self._order
+
+    @property
+    def n_switches(self) -> int:
+        """``N^2`` crosspoints."""
+        return self.n_terminals * self.n_terminals
+
+    @property
+    def delay(self) -> int:
+        """One switching stage."""
+        return 1
+
+    def route(self, tags: PermutationLike,
+              payloads: Optional[Sequence] = None,
+              trace: bool = False) -> RouteResult:
+        perm = tags if isinstance(tags, Permutation) else Permutation(tags)
+        if perm.size != self.n_terminals:
+            raise SizeMismatchError(
+                f"permutation of size {perm.size} on a crossbar with "
+                f"{self.n_terminals} terminals"
+            )
+        if payloads is None:
+            payloads = list(range(self.n_terminals))
+        elif len(payloads) != self.n_terminals:
+            raise SizeMismatchError(
+                f"{len(payloads)} payloads for {self.n_terminals} inputs"
+            )
+        rows: List[Signal] = [None] * self.n_terminals  # type: ignore
+        for i in range(self.n_terminals):
+            rows[perm[i]] = Signal(tag=perm[i], payload=payloads[i],
+                                   source=i)
+        traces = ()
+        if trace:
+            traces = (StageTrace(
+                stage=0,
+                control_bit=None,
+                input_tags=perm.as_tuple(),
+                states=tuple(
+                    CROSS if perm[i] != i else STRAIGHT
+                    for i in range(self.n_terminals)
+                ),
+                output_tags=tuple(sig.tag for sig in rows),
+            ),)
+        return collect_result(perm.as_tuple(), rows, traces)

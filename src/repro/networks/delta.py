@@ -1,0 +1,222 @@
+"""Digit-controlled delta networks: butterfly and baseline.
+
+The omega network of :mod:`repro.networks.omega_net` is one member of
+the *delta network* family — ``log N`` columns of binary switches, each
+output-port decision controlled by one destination-tag bit, wired so
+that after all columns every tag bit has been consumed.  The family's
+members (omega, butterfly, baseline, indirect cube, ...) are
+topologically equivalent: each realizes exactly ``2^{(N/2) log N}``
+permutations, but *different* sets, because the inter-stage wiring
+differs.
+
+This module adds the two other classic members the interconnection
+literature compares against:
+
+- :class:`ButterflyNetwork` — stage ``k`` pairs lines differing in bit
+  ``n-1-k`` (the FFT wiring); no inter-stage permutation, the pairing
+  distance halves at each stage;
+- :class:`BaselineNetwork` — the Wu-Feng baseline: stage ``k`` splits
+  the current blocks by their top remaining bit (an unshuffle confined
+  to each block).
+
+Both self-route on destination tags MSB-first, like the omega network,
+and share its conflict semantics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..core import bits as _bits
+from ..core.permutation import Permutation
+from ..core.routing import RouteResult, StageTrace, collect_result
+from ..core.switch import CROSS, STRAIGHT, Signal, SwitchState
+from ..errors import SizeMismatchError
+from .base import PermutationNetwork
+
+__all__ = ["ButterflyNetwork", "BaselineNetwork"]
+
+PermutationLike = Union[Permutation, Sequence[int]]
+
+
+class _DeltaNetwork(PermutationNetwork):
+    """Shared machinery: n columns, per-column line pairing, routing by
+    one destination bit per column (MSB first)."""
+
+    def __init__(self, order: int):
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        self._order = order
+
+    @property
+    def order(self) -> int:
+        return self._order
+
+    @property
+    def n_stages(self) -> int:
+        """``log N`` switch columns."""
+        return self._order
+
+    @property
+    def n_switches(self) -> int:
+        """``(N/2) log N`` binary switches."""
+        return self._order * (self.n_terminals // 2)
+
+    @property
+    def delay(self) -> int:
+        return self._order
+
+    def _partner(self, line: int, stage: int) -> int:
+        """The line paired with ``line`` at ``stage`` — subclass
+        specific."""
+        raise NotImplementedError
+
+    def route(self, tags: PermutationLike,
+              payloads: Optional[Sequence] = None,
+              trace: bool = False) -> RouteResult:
+        perm = tags if isinstance(tags, Permutation) else Permutation(tags)
+        if perm.size != self.n_terminals:
+            raise SizeMismatchError(
+                f"permutation of size {perm.size} on a network with "
+                f"{self.n_terminals} terminals"
+            )
+        if payloads is None:
+            payloads = list(range(self.n_terminals))
+        elif len(payloads) != self.n_terminals:
+            raise SizeMismatchError(
+                f"{len(payloads)} payloads for {self.n_terminals} inputs"
+            )
+        rows: List[Signal] = [
+            Signal(tag=perm[i], payload=payloads[i], source=i)
+            for i in range(self.n_terminals)
+        ]
+        requested = [sig.tag for sig in rows]
+        traces: List[StageTrace] = []
+        for stage in range(self.n_stages):
+            before = tuple(sig.tag for sig in rows)
+            ctrl = self._order - 1 - stage
+            out = list(rows)
+            states: List[SwitchState] = []
+            for line in range(self.n_terminals):
+                partner = self._partner(line, stage)
+                if partner < line:
+                    continue
+                upper, lower = rows[line], rows[partner]
+                # each input claims the port named by its control bit;
+                # on conflict the upper (lower-numbered) line wins
+                want_up = _bits.bit(upper.tag, ctrl)
+                state = CROSS if want_up else STRAIGHT
+                if state is STRAIGHT:
+                    out[line], out[partner] = upper, lower
+                else:
+                    out[line], out[partner] = lower, upper
+                states.append(state)
+            rows = out
+            if trace:
+                traces.append(StageTrace(
+                    stage=stage,
+                    control_bit=ctrl,
+                    input_tags=before,
+                    states=tuple(states),
+                    output_tags=tuple(sig.tag for sig in rows),
+                ))
+        return collect_result(requested, rows, traces)
+
+
+class ButterflyNetwork(_DeltaNetwork):
+    """The FFT butterfly: stage ``k`` pairs lines differing in bit
+    ``n-1-k`` and routes by the same destination bit, so the top bit of
+    the line label is fixed first, then the next, and so on.
+
+    >>> ButterflyNetwork(3).realizes(list(range(8)))
+    True
+    """
+
+    def _partner(self, line: int, stage: int) -> int:
+        return _bits.flip_bit(line, self._order - 1 - stage)
+
+
+class BaselineNetwork(_DeltaNetwork):
+    """The Wu-Feng baseline network: a column of adjacent-pair switches
+    sends each packet to the top or bottom half (a global unshuffle
+    link), then recurses within each half — structurally, the first
+    ``n`` stages of the Benes network of Fig. 1.
+
+    Self-routing control: stage ``k`` decides destination bit
+    ``n-1-k`` (upper output = top half of the current block).
+
+    Its realizable class has the same size as the omega/butterfly
+    classes (``2^{(N/2) log N}``) but is a *different* subset — notably
+    it excludes the identity (two adjacent inputs destined to adjacent
+    outputs collide at the first column), while its all-straight
+    setting realizes the **bit reversal**:
+
+    >>> from repro.core.bits import reverse_bits
+    >>> BaselineNetwork(3).realizes(
+    ...     [reverse_bits(i, 3) for i in range(8)])
+    True
+    >>> BaselineNetwork(3).realizes(list(range(8)))
+    False
+    """
+
+    def __init__(self, order: int):
+        super().__init__(order)
+        from ..core.topology import BenesTopology
+
+        self._links = BenesTopology.build(order).links[: order - 1] \
+            if order > 1 else ()
+
+    def _partner(self, line: int, stage: int) -> int:
+        return line ^ 1  # every column pairs adjacent lines
+
+    def route(self, tags: PermutationLike,
+              payloads: Optional[Sequence] = None,
+              trace: bool = False) -> RouteResult:
+        perm = tags if isinstance(tags, Permutation) else Permutation(tags)
+        if perm.size != self.n_terminals:
+            raise SizeMismatchError(
+                f"permutation of size {perm.size} on a network with "
+                f"{self.n_terminals} terminals"
+            )
+        if payloads is None:
+            payloads = list(range(self.n_terminals))
+        elif len(payloads) != self.n_terminals:
+            raise SizeMismatchError(
+                f"{len(payloads)} payloads for {self.n_terminals} inputs"
+            )
+        rows: List[Signal] = [
+            Signal(tag=perm[i], payload=payloads[i], source=i)
+            for i in range(self.n_terminals)
+        ]
+        requested = [sig.tag for sig in rows]
+        traces: List[StageTrace] = []
+        for stage in range(self.n_stages):
+            before = tuple(sig.tag for sig in rows)
+            ctrl = self._order - 1 - stage
+            out = list(rows)
+            states: List[SwitchState] = []
+            for i in range(0, self.n_terminals, 2):
+                upper, lower = rows[i], rows[i + 1]
+                want_up = _bits.bit(upper.tag, ctrl)
+                state = CROSS if want_up else STRAIGHT
+                if state is STRAIGHT:
+                    out[i], out[i + 1] = upper, lower
+                else:
+                    out[i], out[i + 1] = lower, upper
+                states.append(state)
+            rows = out
+            if trace:
+                traces.append(StageTrace(
+                    stage=stage,
+                    control_bit=ctrl,
+                    input_tags=before,
+                    states=tuple(states),
+                    output_tags=tuple(sig.tag for sig in rows),
+                ))
+            if stage < len(self._links):
+                link = self._links[stage]
+                moved: List[Signal] = [None] * len(rows)  # type: ignore
+                for r, sig in enumerate(rows):
+                    moved[link[r]] = sig
+                rows = moved
+        return collect_result(requested, rows, traces)

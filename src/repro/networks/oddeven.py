@@ -1,0 +1,148 @@
+"""Batcher's odd-even merge sorting network.
+
+Batcher proposed two sorting networks; the paper cites "Batcher's
+sorting network [11]" for its self-routing baseline.  The bitonic
+sorter (:mod:`repro.networks.batcher`) is the variant usually built in
+hardware; the *odd-even merge* variant sorts with the same
+``log N (log N + 1) / 2`` delay but strictly fewer comparators for
+``N >= 8`` — worth having when comparing switch budgets in the
+Section I landscape.
+
+The construction: recursively sort both halves, then odd-even-merge
+them; the iterative comparator schedule below is Knuth's (TAOCP vol. 3,
+Merge Exchange M): for ``p = 2^{n-1}, 2^{n-2}, ..., 1`` and
+``q = 2^{n-1} down to p`` (halving), compare lines ``i`` and ``i + p``
+for the appropriate residues.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..core.permutation import Permutation
+from ..core.routing import RouteResult, StageTrace, collect_result
+from ..core.switch import CROSS, STRAIGHT, Signal, SwitchState
+from ..errors import SizeMismatchError
+from .base import PermutationNetwork
+
+__all__ = ["OddEvenMergeNetwork", "odd_even_schedule",
+           "odd_even_comparator_count"]
+
+PermutationLike = Union[Permutation, Sequence[int]]
+
+
+def odd_even_schedule(order: int) -> Iterator[List[Tuple[int, int]]]:
+    """Yield the comparator stages of Batcher's merge-exchange sort on
+    ``2^order`` lines; each stage is a list of disjoint ``(i, j)``
+    pairs (``i < j``) compared in parallel."""
+    n = 1 << order
+    p = n // 2
+    while p >= 1:
+        q = n // 2
+        r = 0
+        d = p
+        while True:
+            stage = []
+            for i in range(n - d):
+                if (i & p) == r:
+                    stage.append((i, i + d))
+            yield stage
+            if q == p:
+                break
+            d = q - p
+            q //= 2
+            r = p
+        p //= 2
+
+
+def odd_even_comparator_count(order: int) -> int:
+    """Total comparators in the merge-exchange network."""
+    return sum(len(stage) for stage in odd_even_schedule(order))
+
+
+class OddEvenMergeNetwork(PermutationNetwork):
+    """Batcher's odd-even merge-exchange sorter as a permutation
+    network (route = sort on destination tags).
+
+    >>> OddEvenMergeNetwork(2).realizes([1, 3, 2, 0])
+    True
+    """
+
+    def __init__(self, order: int):
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        self._order = order
+        self._schedule = list(odd_even_schedule(order))
+
+    @property
+    def order(self) -> int:
+        return self._order
+
+    @property
+    def n_stages(self) -> int:
+        """``log N (log N + 1) / 2`` comparator stages."""
+        return len(self._schedule)
+
+    @property
+    def n_switches(self) -> int:
+        """Comparator count — fewer than the bitonic sorter's for
+        ``N >= 8``."""
+        return sum(len(stage) for stage in self._schedule)
+
+    @property
+    def delay(self) -> int:
+        return self.n_stages
+
+    def route(self, tags: PermutationLike,
+              payloads: Optional[Sequence] = None,
+              trace: bool = False) -> RouteResult:
+        perm = tags if isinstance(tags, Permutation) else Permutation(tags)
+        if perm.size != self.n_terminals:
+            raise SizeMismatchError(
+                f"permutation of size {perm.size} on a network with "
+                f"{self.n_terminals} terminals"
+            )
+        if payloads is None:
+            payloads = list(range(self.n_terminals))
+        elif len(payloads) != self.n_terminals:
+            raise SizeMismatchError(
+                f"{len(payloads)} payloads for {self.n_terminals} inputs"
+            )
+        rows: List[Signal] = [
+            Signal(tag=perm[i], payload=payloads[i], source=i)
+            for i in range(self.n_terminals)
+        ]
+        requested = [sig.tag for sig in rows]
+        traces: List[StageTrace] = []
+        for index, stage in enumerate(self._schedule):
+            before = tuple(sig.tag for sig in rows)
+            states: List[SwitchState] = []
+            for i, j in stage:
+                if rows[i].tag > rows[j].tag:
+                    rows[i], rows[j] = rows[j], rows[i]
+                    states.append(CROSS)
+                else:
+                    states.append(STRAIGHT)
+            if trace:
+                traces.append(StageTrace(
+                    stage=index,
+                    control_bit=None,
+                    input_tags=before,
+                    states=tuple(states),
+                    output_tags=tuple(sig.tag for sig in rows),
+                ))
+        return collect_result(requested, rows, traces)
+
+    def sort(self, keys: Sequence) -> list:
+        """Data-oblivious sort of arbitrary comparable keys."""
+        if len(keys) != self.n_terminals:
+            raise SizeMismatchError(
+                f"{len(keys)} keys on a network with "
+                f"{self.n_terminals} lines"
+            )
+        working = list(keys)
+        for stage in self._schedule:
+            for i, j in stage:
+                if working[i] > working[j]:
+                    working[i], working[j] = working[j], working[i]
+        return working

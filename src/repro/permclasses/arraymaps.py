@@ -1,0 +1,139 @@
+"""Array re-alignment permutations (Section II, after Theorem 4).
+
+Interpreting the ``N = 2^{2q}`` inputs of ``B(2q)`` as a
+``2^q x 2^q`` array ``A`` stored row-major, Theorem 4 (and its
+generalizations) show that the data-alignment permutations of Cannon's
+matrix-multiplication algorithm and of Dekel, Nassimi & Sahni are in
+``F``:
+
+- ``A(i, j) -> A(i, (i + j) mod m)``   (skew rows by row index)
+- ``A(i, j) -> A((i + j) mod m, j)``   (skew columns by column index)
+- ``A(i, j) -> A(i, phi(j))``          (same column permutation per row)
+- ``A(i, j) -> A(i XOR j, j)`` / ``A(i, j) -> A(i, i XOR j)``
+- ``A(i, j) -> A(i^R, j)``             (bit-reverse the row index)
+
+plus the three-dimensional example following Theorem 6.  All
+constructors return full :class:`~repro.core.permutation.Permutation`
+objects on ``2^{2q}`` (or ``2^{r+s+t}``) elements.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core import bits as _bits
+from ..core.permutation import Permutation
+from ..errors import SpecificationError
+
+__all__ = [
+    "row_major_index",
+    "skew_rows",
+    "skew_columns",
+    "per_row_column_map",
+    "per_column_row_map",
+    "xor_rows",
+    "xor_columns",
+    "bit_reverse_rows",
+    "three_d_example",
+]
+
+
+def row_major_index(row: int, col: int, q: int) -> int:
+    """Index of ``A(row, col)`` in the row-major layout of a
+    ``2^q x 2^q`` array."""
+    return (row << q) | col
+
+
+def _array_permutation(q: int, dest_cell: Callable[[int, int], tuple]
+                       ) -> Permutation:
+    side = 1 << q
+    dest = [0] * (side * side)
+    for row in range(side):
+        for col in range(side):
+            new_row, new_col = dest_cell(row, col)
+            dest[row_major_index(row, col, q)] = (
+                row_major_index(new_row % side, new_col % side, q)
+            )
+    return Permutation(dest)
+
+
+def skew_rows(q: int) -> Permutation:
+    """``A(i, j) -> A(i, (i + j) mod m)`` — Cannon's initial row
+    alignment; Theorem 4 with J = the row bits."""
+    return _array_permutation(q, lambda i, j: (i, i + j))
+
+
+def skew_columns(q: int) -> Permutation:
+    """``A(i, j) -> A((i + j) mod m, j)`` — Cannon's initial column
+    alignment; Theorem 4 with J = the column bits."""
+    return _array_permutation(q, lambda i, j: (i + j, j))
+
+
+def per_row_column_map(q: int, phi: Permutation) -> Permutation:
+    """``A(i, j) -> A(i, phi(j))`` for a single ``phi`` on ``2^q``
+    columns applied in every row; in ``F(2q)`` whenever
+    ``phi ∈ F(q)``."""
+    if phi.size != 1 << q:
+        raise SpecificationError(
+            f"phi has size {phi.size}, expected {1 << q}"
+        )
+    return _array_permutation(q, lambda i, j: (i, phi[j]))
+
+
+def per_column_row_map(q: int, phi: Permutation) -> Permutation:
+    """``A(i, j) -> A(phi(i), j)`` — the column-wise analogue."""
+    if phi.size != 1 << q:
+        raise SpecificationError(
+            f"phi has size {phi.size}, expected {1 << q}"
+        )
+    return _array_permutation(q, lambda i, j: (phi[i], j))
+
+
+def xor_rows(q: int) -> Permutation:
+    """``A(i, j) -> A(i XOR j, j)`` — the row re-alignment used by
+    Dekel, Nassimi & Sahni's matrix algorithms."""
+    return _array_permutation(q, lambda i, j: (i ^ j, j))
+
+
+def xor_columns(q: int) -> Permutation:
+    """``A(i, j) -> A(i, i XOR j)`` — the column-wise analogue."""
+    return _array_permutation(q, lambda i, j: (i, i ^ j))
+
+
+def bit_reverse_rows(q: int) -> Permutation:
+    """``A(i, j) -> A(i^R, j)``: bit-reverse the row index (item (7))."""
+    return _array_permutation(
+        q, lambda i, j: (_bits.reverse_bits(i, q), j)
+    )
+
+
+def three_d_example(r: int, s: int, t: int, p: int,
+                    shift: int = 0) -> Permutation:
+    """The three-dimensional mapping following Theorem 6.
+
+    On the row-major ``2^r x 2^s x 2^t`` array, map
+    ``A(i, j, k) -> A(i', j', k')`` with
+
+    - ``i' = (i + j + k) mod 2^r``   (cyclic shift parameterized by the
+      outer fields),
+    - ``j' = (p * j + shift) mod 2^s``  (p-ordering + cyclic shift,
+      ``p`` odd),
+    - ``k' = j XOR k``               (conditional exchanges
+      parameterized by ``j``).
+
+    Theorem 6 (with the J-chain ``J_1`` = j-bits, ``J_2`` = k-bits,
+    ``J_3`` = i-bits) places this in ``F(r + s + t)``.
+    """
+    if p % 2 == 0:
+        raise SpecificationError(f"p must be odd, got {p}")
+    order = r + s + t
+    dest = [0] * (1 << order)
+    for i in range(1 << r):
+        for j in range(1 << s):
+            for k in range(1 << t):
+                src = (i << (s + t)) | (j << t) | k
+                i2 = (i + j + k) % (1 << r)
+                j2 = (p * j + shift) % (1 << s)
+                k2 = (j ^ k) & ((1 << t) - 1)
+                dest[src] = (i2 << (s + t)) | (j2 << t) | k2
+    return Permutation(dest)

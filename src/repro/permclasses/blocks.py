@@ -1,0 +1,250 @@
+"""J-partitions and the composite closure theorems (Theorems 4-6).
+
+A subset ``J`` of the bit positions ``{n-1, ..., 0}`` partitions the
+indices ``0 .. N-1`` into ``2^{|J|}`` *blocks*: two indices share a
+block iff they agree on every bit in ``J``.  Within a block, elements
+are ordered (and locally re-indexed ``0 .. 2^r - 1``) by their *free*
+bits — the positions outside ``J`` — read as a packed integer.
+
+Theorem 4: permuting each block internally by a member of ``F(r)``
+yields a member of ``F(n)``.
+Theorem 5: additionally moving block ``i``'s contents into block
+``B_i`` (relabelled by an ``F(n-r)`` block permutation) stays in
+``F(n)``.
+Theorem 6: the hierarchical version over a chain of disjoint
+``J_1 x J_2 x ... x J_k`` partitions.
+
+The constructors here build those composite permutations; the test
+suite verifies each construction lands in ``F`` via both the Theorem 1
+recursion and the structural network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Mapping, Sequence, Tuple, Union
+
+from ..core import bits as _bits
+from ..core.permutation import Permutation
+from ..errors import SpecificationError
+
+__all__ = [
+    "JPartition",
+    "within_blocks",
+    "blocks_and_within",
+    "hierarchical",
+]
+
+PermSource = Union[
+    Permutation,
+    Sequence[Permutation],
+    Mapping[int, Permutation],
+    Callable[[int], Permutation],
+]
+
+
+def _scatter(value: int, positions: Sequence[int]) -> int:
+    """Place bit ``t`` of ``value`` at ``positions[t]`` (positions in
+    increasing order)."""
+    out = 0
+    for t, pos in enumerate(positions):
+        out |= _bits.bit(value, t) << pos
+    return out
+
+
+def _gather(i: int, positions: Sequence[int]) -> int:
+    """Pack the bits of ``i`` found at ``positions`` (increasing order)
+    into a contiguous integer."""
+    out = 0
+    for t, pos in enumerate(positions):
+        out |= _bits.bit(i, pos) << t
+    return out
+
+
+@dataclass(frozen=True)
+class JPartition:
+    """The J-partition of ``0 .. 2^order - 1`` (Section II).
+
+    >>> jp = JPartition(3, (1,))
+    >>> jp.blocks()
+    [(0, 1, 4, 5), (2, 3, 6, 7)]
+    """
+
+    order: int
+    j_bits: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        bits_sorted = tuple(sorted(set(self.j_bits)))
+        if bits_sorted != tuple(sorted(self.j_bits)) or \
+                len(bits_sorted) != len(self.j_bits):
+            raise SpecificationError(
+                f"J must be a set of distinct bit positions, got {self.j_bits}"
+            )
+        object.__setattr__(self, "j_bits", bits_sorted)
+        if any(not 0 <= b < self.order for b in bits_sorted):
+            raise SpecificationError(
+                f"J positions {bits_sorted} out of range for order "
+                f"{self.order}"
+            )
+
+    @property
+    def free_bits(self) -> Tuple[int, ...]:
+        """Bit positions outside J, increasing — they index elements
+        within a block."""
+        member = set(self.j_bits)
+        return tuple(b for b in range(self.order) if b not in member)
+
+    @property
+    def n_blocks(self) -> int:
+        """``2^{|J|}`` blocks."""
+        return 1 << len(self.j_bits)
+
+    @property
+    def block_size(self) -> int:
+        """``2^r`` elements per block, ``r = order - |J|``."""
+        return 1 << len(self.free_bits)
+
+    @property
+    def block_order(self) -> int:
+        """``r = order - |J|`` — blocks hold ``2^r`` elements."""
+        return len(self.free_bits)
+
+    def block_of(self, i: int) -> int:
+        """Block index of element ``i`` (its packed J-bits)."""
+        return _gather(i, self.j_bits)
+
+    def local_index(self, i: int) -> int:
+        """Position of element ``i`` within its block (packed free
+        bits) — the "relative order" of Theorems 4-6."""
+        return _gather(i, self.free_bits)
+
+    def element(self, block: int, local: int) -> int:
+        """The element at ``local`` position of ``block``."""
+        return _scatter(block, self.j_bits) | _scatter(local, self.free_bits)
+
+    def blocks(self) -> List[Tuple[int, ...]]:
+        """All blocks, each as its elements in relative order."""
+        return [
+            tuple(self.element(b, x) for x in range(self.block_size))
+            for b in range(self.n_blocks)
+        ]
+
+
+def _per_block(source: PermSource, block: int,
+               expected_size: int) -> Permutation:
+    if isinstance(source, Permutation):
+        perm = source
+    elif callable(source):
+        perm = source(block)
+    elif isinstance(source, Mapping):
+        perm = source[block]
+    else:
+        perm = source[block]
+    if perm.size != expected_size:
+        raise SpecificationError(
+            f"block permutation for block {block} has size {perm.size}, "
+            f"expected {expected_size}"
+        )
+    return perm
+
+
+def within_blocks(partition: JPartition,
+                  block_perms: PermSource) -> Permutation:
+    """Theorem 4 constructor: permute each block internally.
+
+    ``block_perms`` may be a single :class:`Permutation` (applied to
+    every block), a sequence/mapping indexed by block, or a callable
+    ``block -> Permutation``.  If every supplied permutation is in
+    ``F(r)`` the result is in ``F(order)``.
+    """
+    dest = [0] * (1 << partition.order)
+    for block in range(partition.n_blocks):
+        perm = _per_block(block_perms, block, partition.block_size)
+        for local in range(partition.block_size):
+            src = partition.element(block, local)
+            dest[src] = partition.element(block, perm[local])
+    return Permutation(dest)
+
+
+def blocks_and_within(partition: JPartition,
+                      outer: Permutation,
+                      block_perms: PermSource) -> Permutation:
+    """Theorem 5 constructor: block ``i``'s contents move to block
+    ``outer[i]``, internally rearranged by ``G_i = block_perms(i)``.
+
+    The result is in ``F(order)`` whenever every ``G_i`` is in ``F(r)``
+    and ``outer`` is in ``F(order - r)``.
+    """
+    if outer.size != partition.n_blocks:
+        raise SpecificationError(
+            f"outer permutation of size {outer.size} for "
+            f"{partition.n_blocks} blocks"
+        )
+    dest = [0] * (1 << partition.order)
+    for block in range(partition.n_blocks):
+        perm = _per_block(block_perms, block, partition.block_size)
+        for local in range(partition.block_size):
+            src = partition.element(block, local)
+            dest[src] = partition.element(outer[block], perm[local])
+    return Permutation(dest)
+
+
+LevelPhi = Union[
+    Sequence[Permutation],
+    Callable[[int, Tuple[int, ...]], Permutation],
+]
+
+
+def hierarchical(order: int,
+                 level_bits: Sequence[Sequence[int]],
+                 phi: LevelPhi) -> Permutation:
+    """Theorem 6 constructor over a ``J_1 x J_2 x ... x J_k``
+    hierarchical partition.
+
+    Args:
+        order: ``n``; the ``level_bits`` must be disjoint and cover
+            ``{0, ..., n-1}``.
+        level_bits: ``level_bits[t]`` is ``J_{t+1}`` — the bit
+            positions consumed at tree level ``t+1``.
+        phi: either one :class:`Permutation` per level (size
+            ``2^{|J_t|}``), or a callable
+            ``(level, ancestor_values) -> Permutation`` where
+            ``ancestor_values`` are the packed J-field values of the
+            enclosing blocks at levels ``1 .. level`` (pre-mapping);
+            the per-ancestor form is the Theorem 5 generality.
+
+    Element ``e`` with field values ``(v_1, ..., v_k)`` maps to the
+    element with field values ``(w_1, ..., w_k)`` where
+    ``w_t = phi_t(v_t)`` in the per-level form.
+    """
+    covered: set = set()
+    for level in level_bits:
+        for b in level:
+            if b in covered:
+                raise SpecificationError(f"bit {b} appears in two levels")
+            covered.add(b)
+    if covered != set(range(order)):
+        raise SpecificationError(
+            f"levels cover bits {sorted(covered)}, need 0..{order - 1}"
+        )
+
+    def phi_for(level: int, ancestors: Tuple[int, ...]) -> Permutation:
+        if callable(phi):
+            return phi(level, ancestors)
+        return phi[level]
+
+    fields = [tuple(sorted(bits)) for bits in level_bits]
+    dest = [0] * (1 << order)
+    for i in range(1 << order):
+        values = tuple(_gather(i, f) for f in fields)
+        out = 0
+        for t, f in enumerate(fields):
+            mapper = phi_for(t, values[:t])
+            if mapper.size != 1 << len(f):
+                raise SpecificationError(
+                    f"level {t} permutation has size {mapper.size}, "
+                    f"expected {1 << len(f)}"
+                )
+            out |= _scatter(mapper[values[t]], f)
+        dest[i] = out
+    return Permutation(dest)

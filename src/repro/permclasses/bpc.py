@@ -1,0 +1,456 @@
+"""Bit-permute-complement (BPC) permutations — Section II, Theorem 2.
+
+A permutation in ``BPC(n)`` is specified by a vector
+``A = (A_{n-1}, ..., A_0)`` whose magnitudes form a permutation of
+``(0, ..., n-1)``: bit ``j`` of the source index ``i`` — complemented
+when ``A_j`` is negative — becomes bit ``|A_j|`` of the destination
+``D_i`` (equation (3)).  The paper distinguishes ``+0`` from ``-0``;
+internally we avoid signed zeros entirely by carrying an explicit
+complement flag per source bit.
+
+``BPC(n)`` contains ``2^n * n!`` of the ``N!`` permutations, including
+every entry of the paper's Table I (matrix transpose, bit reversal,
+vector reversal, perfect shuffle, unshuffle, shuffled row-major, bit
+shuffle).  Theorem 2 proves ``BPC(n) ⊆ F(n)``; the inductive step rests
+on Lemma 1, implemented here as :meth:`BPCSpec.lemma1_decompose`.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..core import bits as _bits
+from ..core.permutation import Permutation
+from ..errors import SpecificationError
+
+__all__ = [
+    "BPCSpec",
+    "matrix_transpose",
+    "bit_reversal",
+    "vector_reversal",
+    "perfect_shuffle",
+    "unshuffle",
+    "shuffled_row_major",
+    "bit_shuffle",
+    "is_bpc",
+    "TABLE_I",
+    "table_i_specs",
+]
+
+SignedEntry = Union[int, str, Tuple[int, bool]]
+
+
+def _parse_entry(entry: SignedEntry) -> Tuple[int, bool]:
+    """Normalize one A-vector entry to ``(position, complemented)``.
+
+    Accepted forms:
+    - ``(position, complemented)`` tuples — the canonical form;
+    - plain ints — sign gives the complement (note ``-0`` cannot be
+      expressed this way; use a string);
+    - strings like ``"3"``, ``"+2"``, ``"-0"`` — the paper's notation,
+      including the signed zero.
+    """
+    if isinstance(entry, tuple):
+        position, complemented = entry
+        if not isinstance(position, int) or position < 0:
+            raise SpecificationError(
+                f"entry position must be a non-negative int, got {entry!r}"
+            )
+        return position, bool(complemented)
+    if isinstance(entry, bool):
+        raise SpecificationError(f"bool is not a valid A-vector entry: {entry!r}")
+    if isinstance(entry, int):
+        return abs(entry), entry < 0
+    if isinstance(entry, str):
+        text = entry.strip().replace("−", "-")  # unicode minus
+        if not text:
+            raise SpecificationError("empty A-vector entry")
+        complemented = text[0] == "-"
+        magnitude = text[1:] if text[0] in "+-" else text
+        if not magnitude.isdigit():
+            raise SpecificationError(f"cannot parse A-vector entry {entry!r}")
+        return int(magnitude), complemented
+    raise SpecificationError(f"cannot parse A-vector entry {entry!r}")
+
+
+@dataclass(frozen=True)
+class BPCSpec:
+    """A BPC permutation in ``(position, complement)`` form.
+
+    Attributes:
+        positions: ``positions[j]`` is ``|A_j|`` — the destination bit
+            receiving source bit ``j``.
+        complemented: ``complemented[j]`` is True when source bit ``j``
+            is complemented on the way (the paper's ``A_j < 0``,
+            including ``-0``).
+    """
+
+    positions: Tuple[int, ...]
+    complemented: Tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.positions)
+        if len(self.complemented) != n:
+            raise SpecificationError(
+                "positions and complemented must have equal length"
+            )
+        if sorted(self.positions) != list(range(n)):
+            raise SpecificationError(
+                f"positions {self.positions} are not a permutation of "
+                f"0..{n - 1}"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_signed(cls, entries: Sequence[SignedEntry]) -> "BPCSpec":
+        """Build from the paper's ``A = (A_{n-1}, ..., A_0)`` written in
+        *paper order* (entry for the most significant bit first).
+
+        >>> spec = BPCSpec.from_signed(["0", "-1", "-2"])   # paper example
+        >>> spec.to_permutation().as_tuple()
+        (6, 2, 4, 0, 7, 3, 5, 1)
+        """
+        parsed = [_parse_entry(e) for e in entries]
+        parsed.reverse()  # store indexed by source bit j = 0..n-1
+        return cls(
+            positions=tuple(p for p, _ in parsed),
+            complemented=tuple(c for _, c in parsed),
+        )
+
+    @classmethod
+    def identity(cls, order: int) -> "BPCSpec":
+        """The identity permutation as a BPC spec."""
+        return cls(tuple(range(order)), (False,) * order)
+
+    @classmethod
+    def random(cls, order: int,
+               rng: "_random.Random | None" = None) -> "BPCSpec":
+        """A uniformly random BPC(order) spec (|BPC| = 2^n n!)."""
+        rng = rng if rng is not None else _random
+        positions = list(range(order))
+        rng.shuffle(positions)
+        complemented = tuple(bool(rng.getrandbits(1)) for _ in range(order))
+        return cls(tuple(positions), complemented)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Number of index bits ``n``."""
+        return len(self.positions)
+
+    @property
+    def size(self) -> int:
+        """``N = 2^n``."""
+        return 1 << self.order
+
+    def signed_tokens(self) -> Tuple[str, ...]:
+        """The A-vector in the paper's notation, most significant entry
+        first, with explicit ``-0`` when needed.
+
+        >>> bit_reversal(3).signed_tokens()
+        ('0', '1', '2')
+        """
+        tokens = []
+        for j in range(self.order - 1, -1, -1):
+            sign = "-" if self.complemented[j] else ""
+            tokens.append(f"{sign}{self.positions[j]}")
+        return tuple(tokens)
+
+    def __str__(self) -> str:
+        return "A = (" + ", ".join(self.signed_tokens()) + ")"
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+
+    def destination(self, i: int) -> int:
+        """``D_i`` per equation (3): bit ``j`` of ``i`` (complemented if
+        flagged) becomes bit ``positions[j]`` of the result."""
+        dest = 0
+        for j in range(self.order):
+            source_bit = _bits.bit(i, j)
+            if self.complemented[j]:
+                source_bit ^= 1
+            dest |= source_bit << self.positions[j]
+        return dest
+
+    def to_permutation(self) -> Permutation:
+        """Expand to the full destination-tag vector
+        ``(D_0, ..., D_{N-1})``."""
+        return Permutation(self.destination(i) for i in range(self.size))
+
+    # ------------------------------------------------------------------
+    # Algebra (BPC is a group: closed under composition and inverse)
+    # ------------------------------------------------------------------
+
+    def inverse(self) -> "BPCSpec":
+        """The BPC spec of the inverse permutation."""
+        positions = [0] * self.order
+        complemented = [False] * self.order
+        for j in range(self.order):
+            positions[self.positions[j]] = j
+            complemented[self.positions[j]] = self.complemented[j]
+        return BPCSpec(tuple(positions), tuple(complemented))
+
+    def then(self, other: "BPCSpec") -> "BPCSpec":
+        """Sequential composition *self first, then other* — matches
+        :meth:`repro.core.permutation.Permutation.then`."""
+        if other.order != self.order:
+            raise SpecificationError(
+                f"cannot compose BPC orders {self.order} and {other.order}"
+            )
+        positions = [0] * self.order
+        complemented = [False] * self.order
+        for j in range(self.order):
+            mid = self.positions[j]
+            positions[j] = other.positions[mid]
+            complemented[j] = self.complemented[j] ^ other.complemented[mid]
+        return BPCSpec(tuple(positions), tuple(complemented))
+
+    # ------------------------------------------------------------------
+    # Lemma 1 and LMAG
+    # ------------------------------------------------------------------
+
+    def lmag(self, j: int) -> Tuple[int, bool]:
+        """``LMAG(A_j) = SIGN(A_j) * (|A_j| - 1)`` (equation (4)) in
+        ``(position, complement)`` form; requires ``positions[j] >= 1``."""
+        if self.positions[j] < 1:
+            raise SpecificationError(
+                f"LMAG undefined for entry at source bit {j}: position 0"
+            )
+        return self.positions[j] - 1, self.complemented[j]
+
+    def source_of_bit0(self) -> int:
+        """The paper's ``k``: the source bit with ``|A_k| = 0``."""
+        return self.positions.index(0)
+
+    def lemma1_decompose(self) -> Tuple["BPCSpec", "BPCSpec"]:
+        """Lemma 1: when ``|A_0| != 0`` (bit 0 does not map to
+        position 0), the two half-size permutations ``F1`` (vector B)
+        and ``F2`` (vector C) in ``BPC(n-1)``.
+
+        ``B_j = LMAG(A_{j+1})`` for ``j != k-1`` and
+        ``B_{k-1} = LMAG(A_0)``; ``C`` equals ``B`` except
+        ``C_{k-1}`` carries the opposite complement.
+        """
+        k = self.source_of_bit0()
+        if k == 0:
+            raise SpecificationError(
+                "Lemma 1 decomposition requires |A_0| != 0; "
+                "use reduce_trailing() for the |A_0| = 0 case"
+            )
+        n = self.order
+        positions: List[int] = [0] * (n - 1)
+        complemented: List[bool] = [False] * (n - 1)
+        for j in range(n - 1):
+            if j == k - 1:
+                pos, comp = self.lmag(0)
+            else:
+                pos, comp = self.lmag(j + 1)
+            positions[j] = pos
+            complemented[j] = comp
+        f1 = BPCSpec(tuple(positions), tuple(complemented))
+        c_complemented = list(complemented)
+        c_complemented[k - 1] = not c_complemented[k - 1]
+        f2 = BPCSpec(tuple(positions), tuple(c_complemented))
+        return f1, f2
+
+    def reduce_trailing(self) -> "BPCSpec":
+        """Theorem 2, case 1 (``|A_0| = 0``): both sub-networks perform
+        the same BPC(n-1) permutation ``A'`` with
+        ``A'_j = LMAG(A_{j+1})``."""
+        if self.positions[0] != 0:
+            raise SpecificationError(
+                "reduce_trailing requires |A_0| = 0; "
+                "use lemma1_decompose() for the |A_0| != 0 case"
+            )
+        positions = []
+        complemented = []
+        for j in range(1, self.order):
+            pos, comp = self.lmag(j)
+            positions.append(pos)
+            complemented.append(comp)
+        return BPCSpec(tuple(positions), tuple(complemented))
+
+    # ------------------------------------------------------------------
+    # Section III: CCC skip rule
+    # ------------------------------------------------------------------
+
+    def fixed_dimensions(self) -> Tuple[int, ...]:
+        """Bits ``j`` with ``A_j = +j`` (unmoved, uncomplemented).
+
+        The Section III CCC algorithm may skip the loop iterations for
+        these dimensions: ``(D(i))_j == (i)_j`` for all ``i``, so no
+        routing across cube dimension ``j`` is needed.
+        """
+        return tuple(
+            j for j in range(self.order)
+            if self.positions[j] == j and not self.complemented[j]
+        )
+
+
+# ----------------------------------------------------------------------
+# Table I — the paper's named BPC permutations
+# ----------------------------------------------------------------------
+
+def matrix_transpose(order: int) -> BPCSpec:
+    """Table I *matrix transpose*: view ``i`` as ``(row, column)`` of a
+    ``2^q x 2^q`` array (``q = order/2``) stored row-major; swap them.
+    As a bit map: bit ``j -> (j + q) mod order``."""
+    if order % 2:
+        raise SpecificationError(
+            f"matrix transpose needs an even order, got {order}"
+        )
+    q = order // 2
+    return BPCSpec(
+        positions=tuple((j + q) % order for j in range(order)),
+        complemented=(False,) * order,
+    )
+
+
+def bit_reversal(order: int) -> BPCSpec:
+    """Table I *bit reversal* (the Fig. 4 permutation):
+    bit ``j -> order-1-j``."""
+    return BPCSpec(
+        positions=tuple(order - 1 - j for j in range(order)),
+        complemented=(False,) * order,
+    )
+
+
+def vector_reversal(order: int) -> BPCSpec:
+    """Table I *vector reversal*: ``D_i = N - 1 - i`` — every bit stays
+    put but is complemented."""
+    return BPCSpec(
+        positions=tuple(range(order)),
+        complemented=(True,) * order,
+    )
+
+
+def perfect_shuffle(order: int) -> BPCSpec:
+    """Table I *perfect shuffle*: left-rotate the index bits
+    (``D_i = rotate_left(i)``), i.e. bit ``j -> (j + 1) mod order``."""
+    return BPCSpec(
+        positions=tuple((j + 1) % order for j in range(order)),
+        complemented=(False,) * order,
+    )
+
+
+def unshuffle(order: int) -> BPCSpec:
+    """Table I *unshuffle*: right-rotate the index bits — the inverse
+    of the perfect shuffle."""
+    return BPCSpec(
+        positions=tuple((j - 1) % order for j in range(order)),
+        complemented=(False,) * order,
+    )
+
+
+def shuffled_row_major(order: int) -> BPCSpec:
+    """Table I *shuffled row major*: map the row-major index
+    ``(r_{q-1}..r_0 c_{q-1}..c_0)`` to the bit-interleaved index
+    ``(r_{q-1} c_{q-1} ... r_0 c_0)``.
+
+    Source column bit ``j`` (``j < q``) goes to position ``2j``; source
+    row bit ``q + j`` goes to position ``2j + 1``.
+    """
+    if order % 2:
+        raise SpecificationError(
+            f"shuffled row major needs an even order, got {order}"
+        )
+    q = order // 2
+    positions = [0] * order
+    for j in range(q):
+        positions[j] = 2 * j
+        positions[q + j] = 2 * j + 1
+    return BPCSpec(tuple(positions), (False,) * order)
+
+
+def bit_shuffle(order: int) -> BPCSpec:
+    """Table I *bit shuffle*: the inverse of shuffled row major —
+    de-interleave the index bits (even-position bits become the low
+    half, odd-position bits the high half)."""
+    return shuffled_row_major(order).inverse()
+
+
+#: Table I as (name, constructor) pairs, in the paper's row order.
+TABLE_I = (
+    ("matrix transpose", matrix_transpose),
+    ("bit reversal", bit_reversal),
+    ("vector reversal", vector_reversal),
+    ("perfect shuffle", perfect_shuffle),
+    ("unshuffle", unshuffle),
+    ("shuffled row major", shuffled_row_major),
+    ("bit shuffle", bit_shuffle),
+)
+
+
+def table_i_specs(order: int) -> List[Tuple[str, BPCSpec]]:
+    """Instantiate every Table I permutation at the given order
+    (rows needing an even order are skipped for odd orders)."""
+    out = []
+    for name, make in TABLE_I:
+        try:
+            out.append((name, make(order)))
+        except SpecificationError:
+            continue
+    return out
+
+
+# ----------------------------------------------------------------------
+# Recognition
+# ----------------------------------------------------------------------
+
+def is_bpc(perm: Union[Permutation, Sequence[int]]
+           ) -> Optional[BPCSpec]:
+    """Recover the A-vector of ``perm`` if it is a BPC permutation,
+    else return ``None``.
+
+    For each source bit ``j`` the destination bit that tracks it (or
+    its complement) across **all** indices is located; the permutation
+    is BPC iff every source bit has exactly one tracker and the
+    trackers form a bijection.
+
+    >>> is_bpc([0, 1, 2, 3]) == BPCSpec.identity(2)
+    True
+    >>> is_bpc([1, 2, 3, 0]) is None      # cyclic shift is not BPC
+    True
+    """
+    perm = perm if isinstance(perm, Permutation) else Permutation(perm)
+    order = perm.order
+    n_elements = perm.size
+    positions: List[int] = [-1] * order
+    complemented: List[bool] = [False] * order
+    used = set()
+    for j in range(order):
+        found = False
+        for p in range(order):
+            if p in used:
+                continue
+            direct = all(
+                _bits.bit(perm[i], p) == _bits.bit(i, j)
+                for i in range(n_elements)
+            )
+            if direct:
+                positions[j], complemented[j] = p, False
+                used.add(p)
+                found = True
+                break
+            inverted = all(
+                _bits.bit(perm[i], p) == 1 - _bits.bit(i, j)
+                for i in range(n_elements)
+            )
+            if inverted:
+                positions[j], complemented[j] = p, True
+                used.add(p)
+                found = True
+                break
+        if not found:
+            return None
+    return BPCSpec(tuple(positions), tuple(complemented))

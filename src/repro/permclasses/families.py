@@ -1,0 +1,115 @@
+"""Named permutation families from Section II.
+
+These are the "interesting permutations contained in InverseOmega(n)"
+the paper lists (items 1-6 after Theorem 2), several of which coincide
+with Lenfant's frequently-used-bijection families:
+
+1. cyclic shift                 ``D_i = (i + k) mod N``
+2. p-ordering                   ``D_i = (p * i) mod N``, p odd
+3. inverse p-ordering           the q-ordering with ``p*q ≡ 1 (mod N)``
+4. p-ordering and cyclic shift  ``D_i = (p*i + k) mod N``  (Lenfant λ)
+5. cyclic shift within segments (Lenfant δ)
+6. conditional exchange         (Lenfant η)
+
+All are proved members of ``InverseOmega(n)`` — hence of ``F(n)`` by
+Theorem 3 — and the test-suite checks each family against both the
+class predicates and the self-routing network itself.
+"""
+
+from __future__ import annotations
+
+from ..core import bits as _bits
+from ..core.permutation import Permutation
+from ..errors import SpecificationError
+
+__all__ = [
+    "cyclic_shift",
+    "p_ordering",
+    "inverse_p_ordering",
+    "p_ordering_with_shift",
+    "segment_cyclic_shift",
+    "conditional_exchange",
+    "modular_inverse_odd",
+]
+
+
+def cyclic_shift(order: int, k: int) -> Permutation:
+    """``D_i = (i + k) mod N`` — family (1).
+
+    >>> cyclic_shift(2, 1).as_tuple()
+    (1, 2, 3, 0)
+    """
+    n_elements = 1 << order
+    return Permutation((i + k) % n_elements for i in range(n_elements))
+
+
+def p_ordering(order: int, p: int) -> Permutation:
+    """``D_i = (p * i) mod N`` for odd ``p`` — family (2).
+
+    Oddness makes multiplication by ``p`` invertible modulo ``N = 2^n``.
+    """
+    if p % 2 == 0:
+        raise SpecificationError(f"p must be odd, got {p}")
+    n_elements = 1 << order
+    return Permutation((p * i) % n_elements for i in range(n_elements))
+
+
+def modular_inverse_odd(p: int, order: int) -> int:
+    """The odd ``q`` with ``p * q ≡ 1 (mod 2^order)``."""
+    if p % 2 == 0:
+        raise SpecificationError(f"p must be odd, got {p}")
+    return pow(p, -1, 1 << order)
+
+
+def inverse_p_ordering(order: int, p: int) -> Permutation:
+    """Family (3): the q-ordering that unscrambles the p-ordering
+    (``q = p^{-1} mod N``)."""
+    return p_ordering(order, modular_inverse_odd(p, order))
+
+
+def p_ordering_with_shift(order: int, p: int, k: int) -> Permutation:
+    """``D_i = (p*i + k) mod N`` — family (4), Lenfant's FUB family λ(n).
+    """
+    if p % 2 == 0:
+        raise SpecificationError(f"p must be odd, got {p}")
+    n_elements = 1 << order
+    return Permutation((p * i + k) % n_elements for i in range(n_elements))
+
+
+def segment_cyclic_shift(order: int, segment_order: int,
+                         k: int) -> Permutation:
+    """Family (5), Lenfant's FUB family δ(n): partition the ``N``
+    indices into segments of ``2^segment_order`` consecutive elements
+    and cyclically shift by ``k`` within each segment; the high
+    ``order - segment_order`` bits are untouched.
+    """
+    if not 1 <= segment_order <= order:
+        raise SpecificationError(
+            f"segment_order must be in 1..{order}, got {segment_order}"
+        )
+    seg = 1 << segment_order
+    n_elements = 1 << order
+
+    def dest(i: int) -> int:
+        base = i - (i % seg)
+        return base + (i + k) % seg
+
+    return Permutation(dest(i) for i in range(n_elements))
+
+
+def conditional_exchange(order: int, control_bit: int) -> Permutation:
+    """Family (6), Lenfant's η^{(k)}: exchange each pair
+    ``(2i, 2i+1)`` iff bit ``control_bit`` of ``2i`` is 1 — i.e.
+    ``(D_i)_0 = (i)_0 XOR (i)_k`` with all other bits unchanged.
+    """
+    if not 1 <= control_bit < order:
+        raise SpecificationError(
+            f"control_bit must be in 1..{order - 1}, got {control_bit}"
+        )
+    n_elements = 1 << order
+
+    def dest(i: int) -> int:
+        flipped = _bits.bit(i, 0) ^ _bits.bit(i, control_bit)
+        return (i & ~1) | flipped
+
+    return Permutation(dest(i) for i in range(n_elements))

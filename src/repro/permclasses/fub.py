@@ -1,0 +1,84 @@
+"""Lenfant's five families of "frequently used bijections" (FUB).
+
+Lenfant [5] gave five per-family Benes setup algorithms; this paper
+subsumes all five with the single self-routing rule because (Section II)
+
+- three of the FUB families — called α(n), β(n), γ(n) here — are
+  sub-families of BPC(n), and
+- the remaining two are λ(n) = "p-ordering and cyclic shift" and
+  δ(n) = "cyclic shifts within segments", both members of
+  InverseOmega(n); the conditional-exchange permutations are Lenfant's
+  η^{(k)}.
+
+The paper uses α/β/γ only through the containment "three of his FUB
+families are in our BPC(n)"; Lenfant's own parameterizations are not
+reproduced in this paper's text, so — as recorded in DESIGN.md — we
+expose documented BPC sub-families under those names whose union
+exercises the same containment:
+
+- ``alpha(n, k)``: exchange of the top ``k``-bit field with the bottom
+  ``k``-bit field (generalized matrix transpose; ``k = n/2`` is
+  Table I's matrix transpose);
+- ``beta(n, k)``: reversal of the low ``k`` index bits (``k = n`` is
+  Table I's bit reversal);
+- ``gamma(n, k)``: complement of the low ``k`` index bits (``k = n`` is
+  Table I's vector reversal).
+
+λ, δ and η re-export the full-permutation constructors from
+:mod:`repro.permclasses.families`.
+"""
+
+from __future__ import annotations
+
+from ..errors import SpecificationError
+from .bpc import BPCSpec
+from .families import (
+    conditional_exchange as eta,
+    p_ordering_with_shift as lam,
+    segment_cyclic_shift as delta,
+)
+
+__all__ = ["alpha", "beta", "gamma", "lam", "delta", "eta"]
+
+
+def alpha(order: int, field: int) -> BPCSpec:
+    """Swap the top ``field`` bits with the bottom ``field`` bits
+    (requires ``2*field <= order``); middle bits stay put.
+
+    In array terms this exchanges the roles of a ``2^field``-row block
+    index and a ``2^field``-column index — the access pattern of a
+    blocked transpose.
+    """
+    if not 1 <= 2 * field <= order:
+        raise SpecificationError(
+            f"need 1 <= 2*field <= order, got field={field}, order={order}"
+        )
+    positions = list(range(order))
+    for j in range(field):
+        high = order - field + j
+        positions[j], positions[high] = high, j
+    return BPCSpec(tuple(positions), (False,) * order)
+
+
+def beta(order: int, width: int) -> BPCSpec:
+    """Reverse the low ``width`` index bits; ``width = order`` is the
+    full bit reversal used by FFT data reordering."""
+    if not 1 <= width <= order:
+        raise SpecificationError(
+            f"need 1 <= width <= order, got width={width}"
+        )
+    positions = list(range(order))
+    for j in range(width):
+        positions[j] = width - 1 - j
+    return BPCSpec(tuple(positions), (False,) * order)
+
+
+def gamma(order: int, width: int) -> BPCSpec:
+    """Complement the low ``width`` index bits — a vector reversal
+    within each aligned segment of ``2^width`` elements."""
+    if not 1 <= width <= order:
+        raise SpecificationError(
+            f"need 1 <= width <= order, got width={width}"
+        )
+    complemented = tuple(j < width for j in range(order))
+    return BPCSpec(tuple(range(order)), complemented)

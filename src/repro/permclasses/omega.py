@@ -1,0 +1,95 @@
+"""Omega and inverse-omega permutation classes (Lawrie) — Section II,
+Theorem 3.
+
+``Omega(n)`` is exactly the set of permutations realizable by Lawrie's
+omega network (``n`` stages of perfect shuffle + exchange columns);
+``InverseOmega(n)`` those realizable by running the omega network
+backwards.  The decision procedure is the classical *window* test: the
+path of input ``i`` to destination ``D_i`` occupies, after stage ``b``,
+the wire labelled by the low ``n-b`` bits of ``i`` followed by the high
+``b`` bits of ``D_i``; the permutation passes iff these wire labels are
+pairwise distinct at every stage.
+
+The paper proves ``InverseOmega(n) ⊆ F(n)`` (Theorem 3) and notes that
+``Omega(n) ⊄ F(n)`` (Fig. 5's ``D = (1,3,2,0)`` is in ``Omega(2)`` but
+not ``F(2)``) — yet every omega permutation becomes self-routable when
+the first ``n-1`` Benes stages are forced straight (the *omega bit*).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from ..core.permutation import Permutation
+
+__all__ = [
+    "is_omega",
+    "is_inverse_omega",
+    "omega_window",
+    "omega_count",
+]
+
+PermutationLike = Union[Permutation, Sequence[int]]
+
+
+def _as_perm(perm: PermutationLike) -> Permutation:
+    return perm if isinstance(perm, Permutation) else Permutation(perm)
+
+
+def omega_window(i: int, destination: int, stage: int, order: int) -> int:
+    """The wire label occupied after ``stage`` switch columns of the
+    omega network by the signal travelling from input ``i`` to
+    ``destination``: the low ``order - stage`` bits of ``i`` followed by
+    the high ``stage`` bits of ``destination``.
+    """
+    if not 0 <= stage <= order:
+        raise ValueError(f"stage must be in 0..{order}, got {stage}")
+    low = i & ((1 << (order - stage)) - 1)
+    high = destination >> (order - stage)
+    return (low << stage) | high
+
+
+def is_omega(perm: PermutationLike) -> bool:
+    """True iff ``perm`` is realizable by the omega network.
+
+    Checks that at every intermediate stage the windows
+    :func:`omega_window` of all ``N`` signals are pairwise distinct —
+    two equal windows mean two signals need the same wire.
+
+    >>> is_omega([1, 3, 2, 0])     # Fig. 5: in Omega(2) though not F(2)
+    True
+    >>> is_omega([0, 2, 1, 3])
+    False
+    """
+    perm = _as_perm(perm)
+    order = perm.order
+    for stage in range(1, order):
+        windows = {
+            omega_window(i, perm[i], stage, order)
+            for i in range(perm.size)
+        }
+        if len(windows) != perm.size:
+            return False
+    return True
+
+
+def is_inverse_omega(perm: PermutationLike) -> bool:
+    """True iff ``perm`` is realizable by the omega network run
+    backwards, i.e. iff its inverse is an omega permutation.
+
+    >>> is_inverse_omega([1, 2, 3, 0])     # cyclic shift
+    True
+    """
+    return is_omega(_as_perm(perm).inverse())
+
+
+def omega_count(order: int) -> int:
+    """``|Omega(n)| = 2^{n * N/2}``: every assignment of the
+    ``(N/2) log N`` omega switches realizes a distinct permutation (the
+    switch states are recoverable from the input-output paths), so the
+    class size equals the number of settings.
+
+    ``|InverseOmega(n)|`` is the same by symmetry.
+    """
+    n_inputs = 1 << order
+    return 1 << (order * (n_inputs // 2))

@@ -1,0 +1,50 @@
+"""SIMD machine models (Section I) and the preprocessing-free
+permutation algorithms that simulate the self-routing Benes network on
+them (Section III)."""
+
+from .ccc import CCC
+from .cic import CIC
+from .dual import DualNetworkComputer, DualRouteReport
+from .machine import RouteStats, SIMDMachine
+from .mcc import MCC
+from .parallel_setup import ParallelSetupRun, parallel_setup_states
+from .permute import (
+    PermutationRun,
+    benes_dimension_schedule,
+    permute_ccc,
+    permute_mcc,
+    permute_psc,
+)
+from .psc import PSC
+from .sort import (
+    SortRun,
+    bitonic_compare_count,
+    sort_permute_ccc,
+    sort_permute_psc,
+)
+from .tags import load_affine_tags, load_bpc_tags, load_explicit_tags
+
+__all__ = [
+    "CCC",
+    "CIC",
+    "DualNetworkComputer",
+    "DualRouteReport",
+    "MCC",
+    "PSC",
+    "ParallelSetupRun",
+    "PermutationRun",
+    "RouteStats",
+    "SIMDMachine",
+    "SortRun",
+    "benes_dimension_schedule",
+    "bitonic_compare_count",
+    "load_affine_tags",
+    "load_bpc_tags",
+    "load_explicit_tags",
+    "parallel_setup_states",
+    "permute_ccc",
+    "permute_mcc",
+    "permute_psc",
+    "sort_permute_ccc",
+    "sort_permute_psc",
+]

@@ -1,0 +1,107 @@
+"""The cube connected computer (CCC) — model 3 of Section I.
+
+``N' = 2^n`` PEs; PE(i) connects to PE(i^{(b)}) for every dimension
+``b`` (``i^{(b)}`` flips bit ``b`` of ``i``).  The Section III
+permutation algorithm is a sequence of masked *interchanges* across the
+dimensions ``0, 1, ..., n-2, n-1, n-2, ..., 0`` — a direct simulation
+of the self-routing Benes network, one cube dimension per switch
+stage.
+
+The paper's cost note: if a record (data + tag) moves in one unit-route
+the interchange costs 1; if it needs two transfers the costs double.
+``routes_per_interchange`` selects the model (default 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..core import bits as _bits
+from ..errors import MachineError
+from .machine import Mask, SIMDMachine
+
+__all__ = ["CCC"]
+
+
+class CCC(SIMDMachine):
+    """Cube connected computer on ``2^dimensions`` PEs."""
+
+    model_name = "CCC"
+
+    def __init__(self, dimensions: int, routes_per_interchange: int = 1):
+        if dimensions < 1:
+            raise MachineError(
+                f"need at least one cube dimension, got {dimensions}"
+            )
+        if routes_per_interchange not in (1, 2):
+            raise MachineError(
+                "routes_per_interchange must be 1 or 2, got "
+                f"{routes_per_interchange}"
+            )
+        super().__init__(1 << dimensions)
+        self._dimensions = dimensions
+        self._routes_per_interchange = routes_per_interchange
+
+    @property
+    def dimensions(self) -> int:
+        """Cube dimensionality ``n`` (``N' = 2^n`` PEs)."""
+        return self._dimensions
+
+    def neighbor(self, pe: int, dim: int) -> int:
+        """``pe^{(dim)}``: the PE across cube dimension ``dim``."""
+        self._check_dim(dim)
+        return _bits.flip_bit(pe, dim)
+
+    def _check_dim(self, dim: int) -> None:
+        if not 0 <= dim < self._dimensions:
+            raise MachineError(
+                f"dimension {dim} out of range 0..{self._dimensions - 1}"
+            )
+
+    # ------------------------------------------------------------------
+    # Routing primitives
+    # ------------------------------------------------------------------
+
+    def interchange(self, names: Sequence[str], dim: int,
+                    pair_mask: Optional[Mask] = None) -> None:
+        """Swap register contents between PE pairs across ``dim``.
+
+        ``pair_mask`` is evaluated on the pair representative — the PE
+        with bit ``dim`` equal to 0 (the Benes switch's *upper input*).
+        Costs ``routes_per_interchange`` unit-routes.
+        """
+        self._check_dim(dim)
+        checked = self._check_mask(pair_mask)
+        self._apply_swap(names, lambda i: _bits.flip_bit(i, dim), checked)
+        self._account_route(self._routes_per_interchange)
+
+    def route_across(self, names: Sequence[str], dim: int,
+                     mask: Optional[Mask] = None) -> None:
+        """One-directional copy: each enabled PE sends its register
+        contents to its ``dim`` neighbour (one unit-route)."""
+        self._check_dim(dim)
+        checked = self._check_mask(mask)
+        self._apply_routing(
+            names, lambda i: _bits.flip_bit(i, dim), checked
+        )
+        self._account_route(1)
+
+    def compare_interchange(self, names: Sequence[str], key: str,
+                            dim: int,
+                            ascending_for: Callable[[int], bool]) -> None:
+        """Bitonic compare-exchange across ``dim``: for each pair, sort
+        the two ``key`` values (ascending when
+        ``ascending_for(representative)`` is true), moving the other
+        named registers alongside.  Costs one interchange."""
+        self._check_dim(dim)
+        keys = self.register(key)
+        swap_mask: List[bool] = [False] * self.n_pes
+        for i in range(self.n_pes):
+            j = _bits.flip_bit(i, dim)
+            if i < j:
+                out_of_order = keys[i] > keys[j]
+                swap_mask[i] = (out_of_order == ascending_for(i))
+        regs = set(names) | {key}
+        self._apply_swap(sorted(regs),
+                         lambda i: _bits.flip_bit(i, dim), swap_mask)
+        self._account_route(self._routes_per_interchange)

@@ -1,0 +1,37 @@
+"""The completely interconnected computer (CIC) — model 1 of Section I.
+
+Every PE connects directly to every other, so any permutation of the
+routing registers is a single unit-route.  The CIC is the trivial upper
+bound the other three models are measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from ..core.permutation import Permutation
+from ..errors import MachineError
+from .machine import Mask, SIMDMachine
+
+__all__ = ["CIC"]
+
+
+class CIC(SIMDMachine):
+    """Completely interconnected computer: permute in one step."""
+
+    model_name = "CIC"
+
+    def permute(self, names: Sequence[str],
+                destinations: Union[Permutation, Sequence[int]],
+                mask: Optional[Mask] = None) -> None:
+        """Route register contents of PE ``i`` to PE
+        ``destinations[i]`` for every enabled PE — one unit-route."""
+        perm = (destinations if isinstance(destinations, Permutation)
+                else Permutation(destinations))
+        if perm.size != self.n_pes:
+            raise MachineError(
+                f"permutation of size {perm.size} on {self.n_pes} PEs"
+            )
+        checked = self._check_mask(mask)
+        self._apply_routing(names, lambda i: perm[i], checked)
+        self._account_route(1)

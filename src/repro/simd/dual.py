@@ -1,0 +1,202 @@
+"""The dual-network SIMD computer proposed in the paper's conclusion.
+
+Section IV: *"We propose an SIMD computer with two interconnection
+networks: 1) a network E(n) providing direct connections between PEs
+... 2) the self-routing Benes network B(n) with O(log N) delay ...
+Then some permutations are performed more efficiently through E(n),
+while some others via B(n)."*
+
+The paper's cost argument: a routing step on E(n) involves broadcasting
+an instruction and gating registers — many gate delays per step —
+whereas a transit of B(n) is ``2 log N - 1`` *gate* delays total.  So
+for an F(n) permutation the attached network wins by roughly the
+instruction-overhead factor, while permutations outside F (or cheap
+single-step neighbour exchanges) still go through E(n).
+
+:class:`DualNetworkComputer` models that machine: a PSC (or CCC) as
+``E(n)``, an attached self-routing ``B(n)``, a cost model expressed in
+gate delays, and a dispatcher that picks the cheaper path per
+permutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+from ..core.benes import BenesNetwork
+from ..core.membership import in_class_f
+from ..core.permutation import Permutation
+from ..errors import MachineError
+from .ccc import CCC
+from .permute import permute_ccc, permute_psc
+from .psc import PSC
+from .sort import sort_permute_ccc, sort_permute_psc
+
+__all__ = ["DualNetworkComputer", "DualRouteReport"]
+
+PermutationLike = Union[Permutation, Sequence[int]]
+
+
+@dataclass(frozen=True)
+class DualRouteReport:
+    """How a permutation was performed and what it cost.
+
+    Attributes:
+        chosen: ``"benes"`` or ``"e-network"``.
+        in_f: whether the permutation is self-routable on B(n).
+        gate_delays: total cost in gate delays under the machine's cost
+            model.
+        benes_gate_delays: what the attached network would cost (None
+            when it cannot perform the permutation).
+        e_network_gate_delays: what the direct network costs (via the
+            F-simulation when possible, else via bitonic sort).
+        unit_routes: E-network unit-routes actually spent (0 when the
+            Benes path was chosen).
+        data: the routed data vector.
+    """
+
+    chosen: str
+    in_f: bool
+    gate_delays: int
+    benes_gate_delays: Optional[int]
+    e_network_gate_delays: int
+    unit_routes: int
+    data: Tuple
+
+
+class DualNetworkComputer:
+    """An N-PE SIMD machine with a direct network E(n) and an attached
+    self-routing Benes network B(n).
+
+    Args:
+        order: ``n`` — the machine has ``2^n`` PEs.
+        e_network: ``"psc"`` (default) or ``"ccc"``.
+        step_gate_cost: gate delays charged per E-network unit-route
+            (instruction broadcast + register gating); the paper argues
+            this is large compared to a single switch stage.
+    """
+
+    def __init__(self, order: int, e_network: str = "psc",
+                 step_gate_cost: int = 10):
+        if order < 1:
+            raise MachineError(f"order must be >= 1, got {order}")
+        if e_network not in ("psc", "ccc"):
+            raise MachineError(
+                f"e_network must be 'psc' or 'ccc', got {e_network!r}"
+            )
+        if step_gate_cost < 1:
+            raise MachineError(
+                f"step_gate_cost must be >= 1, got {step_gate_cost}"
+            )
+        self._order = order
+        self._kind = e_network
+        self._step_gate_cost = step_gate_cost
+        self._benes = BenesNetwork(order)
+
+    @property
+    def order(self) -> int:
+        """``n``: the machine has ``2^n`` PEs."""
+        return self._order
+
+    @property
+    def n_pes(self) -> int:
+        """Number of processing elements."""
+        return 1 << self._order
+
+    @property
+    def benes(self) -> BenesNetwork:
+        """The attached self-routing network."""
+        return self._benes
+
+    @property
+    def step_gate_cost(self) -> int:
+        """Gate delays per E-network unit-route."""
+        return self._step_gate_cost
+
+    # ------------------------------------------------------------------
+
+    def _fresh_e_machine(self):
+        return PSC(self._order) if self._kind == "psc" else CCC(self._order)
+
+    def _e_route(self, perm: Permutation, data, member: bool):
+        """Run the permutation on E(n): the F-simulation when the
+        permutation is in F, otherwise the bitonic sort."""
+        machine = self._fresh_e_machine()
+        if member:
+            if self._kind == "psc":
+                run = permute_psc(machine, perm, data=data)
+            else:
+                run = permute_ccc(machine, perm, data=data)
+        else:
+            if self._kind == "psc":
+                run = sort_permute_psc(machine, perm, data=data)
+            else:
+                run = sort_permute_ccc(machine, perm, data=data)
+        return run
+
+    def estimate_costs(self, perm: PermutationLike
+                       ) -> Tuple[Optional[int], int, bool]:
+        """``(benes_gate_delays, e_network_gate_delays, in_f)`` for a
+        permutation, without moving data.
+
+        The Benes transit costs ``2 log N - 1`` gate delays (None when
+        the permutation is outside F); the E-network costs
+        ``unit_routes * step_gate_cost``.
+        """
+        perm = perm if isinstance(perm, Permutation) else Permutation(perm)
+        member = in_class_f(perm)
+        benes_cost = self._benes.delay if member else None
+        e_run = self._e_route(perm, None, member)
+        return benes_cost, e_run.unit_routes * self._step_gate_cost, member
+
+    def permute(self, perm: PermutationLike,
+                data: Optional[Sequence] = None,
+                force: Optional[str] = None) -> DualRouteReport:
+        """Perform a permutation through whichever network is cheaper
+        (or through ``force`` in {"benes", "e-network"}).
+
+        Permutations outside F(n) always use E(n) (via sorting);
+        forcing them onto the Benes path raises.
+        """
+        perm = perm if isinstance(perm, Permutation) else Permutation(perm)
+        if perm.size != self.n_pes:
+            raise MachineError(
+                f"permutation of size {perm.size} on {self.n_pes} PEs"
+            )
+        if force not in (None, "benes", "e-network"):
+            raise MachineError(f"unknown network {force!r}")
+        member = in_class_f(perm)
+        if force == "benes" and not member:
+            raise MachineError(
+                "permutation is outside F(n); the self-routing network "
+                "cannot perform it"
+            )
+
+        benes_cost = self._benes.delay if member else None
+        e_run = self._e_route(perm, data, member)
+        e_cost = e_run.unit_routes * self._step_gate_cost
+
+        if force == "benes" or (
+            force is None and member and benes_cost <= e_cost
+        ):
+            result = self._benes.route(perm, payloads=data,
+                                       require_success=True)
+            return DualRouteReport(
+                chosen="benes",
+                in_f=member,
+                gate_delays=benes_cost,
+                benes_gate_delays=benes_cost,
+                e_network_gate_delays=e_cost,
+                unit_routes=0,
+                data=result.payloads,
+            )
+        return DualRouteReport(
+            chosen="e-network",
+            in_f=member,
+            gate_delays=e_cost,
+            benes_gate_delays=benes_cost,
+            e_network_gate_delays=e_cost,
+            unit_routes=e_run.unit_routes,
+            data=tuple(e_run.data),
+        )

@@ -1,0 +1,192 @@
+"""SIMD machine framework (Section I models, Section III algorithms).
+
+The paper's machines are SIMD: one instruction stream broadcast to
+``N'`` processing elements (PEs), each with private registers, connected
+by a fixed interconnection pattern.  :class:`SIMDMachine` provides the
+shared substrate — named registers, enable masks, and the two cost
+counters the paper uses:
+
+- **unit-routes**: data movements between directly connected PEs
+  (one broadcast routing instruction = one unit-route, regardless of
+  how many PEs are enabled);
+- **steps**: total broadcast instructions, including local compute.
+
+Concrete interconnections (:mod:`repro.simd.cic`, ``ccc``, ``psc``,
+``mcc``) add their routing primitives on top and account their own
+unit-route costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import MachineError, MaskError
+
+__all__ = ["SIMDMachine", "RouteStats"]
+
+Mask = Sequence[bool]
+Predicate = Callable[[int, "SIMDMachine"], bool]
+
+
+@dataclass
+class RouteStats:
+    """Cost counters accumulated by a machine run."""
+
+    unit_routes: int = 0
+    route_instructions: int = 0
+    compute_steps: int = 0
+
+    @property
+    def total_steps(self) -> int:
+        """All broadcast instructions: routes + local compute."""
+        return self.route_instructions + self.compute_steps
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.unit_routes = 0
+        self.route_instructions = 0
+        self.compute_steps = 0
+
+
+class SIMDMachine:
+    """``n_pes`` processing elements with named registers.
+
+    Registers are dense Python lists indexed by PE number.  Subclasses
+    implement the interconnection-specific routing primitives and call
+    :meth:`_account_route` to charge them.
+    """
+
+    #: human-readable model name, overridden by subclasses.
+    model_name = "SIMD"
+
+    def __init__(self, n_pes: int):
+        if n_pes < 1:
+            raise MachineError(f"need at least one PE, got {n_pes}")
+        self._n_pes = n_pes
+        self._registers: Dict[str, list] = {}
+        self.stats = RouteStats()
+
+    # ------------------------------------------------------------------
+    # Registers
+    # ------------------------------------------------------------------
+
+    @property
+    def n_pes(self) -> int:
+        """Number of processing elements ``N'``."""
+        return self._n_pes
+
+    def set_register(self, name: str, values: Sequence) -> None:
+        """Load ``values[i]`` into register ``name`` of PE ``i``."""
+        if len(values) != self._n_pes:
+            raise MachineError(
+                f"{len(values)} values for {self._n_pes} PEs"
+            )
+        self._registers[name] = list(values)
+
+    def register(self, name: str) -> list:
+        """The live register list (mutations are visible to the
+        machine; copy if you need a snapshot)."""
+        try:
+            return self._registers[name]
+        except KeyError:
+            raise MachineError(f"register {name!r} was never loaded")
+
+    def read(self, name: str) -> Tuple:
+        """Immutable snapshot of a register."""
+        return tuple(self.register(name))
+
+    def has_register(self, name: str) -> bool:
+        """True iff the register has been loaded."""
+        return name in self._registers
+
+    # ------------------------------------------------------------------
+    # Masks
+    # ------------------------------------------------------------------
+
+    def full_mask(self) -> List[bool]:
+        """Enable every PE."""
+        return [True] * self._n_pes
+
+    def mask_from(self, predicate: Predicate) -> List[bool]:
+        """Evaluate ``predicate(pe, machine)`` on every PE."""
+        return [predicate(i, self) for i in range(self._n_pes)]
+
+    def _check_mask(self, mask: Optional[Mask]) -> List[bool]:
+        if mask is None:
+            return self.full_mask()
+        if len(mask) != self._n_pes:
+            raise MaskError(
+                f"mask of length {len(mask)} for {self._n_pes} PEs"
+            )
+        return [bool(m) for m in mask]
+
+    # ------------------------------------------------------------------
+    # Local compute
+    # ------------------------------------------------------------------
+
+    def elementwise(self, out: str,
+                    fn: Callable[..., object],
+                    *sources: str,
+                    mask: Optional[Mask] = None) -> None:
+        """``out[i] = fn(src1[i], src2[i], ...)`` on enabled PEs;
+        costs one compute step."""
+        mask = self._check_mask(mask)
+        inputs = [self.register(s) for s in sources]
+        target = self._registers.setdefault(out, [None] * self._n_pes)
+        for i in range(self._n_pes):
+            if mask[i]:
+                target[i] = fn(*(reg[i] for reg in inputs))
+        self.stats.compute_steps += 1
+
+    def elementwise_indexed(self, out: str,
+                            fn: Callable[[int], object],
+                            mask: Optional[Mask] = None) -> None:
+        """``out[i] = fn(i)`` on enabled PEs (each PE knows its own
+        index); costs one compute step."""
+        mask = self._check_mask(mask)
+        target = self._registers.setdefault(out, [None] * self._n_pes)
+        for i in range(self._n_pes):
+            if mask[i]:
+                target[i] = fn(i)
+        self.stats.compute_steps += 1
+
+    # ------------------------------------------------------------------
+    # Routing bookkeeping
+    # ------------------------------------------------------------------
+
+    def _account_route(self, unit_routes: int) -> None:
+        """Charge one broadcast routing instruction costing
+        ``unit_routes`` unit-routes."""
+        self.stats.route_instructions += 1
+        self.stats.unit_routes += unit_routes
+
+    def _apply_routing(self, names: Sequence[str],
+                       wiring: Callable[[int], int],
+                       mask: List[bool]) -> None:
+        """Move register contents: for enabled PE ``i``, the value in
+        each named register travels to PE ``wiring(i)``.  Disabled PEs
+        keep their value unless an enabled PE overwrites them."""
+        for name in names:
+            reg = self.register(name)
+            new = list(reg)
+            for i in range(self._n_pes):
+                if mask[i]:
+                    new[wiring(i)] = reg[i]
+            self._registers[name] = new
+
+    def _apply_swap(self, names: Sequence[str],
+                    pairing: Callable[[int], int],
+                    pair_enabled: List[bool]) -> None:
+        """Interchange register contents between PE ``i`` and
+        ``pairing(i)`` for every enabled pair; ``pair_enabled`` is read
+        on the lower-numbered PE of each pair."""
+        for name in names:
+            reg = self.register(name)
+            for i in range(self._n_pes):
+                j = pairing(i)
+                if i < j and pair_enabled[i]:
+                    reg[i], reg[j] = reg[j], reg[i]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_pes={self._n_pes})"

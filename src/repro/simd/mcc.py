@@ -1,0 +1,124 @@
+"""The mesh connected computer (MCC) — model 2 of Section I.
+
+``N' = m^2`` PEs arranged in an ``m x m`` array (no wraparound); PE
+``(r, c)`` connects to its existing neighbours ``(r +- 1, c)`` and
+``(r, c +- 1)``.  PEs are numbered row-major, so for ``m = 2^q`` the
+cube dimension ``b`` of an index corresponds to a *horizontal* distance
+``2^b`` when ``b < q`` and a *vertical* distance ``2^{b-q}`` otherwise.
+
+The paper's cost model: an interchange between PEs ``2^k`` apart along
+one axis costs ``2^{k+1}`` unit-routes (``2^k`` in each direction).
+That makes the full Benes-simulation loop cost ``7 sqrt(N) - 8``
+unit-routes (benchmark CLM-MCC).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..errors import MachineError
+from .machine import Mask, SIMDMachine
+
+__all__ = ["MCC"]
+
+
+class MCC(SIMDMachine):
+    """Mesh connected computer on ``2^(2q)`` PEs (``2^q x 2^q``)."""
+
+    model_name = "MCC"
+
+    def __init__(self, side_order: int):
+        if side_order < 1:
+            raise MachineError(
+                f"need at least a 2x2 mesh, got side_order={side_order}"
+            )
+        self._side_order = side_order
+        super().__init__(1 << (2 * side_order))
+
+    @property
+    def side_order(self) -> int:
+        """``q``: the mesh is ``2^q`` PEs on a side."""
+        return self._side_order
+
+    @property
+    def side(self) -> int:
+        """``m = 2^q`` PEs per row/column."""
+        return 1 << self._side_order
+
+    @property
+    def dimensions(self) -> int:
+        """``n = 2q`` index bits."""
+        return 2 * self._side_order
+
+    def coordinates(self, pe: int) -> Tuple[int, int]:
+        """Row-major ``(row, column)`` of a PE index."""
+        return pe >> self._side_order, pe & (self.side - 1)
+
+    def pe_at(self, row: int, col: int) -> int:
+        """PE index of mesh position ``(row, column)``."""
+        return (row << self._side_order) | col
+
+    # ------------------------------------------------------------------
+    # Routing primitives
+    # ------------------------------------------------------------------
+
+    def dimension_geometry(self, dim: int) -> Tuple[str, int]:
+        """Map cube dimension ``dim`` of the row-major index to its
+        mesh geometry: ``("horizontal", 2^dim)`` for ``dim < q``, else
+        ``("vertical", 2^{dim-q})``."""
+        if not 0 <= dim < self.dimensions:
+            raise MachineError(
+                f"dimension {dim} out of range 0..{self.dimensions - 1}"
+            )
+        if dim < self._side_order:
+            return "horizontal", 1 << dim
+        return "vertical", 1 << (dim - self._side_order)
+
+    def interchange(self, names: Sequence[str], dim: int,
+                    pair_mask: Optional[Mask] = None) -> None:
+        """Swap registers between PE pairs differing in bit ``dim`` of
+        the row-major index.
+
+        Pairs lie ``2^k`` apart along one mesh axis (see
+        :meth:`dimension_geometry`); the interchange is charged the
+        paper's ``2^{k+1}`` unit-routes.  ``pair_mask`` is read on the
+        pair member with bit ``dim`` clear.
+        """
+        _axis, distance = self.dimension_geometry(dim)
+        checked = self._check_mask(pair_mask)
+        self._apply_swap(names, lambda i: i ^ (1 << dim), checked)
+        self._account_route(2 * distance)
+
+    def shift(self, names: Sequence[str], axis: str, delta: int,
+              mask: Optional[Mask] = None) -> None:
+        """Shift register contents ``delta`` positions along ``axis``
+        ("horizontal" moves columns, "vertical" moves rows); values
+        shifted past the edge are dropped, vacated PEs keep their old
+        contents.  Costs ``|delta|`` unit-routes."""
+        if axis not in ("horizontal", "vertical"):
+            raise MachineError(f"unknown axis {axis!r}")
+        if delta == 0:
+            return
+        checked = self._check_mask(mask)
+        side = self.side
+
+        def target(i: int) -> int:
+            row, col = self.coordinates(i)
+            if axis == "horizontal":
+                col += delta
+            else:
+                row += delta
+            if 0 <= row < side and 0 <= col < side:
+                return self.pe_at(row, col)
+            return -1
+
+        for name in names:
+            reg = self.register(name)
+            new = list(reg)
+            for i in range(self.n_pes):
+                if checked[i]:
+                    t = target(i)
+                    if t >= 0:
+                        new[t] = reg[i]
+            self._registers[name] = new
+        self._account_route(abs(delta))

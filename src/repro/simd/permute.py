@@ -1,0 +1,295 @@
+"""Section III: preprocessing-free F(n) permutation algorithms.
+
+Each algorithm simulates the self-routing Benes network on a fixed
+interconnection: one masked interchange per switch stage, across cube
+dimensions ``b = 0, 1, ..., n-2, n-1, n-2, ..., 0``.  The pair with
+``(i)_b = 0`` plays the switch's *upper input*: the pair interchanges
+exactly when bit ``b`` of that PE's destination tag is 1.
+
+Route costs (the paper's Section III results, verified by benchmarks
+CLM-CCC / CLM-PSC / CLM-MCC):
+
+- CCC: ``2 log N - 1`` interchanges;
+- PSC: ``4 log N - 3`` unit-routes (exchange/unshuffle in, exchange,
+  shuffle/exchange out);
+- MCC: ``7 sqrt(N) - 8`` unit-routes.
+
+Skip rules: an Omega(n) permutation may skip the first ``n-1``
+iterations, an InverseOmega(n) permutation the last ``n-1``, and a BPC
+permutation every dimension ``j`` with ``A_j = +j``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..core import bits as _bits
+from ..core.permutation import Permutation
+from ..errors import MachineError, RoutingError
+from ..permclasses.bpc import BPCSpec
+from .ccc import CCC
+from .mcc import MCC
+from .psc import PSC
+
+__all__ = [
+    "PermutationRun",
+    "benes_dimension_schedule",
+    "permute_ccc",
+    "permute_psc",
+    "permute_mcc",
+]
+
+PermutationLike = Union[Permutation, Sequence[int]]
+
+DATA = "R"
+TAG = "D"
+
+
+@dataclass(frozen=True)
+class PermutationRun:
+    """Outcome of one SIMD permutation routing.
+
+    Attributes:
+        success: every record reached the PE named by its tag.
+        unit_routes: unit-routes charged for this permutation.
+        route_instructions: broadcast routing instructions issued.
+        data: final contents of the data register, by PE.
+        skipped_dimensions: schedule positions skipped by an
+            optimization rule.
+    """
+
+    success: bool
+    unit_routes: int
+    route_instructions: int
+    data: Tuple
+    skipped_dimensions: Tuple[int, ...]
+    tag_history: Tuple[Tuple[int, ...], ...] = ()
+
+
+def benes_dimension_schedule(order: int) -> List[int]:
+    """The loop schedule ``b = 0, 1, ..., n-2, n-1, n-2, ..., 0``
+    (length ``2n - 1``) — one entry per Benes switch stage."""
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    return list(range(order)) + list(range(order - 2, -1, -1))
+
+
+def _load(machine, tags: PermutationLike,
+          data: Optional[Sequence]) -> Permutation:
+    perm = tags if isinstance(tags, Permutation) else Permutation(tags)
+    if perm.size != machine.n_pes:
+        raise MachineError(
+            f"permutation of size {perm.size} on {machine.n_pes} PEs"
+        )
+    machine.set_register(TAG, list(perm))
+    machine.set_register(
+        DATA, list(data) if data is not None else list(range(perm.size))
+    )
+    return perm
+
+
+def _skip_positions(order: int,
+                    bpc_spec: Optional[BPCSpec],
+                    omega: bool,
+                    inverse_omega: bool) -> Tuple[int, ...]:
+    """Schedule positions (indices into the 2n-1 entry schedule) that a
+    declared permutation class allows skipping."""
+    if omega and inverse_omega:
+        raise MachineError("a permutation cannot be declared both "
+                           "omega and inverse omega for skipping")
+    schedule = benes_dimension_schedule(order)
+    skipped = set()
+    if omega:
+        skipped.update(range(order - 1))                  # first n-1
+    if inverse_omega:
+        skipped.update(range(order, 2 * order - 1))       # last n-1
+    if bpc_spec is not None:
+        if bpc_spec.order != order:
+            raise MachineError(
+                f"BPC spec of order {bpc_spec.order} for machine order "
+                f"{order}"
+            )
+        fixed = set(bpc_spec.fixed_dimensions())
+        skipped.update(
+            pos for pos, b in enumerate(schedule) if b in fixed
+        )
+    return tuple(sorted(skipped))
+
+
+def _finish(machine, skipped: Tuple[int, ...],
+            routes_before: int, instructions_before: int,
+            tag_history: Sequence[Tuple[int, ...]] = ()
+            ) -> PermutationRun:
+    arrived = machine.read(TAG)
+    return PermutationRun(
+        success=all(tag == pe for pe, tag in enumerate(arrived)),
+        unit_routes=machine.stats.unit_routes - routes_before,
+        route_instructions=(
+            machine.stats.route_instructions - instructions_before
+        ),
+        data=machine.read(DATA),
+        skipped_dimensions=skipped,
+        tag_history=tuple(tag_history),
+    )
+
+
+# ----------------------------------------------------------------------
+# CCC
+# ----------------------------------------------------------------------
+
+def permute_ccc(machine: CCC, tags: PermutationLike,
+                data: Optional[Sequence] = None,
+                bpc_spec: Optional[BPCSpec] = None,
+                omega: bool = False,
+                inverse_omega: bool = False,
+                require_success: bool = False,
+                trace: bool = False) -> PermutationRun:
+    """The Section III CCC algorithm::
+
+        for b = 0, 1, ..., n-2, n-1, n-2, ..., 0 do
+            (R(i^(b)), D(i^(b))) <-> (R(i), D(i)),
+                (i)_b = 0 and (D(i))_b = 1
+        end
+
+    ``2 log N - 1`` interchanges for a general F(n) permutation, fewer
+    under a declared skip rule.  With ``trace=True`` the run records the
+    tag register after every loop iteration — the ``D(i)^(k)`` columns
+    of Fig. 6.
+    """
+    _load(machine, tags, data)
+    order = machine.dimensions
+    skipped = _skip_positions(order, bpc_spec, omega, inverse_omega)
+    skip_set = set(skipped)
+    routes0 = machine.stats.unit_routes
+    instr0 = machine.stats.route_instructions
+
+    schedule = benes_dimension_schedule(order)
+    tag_history = [machine.read(TAG)] if trace else []
+    tag_reg = machine.register(TAG)
+    for pos, b in enumerate(schedule):
+        if pos not in skip_set:
+            mask = [
+                _bits.bit(i, b) == 0 and _bits.bit(tag_reg[i], b) == 1
+                for i in range(machine.n_pes)
+            ]
+            machine.interchange((DATA, TAG), b, mask)
+            tag_reg = machine.register(TAG)
+        if trace:
+            tag_history.append(machine.read(TAG))
+
+    run = _finish(machine, skipped, routes0, instr0, tag_history)
+    if require_success and not run.success:
+        raise RoutingError("permutation is not realizable by the "
+                           "self-routing simulation (not in F(n))")
+    return run
+
+
+# ----------------------------------------------------------------------
+# PSC
+# ----------------------------------------------------------------------
+
+def permute_psc(machine: PSC, tags: PermutationLike,
+                data: Optional[Sequence] = None,
+                omega: bool = False,
+                inverse_omega: bool = False,
+                require_success: bool = False) -> PermutationRun:
+    """The Section III PSC algorithm::
+
+        for b := 0 to n-2 do
+            EXCHANGE (R(i), D(i)), (i)_0 = 0 and (D(i))_b = 1
+            UNSHUFFLE (R(i), D(i))
+        end
+        EXCHANGE (R(i), D(i)), (i)_0 = 0 and (D(i))_{n-1} = 1
+        for b := n-2 downto 0 do
+            SHUFFLE (R(i), D(i))
+            EXCHANGE (R(i), D(i)), (i)_0 = 0 and (D(i))_b = 1
+        end
+
+    ``4 log N - 3`` unit-routes.  With ``omega=True`` the first loop is
+    replaced by a single SHUFFLE (its ``n-1`` unshuffles compose to one
+    left-rotation); with ``inverse_omega=True`` the second loop is
+    replaced by a single UNSHUFFLE.
+    """
+    if omega and inverse_omega:
+        raise MachineError("a permutation cannot be declared both "
+                           "omega and inverse omega for skipping")
+    _load(machine, tags, data)
+    order = machine.dimensions
+    routes0 = machine.stats.unit_routes
+    instr0 = machine.stats.route_instructions
+    regs = (DATA, TAG)
+
+    def exchange_on_tag_bit(b: int) -> None:
+        tag_reg = machine.register(TAG)
+        mask = [
+            i % 2 == 0 and _bits.bit(tag_reg[i], b) == 1
+            for i in range(machine.n_pes)
+        ]
+        machine.exchange(regs, mask)
+
+    skipped: Tuple[int, ...] = ()
+    if omega:
+        machine.shuffle(regs)
+        skipped = tuple(range(order - 1))
+    else:
+        for b in range(order - 1):
+            exchange_on_tag_bit(b)
+            machine.unshuffle(regs)
+
+    exchange_on_tag_bit(order - 1)
+
+    if inverse_omega:
+        machine.unshuffle(regs)
+        skipped = tuple(range(order, 2 * order - 1))
+    else:
+        for b in range(order - 2, -1, -1):
+            machine.shuffle(regs)
+            exchange_on_tag_bit(b)
+
+    run = _finish(machine, skipped, routes0, instr0)
+    if require_success and not run.success:
+        raise RoutingError("permutation is not realizable by the "
+                           "self-routing simulation (not in F(n))")
+    return run
+
+
+# ----------------------------------------------------------------------
+# MCC
+# ----------------------------------------------------------------------
+
+def permute_mcc(machine: MCC, tags: PermutationLike,
+                data: Optional[Sequence] = None,
+                bpc_spec: Optional[BPCSpec] = None,
+                omega: bool = False,
+                inverse_omega: bool = False,
+                require_success: bool = False) -> PermutationRun:
+    """The Section III MCC algorithm: the CCC loop with each dimension
+    ``b`` realized as an interchange between PEs ``2^{b mod q}`` apart
+    (horizontally for ``b < q``, vertically otherwise).
+
+    ``7 sqrt(N) - 8`` unit-routes for a general F(n) permutation.
+    """
+    _load(machine, tags, data)
+    order = machine.dimensions
+    skipped = _skip_positions(order, bpc_spec, omega, inverse_omega)
+    skip_set = set(skipped)
+    routes0 = machine.stats.unit_routes
+    instr0 = machine.stats.route_instructions
+
+    schedule = benes_dimension_schedule(order)
+    for pos, b in enumerate(schedule):
+        if pos in skip_set:
+            continue
+        tag_reg = machine.register(TAG)
+        mask = [
+            _bits.bit(i, b) == 0 and _bits.bit(tag_reg[i], b) == 1
+            for i in range(machine.n_pes)
+        ]
+        machine.interchange((DATA, TAG), b, mask)
+
+    run = _finish(machine, skipped, routes0, instr0)
+    if require_success and not run.success:
+        raise RoutingError("permutation is not realizable by the "
+                           "self-routing simulation (not in F(n))")
+    return run

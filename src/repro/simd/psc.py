@@ -1,0 +1,76 @@
+"""The perfect shuffle computer (PSC) — model 4 of Section I.
+
+``N' = 2^n`` PEs with three connections each:
+
+- **exchange**: PE(i) <-> PE(i^{(0)}) (flip bit 0);
+- **shuffle**: PE(i) -> PE(rotate_left(i)) — the perfect shuffle;
+- **unshuffle**: PE(i) -> PE(rotate_right(i)).
+
+Each broadcast use of a connection is one unit-route.  The Section III
+permutation algorithm runs in ``4 log N - 3`` unit-routes by unshuffling
+between masked exchanges on the way "in" and shuffling on the way
+"out" — the same Benes simulation as the CCC, with the cube dimension
+rotated into bit 0 before every exchange.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core import bits as _bits
+from ..errors import MachineError
+from .machine import Mask, SIMDMachine
+
+__all__ = ["PSC"]
+
+
+class PSC(SIMDMachine):
+    """Perfect shuffle computer on ``2^dimensions`` PEs."""
+
+    model_name = "PSC"
+
+    def __init__(self, dimensions: int):
+        if dimensions < 1:
+            raise MachineError(
+                f"need at least one index bit, got {dimensions}"
+            )
+        super().__init__(1 << dimensions)
+        self._dimensions = dimensions
+
+    @property
+    def dimensions(self) -> int:
+        """``n = log2 N'``."""
+        return self._dimensions
+
+    # ------------------------------------------------------------------
+    # The three connections
+    # ------------------------------------------------------------------
+
+    def exchange(self, names: Sequence[str],
+                 pair_mask: Optional[Mask] = None) -> None:
+        """Swap registers between PE pairs differing in bit 0;
+        ``pair_mask`` is read on the even-numbered PE of each pair.
+        One unit-route."""
+        checked = self._check_mask(pair_mask)
+        self._apply_swap(names, lambda i: i ^ 1, checked)
+        self._account_route(1)
+
+    def shuffle(self, names: Sequence[str]) -> None:
+        """Every PE sends its registers along the shuffle connection:
+        PE(i) -> PE(rotate_left(i)).  One unit-route."""
+        self._apply_routing(
+            names,
+            lambda i: _bits.rotate_left(i, self._dimensions),
+            self.full_mask(),
+        )
+        self._account_route(1)
+
+    def unshuffle(self, names: Sequence[str]) -> None:
+        """Every PE sends its registers along the unshuffle connection:
+        PE(i) -> PE(rotate_right(i)).  One unit-route."""
+        self._apply_routing(
+            names,
+            lambda i: _bits.rotate_right(i, self._dimensions),
+            self.full_mask(),
+        )
+        self._account_route(1)

@@ -1,0 +1,77 @@
+"""Destination-tag generation from compact descriptors (Section III,
+closing remarks).
+
+The SIMD algorithms need the tag vector ``(D(0), ..., D(N-1))``
+distributed one tag per PE.  When the permutation has a compact
+representation broadcast in the instruction stream, each PE computes
+its own tag locally — no PE-to-PE communication:
+
+- a BPC ``A``-vector (``log N`` words): ``O(log N)`` local steps;
+- a "p-ordering and cyclic shift" pair ``(p, k)``: ``O(1)`` steps.
+
+Hence the total cost of a BPC permutation from its A-vector is still
+``O(log N)`` on a CCC/PSC, and of an affine permutation ``O(1)`` setup
+plus the routing.
+"""
+
+from __future__ import annotations
+
+from ..core import bits as _bits
+from ..errors import MachineError
+from ..permclasses.bpc import BPCSpec
+from .machine import SIMDMachine
+
+__all__ = ["load_bpc_tags", "load_affine_tags", "load_explicit_tags"]
+
+TAG = "D"
+
+
+def load_bpc_tags(machine: SIMDMachine, spec: BPCSpec,
+                  register: str = TAG) -> int:
+    """Each PE computes its destination under the broadcast A-vector,
+    one bit per step: ``order`` compute steps.
+
+    Returns the number of steps charged.
+    """
+    order = spec.order
+    if machine.n_pes != spec.size:
+        raise MachineError(
+            f"BPC spec for {spec.size} elements on {machine.n_pes} PEs"
+        )
+    machine.set_register(register, [0] * machine.n_pes)
+    steps0 = machine.stats.compute_steps
+    for j in range(order):
+        position = spec.positions[j]
+        complemented = spec.complemented[j]
+
+        def accumulate(i: int, current, j=j, position=position,
+                       complemented=complemented):
+            source = _bits.bit(i, j) ^ int(complemented)
+            return current | (source << position)
+
+        reg = machine.register(register)
+        machine.elementwise_indexed(
+            register, lambda i: accumulate(i, reg[i])
+        )
+    return machine.stats.compute_steps - steps0
+
+
+def load_affine_tags(machine: SIMDMachine, p: int, k: int,
+                     register: str = TAG) -> int:
+    """Each PE computes ``D(i) = (p*i + k) mod N`` in one step
+    (``p`` odd so the result is a permutation).
+
+    Returns the number of steps charged (always 1).
+    """
+    if p % 2 == 0:
+        raise MachineError(f"p must be odd, got {p}")
+    n = machine.n_pes
+    steps0 = machine.stats.compute_steps
+    machine.elementwise_indexed(register, lambda i: (p * i + k) % n)
+    return machine.stats.compute_steps - steps0
+
+
+def load_explicit_tags(machine: SIMDMachine, tags,
+                       register: str = TAG) -> None:
+    """Load a full tag vector (the no-compact-form case)."""
+    machine.set_register(register, list(tags))

@@ -1,0 +1,19 @@
+"""ASCII reproductions of the paper's figures."""
+
+from .ascii_art import (
+    format_binary,
+    render_ccc_trace,
+    render_network_diagram,
+    render_route,
+    render_switch,
+    render_topology,
+)
+
+__all__ = [
+    "format_binary",
+    "render_ccc_trace",
+    "render_network_diagram",
+    "render_route",
+    "render_switch",
+    "render_topology",
+]

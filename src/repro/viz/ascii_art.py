@@ -1,0 +1,196 @@
+"""ASCII renderings of the paper's figures.
+
+- :func:`render_route` reproduces the style of Figs. 4 and 5: the
+  binary destination tag carried on every row at every stage, with the
+  state each switch took.
+- :func:`render_topology` summarizes Fig. 1 (stages, links, control
+  bits).
+- :func:`render_switch` draws Fig. 2's two switch states.
+- :func:`render_ccc_trace` prints Fig. 6's ``D(i)^(k)`` table from a
+  traced CCC run.
+
+Everything returns plain strings, so the figures drop into terminals,
+logs and EXPERIMENTS.md unchanged.
+"""
+
+from __future__ import annotations
+
+from ..core.routing import RouteResult
+from ..core.switch import SwitchState
+from ..simd.permute import PermutationRun, benes_dimension_schedule
+
+__all__ = [
+    "render_route",
+    "render_topology",
+    "render_switch",
+    "render_ccc_trace",
+    "render_network_diagram",
+    "format_binary",
+]
+
+
+def format_binary(value: int, width: int) -> str:
+    """``value`` as a zero-padded ``width``-bit string."""
+    return format(value, f"0{width}b")
+
+
+def render_switch() -> str:
+    """Fig. 2: the two states of a binary switch."""
+    return (
+        "state 0 (straight)        state 1 (cross)\n"
+        "  a ---[====]--- a          a ---[\\  /]--- b\n"
+        "       [    ]                    [ \\/ ]\n"
+        "       [    ]                    [ /\\ ]\n"
+        "  b ---[====]--- b          b ---[/  \\]--- a"
+    )
+
+
+def render_topology(order: int) -> str:
+    """Fig. 1 summary for ``B(order)``: the stage/link layout and the
+    per-stage control bits of the self-routing scheme (Fig. 3)."""
+    from ..core.topology import BenesTopology
+
+    topo = BenesTopology.build(order)
+    lines = [
+        f"B({order}): N = {topo.n_terminals} terminals, "
+        f"{topo.n_stages} stages x {topo.switches_per_stage} switches "
+        f"= {topo.n_switches} binary switches",
+        "",
+        "stage   control tag bit   following link",
+    ]
+    for stage in range(topo.n_stages):
+        if stage < topo.n_stages - 1:
+            link = topo.links[stage]
+            if stage == 0:
+                kind = "unshuffle (into sub-networks)"
+            elif stage == topo.n_stages - 2:
+                kind = "shuffle (out of sub-networks)"
+            else:
+                kind = "nested sub-network link"
+            link_text = f"{kind}: {link}"
+        else:
+            link_text = "(outputs)"
+        lines.append(
+            f"{stage:>5}   {topo.control_bit(stage):>15}   {link_text}"
+        )
+    return "\n".join(lines)
+
+
+def _state_char(state: SwitchState) -> str:
+    return "X" if state else "="
+
+
+def render_route(result: RouteResult, order: int,
+                 binary: bool = True) -> str:
+    """Figs. 4/5-style rendering of a traced routing pass.
+
+    Each stage shows the destination tag on every input row (binary by
+    default, as in Fig. 4) and the state of each switch (``=`` straight,
+    ``X`` cross).  Requires the result to carry stage traces
+    (``route(..., trace=True)``).
+    """
+    if not result.stages:
+        raise ValueError(
+            "render_route needs stage traces; route with trace=True"
+        )
+    n_rows = len(result.requested)
+
+    def fmt(tag: int) -> str:
+        return format_binary(tag, order) if binary else str(tag)
+
+    width = max(order if binary else len(str(n_rows - 1)), 3)
+    header_cells = []
+    for st in result.stages:
+        bit_txt = ("ext" if st.control_bit is None
+                   else f"bit {st.control_bit}")
+        header_cells.append(f"s{st.stage}({bit_txt})".center(width + 4))
+    lines = ["in".center(6) + " " + " ".join(header_cells) +
+             " " + "out".center(6)]
+    for row in range(n_rows):
+        cells = []
+        for st in result.stages:
+            state = st.states[row // 2]
+            mark = _state_char(state) if row % 2 == 0 else " "
+            cells.append(f"{fmt(st.input_tags[row]):>{width}} |{mark}|")
+        arrived = result.arrived_tags()[row]
+        ok = "ok" if arrived == row else "**"
+        lines.append(
+            f"{row:>4}   " + " ".join(cells) +
+            f"  {fmt(arrived):>4}{ok if arrived != row else ''}"
+        )
+    lines.append("")
+    lines.append(
+        f"success: {result.success}"
+        + ("" if result.success
+           else f"  (misrouted outputs: {list(result.misrouted)})")
+    )
+    return "\n".join(lines)
+
+
+def render_network_diagram(order: int, max_order: int = 4) -> str:
+    """A Fig. 1-style wire diagram of ``B(order)``.
+
+    Each row is one of the ``N`` lines; each stage shows its switch
+    boxes (``[ ]`` spanning two rows), and the columns between stages
+    print the row each wire continues on — the unshuffle into and
+    shuffle out of the two ``B(n-1)`` sub-networks, with the nested
+    links in between.  Practical for small orders (guarded at
+    ``max_order``).
+    """
+    from ..core.topology import BenesTopology
+
+    if order > max_order:
+        raise ValueError(
+            f"diagram limited to order <= {max_order} for legibility"
+        )
+    topo = BenesTopology.build(order)
+    n_rows = topo.n_terminals
+    lines = [
+        f"B({order}) — {topo.n_stages} stages of "
+        f"{topo.switches_per_stage} switches; links are "
+        "'source row > destination row'",
+        "",
+    ]
+    for row in range(n_rows):
+        cells = [f"{row:>2} "]
+        for stage in range(topo.n_stages):
+            box = "[‾]" if row % 2 == 0 else "[_]"
+            cells.append(box)
+            if stage < topo.n_stages - 1:
+                cells.append(f" >{topo.links[stage][row]:>2} ")
+        cells.append(f" {row:>2}")
+        lines.append("".join(cells))
+    lines.append("")
+    lines.append(
+        "control bits per stage: "
+        + ", ".join(str(b) for b in topo.control_bits())
+    )
+    return "\n".join(lines)
+
+
+def render_ccc_trace(run: PermutationRun, order: int) -> str:
+    """Fig. 6: the destination register ``D(i)`` in every PE after each
+    iteration ``k`` of the CCC loop (requires
+    ``permute_ccc(..., trace=True)``)."""
+    if not run.tag_history:
+        raise ValueError(
+            "render_ccc_trace needs tag history; run with trace=True"
+        )
+    schedule = benes_dimension_schedule(order)
+    n_pes = len(run.tag_history[0])
+    width = max(order, 5)
+    header = ["  PE"] + ["D(i)".center(width)] + [
+        f"D(i)^{k + 1}".center(width) for k in range(len(schedule))
+    ]
+    lines = ["iteration bits b: " +
+             ", ".join(str(b) for b in schedule),
+             " | ".join(header)]
+    for pe in range(n_pes):
+        cells = [f"{pe:>4}"]
+        for snapshot in run.tag_history:
+            cells.append(format_binary(snapshot[pe], order).center(width))
+        lines.append(" | ".join(cells))
+    lines.append("")
+    lines.append(f"success: {run.success}; "
+                 f"unit-routes: {run.unit_routes}")
+    return "\n".join(lines)

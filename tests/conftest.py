@@ -1,0 +1,48 @@
+"""Shared fixtures: seeded RNGs and pre-computed small F classes."""
+
+from __future__ import annotations
+
+import random
+from itertools import permutations
+
+import pytest
+
+from repro.core import BenesNetwork, Permutation
+from repro.core.membership import in_class_f
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG; reseed per-test for reproducibility."""
+    return random.Random(0xBE5E5)
+
+
+@pytest.fixture(scope="session")
+def f_classes():
+    """``{order: [Permutation, ...]}`` — every member of F(order) for
+    order 1 and 2, computed once per session."""
+    out = {}
+    for order in (1, 2):
+        members = [
+            Permutation(p)
+            for p in permutations(range(1 << order))
+            if in_class_f(p)
+        ]
+        out[order] = members
+    return out
+
+
+@pytest.fixture(scope="session")
+def f3_members():
+    """Every member of F(3) (11632 permutations), session-cached."""
+    return [
+        Permutation(p)
+        for p in permutations(range(8))
+        if in_class_f(p)
+    ]
+
+
+@pytest.fixture(scope="session")
+def networks():
+    """Shared BenesNetwork instances for orders 1..6."""
+    return {order: BenesNetwork(order) for order in range(1, 7)}

@@ -1,0 +1,157 @@
+"""Unit tests for the complexity formulas and class cardinalities."""
+
+import math
+import os
+
+import pytest
+
+from repro.analysis.cardinality import (
+    bpc_count,
+    class_census,
+    class_f_count,
+    class_f_count_fast,
+    estimate_class_f_density,
+)
+from repro.analysis.complexity import (
+    SETUP_COMPLEXITY,
+    batcher_cost,
+    benes_cost,
+    comparison_table,
+    crossbar_cost,
+    lang_stone_cost,
+    ns13_cost,
+    omega_cost,
+)
+from repro.errors import NotAPowerOfTwoError, SpecificationError
+
+
+class TestComplexityFormulas:
+    def test_benes_matches_structural_model(self):
+        from repro.core import BenesNetwork
+        for order in (1, 3, 5):
+            net = BenesNetwork(order)
+            cost = benes_cost(1 << order)
+            assert cost.switches == net.n_switches
+            assert cost.delay == net.delay
+
+    def test_omega_matches_structural_model(self):
+        from repro.networks import OmegaNetwork
+        for order in (1, 3, 5):
+            net = OmegaNetwork(order)
+            cost = omega_cost(1 << order)
+            assert cost.switches == net.n_switches
+            assert cost.delay == net.delay
+            assert cost.realizable == 1 << (order * (1 << order) // 2)
+
+    def test_batcher_matches_structural_model(self):
+        from repro.networks import BitonicNetwork
+        for order in (2, 4):
+            net = BitonicNetwork(order)
+            cost = batcher_cost(1 << order)
+            assert cost.switches == net.n_switches
+            assert cost.delay == net.delay
+
+    def test_crossbar(self):
+        cost = crossbar_cost(16)
+        assert cost.switches == 256
+        assert cost.delay == 1
+        assert cost.realizable == math.factorial(16)
+
+    def test_external_benes_realizes_everything(self):
+        cost = benes_cost(8, self_routing=False)
+        assert cost.realizable == math.factorial(8)
+
+    def test_lang_stone_few_switches_large_delay(self):
+        cost = lang_stone_cost(256)
+        assert cost.switches == 128
+        assert cost.delay == 32  # 2 sqrt(N)
+
+    def test_ns13_interpolates(self):
+        # M = N gives a shallow network; M = 2 a deep one
+        deep = ns13_cost(64, 2)
+        shallow = ns13_cost(64, 64)
+        assert deep.delay > shallow.delay
+
+    def test_ns13_validates_m(self):
+        with pytest.raises(SpecificationError):
+            ns13_cost(16, 3)
+        with pytest.raises(SpecificationError):
+            ns13_cost(16, 32)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(NotAPowerOfTwoError):
+            benes_cost(10)
+
+    def test_comparison_table_rows(self):
+        table = comparison_table(16)
+        names = [row.name for row in table]
+        assert names[0].startswith("Benes")
+        assert len(table) == 8
+        # the two Batcher variants: same delay, odd-even cheaper
+        by_name = {row.name: row for row in table}
+        bitonic = by_name["Batcher bitonic"]
+        odd_even = by_name["Batcher odd-even merge"]
+        assert odd_even.delay == bitonic.delay
+        assert odd_even.switches < bitonic.switches
+
+    def test_setup_complexity_mentions_self_routing(self):
+        assert any("self-routing" in k for k in SETUP_COMPLEXITY)
+
+
+class TestCardinality:
+    def test_bpc_count(self):
+        assert bpc_count(1) == 2
+        assert bpc_count(2) == 8
+        assert bpc_count(3) == 48
+
+    def test_class_f_counts(self):
+        assert class_f_count(1) == 2
+        assert class_f_count(2) == 20
+
+    def test_class_f_count_guard(self):
+        with pytest.raises(ValueError):
+            class_f_count(4)
+
+    def test_fast_count_agrees_with_exhaustive(self):
+        for order in (1, 2, 3):
+            assert class_f_count_fast(order) == class_f_count(order)
+
+    def test_fast_count_rejects_order_zero(self):
+        with pytest.raises(ValueError):
+            class_f_count_fast(0)
+
+    @pytest.mark.skipif(
+        not os.environ.get("RUN_SLOW"),
+        reason="~2 minutes; the exact value is recorded in "
+               "EXPERIMENTS.md — set RUN_SLOW=1 to recompute",
+    )
+    def test_exact_f4(self):
+        assert class_f_count_fast(4) == 133_488_540_928
+
+    def test_density_estimator_bounds(self, rng):
+        density = estimate_class_f_density(3, 200, rng)
+        exact = 11632 / math.factorial(8)
+        assert abs(density - exact) < 0.15
+
+    def test_census_order2(self):
+        census = class_census(2)
+        assert census.total == 24
+        assert census.in_f == 20
+        assert census.in_bpc == 8
+        assert census.in_omega == 16
+        assert census.in_inverse_omega == 16
+        # Theorems 2 and 3: no BPC or inverse-omega member escapes F
+        assert census.bpc_not_f == 0
+        assert census.inverse_omega_not_f == 0
+        # Fig. 5: some omega permutations are outside F
+        assert census.omega_not_f > 0
+
+    def test_census_guard(self):
+        with pytest.raises(ValueError):
+            class_census(4)
+
+    def test_f_strictly_richer_than_each_class(self):
+        census = class_census(2)
+        assert census.in_f > census.in_bpc
+        assert census.in_f > census.in_omega
+        assert census.in_f > census.in_inverse_omega

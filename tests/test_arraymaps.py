@@ -1,0 +1,151 @@
+"""Unit tests for the array re-alignment permutations."""
+
+import pytest
+
+from repro.core import Permutation, in_class_f
+from repro.core.bits import reverse_bits
+from repro.errors import SpecificationError
+from repro.permclasses.arraymaps import (
+    bit_reverse_rows,
+    per_column_row_map,
+    per_row_column_map,
+    row_major_index,
+    skew_columns,
+    skew_rows,
+    three_d_example,
+    xor_columns,
+    xor_rows,
+)
+
+
+class TestRowMajor:
+    def test_index(self):
+        assert row_major_index(2, 3, 2) == 11
+        assert row_major_index(0, 0, 3) == 0
+
+
+class TestSkews:
+    def test_skew_rows_definition(self):
+        q = 2
+        perm = skew_rows(q)
+        side = 1 << q
+        for i in range(side):
+            for j in range(side):
+                assert perm[row_major_index(i, j, q)] == (
+                    row_major_index(i, (i + j) % side, q)
+                )
+
+    def test_skew_columns_definition(self):
+        q = 2
+        perm = skew_columns(q)
+        side = 1 << q
+        for i in range(side):
+            for j in range(side):
+                assert perm[row_major_index(i, j, q)] == (
+                    row_major_index((i + j) % side, j, q)
+                )
+
+    def test_skews_in_f(self):
+        for q in (1, 2, 3):
+            assert in_class_f(skew_rows(q))
+            assert in_class_f(skew_columns(q))
+
+    def test_cannon_alignment_composition_valid(self):
+        # skew then un-skew returns the identity (per-row shifts cancel)
+        q = 2
+        forward = skew_rows(q)
+        back = Permutation([
+            row_major_index(i, (j - i) % (1 << q), q)
+            for i in range(1 << q) for j in range(1 << q)
+        ])
+        assert forward.then(back).is_identity()
+
+
+class TestPerLineMaps:
+    def test_per_row_column_map(self):
+        q = 1
+        phi = Permutation((1, 0))
+        perm = per_row_column_map(q, phi)
+        assert perm.as_tuple() == (1, 0, 3, 2)
+
+    def test_per_column_row_map(self):
+        q = 1
+        phi = Permutation((1, 0))
+        perm = per_column_row_map(q, phi)
+        assert perm.as_tuple() == (2, 3, 0, 1)
+
+    def test_size_checked(self):
+        with pytest.raises(SpecificationError):
+            per_row_column_map(2, Permutation((1, 0)))
+        with pytest.raises(SpecificationError):
+            per_column_row_map(2, Permutation((1, 0)))
+
+    def test_in_f_when_phi_in_f(self, f_classes, rng):
+        for q in (1, 2):
+            for _ in range(10):
+                phi = rng.choice(f_classes[q])
+                assert in_class_f(per_row_column_map(q, phi))
+                assert in_class_f(per_column_row_map(q, phi))
+
+
+class TestXorMaps:
+    def test_xor_rows_definition(self):
+        q = 2
+        perm = xor_rows(q)
+        for i in range(4):
+            for j in range(4):
+                assert perm[row_major_index(i, j, q)] == (
+                    row_major_index(i ^ j, j, q)
+                )
+
+    def test_xor_maps_are_involutions(self):
+        for q in (1, 2, 3):
+            assert xor_rows(q).is_involution()
+            assert xor_columns(q).is_involution()
+
+    def test_in_f(self):
+        for q in (1, 2, 3):
+            assert in_class_f(xor_rows(q))
+            assert in_class_f(xor_columns(q))
+
+
+class TestBitReverseRows:
+    def test_definition(self):
+        q = 2
+        perm = bit_reverse_rows(q)
+        for i in range(4):
+            for j in range(4):
+                assert perm[row_major_index(i, j, q)] == (
+                    row_major_index(reverse_bits(i, q), j, q)
+                )
+
+    def test_in_f(self):
+        for q in (1, 2, 3):
+            assert in_class_f(bit_reverse_rows(q))
+
+
+class TestThreeDExample:
+    def test_is_permutation_and_in_f(self):
+        for dims in ((1, 1, 1), (2, 1, 1), (1, 2, 1), (2, 2, 2)):
+            for p in (1, 3):
+                perm = three_d_example(*dims, p=p, shift=1)
+                assert in_class_f(perm), (dims, p)
+
+    def test_field_mapping(self):
+        r, s, t = 2, 2, 2
+        p, shift = 3, 1
+        perm = three_d_example(r, s, t, p, shift)
+        for i in range(1 << r):
+            for j in range(1 << s):
+                for k in range(1 << t):
+                    src = (i << (s + t)) | (j << t) | k
+                    dest = perm[src]
+                    assert dest >> (s + t) == (i + j + k) % (1 << r)
+                    assert (dest >> t) & ((1 << s) - 1) == (
+                        (p * j + shift) % (1 << s)
+                    )
+                    assert dest & ((1 << t) - 1) == (j ^ k) & ((1 << t) - 1)
+
+    def test_rejects_even_p(self):
+        with pytest.raises(SpecificationError):
+            three_d_example(1, 1, 1, p=2)

@@ -1,0 +1,168 @@
+"""Unit tests for the self-routing Benes network."""
+
+import random
+
+import pytest
+
+from repro.core import BenesNetwork, Permutation, random_permutation
+from repro.core.bits import reverse_bits
+from repro.errors import (
+    RoutingError,
+    SizeMismatchError,
+    SwitchStateError,
+)
+
+
+class TestStructure:
+    def test_counts(self):
+        net = BenesNetwork(3)
+        assert net.n_terminals == 8
+        assert net.n_stages == 5
+        assert net.n_switches == 20
+        assert net.delay == 5
+
+    def test_repr(self):
+        assert repr(BenesNetwork(2)) == "BenesNetwork(order=2)"
+
+
+class TestSelfRouting:
+    def test_identity_all_straight(self):
+        net = BenesNetwork(3)
+        result = net.route(list(range(8)), trace=True)
+        assert result.success
+        for st in result.stages:
+            assert all(int(s) == 0 for s in st.states)
+
+    def test_fig4_bit_reversal_succeeds(self):
+        net = BenesNetwork(3)
+        perm = [reverse_bits(i, 3) for i in range(8)]
+        result = net.route(perm)
+        assert result.success
+        assert result.realized == Permutation(perm)
+
+    def test_fig5_counterexample_fails(self):
+        net = BenesNetwork(2)
+        result = net.route([1, 3, 2, 0])
+        assert not result.success
+        assert set(result.misrouted) == {0, 2}
+
+    def test_payloads_follow_tags(self):
+        net = BenesNetwork(3)
+        perm = [reverse_bits(i, 3) for i in range(8)]
+        result = net.route(perm, payloads=list("abcdefgh"))
+        for i in range(8):
+            assert result.payloads[perm[i]] == "abcdefgh"[i]
+
+    def test_permute_raises_on_non_f(self):
+        net = BenesNetwork(2)
+        with pytest.raises(RoutingError):
+            net.permute([1, 3, 2, 0], "abcd")
+
+    def test_permute_returns_routed_data(self):
+        net = BenesNetwork(2)
+        assert net.permute([3, 2, 1, 0], "abcd") == ["d", "c", "b", "a"]
+
+    def test_require_success_flag(self):
+        net = BenesNetwork(2)
+        with pytest.raises(RoutingError):
+            net.route([1, 3, 2, 0], require_success=True)
+
+    def test_size_mismatch_rejected(self):
+        net = BenesNetwork(2)
+        with pytest.raises(SizeMismatchError):
+            net.route([0, 1])
+        with pytest.raises(SizeMismatchError):
+            net.route([0, 1, 2, 3], payloads=[1, 2])
+
+    def test_result_realized_is_permutation_even_on_failure(self):
+        net = BenesNetwork(2)
+        result = net.route([1, 3, 2, 0])
+        assert sorted(result.realized) == list(range(4))
+
+    def test_trace_has_all_stages(self):
+        net = BenesNetwork(3)
+        result = net.route(list(range(8)), trace=True)
+        assert [st.stage for st in result.stages] == [0, 1, 2, 3, 4]
+        assert [st.control_bit for st in result.stages] == [0, 1, 2, 1, 0]
+
+    def test_b1_routes_both_permutations(self):
+        net = BenesNetwork(1)
+        assert net.route([0, 1]).success
+        assert net.route([1, 0]).success
+
+
+class TestOmegaMode:
+    def test_omega_permutation_succeeds_in_omega_mode(self):
+        net = BenesNetwork(2)
+        assert not net.route([1, 3, 2, 0]).success
+        assert net.route([1, 3, 2, 0], omega_mode=True).success
+
+    def test_omega_mode_forces_first_stages_straight(self):
+        net = BenesNetwork(3)
+        result = net.route([reverse_bits(i, 3) for i in range(8)],
+                           omega_mode=True, trace=True)
+        for st in result.stages[: net.order - 1]:
+            assert all(int(s) == 0 for s in st.states)
+
+    def test_omega_mode_can_fail_non_omega(self):
+        # bit reversal on B(3) is not an omega permutation
+        from repro.permclasses import is_omega
+        perm = [reverse_bits(i, 3) for i in range(8)]
+        assert not is_omega(perm)
+        net = BenesNetwork(3)
+        assert not net.route(perm, omega_mode=True).success
+
+
+class TestExternalControl:
+    def test_straight_states_realize_identity(self):
+        net = BenesNetwork(3)
+        result = net.route_with_states(net.straight_states())
+        assert result.realized.is_identity()
+
+    def test_all_cross_is_a_permutation(self):
+        net = BenesNetwork(3)
+        states = [[1] * 4 for _ in range(5)]
+        result = net.route_with_states(states)
+        assert sorted(result.realized) == list(range(8))
+
+    def test_each_single_switch_toggles_two_outputs(self):
+        net = BenesNetwork(2)
+        base = net.route_with_states(net.straight_states()).realized
+        states = net.straight_states()
+        states[0][0] = 1
+        toggled = net.route_with_states(states).realized
+        differing = [i for i in range(4) if base[i] != toggled[i]]
+        assert len(differing) == 2
+
+    def test_malformed_states_rejected(self):
+        net = BenesNetwork(2)
+        with pytest.raises(SwitchStateError):
+            net.route_with_states([[0, 0]])  # wrong stage count
+        with pytest.raises(SwitchStateError):
+            net.route_with_states([[0], [0], [0]])  # wrong width
+        bad = net.straight_states()
+        bad[1][1] = 7
+        with pytest.raises(SwitchStateError):
+            net.route_with_states(bad)
+
+    def test_distinct_settings_cover_many_permutations(self, rng):
+        # external control reaches permutations outside F
+        net = BenesNetwork(2)
+        seen = set()
+        for _ in range(200):
+            states = [[rng.randrange(2) for _ in range(2)]
+                      for _ in range(3)]
+            seen.add(net.route_with_states(states).realized.as_tuple())
+        assert len(seen) == 24  # all of S_4
+
+
+class TestSharedInstance:
+    def test_network_is_stateless_between_routes(self, rng):
+        net = BenesNetwork(4)
+        p = random_permutation(16, rng)
+        first = net.route(p)
+        for _ in range(3):
+            net.route(random_permutation(16, rng))
+        again = net.route(p)
+        assert first.success == again.success
+        assert first.delivered == again.delivered

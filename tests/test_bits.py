@@ -1,0 +1,165 @@
+"""Unit tests for the bit-field notation helpers."""
+
+import pytest
+
+from repro.core import bits
+from repro.errors import NotAPowerOfTwoError
+
+
+class TestBit:
+    def test_extracts_each_position(self):
+        value = 0b10110
+        assert [bits.bit(value, j) for j in range(5)] == [0, 1, 1, 0, 1]
+
+    def test_positions_beyond_width_are_zero(self):
+        assert bits.bit(0b101, 10) == 0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            bits.bit(5, -1)
+
+
+class TestBitsOfFromBits:
+    def test_roundtrip(self):
+        for value in range(64):
+            assert bits.from_bits(bits.bits_of(value, 6)) == value
+
+    def test_msb_first_order(self):
+        assert bits.bits_of(0b110, 3) == (1, 1, 0)
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            bits.from_bits((1, 2, 0))
+
+    def test_width_zero(self):
+        assert bits.bits_of(0, 0) == ()
+        assert bits.from_bits(()) == 0
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            bits.bits_of(3, -1)
+
+
+class TestBitSegment:
+    def test_paper_example(self):
+        # paper: i = 101101 -> (i)_{5..3} = 101
+        assert bits.bit_segment(0b101101, 5, 3) == 0b101
+
+    def test_single_bit_equals_bit(self):
+        for value in (0, 5, 0b101101):
+            for j in range(6):
+                assert bits.bit_segment(value, j, j) == bits.bit(value, j)
+
+    def test_full_width_identity(self):
+        assert bits.bit_segment(0b1011, 3, 0) == 0b1011
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            bits.bit_segment(5, 1, 2)
+        with pytest.raises(ValueError):
+            bits.bit_segment(5, 2, -1)
+
+
+class TestSetFlipComplement:
+    def test_set_bit(self):
+        assert bits.set_bit(0b000, 1, 1) == 0b010
+        assert bits.set_bit(0b111, 1, 0) == 0b101
+
+    def test_set_bit_idempotent(self):
+        assert bits.set_bit(0b010, 1, 1) == 0b010
+
+    def test_set_bit_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            bits.set_bit(0, 0, 2)
+
+    def test_flip_bit_is_cube_neighbor(self):
+        # PE(i) <-> PE(i^{(b)}): involution, differs only in bit b
+        for i in range(16):
+            for b in range(4):
+                j = bits.flip_bit(i, b)
+                assert bits.flip_bit(j, b) == i
+                assert i ^ j == 1 << b
+
+    def test_complement(self):
+        assert bits.complement(0b0110, 4) == 0b1001
+        for i in range(16):
+            assert bits.complement(bits.complement(i, 4), 4) == i
+
+
+class TestReverseRotate:
+    def test_reverse_examples(self):
+        assert bits.reverse_bits(0b110, 3) == 0b011
+        assert bits.reverse_bits(0b001, 3) == 0b100
+
+    def test_reverse_involution(self):
+        for n in (1, 3, 5):
+            for i in range(1 << n):
+                assert bits.reverse_bits(bits.reverse_bits(i, n), n) == i
+
+    def test_rotate_left_is_perfect_shuffle(self):
+        # shuffle sends i to 2i mod (N-1)-ish: check against definition
+        n = 4
+        for i in range((1 << n) - 1):
+            assert bits.rotate_left(i, n) == (2 * i) % ((1 << n) - 1) or \
+                i == 0
+        assert bits.rotate_left((1 << n) - 1, n) == (1 << n) - 1
+
+    def test_rotate_inverse_pair(self):
+        for n in (1, 2, 5):
+            for i in range(1 << n):
+                assert bits.rotate_right(bits.rotate_left(i, n), n) == i
+
+    def test_rotate_by_width_is_identity(self):
+        for i in range(32):
+            assert bits.rotate_left(i, 5, 5) == i
+            assert bits.rotate_right(i, 5, 5) == i
+
+    def test_rotate_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            bits.rotate_left(1, 0)
+
+
+class TestInterleave:
+    def test_example(self):
+        # r = 11, c = 00 -> r1 c1 r0 c0 = 1010
+        assert bits.interleave_bits(0b11, 0b00, 2) == 0b1010
+
+    def test_roundtrip(self):
+        for q in (1, 2, 3):
+            for r in range(1 << q):
+                for c in range(1 << q):
+                    i = bits.interleave_bits(r, c, q)
+                    assert bits.deinterleave_bits(i, q) == (r, c)
+
+    def test_interleave_is_bijection(self):
+        q = 3
+        seen = {
+            bits.interleave_bits(r, c, q)
+            for r in range(1 << q) for c in range(1 << q)
+        }
+        assert seen == set(range(1 << (2 * q)))
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        assert all(bits.is_power_of_two(1 << k) for k in range(10))
+        assert not any(bits.is_power_of_two(x) for x in (0, -2, 3, 6, 12))
+
+    def test_log2_exact(self):
+        for k in range(12):
+            assert bits.log2_exact(1 << k) == k
+
+    def test_log2_exact_rejects(self):
+        for bad in (0, 3, -4, 6):
+            with pytest.raises(NotAPowerOfTwoError):
+                bits.log2_exact(bad)
+
+
+class TestPopcount:
+    def test_values(self):
+        assert bits.popcount(0) == 0
+        assert bits.popcount(0b1011) == 3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits.popcount(-1)

@@ -1,0 +1,213 @@
+"""Unit tests for J-partitions and Theorems 4-6."""
+
+import random
+
+import pytest
+
+from repro.core import Permutation, in_class_f
+from repro.errors import SpecificationError
+from repro.permclasses.blocks import (
+    JPartition,
+    blocks_and_within,
+    hierarchical,
+    within_blocks,
+)
+
+
+def _f_member(order, rng, f_classes):
+    return rng.choice(f_classes[order])
+
+
+class TestJPartition:
+    def test_paper_example(self):
+        # n=3, J={1}: blocks {0,1,4,5} and {2,3,6,7}
+        jp = JPartition(3, (1,))
+        assert jp.blocks() == [(0, 1, 4, 5), (2, 3, 6, 7)]
+
+    def test_empty_j_single_block(self):
+        jp = JPartition(3, ())
+        assert jp.n_blocks == 1
+        assert jp.blocks() == [tuple(range(8))]
+
+    def test_full_j_singletons(self):
+        jp = JPartition(2, (0, 1))
+        assert jp.block_size == 1
+        assert jp.n_blocks == 4
+
+    def test_block_local_roundtrip(self):
+        jp = JPartition(4, (0, 2))
+        for i in range(16):
+            assert jp.element(jp.block_of(i), jp.local_index(i)) == i
+
+    def test_same_block_iff_j_bits_agree(self):
+        jp = JPartition(4, (1, 3))
+        for i in range(16):
+            for j in range(16):
+                same = (jp.block_of(i) == jp.block_of(j))
+                agree = all(
+                    (i >> b) & 1 == (j >> b) & 1 for b in (1, 3)
+                )
+                assert same == agree
+
+    def test_block_sizes(self):
+        jp = JPartition(5, (0, 4))
+        assert jp.n_blocks == 4
+        assert jp.block_size == 8
+        assert jp.block_order == 3
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(SpecificationError):
+            JPartition(3, (3,))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SpecificationError):
+            JPartition(3, (1, 1))
+
+    def test_local_order_is_relative_order(self):
+        # elements within a block are ordered by their numeric value
+        jp = JPartition(4, (2,))
+        for block in jp.blocks():
+            assert list(block) == sorted(block)
+
+
+class TestTheorem4:
+    def test_single_perm_applied_to_all_blocks(self):
+        jp = JPartition(3, (2,))
+        swap = Permutation((1, 0, 3, 2))
+        result = within_blocks(jp, swap)
+        assert result.as_tuple() == (1, 0, 3, 2, 5, 4, 7, 6)
+
+    def test_per_block_perms(self):
+        jp = JPartition(3, (2,))
+        ident = Permutation.identity(4)
+        swap = Permutation((1, 0, 3, 2))
+        result = within_blocks(jp, [ident, swap])
+        assert result.as_tuple() == (0, 1, 2, 3, 5, 4, 7, 6)
+
+    def test_callable_source(self):
+        jp = JPartition(3, (0,))
+        result = within_blocks(
+            jp, lambda b: Permutation((1, 0, 3, 2))
+        )
+        assert sorted(result) == list(range(8))
+
+    def test_size_mismatch_rejected(self):
+        jp = JPartition(3, (2,))
+        with pytest.raises(SpecificationError):
+            within_blocks(jp, Permutation((1, 0)))
+
+    def test_membership_in_f(self, rng, f_classes):
+        for _ in range(60):
+            order = rng.choice([3, 4])
+            j_bits = tuple(sorted(rng.sample(
+                range(order), rng.randrange(1, order)
+            )))
+            jp = JPartition(order, j_bits)
+            if jp.block_order not in f_classes:
+                continue
+            perms = [
+                _f_member(jp.block_order, rng, f_classes)
+                for _ in range(jp.n_blocks)
+            ]
+            assert in_class_f(within_blocks(jp, perms))
+
+
+class TestTheorem5:
+    def test_pure_block_move(self):
+        jp = JPartition(3, (2,))
+        outer = Permutation((1, 0))
+        ident = Permutation.identity(4)
+        result = blocks_and_within(jp, outer, ident)
+        assert result.as_tuple() == (4, 5, 6, 7, 0, 1, 2, 3)
+
+    def test_outer_size_checked(self):
+        jp = JPartition(3, (2,))
+        with pytest.raises(SpecificationError):
+            blocks_and_within(jp, Permutation((0, 1, 2, 3)),
+                              Permutation.identity(4))
+
+    def test_membership_in_f(self, rng, f_classes):
+        for _ in range(60):
+            order = rng.choice([3, 4])
+            j_size = rng.randrange(1, order)
+            j_bits = tuple(sorted(rng.sample(range(order), j_size)))
+            jp = JPartition(order, j_bits)
+            if jp.block_order not in f_classes or j_size not in f_classes:
+                continue
+            outer = _f_member(j_size, rng, f_classes)
+            perms = [
+                _f_member(jp.block_order, rng, f_classes)
+                for _ in range(jp.n_blocks)
+            ]
+            assert in_class_f(blocks_and_within(jp, outer, perms))
+
+    def test_generalizes_theorem4(self, rng, f_classes):
+        jp = JPartition(4, (1, 3))
+        perms = [
+            _f_member(2, rng, f_classes) for _ in range(jp.n_blocks)
+        ]
+        ident_outer = Permutation.identity(jp.n_blocks)
+        assert (blocks_and_within(jp, ident_outer, perms)
+                == within_blocks(jp, perms))
+
+
+class TestTheorem6:
+    def test_levels_must_cover(self):
+        with pytest.raises(SpecificationError):
+            hierarchical(3, [(0,), (1,)], [Permutation((1, 0))] * 2)
+
+    def test_levels_must_be_disjoint(self):
+        with pytest.raises(SpecificationError):
+            hierarchical(
+                2, [(0,), (0, 1)],
+                [Permutation((1, 0)), Permutation.identity(4)],
+            )
+
+    def test_level_permutation_size_checked(self):
+        with pytest.raises(SpecificationError):
+            hierarchical(2, [(0, 1)], [Permutation((1, 0))])
+
+    def test_identity_levels(self):
+        result = hierarchical(
+            3, [(2,), (0, 1)],
+            [Permutation.identity(2), Permutation.identity(4)],
+        )
+        assert result.is_identity()
+
+    def test_field_wise_mapping(self):
+        # one level per bit, each flipping that bit: full complement
+        flip = Permutation((1, 0))
+        result = hierarchical(3, [(0,), (1,), (2,)], [flip, flip, flip])
+        assert result.as_tuple() == tuple(7 - i for i in range(8))
+
+    def test_membership_in_f_per_level(self, rng, f_classes):
+        for _ in range(40):
+            order = rng.choice([3, 4, 5])
+            bits = list(range(order))
+            rng.shuffle(bits)
+            levels = []
+            while bits:
+                take = min(len(bits), rng.choice([1, 2]))
+                levels.append(tuple(sorted(bits[:take])))
+                bits = bits[take:]
+            phis = [
+                _f_member(len(level), rng, f_classes) for level in levels
+            ]
+            assert in_class_f(hierarchical(order, levels, phis))
+
+    def test_membership_with_ancestor_dependent_phi(self, rng, f_classes):
+        for trial in range(30):
+            order = rng.choice([4, 5])
+            bits = list(range(order))
+            rng.shuffle(bits)
+            levels = []
+            while bits:
+                take = min(len(bits), rng.choice([1, 2]))
+                levels.append(tuple(sorted(bits[:take])))
+                bits = bits[take:]
+
+            def phi(level, ancestors, levels=levels, trial=trial):
+                local = random.Random(hash((trial, level, ancestors)))
+                return local.choice(f_classes[len(levels[level])])
+
+            assert in_class_f(hierarchical(order, levels, phi))

@@ -1,0 +1,276 @@
+"""Unit tests for the BPC permutation class (Section II, Theorem 2)."""
+
+import math
+from itertools import permutations
+
+import pytest
+
+from repro.core import Permutation, in_class_f
+from repro.core.bits import interleave_bits, reverse_bits, rotate_left
+from repro.core.membership import derive_upper_lower
+from repro.errors import SpecificationError
+from repro.permclasses.bpc import (
+    BPCSpec,
+    TABLE_I,
+    bit_reversal,
+    bit_shuffle,
+    is_bpc,
+    matrix_transpose,
+    perfect_shuffle,
+    shuffled_row_major,
+    table_i_specs,
+    unshuffle,
+    vector_reversal,
+)
+
+
+class TestParsing:
+    def test_paper_example(self):
+        # A = (0, -1, -2): D_i for i=0..7 is 6,2,4,0,7,3,5,1
+        spec = BPCSpec.from_signed(["0", "-1", "-2"])
+        assert spec.to_permutation().as_tuple() == (6, 2, 4, 0, 7, 3, 5, 1)
+
+    def test_signed_zero(self):
+        spec = BPCSpec.from_signed(["1", "-0"])
+        assert spec.complemented == (True, False)
+        assert spec.positions == (0, 1)
+
+    def test_tuple_entries(self):
+        spec = BPCSpec.from_signed([(0, True), (1, False)])
+        assert spec.complemented == (False, True)
+
+    def test_int_entries(self):
+        spec = BPCSpec.from_signed([0, -1])
+        assert spec.positions == (1, 0)
+        assert spec.complemented == (True, False)
+
+    def test_unicode_minus(self):
+        spec = BPCSpec.from_signed(["−1", "0"])
+        assert spec.complemented == (False, True)
+
+    def test_rejects_garbage(self):
+        for bad in (["x"], [""], [None], [1.5], [True]):
+            with pytest.raises(SpecificationError):
+                BPCSpec.from_signed(bad)
+
+    def test_rejects_non_permutation_positions(self):
+        with pytest.raises(SpecificationError):
+            BPCSpec((0, 0), (False, False))
+
+    def test_signed_tokens_roundtrip(self):
+        spec = BPCSpec.from_signed(["-2", "0", "-1"])
+        assert BPCSpec.from_signed(spec.signed_tokens()) == spec
+        assert spec.signed_tokens() == ("-2", "0", "-1")
+
+    def test_str_shows_paper_notation(self):
+        assert str(vector_reversal(2)) == "A = (-1, -0)"
+
+
+class TestDestination:
+    def test_identity(self):
+        spec = BPCSpec.identity(3)
+        assert spec.to_permutation().is_identity()
+
+    def test_every_spec_yields_permutation(self, rng):
+        for order in range(1, 8):
+            for _ in range(10):
+                spec = BPCSpec.random(order, rng)
+                spec.to_permutation()  # Permutation validates
+
+    def test_class_size(self):
+        # |BPC(2)| = 2^2 * 2! = 8 distinct permutations
+        seen = set()
+        for positions in permutations(range(2)):
+            for comp in range(4):
+                spec = BPCSpec(tuple(positions),
+                               (bool(comp & 1), bool(comp & 2)))
+                seen.add(spec.to_permutation().as_tuple())
+        assert len(seen) == 8
+
+
+class TestAlgebra:
+    def test_inverse(self, rng):
+        for _ in range(20):
+            spec = BPCSpec.random(4, rng)
+            p = spec.to_permutation()
+            assert spec.inverse().to_permutation() == p.inverse()
+
+    def test_then_matches_permutation_then(self, rng):
+        for _ in range(20):
+            a, b = BPCSpec.random(4, rng), BPCSpec.random(4, rng)
+            assert a.then(b).to_permutation() == (
+                a.to_permutation().then(b.to_permutation())
+            )
+
+    def test_then_order_mismatch(self):
+        with pytest.raises(SpecificationError):
+            BPCSpec.identity(2).then(BPCSpec.identity(3))
+
+    def test_group_closure(self, rng):
+        spec = BPCSpec.random(5, rng)
+        assert spec.then(spec.inverse()).to_permutation().is_identity()
+
+
+class TestTableI:
+    def test_matrix_transpose(self):
+        q = 2
+        spec = matrix_transpose(2 * q)
+        perm = spec.to_permutation()
+        side = 1 << q
+        for r in range(side):
+            for c in range(side):
+                assert perm[r * side + c] == c * side + r
+
+    def test_bit_reversal(self):
+        spec = bit_reversal(3)
+        assert spec.to_permutation() == tuple(
+            reverse_bits(i, 3) for i in range(8)
+        )
+
+    def test_vector_reversal(self):
+        assert vector_reversal(3).to_permutation() == tuple(
+            7 - i for i in range(8)
+        )
+
+    def test_perfect_shuffle(self):
+        assert perfect_shuffle(3).to_permutation() == tuple(
+            rotate_left(i, 3) for i in range(8)
+        )
+
+    def test_unshuffle_inverts_shuffle(self):
+        assert unshuffle(4) == perfect_shuffle(4).inverse()
+
+    def test_shuffled_row_major_interleaves(self):
+        q = 2
+        spec = shuffled_row_major(2 * q)
+        perm = spec.to_permutation()
+        for r in range(1 << q):
+            for c in range(1 << q):
+                assert perm[(r << q) | c] == interleave_bits(r, c, q)
+
+    def test_bit_shuffle_inverts_shuffled_row_major(self):
+        for order in (2, 4, 6):
+            assert bit_shuffle(order) == shuffled_row_major(order).inverse()
+
+    def test_even_order_required(self):
+        for make in (matrix_transpose, shuffled_row_major, bit_shuffle):
+            with pytest.raises(SpecificationError):
+                make(3)
+
+    def test_all_rows_in_f(self):
+        # Theorem 2 instantiated on the paper's own examples
+        for order in (2, 4, 6):
+            for name, spec in table_i_specs(order):
+                assert in_class_f(spec.to_permutation()), (order, name)
+
+    def test_table_skips_odd_only_rows(self):
+        names = [name for name, _ in table_i_specs(3)]
+        assert "matrix transpose" not in names
+        assert "bit reversal" in names
+
+    def test_table_complete_for_even(self):
+        assert len(table_i_specs(4)) == len(TABLE_I)
+
+
+class TestTheorem2:
+    @pytest.mark.parametrize("order", range(1, 9))
+    def test_bpc_subset_of_f(self, order, rng):
+        for _ in range(15):
+            spec = BPCSpec.random(order, rng)
+            assert in_class_f(spec.to_permutation())
+
+    def test_bpc_subset_of_f_exhaustive_n3(self):
+        for positions in permutations(range(3)):
+            for comp_bits in range(8):
+                comp = tuple(bool(comp_bits >> j & 1) for j in range(3))
+                spec = BPCSpec(tuple(positions), comp)
+                assert in_class_f(spec.to_permutation())
+
+
+class TestLemma1:
+    def test_reduce_trailing_case(self):
+        # |A_0| = 0: both halves perform A' with A'_j = LMAG(A_{j+1})
+        spec = BPCSpec((0, 2, 1), (True, False, True))
+        reduced = spec.reduce_trailing()
+        upper, lower = derive_upper_lower(spec.to_permutation())
+        upper_hi = tuple(u >> 1 for u in upper)
+        lower_hi = tuple(l >> 1 for l in lower)
+        assert upper_hi == reduced.to_permutation().as_tuple()
+        assert lower_hi == reduced.to_permutation().as_tuple()
+
+    def test_reduce_trailing_guard(self):
+        with pytest.raises(SpecificationError):
+            BPCSpec((1, 0), (False, False)).reduce_trailing()
+
+    def test_lemma1_guard(self):
+        with pytest.raises(SpecificationError):
+            BPCSpec.identity(2).lemma1_decompose()
+
+    def test_decomposition_matches_network(self, rng):
+        # the constructive proof of Theorem 2, case 2
+        for _ in range(50):
+            spec = BPCSpec.random(4, rng)
+            if spec.positions[0] == 0:
+                continue
+            f1, f2 = spec.lemma1_decompose()
+            upper, lower = derive_upper_lower(spec.to_permutation())
+            upper_hi = tuple(u >> 1 for u in upper)
+            lower_hi = tuple(l >> 1 for l in lower)
+            k = spec.source_of_bit0()
+            if spec.complemented[k]:  # A_k = -0: roles swap
+                assert upper_hi == f2.to_permutation().as_tuple()
+                assert lower_hi == f1.to_permutation().as_tuple()
+            else:
+                assert upper_hi == f1.to_permutation().as_tuple()
+                assert lower_hi == f2.to_permutation().as_tuple()
+
+    def test_f1_f2_differ_only_in_complement(self, rng):
+        for _ in range(20):
+            spec = BPCSpec.random(5, rng)
+            if spec.positions[0] == 0:
+                continue
+            f1, f2 = spec.lemma1_decompose()
+            assert f1.positions == f2.positions
+            diff = [a != b for a, b in
+                    zip(f1.complemented, f2.complemented)]
+            assert sum(diff) == 1
+            assert diff[spec.source_of_bit0() - 1]
+
+    def test_lmag(self):
+        spec = BPCSpec((2, 0, 1), (True, False, False))
+        assert spec.lmag(0) == (1, True)
+        with pytest.raises(SpecificationError):
+            spec.lmag(1)  # position 0 has no LMAG
+
+
+class TestRecognition:
+    def test_roundtrip(self, rng):
+        for order in range(1, 6):
+            for _ in range(10):
+                spec = BPCSpec.random(order, rng)
+                recovered = is_bpc(spec.to_permutation())
+                assert recovered == spec
+
+    def test_rejects_cyclic_shift(self):
+        assert is_bpc([1, 2, 3, 0]) is None
+
+    def test_rejects_fig5(self):
+        assert is_bpc([1, 3, 2, 0]) is None
+
+    def test_exact_count_n2(self):
+        hits = sum(
+            1 for p in permutations(range(4)) if is_bpc(p) is not None
+        )
+        assert hits == 8  # 2^2 * 2!
+
+
+class TestFixedDimensions:
+    def test_identity_fixes_everything(self):
+        assert BPCSpec.identity(4).fixed_dimensions() == (0, 1, 2, 3)
+
+    def test_complement_not_fixed(self):
+        spec = BPCSpec((0, 1), (True, False))
+        assert spec.fixed_dimensions() == (1,)
+
+    def test_moved_bit_not_fixed(self):
+        assert matrix_transpose(4).fixed_dimensions() == ()

@@ -1,0 +1,114 @@
+"""Unit tests for the `benes` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_info_prints_structure(self, capsys):
+        assert main(["info", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "N = 8" in out
+
+    def test_info_rejects_non_power_of_two(self):
+        from repro.errors import NotAPowerOfTwoError
+        with pytest.raises(NotAPowerOfTwoError):
+            main(["info", "10"])
+
+
+class TestCheck:
+    def test_classifies_fig5(self, capsys):
+        assert main(["check", "1,3,2,0"]) == 0
+        out = capsys.readouterr().out
+        assert "in F(n)            : False" in out
+        assert "in Omega(n)        : True" in out
+
+    def test_reports_bpc_vector(self, capsys):
+        main(["check", "3,2,1,0"])
+        out = capsys.readouterr().out
+        assert "in BPC(n)          : True" in out
+        assert "A = (" in out
+
+    def test_parse_error(self):
+        with pytest.raises(SystemExit):
+            main(["check", "not-a-perm"])
+
+
+class TestRoute:
+    def test_successful_route_exit_zero(self, capsys):
+        assert main(["route", "3,2,1,0"]) == 0
+        assert "success: True" in capsys.readouterr().out
+
+    def test_failed_route_exit_one_with_hint(self, capsys):
+        assert main(["route", "1,3,2,0"]) == 1
+        out = capsys.readouterr().out
+        assert "Waksman setup realizes: (1, 3, 2, 0)" in out
+
+    def test_omega_flag(self, capsys):
+        assert main(["route", "1,3,2,0", "--omega"]) == 0
+        assert "success: True" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        assert "bit reversal" in capsys.readouterr().out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5"]) == 0
+        assert "cannot be self-routed" in capsys.readouterr().out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "CCC algorithm" in out
+        assert "success: True" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "matrix transpose" in out
+        assert "in F: True" in out
+
+
+class TestPlan:
+    def test_plan_fig5(self, capsys):
+        assert main(["plan", "1,3,2,0"]) == 0
+        out = capsys.readouterr().out
+        assert "omega-mode" in out
+        assert "Theorem 1 conflict" in out
+
+    def test_plan_shows_two_pass_alternative(self, capsys):
+        main(["plan", "1,3,2,0"])
+        out = capsys.readouterr().out
+        assert "alternatives: two-pass" in out
+
+    def test_plan_bpc(self, capsys):
+        assert main(["plan", "0,4,2,6,1,5,3,7"]) == 0
+        out = capsys.readouterr().out
+        assert "self-routing" in out
+        assert "A = (0, 1, 2)" in out
+
+
+class TestSampleAndCensus:
+    def test_sample_outputs_permutations(self, capsys):
+        assert main(["sample", "8", "--count", "3", "--seed", "7"]) == 0
+        from repro.core import Permutation, in_class_f
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            perm = Permutation(int(x) for x in line.split(","))
+            assert in_class_f(perm)
+
+    def test_census(self, capsys):
+        assert main(["census", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "|F|            : 20" in out
+        assert "Omega \\ F      : 4" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,134 @@
+"""Unit tests for the delta-network variants and the odd-even merge
+sorter."""
+
+from itertools import permutations
+
+import pytest
+
+from repro.core import Permutation, random_permutation
+from repro.core.bits import reverse_bits
+from repro.errors import SizeMismatchError
+from repro.networks import (
+    BaselineNetwork,
+    BitonicNetwork,
+    ButterflyNetwork,
+    OddEvenMergeNetwork,
+    OmegaNetwork,
+)
+
+
+class TestButterfly:
+    def test_cost_model(self):
+        net = ButterflyNetwork(4)
+        assert net.n_switches == 32
+        assert net.delay == 4
+
+    def test_identity_routes(self):
+        assert ButterflyNetwork(3).realizes(list(range(8)))
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_class_size_exhaustive(self, order):
+        net = ButterflyNetwork(order)
+        hits = sum(
+            1 for p in permutations(range(1 << order))
+            if net.route(p).success
+        )
+        assert hits == 1 << (order * (1 << order) // 2)
+
+    def test_class_equals_omega_class(self):
+        # the in-place butterfly realizes exactly the omega set
+        bf, om = ButterflyNetwork(3), OmegaNetwork(3)
+        for p in permutations(range(8)):
+            assert bf.route(p).success == om.route(p).success
+
+    def test_payloads_follow(self, rng):
+        net = ButterflyNetwork(3)
+        # find a realizable permutation and check data movement
+        p = Permutation(range(8))
+        result = net.route(p, payloads=list("abcdefgh"))
+        assert result.payloads == tuple("abcdefgh")
+
+
+class TestBaseline:
+    def test_cost_model(self):
+        net = BaselineNetwork(4)
+        assert net.n_switches == 32
+        assert net.delay == 4
+
+    def test_identity_blocked(self):
+        # adjacent inputs to adjacent outputs collide at stage 0
+        assert not BaselineNetwork(3).realizes(list(range(8)))
+
+    def test_all_straight_realizes_bit_reversal(self):
+        net = BaselineNetwork(3)
+        perm = [reverse_bits(i, 3) for i in range(8)]
+        result = net.route(perm, trace=True)
+        assert result.success
+        for st in result.stages:
+            assert all(int(s) == 0 for s in st.states)
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_class_size_matches_omega_but_set_differs(self, order):
+        bl, om = BaselineNetwork(order), OmegaNetwork(order)
+        bl_set = {
+            p for p in permutations(range(1 << order))
+            if bl.route(p).success
+        }
+        om_set = {
+            p for p in permutations(range(1 << order))
+            if om.route(p).success
+        }
+        assert len(bl_set) == len(om_set)
+        if order >= 2:
+            assert bl_set != om_set
+
+    def test_size_mismatch(self):
+        with pytest.raises(SizeMismatchError):
+            BaselineNetwork(3).route([0, 1])
+
+
+class TestOddEvenMerge:
+    def test_sorts_everything_exhaustive(self):
+        for order in (1, 2, 3):
+            net = OddEvenMergeNetwork(order)
+            for p in permutations(range(1 << order)):
+                result = net.route(p)
+                assert result.success
+                assert result.realized == Permutation(p)
+
+    @pytest.mark.parametrize("order", [4, 5, 6])
+    def test_sorts_random(self, order, rng):
+        net = OddEvenMergeNetwork(order)
+        for _ in range(10):
+            assert net.route(
+                random_permutation(1 << order, rng)
+            ).success
+
+    def test_fewer_comparators_than_bitonic(self):
+        for order in (2, 3, 4, 5, 6):
+            assert (OddEvenMergeNetwork(order).n_switches
+                    < BitonicNetwork(order).n_switches)
+
+    def test_same_delay_as_bitonic(self):
+        for order in (1, 3, 5):
+            assert (OddEvenMergeNetwork(order).delay
+                    == BitonicNetwork(order).delay
+                    == order * (order + 1) // 2)
+
+    def test_known_counts(self):
+        # classic values: 1, 5, 19, 63, 191, 543
+        assert [OddEvenMergeNetwork(o).n_switches
+                for o in range(1, 7)] == [1, 5, 19, 63, 191, 543]
+
+    def test_sort_arbitrary_keys(self, rng):
+        net = OddEvenMergeNetwork(4)
+        keys = [rng.randrange(50) for _ in range(16)]
+        assert net.sort(keys) == sorted(keys)
+
+    def test_sort_size_checked(self):
+        with pytest.raises(SizeMismatchError):
+            OddEvenMergeNetwork(3).sort([1, 2])
+
+    def test_trace_shape(self):
+        result = OddEvenMergeNetwork(2).route([3, 2, 1, 0], trace=True)
+        assert len(result.stages) == 3

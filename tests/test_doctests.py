@@ -1,0 +1,61 @@
+"""Run every module's doctests as part of the suite."""
+
+import doctest
+
+import pytest
+
+import repro.core.benes
+import repro.core.bits
+import repro.core.membership
+import repro.core.permutation
+import repro.core.pipeline
+import repro.core.waksman
+import repro.core.sampling
+import repro.core.states
+import repro.core.twopass
+import repro.networks.batcher
+import repro.networks.crossbar
+import repro.networks.delta
+import repro.networks.gcn
+import repro.networks.oddeven
+import repro.networks.omega_net
+import repro.permclasses.bpc
+import repro.permclasses.families
+import repro.permclasses.blocks
+import repro.permclasses.omega
+import repro.planner
+import repro.simd.parallel_setup
+
+MODULES = [
+    repro.core.bits,
+    repro.core.permutation,
+    repro.core.benes,
+    repro.core.membership,
+    repro.core.pipeline,
+    repro.core.sampling,
+    repro.core.states,
+    repro.core.twopass,
+    repro.core.waksman,
+    repro.networks.batcher,
+    repro.networks.crossbar,
+    repro.networks.delta,
+    repro.networks.gcn,
+    repro.networks.oddeven,
+    repro.networks.omega_net,
+    repro.permclasses.bpc,
+    repro.permclasses.blocks,
+    repro.permclasses.families,
+    repro.permclasses.omega,
+    repro.planner,
+    repro.simd.parallel_setup,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=lambda m: m.__name__
+)
+def test_doctests(module):
+    result = doctest.testmod(module)
+    assert result.failed == 0, (
+        f"{result.failed} doctest failure(s) in {module.__name__}"
+    )

@@ -1,0 +1,113 @@
+"""Unit tests for the dual-network SIMD computer (Section IV)."""
+
+import pytest
+
+from repro.core import Permutation, random_class_f, random_permutation
+from repro.errors import MachineError
+from repro.permclasses import BPCSpec
+from repro.simd import DualNetworkComputer
+
+
+class TestConstruction:
+    def test_defaults(self):
+        machine = DualNetworkComputer(4)
+        assert machine.n_pes == 16
+        assert machine.step_gate_cost == 10
+        assert machine.benes.order == 4
+
+    def test_validation(self):
+        with pytest.raises(MachineError):
+            DualNetworkComputer(0)
+        with pytest.raises(MachineError):
+            DualNetworkComputer(3, e_network="mesh")
+        with pytest.raises(MachineError):
+            DualNetworkComputer(3, step_gate_cost=0)
+
+
+class TestDispatch:
+    def test_f_permutation_prefers_benes(self, rng):
+        machine = DualNetworkComputer(4, step_gate_cost=10)
+        perm = BPCSpec.random(4, rng).to_permutation()
+        report = machine.permute(perm)
+        assert report.in_f
+        assert report.chosen == "benes"
+        # B(n) transit: 2 log N - 1 gate delays
+        assert report.gate_delays == 7
+        assert report.benes_gate_delays == 7
+        # the E-network would have paid unit-routes x overhead
+        assert report.e_network_gate_delays > report.gate_delays
+
+    def test_non_f_permutation_uses_e_network(self, rng):
+        machine = DualNetworkComputer(2)
+        perm = Permutation((1, 3, 2, 0))
+        report = machine.permute(perm)
+        assert not report.in_f
+        assert report.chosen == "e-network"
+        assert report.benes_gate_delays is None
+        assert report.unit_routes > 0
+
+    def test_cheap_overhead_flips_choice(self, rng):
+        # with unit instruction overhead the PSC's 4 log N - 3 routes
+        # cost less than the Benes 2 log N - 1 gate delays... they
+        # don't: 4n-3 > 2n-1 for n > 1, so benes still wins; force via
+        # step cost by checking both orders of magnitude
+        perm = BPCSpec.random(4, rng).to_permutation()
+        expensive = DualNetworkComputer(4, step_gate_cost=50)
+        cheap = DualNetworkComputer(4, step_gate_cost=1)
+        assert expensive.permute(perm).chosen == "benes"
+        report = cheap.permute(perm)
+        # 4*4-3 = 13 routes * 1 > 7 gate delays: benes still preferred
+        assert report.chosen == "benes"
+
+    def test_data_routed_correctly_both_paths(self, rng):
+        machine = DualNetworkComputer(3)
+        data = list("abcdefgh")
+        f_perm = random_class_f(3, rng)
+        non_f = random_permutation(8, rng)
+        from repro.core import in_class_f
+        while in_class_f(non_f):
+            non_f = random_permutation(8, rng)
+        for perm in (f_perm, non_f):
+            report = machine.permute(perm, data)
+            assert list(report.data) == Permutation(perm).apply(data)
+
+
+class TestForce:
+    def test_force_e_network(self, rng):
+        machine = DualNetworkComputer(3)
+        perm = random_class_f(3, rng)
+        report = machine.permute(perm, force="e-network")
+        assert report.chosen == "e-network"
+        assert report.unit_routes > 0
+
+    def test_force_benes_on_non_f_raises(self):
+        machine = DualNetworkComputer(2)
+        with pytest.raises(MachineError):
+            machine.permute([1, 3, 2, 0], force="benes")
+
+    def test_force_unknown_raises(self):
+        machine = DualNetworkComputer(2)
+        with pytest.raises(MachineError):
+            machine.permute([0, 1, 2, 3], force="telepathy")
+
+
+class TestEstimates:
+    def test_estimate_matches_permute(self, rng):
+        machine = DualNetworkComputer(4)
+        perm = BPCSpec.random(4, rng).to_permutation()
+        benes_cost, e_cost, member = machine.estimate_costs(perm)
+        report = machine.permute(perm)
+        assert member == report.in_f
+        assert benes_cost == report.benes_gate_delays
+        assert e_cost == report.e_network_gate_delays
+
+    def test_ccc_backend(self, rng):
+        machine = DualNetworkComputer(3, e_network="ccc")
+        perm = random_class_f(3, rng)
+        report = machine.permute(perm, force="e-network")
+        # CCC F-routing: 2 log N - 1 interchanges
+        assert report.unit_routes == 5
+
+    def test_size_mismatch(self):
+        with pytest.raises(MachineError):
+            DualNetworkComputer(3).permute([0, 1])

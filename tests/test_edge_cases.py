@@ -1,0 +1,145 @@
+"""Edge-case sweep across subsystems: minimum sizes, degenerate
+parameters, and boundary interactions not covered by the per-module
+suites."""
+
+import pytest
+
+from repro.core import (
+    BenesNetwork,
+    Permutation,
+    PipelinedBenes,
+    in_class_f,
+    random_class_f,
+)
+from repro.core.twopass import route_two_pass
+from repro.errors import MachineError
+from repro.networks import (
+    BitonicNetwork,
+    GeneralizedConnectionNetwork,
+    OddEvenMergeNetwork,
+    OmegaNetwork,
+)
+from repro.permclasses import BPCSpec, JPartition, within_blocks
+from repro.simd import CCC, DualNetworkComputer, PSC, permute_ccc, permute_psc
+
+
+class TestMinimumSizes:
+    def test_b1_everything(self):
+        net = BenesNetwork(1)
+        assert net.n_switches == 1
+        assert net.route([1, 0]).success
+        assert net.route([1, 0], omega_mode=True).success
+
+    def test_order1_pipeline(self):
+        pipe = PipelinedBenes(1)
+        outs = pipe.run([[0, 1], [1, 0], [0, 1]])
+        assert [o.latency for o in outs] == [1, 1, 1]
+        assert all(o.result.success for o in outs)
+
+    def test_order1_simd(self):
+        assert permute_ccc(CCC(1), [1, 0]).unit_routes == 1
+        assert permute_psc(PSC(1), [1, 0]).unit_routes == 1
+
+    def test_order1_networks(self):
+        for cls in (OmegaNetwork, BitonicNetwork, OddEvenMergeNetwork):
+            assert cls(1).route([1, 0]).success
+
+    def test_order1_gcn_broadcast(self):
+        gcn = GeneralizedConnectionNetwork(1)
+        assert gcn.connect([1, 1], payloads=["a", "b"]).outputs == (
+            "b", "b"
+        )
+
+    def test_order1_two_pass(self):
+        assert route_two_pass([1, 0], ["x", "y"]) == ["y", "x"]
+
+    def test_order1_bpc(self):
+        spec = BPCSpec.from_signed(["-0"])
+        assert spec.to_permutation() == (1, 0)
+
+
+class TestDegenerateParameters:
+    def test_empty_j_partition_is_single_f_permutation(self, rng):
+        jp = JPartition(3, ())
+        member = random_class_f(3, rng)
+        assert within_blocks(jp, member) == member
+
+    def test_full_j_partition_is_identity(self):
+        jp = JPartition(3, (0, 1, 2))
+        ident = Permutation.identity(1)
+        assert within_blocks(jp, ident).is_identity()
+
+    def test_dual_machine_order1(self):
+        machine = DualNetworkComputer(1)
+        report = machine.permute([1, 0])
+        assert list(report.data) == [1, 0]
+
+    def test_pipeline_interleaved_bubbles(self):
+        pipe = PipelinedBenes(2)
+        outs = []
+        for k in range(8):
+            tags = [0, 1, 2, 3] if k % 2 == 0 else None
+            out = pipe.clock(tags)
+            if out:
+                outs.append(out)
+        outs += pipe.drain()
+        assert len(outs) == 4
+        assert all(o.result.success for o in outs)
+
+
+class TestBoundaryInteractions:
+    def test_omega_mode_with_stuck_switch(self):
+        # omega mode forces stages 0..n-2 straight; a stuck-cross fault
+        # there overrides the forcing and breaks an omega permutation
+        net = BenesNetwork(2)
+        assert net.route([1, 3, 2, 0], omega_mode=True).success
+        faulty = net.route([1, 3, 2, 0], omega_mode=True,
+                           stuck_switches={(0, 0): 1})
+        assert not faulty.success
+
+    def test_lower_control_with_external_states(self, rng):
+        # external states ignore the control rule entirely
+        from repro.core import setup_states, random_permutation
+        perm = random_permutation(8, rng)
+        states = setup_states(perm)
+        for control in ("upper", "lower"):
+            net = BenesNetwork(3, control=control)
+            assert net.route_with_states(states).realized == perm
+
+    def test_gcn_of_non_f_unsort_still_delivers(self, rng):
+        # force many duplicate requests so the unsort permutation is
+        # far from the identity
+        gcn = GeneralizedConnectionNetwork(3)
+        sources = [7, 0, 7, 0, 7, 0, 7, 0]
+        result = gcn.connect(sources)
+        assert result.outputs == tuple(sources)
+
+    def test_planner_on_every_f2_member(self, f_classes):
+        from repro.planner import plan
+        for member in f_classes[2]:
+            report = plan(member)
+            assert report.in_f
+            assert report.network_strategy == "self-routing"
+
+    def test_ccc_interchange_composes_with_elementwise(self):
+        machine = CCC(2)
+        machine.set_register("R", [1, 2, 3, 4])
+        machine.elementwise("R", lambda r: r * 10, "R")
+        machine.interchange(("R",), 0)
+        assert machine.read("R") == (20, 10, 40, 30)
+        assert machine.stats.total_steps == 2
+
+    def test_dual_estimate_does_not_mutate(self, rng):
+        machine = DualNetworkComputer(3)
+        perm = random_class_f(3, rng)
+        machine.estimate_costs(perm)
+        report = machine.permute(perm, list("abcdefgh"))
+        assert list(report.data) == perm.apply(list("abcdefgh"))
+
+    def test_in_class_f_on_tuple_and_permutation_agree(self, rng):
+        p = random_class_f(4, rng)
+        assert in_class_f(p) == in_class_f(tuple(p)) == in_class_f(list(p))
+
+    def test_dual_rejects_bad_size_before_routing(self):
+        with pytest.raises(MachineError):
+            DualNetworkComputer(3).permute([0, 1, 2, 3])

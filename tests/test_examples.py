@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=lambda p: p.stem
+)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_examples_present():
+    # deliverable (b): quickstart plus at least two domain scenarios
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3
+
+
+def test_quickstart_shows_success_and_failure(capsys):
+    runpy.run_path(
+        str(Path(__file__).parent.parent / "examples" / "quickstart.py"),
+        run_name="__main__",
+    )
+    out = capsys.readouterr().out
+    assert "success: False" in out      # the Fig. 5 demonstration
+    assert "omega-bit mode success  : True" in out
+
+
+def test_fft_example_matches_dft(capsys):
+    runpy.run_path(
+        str(Path(__file__).parent.parent / "examples"
+            / "fft_bit_reversal.py"),
+        run_name="__main__",
+    )
+    out = capsys.readouterr().out
+    assert "(OK)" in out
+    assert "latency (first frame) : 7 clocks" in out
+
+
+def test_transpose_example_all_backends_agree(capsys):
+    runpy.run_path(
+        str(Path(__file__).parent.parent / "examples"
+            / "simd_matrix_transpose.py"),
+        run_name="__main__",
+    )
+    out = capsys.readouterr().out
+    assert "CCC:  success=True" in out
+    assert "PSC:  success=True" in out
+    assert "MCC:  success=True" in out

@@ -1,0 +1,157 @@
+"""Unit tests for the named permutation families (Section II items 1-6)."""
+
+import pytest
+
+from repro.core import in_class_f
+from repro.core.bits import bit
+from repro.errors import SpecificationError
+from repro.permclasses.families import (
+    conditional_exchange,
+    cyclic_shift,
+    inverse_p_ordering,
+    modular_inverse_odd,
+    p_ordering,
+    p_ordering_with_shift,
+    segment_cyclic_shift,
+)
+from repro.permclasses.omega import is_inverse_omega, is_omega
+
+
+class TestCyclicShift:
+    def test_definition(self):
+        assert cyclic_shift(2, 1).as_tuple() == (1, 2, 3, 0)
+
+    def test_wraps_modulo_n(self):
+        assert cyclic_shift(2, 5) == cyclic_shift(2, 1)
+        assert cyclic_shift(2, -1) == cyclic_shift(2, 3)
+
+    def test_zero_shift_is_identity(self):
+        assert cyclic_shift(3, 0).is_identity()
+
+    @pytest.mark.parametrize("order", [2, 3, 4])
+    def test_in_inverse_omega_and_f(self, order):
+        for k in range(1 << order):
+            p = cyclic_shift(order, k)
+            assert is_inverse_omega(p)
+            assert in_class_f(p)
+
+    def test_also_in_omega(self):
+        # the paper notes these Omega^-1 families are also in Omega
+        for k in range(8):
+            assert is_omega(cyclic_shift(3, k))
+
+
+class TestPOrdering:
+    def test_definition(self):
+        assert p_ordering(3, 3).as_tuple() == tuple(
+            (3 * i) % 8 for i in range(8)
+        )
+
+    def test_rejects_even_p(self):
+        with pytest.raises(SpecificationError):
+            p_ordering(3, 2)
+
+    def test_inverse_unscrambles(self):
+        for order in (3, 4):
+            for p in (3, 5, 7):
+                fwd = p_ordering(order, p)
+                back = inverse_p_ordering(order, p)
+                assert fwd.then(back).is_identity()
+
+    def test_modular_inverse(self):
+        for order in (3, 4, 5):
+            for p in (1, 3, 5, 7, 9):
+                q = modular_inverse_odd(p, order)
+                assert (p * q) % (1 << order) == 1
+                assert q % 2 == 1
+
+    def test_modular_inverse_rejects_even(self):
+        with pytest.raises(SpecificationError):
+            modular_inverse_odd(4, 3)
+
+    @pytest.mark.parametrize("order", [3, 4, 5])
+    def test_in_inverse_omega_and_f(self, order):
+        for p in (1, 3, 5, 7):
+            perm = p_ordering(order, p)
+            assert is_inverse_omega(perm)
+            assert in_class_f(perm)
+
+
+class TestPOrderingWithShift:
+    def test_definition(self):
+        perm = p_ordering_with_shift(3, 3, 2)
+        assert perm.as_tuple() == tuple((3 * i + 2) % 8 for i in range(8))
+
+    def test_degenerates(self):
+        assert p_ordering_with_shift(3, 1, 0).is_identity()
+        assert p_ordering_with_shift(3, 1, 5) == cyclic_shift(3, 5)
+        assert p_ordering_with_shift(3, 5, 0) == p_ordering(3, 5)
+
+    def test_rejects_even_p(self):
+        with pytest.raises(SpecificationError):
+            p_ordering_with_shift(3, 4, 1)
+
+    def test_lenfant_lambda_in_f(self):
+        for p in (3, 5):
+            for k in range(8):
+                perm = p_ordering_with_shift(3, p, k)
+                assert is_inverse_omega(perm)
+                assert in_class_f(perm)
+
+
+class TestSegmentCyclicShift:
+    def test_high_bits_preserved(self):
+        perm = segment_cyclic_shift(4, 2, 1)
+        for i in range(16):
+            assert perm[i] >> 2 == i >> 2
+
+    def test_shift_within_segment(self):
+        perm = segment_cyclic_shift(3, 2, 1)
+        assert perm.as_tuple() == (1, 2, 3, 0, 5, 6, 7, 4)
+
+    def test_full_segment_is_plain_shift(self):
+        assert segment_cyclic_shift(3, 3, 5) == cyclic_shift(3, 5)
+
+    def test_bounds(self):
+        with pytest.raises(SpecificationError):
+            segment_cyclic_shift(3, 0, 1)
+        with pytest.raises(SpecificationError):
+            segment_cyclic_shift(3, 4, 1)
+
+    def test_lenfant_delta_in_f(self):
+        for v in (1, 2, 3):
+            for k in range(1 << v):
+                perm = segment_cyclic_shift(3, v, k)
+                assert is_inverse_omega(perm)
+                assert in_class_f(perm)
+
+
+class TestConditionalExchange:
+    def test_definition(self):
+        # exchange pair (2i, 2i+1) iff bit k of 2i is 1
+        perm = conditional_exchange(3, 2)
+        assert perm.as_tuple() == (0, 1, 2, 3, 5, 4, 7, 6)
+
+    def test_bit_formula(self):
+        for order in (2, 3, 4):
+            for k in range(1, order):
+                perm = conditional_exchange(order, k)
+                for i in range(1 << order):
+                    assert bit(perm[i], 0) == bit(i, 0) ^ bit(i, k)
+                    assert perm[i] >> 1 == i >> 1
+
+    def test_is_involution(self):
+        assert conditional_exchange(4, 2).is_involution()
+
+    def test_bounds(self):
+        with pytest.raises(SpecificationError):
+            conditional_exchange(3, 0)
+        with pytest.raises(SpecificationError):
+            conditional_exchange(3, 3)
+
+    def test_lenfant_eta_in_f(self):
+        for order in (2, 3, 4):
+            for k in range(1, order):
+                perm = conditional_exchange(order, k)
+                assert is_inverse_omega(perm)
+                assert in_class_f(perm)

@@ -1,0 +1,88 @@
+"""Unit tests for the integer fast path and the redundancy analysis."""
+
+from itertools import permutations
+
+import pytest
+
+from repro.analysis.redundancy import setting_multiplicity, total_settings
+from repro.core import BenesNetwork, random_permutation, setup_states
+from repro.core.fastpath import fast_route_with_states, fast_self_route
+
+
+class TestFastSelfRoute:
+    @pytest.mark.parametrize("order", [1, 2])
+    def test_equivalence_exhaustive(self, order):
+        net = BenesNetwork(order)
+        for p in permutations(range(1 << order)):
+            success, delivered = fast_self_route(p)
+            result = net.route(p)
+            assert success == result.success
+            assert delivered == result.delivered
+
+    def test_equivalence_exhaustive_n3(self):
+        net = BenesNetwork(3)
+        for p in permutations(range(8)):
+            success, delivered = fast_self_route(p)
+            result = net.route(p)
+            assert success == result.success
+            assert delivered == result.delivered
+
+    @pytest.mark.parametrize("order", [4, 6, 8, 10])
+    def test_equivalence_random(self, order, rng):
+        net = BenesNetwork(order)
+        for _ in range(8):
+            p = random_permutation(1 << order, rng)
+            success, delivered = fast_self_route(p)
+            result = net.route(p)
+            assert success == result.success
+            assert delivered == result.delivered
+
+    def test_fig5(self):
+        success, delivered = fast_self_route([1, 3, 2, 0])
+        assert not success
+        assert sorted(delivered) == [0, 1, 2, 3]
+
+
+class TestFastRouteWithStates:
+    def test_straight_is_identity(self):
+        net = BenesNetwork(3)
+        straight = net.straight_states()
+        assert fast_route_with_states(straight, 3) == tuple(range(8))
+
+    @pytest.mark.parametrize("order", [2, 3, 5, 7])
+    def test_equivalence_with_waksman(self, order, rng):
+        net = BenesNetwork(order)
+        for _ in range(8):
+            p = random_permutation(1 << order, rng)
+            states = setup_states(p)
+            assert fast_route_with_states(states, order) == (
+                net.route_with_states(states).realized.as_tuple()
+            )
+
+
+class TestRedundancy:
+    def test_total_settings_formula(self):
+        assert total_settings(2) == 64
+        assert total_settings(3) == 1 << 20
+
+    def test_rearrangeability_counted(self):
+        counts = setting_multiplicity(2)
+        # every one of the 24 permutations realized at least once
+        assert len(counts) == 24
+        assert sum(counts.values()) == 64
+        assert min(counts.values()) >= 1
+
+    def test_multiplicity_distribution_n2(self):
+        counts = setting_multiplicity(2)
+        # B(2) has 6 switches for 24 permutations: 64/24 is not integer,
+        # so multiplicities must vary — measured: between 2 and 4
+        assert min(counts.values()) == 2
+        assert max(counts.values()) == 4
+
+    def test_identity_has_multiple_settings(self):
+        counts = setting_multiplicity(2)
+        assert counts[(0, 1, 2, 3)] >= 2
+
+    def test_guard(self):
+        with pytest.raises(ValueError):
+            setting_multiplicity(3)

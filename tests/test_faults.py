@@ -1,0 +1,99 @@
+"""Fault-injection tests: stuck switch control logic.
+
+These tests document a structural property of the self-routing scheme:
+the first ``n-1`` stages only *distribute* signals between the two
+sub-networks, and the downstream switches re-derive their states from
+the tags that actually arrive — so a stuck fault there is often
+**masked** (the network self-heals through the other sub-network).  The
+last ``n`` stages write destination bits directly, so any flipped state
+there always misroutes.
+"""
+
+import pytest
+
+from repro.core import BenesNetwork, random_class_f
+from repro.errors import SwitchStateError
+
+
+class TestStuckSwitches:
+    def test_stuck_at_correct_state_is_harmless(self):
+        net = BenesNetwork(3)
+        result = net.route(list(range(8)),
+                           stuck_switches={(0, 0): 0, (2, 3): 0})
+        assert result.success
+
+    def test_first_half_fault_masked_on_identity(self):
+        # a stuck-cross in the distribution stages detours two signals
+        # into the other sub-network, where self-routing still delivers
+        net = BenesNetwork(3)
+        for stage in range(net.order - 1):
+            result = net.route(list(range(8)),
+                               stuck_switches={(stage, 0): 1})
+            assert result.success, stage
+
+    def test_last_n_stage_fault_always_fatal(self):
+        # stages n-1 .. 2n-2 write destination bits: a flipped state
+        # there misroutes exactly the two signals through the switch
+        net = BenesNetwork(3)
+        for stage in range(net.order - 1, net.n_stages):
+            result = net.route(list(range(8)),
+                               stuck_switches={(stage, 0): 1})
+            assert not result.success, stage
+            assert len(result.misrouted) == 2
+
+    def test_first_half_fault_sometimes_fatal(self, rng):
+        # masking is not guaranteed for general F permutations: the
+        # detoured sub-problem can leave class F
+        net = BenesNetwork(3)
+        masked = fatal = 0
+        for _ in range(100):
+            perm = random_class_f(3, rng)
+            healthy = net.route(perm, trace=True)
+            flipped = 1 - int(healthy.stages[0].states[0])
+            result = net.route(perm, stuck_switches={(0, 0): flipped})
+            if result.success:
+                masked += 1
+            else:
+                fatal += 1
+        assert masked > 0 and fatal > 0
+
+    def test_result_still_a_permutation_under_faults(self, rng):
+        net = BenesNetwork(4)
+        perm = random_class_f(4, rng)
+        result = net.route(
+            perm, stuck_switches={(1, 2): 1, (5, 0): 0}
+        )
+        assert sorted(result.realized) == list(range(16))
+
+    def test_faulty_state_recorded_in_trace(self):
+        net = BenesNetwork(2)
+        result = net.route(list(range(4)), trace=True,
+                           stuck_switches={(1, 1): 1})
+        assert int(result.stages[1].states[1]) == 1
+
+    def test_validation(self):
+        net = BenesNetwork(2)
+        with pytest.raises(SwitchStateError):
+            net.route(list(range(4)), stuck_switches={(9, 0): 0})
+        with pytest.raises(SwitchStateError):
+            net.route(list(range(4)), stuck_switches={(0, 9): 0})
+        with pytest.raises(SwitchStateError):
+            net.route(list(range(4)), stuck_switches={(0, 0): 5})
+
+    def test_faults_do_not_leak_between_routes(self):
+        net = BenesNetwork(3)
+        fatal_stage = net.order  # in the forced half
+        assert not net.route(
+            list(range(8)), stuck_switches={(fatal_stage, 0): 1}
+        ).success
+        assert net.route(list(range(8))).success
+
+    def test_misroute_set_grows_with_fault_count(self):
+        net = BenesNetwork(4)
+        last = net.n_stages - 1
+        one = net.route(list(range(16)),
+                        stuck_switches={(last, 0): 1})
+        two = net.route(list(range(16)),
+                        stuck_switches={(last, 0): 1, (last, 3): 1})
+        assert len(one.misrouted) == 2
+        assert len(two.misrouted) == 4

@@ -1,0 +1,101 @@
+"""Unit tests for the Lenfant FUB families exposed by the paper."""
+
+import pytest
+
+from repro.core import in_class_f
+from repro.errors import SpecificationError
+from repro.permclasses.bpc import (
+    bit_reversal,
+    matrix_transpose,
+    vector_reversal,
+)
+from repro.permclasses.fub import alpha, beta, delta, eta, gamma, lam
+from repro.permclasses.omega import is_inverse_omega
+
+
+class TestAlpha:
+    def test_full_field_is_matrix_transpose(self):
+        assert alpha(4, 2) == matrix_transpose(4)
+
+    def test_partial_field_swaps_ends(self):
+        spec = alpha(4, 1)
+        # bit 0 <-> bit 3, bits 1,2 fixed
+        assert spec.positions == (3, 1, 2, 0)
+        assert not any(spec.complemented)
+
+    def test_is_involution(self):
+        for order, field in ((4, 1), (4, 2), (6, 2)):
+            spec = alpha(order, field)
+            assert spec.then(spec).to_permutation().is_identity()
+
+    def test_bounds(self):
+        with pytest.raises(SpecificationError):
+            alpha(3, 2)
+        with pytest.raises(SpecificationError):
+            alpha(4, 0)
+
+    def test_in_bpc_hence_f(self):
+        for order, field in ((2, 1), (4, 2), (5, 2), (6, 3)):
+            assert in_class_f(alpha(order, field).to_permutation())
+
+
+class TestBeta:
+    def test_full_width_is_bit_reversal(self):
+        assert beta(4, 4) == bit_reversal(4)
+
+    def test_partial_reversal(self):
+        spec = beta(4, 2)
+        assert spec.positions == (1, 0, 2, 3)
+
+    def test_bounds(self):
+        with pytest.raises(SpecificationError):
+            beta(4, 0)
+        with pytest.raises(SpecificationError):
+            beta(4, 5)
+
+    def test_in_f(self):
+        for order in (3, 4, 5):
+            for width in range(1, order + 1):
+                assert in_class_f(beta(order, width).to_permutation())
+
+
+class TestGamma:
+    def test_full_width_is_vector_reversal(self):
+        assert gamma(3, 3) == vector_reversal(3)
+
+    def test_partial_is_segment_reversal(self):
+        perm = gamma(3, 2).to_permutation()
+        # within each aligned block of 4, index i -> 3 - i
+        for i in range(8):
+            base = i & ~0b11
+            assert perm[i] == base + (3 - (i & 0b11))
+
+    def test_bounds(self):
+        with pytest.raises(SpecificationError):
+            gamma(3, 0)
+
+    def test_in_f(self):
+        for order in (2, 3, 4):
+            for width in range(1, order + 1):
+                assert in_class_f(gamma(order, width).to_permutation())
+
+
+class TestReExports:
+    def test_lambda_delta_eta_are_family_constructors(self):
+        # λ, δ, η are the Omega^-1 families; spot-check one of each
+        assert is_inverse_omega(lam(3, 3, 1))
+        assert is_inverse_omega(delta(3, 2, 1))
+        assert is_inverse_omega(eta(3, 2))
+
+    def test_all_five_families_in_f(self):
+        # the paper's headline: all of Lenfant's FUBs need only one
+        # control scheme
+        samples = [
+            alpha(4, 2).to_permutation(),
+            beta(4, 3).to_permutation(),
+            gamma(4, 2).to_permutation(),
+            lam(4, 5, 3),
+            delta(4, 2, 1),
+            eta(4, 3),
+        ]
+        assert all(in_class_f(p) for p in samples)

@@ -1,0 +1,64 @@
+"""Unit tests for the gate-level cost model."""
+
+import pytest
+
+from repro.core.gates import (
+    SWITCH_LEVELS,
+    network_gates,
+    switch_gates,
+)
+
+
+class TestSwitchGates:
+    def test_single_bit(self):
+        cost = switch_gates(1)
+        assert cost.and_gates == 4
+        assert cost.or_gates == 2
+        assert cost.not_gates == 1
+        assert cost.levels == SWITCH_LEVELS
+        assert cost.total_gates == 7
+
+    def test_scales_linearly_with_width(self):
+        narrow = switch_gates(4)
+        wide = switch_gates(8)
+        assert wide.and_gates == 2 * narrow.and_gates
+        assert wide.or_gates == 2 * narrow.or_gates
+        assert wide.not_gates == narrow.not_gates  # shared inverter
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            switch_gates(0)
+
+
+class TestNetworkGates:
+    def test_counts_scale_with_switch_count(self):
+        from repro.core import switch_count
+        cost = network_gates(3, word_width=8)
+        per = switch_gates(8)
+        assert cost.and_gates == per.and_gates * switch_count(3)
+        assert cost.not_gates == switch_count(3)
+
+    def test_critical_path_two_levels_per_stage(self):
+        for order in (1, 3, 6):
+            cost = network_gates(order, word_width=4)
+            assert cost.levels == SWITCH_LEVELS * (2 * order - 1)
+
+    def test_combinational_has_no_registers(self):
+        assert network_gates(4, 8).register_bits == 0
+
+    def test_pipelined_register_bits(self):
+        order, width = 3, 8
+        cost = network_gates(order, width, pipelined=True)
+        boundaries = 2 * order - 2
+        assert cost.register_bits == boundaries * (1 << order) * width
+
+    def test_delay_vs_routing_step_argument(self):
+        # the Section IV argument: a full B(n) transit is a handful of
+        # gate levels, far fewer than even a few instruction broadcasts
+        order = 6
+        transit_levels = network_gates(order, 16).levels
+        assert transit_levels == 22
+        # one E-network routing step plausibly costs >= 10 gate levels
+        # of instruction decode + gating; 4 log N - 3 = 21 steps do not
+        one_step_levels = 10
+        assert transit_levels < (4 * order - 3) * one_step_levels

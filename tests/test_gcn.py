@@ -1,0 +1,93 @@
+"""Unit tests for the generalized connection network."""
+
+import random
+from itertools import product
+
+import pytest
+
+from repro.errors import SizeMismatchError, SpecificationError
+from repro.networks import GeneralizedConnectionNetwork
+
+
+class TestStructure:
+    def test_cost_model(self):
+        gcn = GeneralizedConnectionNetwork(3)
+        # sorter (6 stages x 4) + copy (8*3) + benes (20)
+        assert gcn.n_switches == 24 + 24 + 20
+        assert gcn.delay == 6 + 3 + 5
+
+    def test_rejects_order_zero(self):
+        with pytest.raises(ValueError):
+            GeneralizedConnectionNetwork(0)
+
+
+class TestConnections:
+    def test_permutation_request(self):
+        gcn = GeneralizedConnectionNetwork(2)
+        result = gcn.connect([3, 2, 1, 0], payloads=list("abcd"))
+        assert result.outputs == ("d", "c", "b", "a")
+
+    def test_broadcast_one_to_all(self):
+        gcn = GeneralizedConnectionNetwork(2)
+        result = gcn.connect([2, 2, 2, 2], payloads=list("abcd"))
+        assert result.outputs == ("c", "c", "c", "c")
+
+    def test_partial_fanout(self):
+        gcn = GeneralizedConnectionNetwork(2)
+        result = gcn.connect([0, 0, 3, 3], payloads=list("abcd"))
+        assert result.outputs == ("a", "a", "d", "d")
+
+    def test_all_maps_exhaustive_n2(self):
+        # every function from 4 outputs to 4 inputs: 4^4 = 256 maps
+        gcn = GeneralizedConnectionNetwork(2)
+        data = list("abcd")
+        for sources in product(range(4), repeat=4):
+            result = gcn.connect(list(sources), payloads=data)
+            assert result.outputs == tuple(data[s] for s in sources)
+
+    def test_random_maps_larger(self, rng):
+        for order in (3, 4, 5):
+            gcn = GeneralizedConnectionNetwork(order)
+            n = 1 << order
+            data = [f"x{i}" for i in range(n)]
+            for _ in range(20):
+                sources = [rng.randrange(n) for _ in range(n)]
+                result = gcn.connect(sources, payloads=data)
+                assert result.outputs == tuple(
+                    data[s] for s in sources
+                )
+
+    def test_identity_uses_self_routing(self):
+        gcn = GeneralizedConnectionNetwork(3)
+        result = gcn.connect(list(range(8)))
+        assert result.permute_self_routed
+
+    def test_some_maps_need_external_setup(self, rng):
+        gcn = GeneralizedConnectionNetwork(4)
+        needed_external = False
+        for _ in range(50):
+            sources = [rng.randrange(16) for _ in range(16)]
+            if not gcn.connect(sources).permute_self_routed:
+                needed_external = True
+                break
+        assert needed_external
+
+    def test_default_payloads_are_indices(self):
+        gcn = GeneralizedConnectionNetwork(2)
+        assert gcn.connect([1, 1, 2, 0]).outputs == (1, 1, 2, 0)
+
+
+class TestValidation:
+    def test_wrong_request_count(self):
+        with pytest.raises(SizeMismatchError):
+            GeneralizedConnectionNetwork(2).connect([0, 1])
+
+    def test_out_of_range_source(self):
+        with pytest.raises(SpecificationError):
+            GeneralizedConnectionNetwork(2).connect([0, 1, 2, 4])
+
+    def test_wrong_payload_count(self):
+        with pytest.raises(SizeMismatchError):
+            GeneralizedConnectionNetwork(2).connect(
+                [0, 1, 2, 3], payloads=[1, 2]
+            )

@@ -1,0 +1,162 @@
+"""Cross-model integration tests.
+
+The repository contains five independent realizations of "perform a
+class-F permutation": the structural Benes network, the Theorem 1
+recursion, and the CCC / PSC / MCC simulations.  These tests pin them
+together — every model must agree on success *and* move data
+identically — and exercise end-to-end flows combining permutation
+classes, networks and machines.
+"""
+
+from itertools import permutations
+
+import pytest
+
+from repro.core import (
+    BenesNetwork,
+    Permutation,
+    PipelinedBenes,
+    in_class_f,
+    random_permutation,
+    setup_states,
+)
+from repro.networks import BitonicNetwork, Crossbar, OmegaNetwork
+from repro.permclasses import (
+    BPCSpec,
+    cyclic_shift,
+    is_omega,
+    matrix_transpose,
+    table_i_specs,
+)
+from repro.simd import (
+    CCC,
+    MCC,
+    PSC,
+    permute_ccc,
+    permute_mcc,
+    permute_psc,
+    sort_permute_ccc,
+)
+
+
+class TestFiveWayAgreement:
+    def test_success_agreement_exhaustive_n2(self):
+        net = BenesNetwork(2)
+        for p in permutations(range(4)):
+            votes = {
+                "theorem1": in_class_f(p),
+                "structural": net.route(p).success,
+                "ccc": permute_ccc(CCC(2), p).success,
+                "psc": permute_psc(PSC(2), p).success,
+                "mcc": permute_mcc(MCC(1), p).success,
+            }
+            assert len(set(votes.values())) == 1, (p, votes)
+
+    def test_data_agreement_sampled_n4(self, rng):
+        net = BenesNetwork(4)
+        data = [f"payload-{i}" for i in range(16)]
+        checked = 0
+        while checked < 25:
+            p = random_permutation(16, rng)
+            if not in_class_f(p):
+                continue
+            checked += 1
+            expected = Permutation(p).apply(data)
+            assert net.permute(p, data) == expected
+            assert list(permute_ccc(CCC(4), p, data=data).data) == expected
+            assert list(permute_psc(PSC(4), p, data=data).data) == expected
+            assert list(permute_mcc(MCC(2), p, data=data).data) == expected
+
+    def test_mcc_matches_ccc_on_all_f3(self, f3_members, rng):
+        sample = rng.sample(f3_members, 40)
+        for p in sample:
+            assert permute_mcc(MCC(1) if p.size == 4 else MCC(2), p
+                               ).success if p.size in (4, 16) else True
+        # order 3 is not square; verify CCC/PSC pair instead
+        for p in sample:
+            assert permute_ccc(CCC(3), p).success
+            assert permute_psc(PSC(3), p).success
+
+
+class TestClassPipelines:
+    def test_table_i_on_every_backend(self):
+        order = 4
+        net = BenesNetwork(order)
+        for name, spec in table_i_specs(order):
+            perm = spec.to_permutation()
+            assert net.route(perm).success, name
+            assert permute_ccc(CCC(order), perm, bpc_spec=spec).success
+            assert permute_psc(PSC(order), perm).success
+            assert permute_mcc(MCC(order // 2), perm,
+                               bpc_spec=spec).success
+
+    def test_non_f_fallbacks(self):
+        # a permutation outside F: self-routing fails, but Waksman
+        # setup, bitonic network, crossbar and CCC sort all realize it
+        perm = Permutation((1, 3, 2, 0))
+        assert not in_class_f(perm)
+        net = BenesNetwork(2)
+        assert net.route_with_states(setup_states(perm)).realized == perm
+        assert BitonicNetwork(2).route(perm).success
+        assert Crossbar(2).route(perm).success
+        assert sort_permute_ccc(CCC(2), perm).success
+        # and the omega network handles it too (it is in Omega(2))
+        assert OmegaNetwork(2).route(perm).success
+
+    def test_omega_permutation_three_ways(self):
+        order = 3
+        perm = cyclic_shift(order, 3)
+        assert is_omega(perm)
+        assert BenesNetwork(order).route(perm, omega_mode=True).success
+        assert OmegaNetwork(order).route(perm).success
+        assert permute_ccc(CCC(order), perm, omega=True).success
+
+    def test_matrix_transpose_end_to_end(self):
+        # transpose a 4x4 matrix of strings through every machine
+        q = 2
+        spec = matrix_transpose(2 * q)
+        perm = spec.to_permutation()
+        flat = [f"a[{r}][{c}]" for r in range(4) for c in range(4)]
+        transposed = [f"a[{c}][{r}]" for r in range(4) for c in range(4)]
+        assert BenesNetwork(4).permute(perm, flat) == transposed
+        assert list(permute_mcc(MCC(q), perm, data=flat).data) == transposed
+
+
+class TestPipelineIntegration:
+    def test_streaming_table_i(self, rng):
+        order = 4
+        pipe = PipelinedBenes(order)
+        vectors = [list(spec.to_permutation())
+                   for _, spec in table_i_specs(order)]
+        outs = pipe.run(vectors)
+        assert len(outs) == len(vectors)
+        assert all(o.result.success for o in outs)
+        assert all(o.latency == 2 * order - 1 for o in outs)
+
+    def test_pipeline_matches_unpipelined(self, rng):
+        order = 3
+        net = BenesNetwork(order)
+        pipe = PipelinedBenes(order)
+        specs = [BPCSpec.random(order, rng) for _ in range(4)]
+        vectors = [list(s.to_permutation()) for s in specs]
+        outs = pipe.run(vectors)
+        for tags, out in zip(vectors, outs):
+            assert out.result.delivered == net.route(tags).delivered
+
+
+class TestScaling:
+    @pytest.mark.parametrize("order", [5, 6, 7, 8])
+    def test_larger_networks(self, order, rng):
+        net = BenesNetwork(order)
+        spec = BPCSpec.random(order, rng)
+        perm = spec.to_permutation()
+        result = net.route(perm)
+        assert result.success
+        run = permute_ccc(CCC(order), perm)
+        assert run.success and run.unit_routes == 2 * order - 1
+
+    def test_waksman_scales(self, rng):
+        order = 8
+        net = BenesNetwork(order)
+        p = random_permutation(1 << order, rng)
+        assert net.route_with_states(setup_states(p)).realized == p

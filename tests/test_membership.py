@@ -1,0 +1,111 @@
+"""Unit tests for the class-F machinery (Theorem 1)."""
+
+from itertools import permutations
+
+import pytest
+
+from repro.core import BenesNetwork, Permutation
+from repro.core.membership import (
+    derive_upper_lower,
+    enumerate_class_f,
+    first_failure,
+    in_class_f,
+    in_class_f_simulated,
+)
+from repro.errors import InvalidPermutationError
+
+
+class TestDeriveUpperLower:
+    def test_equations_1_and_2(self):
+        # straight switch: U_i = D_{2i}, L_i = D_{2i+1} when (D_{2i})_0=0
+        upper, lower = derive_upper_lower([0, 1, 2, 3])
+        assert upper == (0, 2) and lower == (1, 3)
+
+    def test_cross_when_upper_tag_odd(self):
+        upper, lower = derive_upper_lower([1, 0, 3, 2])
+        assert upper == (0, 2) and lower == (1, 3)
+
+    def test_outputs_partition_tags(self):
+        perm = (5, 2, 7, 0, 3, 6, 1, 4)
+        upper, lower = derive_upper_lower(perm)
+        assert sorted(upper + lower) == list(range(8))
+
+    def test_theorem1_direction(self):
+        # U holds the tags entering the upper B(n-1): all the tags with
+        # the switch decision bit steering up
+        perm = (1, 3, 2, 0)
+        upper, lower = derive_upper_lower(perm)
+        # switch0: D_0=1 odd -> cross: up gets 3; switch1: D_2=2 even ->
+        # straight: up gets 2.
+        assert upper == (3, 2) and lower == (1, 0)
+
+
+class TestInClassF:
+    def test_identity_always_in_f(self):
+        for order in range(1, 7):
+            assert in_class_f(list(range(1 << order)))
+
+    def test_fig5_not_in_f(self):
+        assert not in_class_f([1, 3, 2, 0])
+
+    def test_all_two_permutations_in_f1(self):
+        assert in_class_f([0, 1]) and in_class_f([1, 0])
+
+    def test_counts_match_paper_structure(self):
+        # |F(1)| = 2, |F(2)| = 20, |F(3)| = 11632 (exhaustive)
+        assert sum(1 for p in permutations(range(2)) if in_class_f(p)) == 2
+        assert sum(1 for p in permutations(range(4)) if in_class_f(p)) == 20
+
+    def test_recursion_matches_simulation_exhaustively_n2(self):
+        net = BenesNetwork(2)
+        for p in permutations(range(4)):
+            assert in_class_f(p) == net.route(p).success
+
+    def test_recursion_matches_simulation_sampled_n4(self, rng):
+        from repro.core import random_permutation
+        net = BenesNetwork(4)
+        for _ in range(200):
+            p = random_permutation(16, rng)
+            assert in_class_f(p) == net.route(p).success
+
+
+class TestSimulatedVariant:
+    def test_reuses_supplied_network(self):
+        net = BenesNetwork(3)
+        assert in_class_f_simulated(list(range(8)), net)
+
+    def test_network_size_mismatch_rejected(self):
+        net = BenesNetwork(3)
+        with pytest.raises(InvalidPermutationError):
+            in_class_f_simulated([0, 1, 2, 3], net)
+
+    def test_builds_network_when_missing(self):
+        assert in_class_f_simulated([1, 0, 3, 2])
+
+
+class TestEnumerate:
+    def test_f2_membership_set(self, f_classes):
+        members = set(p.as_tuple() for p in enumerate_class_f(2))
+        assert len(members) == 20
+        assert (1, 3, 2, 0) not in members
+        assert members == {p.as_tuple() for p in f_classes[2]}
+
+    def test_f1_is_everything(self):
+        assert len(list(enumerate_class_f(1))) == 2
+
+
+class TestFirstFailure:
+    def test_none_for_members(self):
+        assert first_failure([0, 1, 2, 3]) is None
+
+    def test_returns_conflict_for_fig5(self):
+        conflict = first_failure([1, 3, 2, 0])
+        assert conflict is not None
+        # the derived half must NOT be a permutation of 0..1
+        assert sorted(conflict) != list(range(len(conflict)))
+
+    def test_consistency_with_membership(self, rng):
+        from repro.core import random_permutation
+        for _ in range(100):
+            p = random_permutation(16, rng)
+            assert (first_failure(p) is None) == in_class_f(p)

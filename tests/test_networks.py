@@ -1,0 +1,182 @@
+"""Unit tests for the baseline networks (omega, Batcher, crossbar)."""
+
+from itertools import permutations
+
+import pytest
+
+from repro.core import Permutation, random_permutation
+from repro.errors import RoutingError, SizeMismatchError
+from repro.networks import (
+    BitonicNetwork,
+    Crossbar,
+    InverseOmegaNetwork,
+    OmegaNetwork,
+    bitonic_schedule,
+)
+
+
+class TestOmegaNetwork:
+    def test_cost_model(self):
+        net = OmegaNetwork(4)
+        assert net.n_terminals == 16
+        assert net.n_switches == 32       # (N/2) log N
+        assert net.delay == 4             # log N
+
+    def test_identity_and_shuffle_routes(self):
+        net = OmegaNetwork(3)
+        assert net.route(list(range(8))).success
+
+    def test_fig5_permutation_routes(self):
+        assert OmegaNetwork(2).route([1, 3, 2, 0]).success
+
+    def test_blocked_permutation_fails_but_delivers(self):
+        # (0,2,1,3) conflicts at the first stage: inputs 0 and 2 both
+        # need the upper half after the shuffle.
+        net = OmegaNetwork(2)
+        result = net.route([0, 2, 1, 3])
+        assert not result.success
+        assert sorted(result.delivered) == list(range(4))
+
+    def test_trace_stage_count(self):
+        result = OmegaNetwork(3).route(list(range(8)), trace=True)
+        assert len(result.stages) == 3
+        assert [st.control_bit for st in result.stages] == [2, 1, 0]
+
+    def test_payloads(self):
+        net = OmegaNetwork(2)
+        result = net.route([1, 3, 2, 0], payloads=list("abcd"))
+        assert result.payloads[1] == "a"
+
+    def test_size_mismatch(self):
+        with pytest.raises(SizeMismatchError):
+            OmegaNetwork(3).route([0, 1])
+        with pytest.raises(SizeMismatchError):
+            OmegaNetwork(2).route([0, 1, 2, 3], payloads=[1])
+
+    def test_realizable_count_matches_formula(self):
+        net = OmegaNetwork(2)
+        hits = sum(
+            1 for p in permutations(range(4)) if net.route(p).success
+        )
+        assert hits == 1 << (2 * 2)  # 2^{n N/2}
+
+
+class TestInverseOmegaNetwork:
+    def test_cost_model_matches_omega(self):
+        assert InverseOmegaNetwork(4).n_switches == OmegaNetwork(4).n_switches
+        assert InverseOmegaNetwork(4).delay == OmegaNetwork(4).delay
+
+    def test_inverse_duality_exhaustive(self):
+        om, iom = OmegaNetwork(2), InverseOmegaNetwork(2)
+        for p in permutations(range(4)):
+            perm = Permutation(p)
+            assert iom.route(perm).success == om.route(
+                perm.inverse()
+            ).success
+
+    def test_cyclic_shift_routes(self):
+        from repro.permclasses import cyclic_shift
+        net = InverseOmegaNetwork(4)
+        for k in range(16):
+            assert net.route(cyclic_shift(4, k)).success
+
+    def test_control_bits_lsb_first(self):
+        result = InverseOmegaNetwork(3).route(list(range(8)), trace=True)
+        assert [st.control_bit for st in result.stages] == [0, 1, 2]
+
+
+class TestBitonicNetwork:
+    def test_cost_model(self):
+        net = BitonicNetwork(4)
+        assert net.n_stages == 10               # n(n+1)/2
+        assert net.n_switches == 8 * 10         # (N/2) * stages
+        assert net.delay == 10
+
+    def test_schedule_length(self):
+        for order in range(1, 7):
+            assert len(list(bitonic_schedule(order))) == (
+                order * (order + 1) // 2
+            )
+
+    def test_realizes_everything_exhaustive_n2(self):
+        net = BitonicNetwork(2)
+        for p in permutations(range(4)):
+            result = net.route(p)
+            assert result.success
+            assert result.realized == Permutation(p)
+
+    def test_realizes_random_large(self, rng):
+        net = BitonicNetwork(6)
+        for _ in range(20):
+            p = random_permutation(64, rng)
+            assert net.route(p).success
+
+    def test_sort_matches_sorted(self, rng):
+        net = BitonicNetwork(4)
+        for _ in range(20):
+            keys = [rng.randrange(100) for _ in range(16)]
+            assert net.sort(keys) == sorted(keys)
+
+    def test_sort_size_checked(self):
+        with pytest.raises(SizeMismatchError):
+            BitonicNetwork(3).sort([1, 2, 3])
+
+    def test_payload_routing(self, rng):
+        net = BitonicNetwork(3)
+        p = random_permutation(8, rng)
+        result = net.route(p, payloads=list("abcdefgh"))
+        for i in range(8):
+            assert result.payloads[p[i]] == "abcdefgh"[i]
+
+    def test_trace_records_compare_bits(self):
+        result = BitonicNetwork(2).route([3, 2, 1, 0], trace=True)
+        assert [st.control_bit for st in result.stages] == [0, 1, 0]
+
+
+class TestCrossbar:
+    def test_cost_model(self):
+        net = Crossbar(3)
+        assert net.n_switches == 64  # N^2
+        assert net.delay == 1
+
+    def test_realizes_everything_exhaustive_n2(self):
+        net = Crossbar(2)
+        for p in permutations(range(4)):
+            assert net.route(p).success
+
+    def test_payloads(self, rng):
+        net = Crossbar(3)
+        p = random_permutation(8, rng)
+        assert net.permute(p, list("abcdefgh")) == (
+            Permutation(p).apply(list("abcdefgh"))
+        )
+
+    def test_trace_single_stage(self):
+        result = Crossbar(2).route([1, 0, 2, 3], trace=True)
+        assert len(result.stages) == 1
+
+    def test_size_mismatch(self):
+        with pytest.raises(SizeMismatchError):
+            Crossbar(2).route([0, 1])
+
+
+class TestCommonInterface:
+    def test_permute_raises_on_blocked(self):
+        with pytest.raises(RoutingError):
+            OmegaNetwork(2).permute([0, 2, 1, 3], "abcd")
+
+    def test_realizes_shortcut(self):
+        assert Crossbar(2).realizes([0, 2, 1, 3])
+        assert not OmegaNetwork(2).realizes([0, 2, 1, 3])
+
+    def test_cost_ordering_matches_paper(self):
+        # Section I: omega < benes < batcher < crossbar in switches for
+        # moderate N; delays omega < benes < batcher
+        from repro.core import BenesNetwork
+        order = 6  # N = 64
+        omega, benes = OmegaNetwork(order), BenesNetwork(order)
+        batcher, xbar = BitonicNetwork(order), Crossbar(order)
+        assert omega.n_switches < benes.n_switches
+        assert benes.n_switches < batcher.n_switches
+        assert batcher.n_switches < xbar.n_switches
+        assert omega.delay < benes.delay < batcher.delay

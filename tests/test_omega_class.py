@@ -1,0 +1,112 @@
+"""Unit tests for the Omega / InverseOmega class predicates."""
+
+from itertools import permutations
+
+import pytest
+
+from repro.core import BenesNetwork, Permutation, in_class_f
+from repro.networks import InverseOmegaNetwork, OmegaNetwork
+from repro.permclasses.omega import (
+    is_inverse_omega,
+    is_omega,
+    omega_count,
+    omega_window,
+)
+
+
+class TestOmegaWindow:
+    def test_stage_zero_is_source(self):
+        assert omega_window(0b101, 0b010, 0, 3) == 0b101
+
+    def test_stage_n_is_destination(self):
+        assert omega_window(0b101, 0b010, 3, 3) == 0b010
+
+    def test_mixes_low_source_high_dest(self):
+        # stage 1 of order 3: low 2 bits of i, then high 1 bit of d
+        assert omega_window(0b110, 0b101, 1, 3) == 0b101
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            omega_window(0, 0, 4, 3)
+
+
+class TestPredicates:
+    def test_fig5_is_omega_not_f(self):
+        assert is_omega([1, 3, 2, 0])
+        assert not in_class_f([1, 3, 2, 0])
+
+    def test_identity_in_both(self):
+        assert is_omega(list(range(8)))
+        assert is_inverse_omega(list(range(8)))
+
+    def test_inverse_relationship(self, rng):
+        from repro.core import random_permutation
+        for _ in range(100):
+            p = random_permutation(8, rng)
+            assert is_inverse_omega(p) == is_omega(p.inverse())
+
+    def test_exact_counts(self):
+        # |Omega(n)| = 2^{n N/2}
+        for order in (1, 2):
+            hits = sum(
+                1 for p in permutations(range(1 << order)) if is_omega(p)
+            )
+            assert hits == omega_count(order)
+
+    def test_inverse_class_same_size(self):
+        hits = sum(
+            1 for p in permutations(range(4)) if is_inverse_omega(p)
+        )
+        assert hits == omega_count(2)
+
+
+class TestAgreementWithNetworks:
+    @pytest.mark.parametrize("order", [1, 2])
+    def test_omega_predicate_matches_network_exhaustively(self, order):
+        net = OmegaNetwork(order)
+        for p in permutations(range(1 << order)):
+            assert net.route(p).success == is_omega(p)
+
+    @pytest.mark.parametrize("order", [1, 2])
+    def test_inverse_predicate_matches_network_exhaustively(self, order):
+        net = InverseOmegaNetwork(order)
+        for p in permutations(range(1 << order)):
+            assert net.route(p).success == is_inverse_omega(p)
+
+    def test_sampled_agreement_order3(self, rng):
+        from repro.core import random_permutation
+        om, iom = OmegaNetwork(3), InverseOmegaNetwork(3)
+        for _ in range(150):
+            p = random_permutation(8, rng)
+            assert om.route(p).success == is_omega(p)
+            assert iom.route(p).success == is_inverse_omega(p)
+
+
+class TestTheorem3:
+    def test_inverse_omega_subset_of_f_exhaustive(self):
+        for order in (1, 2):
+            for p in permutations(range(1 << order)):
+                if is_inverse_omega(p):
+                    assert in_class_f(p)
+
+    def test_inverse_omega_subset_of_f_sampled(self, f3_members):
+        f3 = {p.as_tuple() for p in f3_members}
+        for p in permutations(range(8)):
+            if is_inverse_omega(p):
+                assert p in f3
+
+    def test_omega_not_subset_of_f(self):
+        # the containment fails in the other direction (Fig. 5)
+        assert any(
+            is_omega(p) and not in_class_f(p)
+            for p in permutations(range(4))
+        )
+
+
+class TestOmegaBitExtension:
+    def test_all_omega_realizable_in_omega_mode(self):
+        for order in (2, 3):
+            net = BenesNetwork(order)
+            for p in permutations(range(1 << order)):
+                if is_omega(p):
+                    assert net.route(p, omega_mode=True).success

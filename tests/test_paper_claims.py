@@ -1,0 +1,385 @@
+"""Every checkable numbered claim from the paper, as one test each.
+
+This file is the reproduction scorecard: each test cites the paper
+passage it verifies.  EXPERIMENTS.md summarizes the same claims with
+measured values.
+"""
+
+from itertools import permutations
+
+import pytest
+
+from repro.core import (
+    BenesNetwork,
+    Permutation,
+    PipelinedBenes,
+    in_class_f,
+    random_permutation,
+    setup_states,
+)
+from repro.core.bits import reverse_bits
+from repro.networks import BitonicNetwork, Crossbar, OmegaNetwork
+from repro.permclasses import (
+    BPCSpec,
+    bit_reversal,
+    conditional_exchange,
+    cyclic_shift,
+    is_bpc,
+    is_inverse_omega,
+    is_omega,
+    p_ordering,
+    p_ordering_with_shift,
+    segment_cyclic_shift,
+    table_i_specs,
+)
+from repro.simd import (
+    CCC,
+    MCC,
+    PSC,
+    permute_ccc,
+    permute_mcc,
+    permute_psc,
+    sort_permute_ccc,
+)
+
+
+class TestSectionI:
+    def test_stage_count(self):
+        """'The number of stages in B(n) is therefore 2 log N - 1.'"""
+        for order in range(1, 9):
+            assert BenesNetwork(order).n_stages == 2 * order - 1
+
+    def test_switch_count(self):
+        """'The total number of binary switches in the network is
+        N log N - N/2.'"""
+        for order in range(1, 9):
+            n = 1 << order
+            assert BenesNetwork(order).n_switches == n * order - n // 2
+
+    def test_benes_realizes_all_with_external_setup(self):
+        """'...the network can realize all N! permutations' (with the
+        self-setting logic disabled)."""
+        net = BenesNetwork(2)
+        realized = {
+            net.route_with_states(setup_states(p)).realized.as_tuple()
+            for p in permutations(range(4))
+        }
+        assert len(realized) == 24
+
+    def test_omega_cannot_realize_all(self):
+        """'The same is not true of an omega network.'"""
+        net = OmegaNetwork(2)
+        realized = sum(
+            1 for p in permutations(range(4)) if net.route(p).success
+        )
+        assert realized < 24
+
+    def test_benes_double_of_omega(self):
+        """'The number of switches and the delay in our self-routing
+        network are both about twice the corresponding figures in a
+        self-routing omega network.'"""
+        for order in (4, 6, 8):
+            benes = BenesNetwork(order)
+            omega = OmegaNetwork(order)
+            assert benes.delay == 2 * omega.delay - 1
+            assert omega.n_switches < benes.n_switches <= (
+                2 * omega.n_switches
+            )
+
+    def test_f_larger_than_omega(self):
+        """'the number of permutations realizable on our network ... is
+        much larger than that of an omega network.'"""
+        f2 = sum(1 for p in permutations(range(4)) if in_class_f(p))
+        omega2 = sum(1 for p in permutations(range(4)) if is_omega(p))
+        assert f2 > omega2
+
+    def test_batcher_is_self_routing_but_costlier(self):
+        """'Batcher's sorting network is self-routing, but has
+        O(log^2 N) delay and O(N log^2 N) switches.'"""
+        order = 6
+        batcher = BitonicNetwork(order)
+        benes = BenesNetwork(order)
+        assert batcher.delay == order * (order + 1) // 2
+        assert batcher.delay > benes.delay
+        assert batcher.n_switches > benes.n_switches
+
+    def test_crossbar_trivial_but_quadratic(self):
+        """'a full crossbar is trivial to set up, but uses O(N^2)
+        switches.'"""
+        assert Crossbar(5).n_switches == 32 * 32
+
+    def test_switch_rule_fig3(self):
+        """'The state of a switch in stage b or stage 2n-2-b ... is
+        determined by bit b of the destination tag of its upper
+        input.'"""
+        net = BenesNetwork(3)
+        result = net.route([reverse_bits(i, 3) for i in range(8)],
+                           trace=True)
+        for st in result.stages:
+            for i, state in enumerate(st.states):
+                upper_tag = st.input_tags[2 * i]
+                assert int(state) == (upper_tag >> st.control_bit) & 1
+
+
+class TestSectionII:
+    def test_fig4_bit_reversal_in_f(self):
+        """Fig. 4: bit reversal routes on B(3)."""
+        perm = [reverse_bits(i, 3) for i in range(8)]
+        assert BenesNetwork(3).route(perm).success
+
+    def test_fig5_counterexample(self):
+        """Fig. 5: D = (1,3,2,0) cannot be performed on B(2); yet it is
+        an Omega(2) permutation."""
+        assert not in_class_f([1, 3, 2, 0])
+        assert is_omega([1, 3, 2, 0])
+
+    def test_theorem1_iff(self):
+        """Theorem 1: D in F(n) iff U and L are permutations in
+        F(n-1)."""
+        from repro.core.membership import derive_upper_lower
+        for p in permutations(range(8)):
+            upper, lower = derive_upper_lower(p)
+            upper_hi = tuple(u >> 1 for u in upper)
+            lower_hi = tuple(l >> 1 for l in lower)
+            halves_ok = (
+                sorted(upper_hi) == [0, 1, 2, 3]
+                and sorted(lower_hi) == [0, 1, 2, 3]
+                and in_class_f(upper_hi)
+                and in_class_f(lower_hi)
+            )
+            assert halves_ok == BenesNetwork(3).route(p).success
+
+    def test_bpc_class_size(self):
+        """'The class BPC(n) ... only contains 2^n * n! of the possible
+        N! permutations.'"""
+        hits = sum(
+            1 for p in permutations(range(4)) if is_bpc(p) is not None
+        )
+        assert hits == (1 << 2) * 2
+
+    def test_paper_bpc_example(self):
+        """'For example, consider A = (0, -1, -2) ... D_0 = 6, D_1 = 2,
+        D_2 = 4, D_3 = 0, D_4 = 7, D_5 = 3, D_6 = 5, D_7 = 1.'"""
+        spec = BPCSpec.from_signed(["0", "-1", "-2"])
+        assert spec.to_permutation() == (6, 2, 4, 0, 7, 3, 5, 1)
+
+    def test_theorem2(self, rng):
+        """Theorem 2: BPC(n) is a subset of F(n)."""
+        for order in range(1, 8):
+            for _ in range(20):
+                assert in_class_f(
+                    BPCSpec.random(order, rng).to_permutation()
+                )
+
+    def test_theorem3(self):
+        """Theorem 3: InverseOmega(n) is a subset of F(n)."""
+        for p in permutations(range(8)):
+            if is_inverse_omega(p):
+                assert in_class_f(p)
+
+    def test_omega_not_contained(self):
+        """'Unfortunately, not all Omega(n) permutations are in
+        F(n).'"""
+        assert any(
+            is_omega(p) and not in_class_f(p)
+            for p in permutations(range(4))
+        )
+
+    def test_named_inverse_omega_families(self):
+        """Items 1-6: cyclic shift, p-ordering, inverse p-ordering,
+        p-ordering+shift, segment shifts, conditional exchange are all
+        in InverseOmega(n)."""
+        order = 4
+        family_members = (
+            [cyclic_shift(order, k) for k in range(16)]
+            + [p_ordering(order, p) for p in (3, 5, 7)]
+            + [p_ordering_with_shift(order, 3, 5)]
+            + [segment_cyclic_shift(order, 2, 1)]
+            + [conditional_exchange(order, 2)]
+        )
+        for perm in family_members:
+            assert is_inverse_omega(perm)
+            assert in_class_f(perm)
+
+    def test_named_families_also_in_omega(self):
+        """'It is interesting to note that all of the above Omega^-1
+        permutations are also members of Omega(n).'"""
+        order = 4
+        for perm in (cyclic_shift(order, 3), p_ordering(order, 5),
+                     p_ordering_with_shift(order, 3, 5),
+                     segment_cyclic_shift(order, 2, 1),
+                     conditional_exchange(order, 2)):
+            assert is_omega(perm)
+
+    def test_cyclic_shift_not_bpc(self):
+        """'cyclic shift is not in BPC(n) unless k mod N = 0.'
+
+        Measured refinement: the shift by N/2 is also (trivially) BPC —
+        it only complements the top index bit.  All other non-zero
+        shifts are outside BPC, as the paper asserts.
+        """
+        for order in (2, 3, 4):
+            n = 1 << order
+            for k in range(n):
+                member = is_bpc(cyclic_shift(order, k)) is not None
+                assert member == (k in (0, n // 2)), (order, k)
+
+    def test_bpc_not_all_omega(self):
+        """'every BPC permutation specified by A with |A_j| != j for at
+        least one j is in neither Omega(n) nor InverseOmega(n)' —
+        witnessed by bit reversal."""
+        perm = bit_reversal(3).to_permutation()
+        assert not is_omega(perm)
+        assert not is_inverse_omega(perm)
+
+    def test_omega_bit_extension(self):
+        """'an Omega(n) permutation can be realized on our network if
+        the switches in stages 0 through n-2 are all placed in state
+        0.'"""
+        for order in (2, 3):
+            net = BenesNetwork(order)
+            for p in permutations(range(1 << order)):
+                if is_omega(p):
+                    assert net.route(p, omega_mode=True).success
+
+    def test_product_counterexample(self):
+        """'F is not closed under product ... A = (3,0,1,2),
+        B = (0,1,3,2); A then B = (2,0,1,3); A, B in F(2),
+        A then B not in F(2).'"""
+        a = Permutation((3, 0, 1, 2))
+        b = Permutation((0, 1, 3, 2))
+        assert in_class_f(a) and in_class_f(b)
+        product = a.then(b)
+        assert product == (2, 0, 1, 3)
+        assert not in_class_f(product)
+
+
+class TestSectionIII:
+    def test_ccc_route_count(self):
+        """'the number of unit-routes needed is 2n - 1 = 2 log N - 1.'"""
+        for order in (3, 5, 7):
+            run = permute_ccc(CCC(order), list(range(1 << order)))
+            assert run.unit_routes == 2 * order - 1
+
+    def test_ccc_two_word_route_count(self):
+        """'If the interchange needs two unit-routes, then 4 log N - 2
+        unit-routes are needed.'"""
+        order = 5
+        run = permute_ccc(CCC(order, routes_per_interchange=2),
+                          list(range(32)))
+        assert run.unit_routes == 4 * order - 2
+
+    def test_psc_route_count(self):
+        """'The number of unit-routes needed is 4 log N - 3.'"""
+        for order in (3, 5, 7):
+            run = permute_psc(PSC(order), list(range(1 << order)))
+            assert run.unit_routes == 4 * order - 3
+
+    def test_mcc_route_count(self):
+        """'all permutations in F(n) can be performed with
+        7 N^{1/2} - 8 unit-routes.'"""
+        for q in (1, 2, 3):
+            run = permute_mcc(MCC(q), list(range(1 << (2 * q))))
+            assert run.unit_routes == 7 * (1 << q) - 8
+
+    def test_omega_skip_rule(self):
+        """'Omega permutations can be performed by skipping the first
+        n-1 iterations of the above loop.'"""
+        order = 4
+        perm = cyclic_shift(order, 7)
+        run = permute_ccc(CCC(order), perm, omega=True)
+        assert run.success and run.unit_routes == order
+
+    def test_inverse_omega_skip_rule(self):
+        """'For Omega^-1(n) we may skip the last n-1 iterations.'"""
+        order = 4
+        perm = cyclic_shift(order, 7)
+        run = permute_ccc(CCC(order), perm, inverse_omega=True)
+        assert run.success and run.unit_routes == order
+
+    def test_bpc_skip_rule(self):
+        """'For a BPC permutation given by A, if A_j = j then the
+        iteration(s) b = j may be skipped.'"""
+        order = 4
+        spec = BPCSpec((0, 1, 3, 2), (False,) * 4)
+        run = permute_ccc(CCC(order), spec.to_permutation(),
+                          bpc_spec=spec)
+        assert run.success
+        assert run.unit_routes == 2 * order - 1 - 4  # dims 0,1 skipped twice
+
+    def test_bpc_within_factor_two_of_optimal_on_ccc(self):
+        """'For a BPC permutation the number of routing steps used by
+        the algorithm is within a factor of two from the optimal.'"""
+        from repro.analysis import ccc_lower_bound
+        order = 5
+        for _ in range(30):
+            spec = BPCSpec.random(order)
+            run = permute_ccc(CCC(order), spec.to_permutation(),
+                              bpc_spec=spec)
+            bound = ccc_lower_bound(spec)
+            assert run.unit_routes <= max(2 * bound, 0)
+
+    def test_bpc_within_factor_four_on_mcc(self):
+        """'For permutations in BPC(n) the resulting algorithm is
+        optimal to within a factor of four' — verified against the
+        per-dimension cost structure of the optimal algorithm [6]
+        (we measure a factor of at most two)."""
+        from repro.analysis import mcc_interchange_floor
+        side_order = 2
+        for _ in range(30):
+            spec = BPCSpec.random(2 * side_order)
+            run = permute_mcc(MCC(side_order), spec.to_permutation(),
+                              bpc_spec=spec)
+            floor = mcc_interchange_floor(spec, side_order)
+            assert run.unit_routes <= max(2 * floor, 0)
+            assert run.unit_routes <= max(4 * floor, 0)
+
+    def test_sorting_baseline_quadratic(self):
+        """'Batcher's bitonic sort algorithm yields a permutation
+        algorithm with time complexity O(log^2 N) for a CCC or PSC' —
+        and the class-F algorithm beats it."""
+        order = 6
+        perm = random_permutation(64)
+        sort_run = sort_permute_ccc(CCC(order), perm)
+        assert sort_run.success
+        assert sort_run.route_instructions == order * (order + 1) // 2
+        f_routes = 2 * order - 1
+        assert sort_run.unit_routes > f_routes
+
+    def test_bpc_tags_computed_locally(self):
+        """'each PE can compute its own destination tag in O(log N)
+        steps ... the total number of steps needed to perform a BPC
+        permutation from its A-vector representation is still
+        O(log N).'"""
+        from repro.simd import load_bpc_tags
+        order = 5
+        spec = BPCSpec.random(order)
+        machine = CCC(order)
+        steps = load_bpc_tags(machine, spec)
+        assert steps == order
+        assert machine.stats.unit_routes == 0
+        run = permute_ccc(machine, list(machine.read("D")),
+                          bpc_spec=spec)
+        assert run.success
+
+
+class TestSectionIV:
+    def test_pipeline_latency_and_throughput(self):
+        """'the network will output the first permuted vector after
+        O(log N) delay, while each subsequent permuted vector will
+        emerge after unit delay.'"""
+        order = 3
+        pipe = PipelinedBenes(order)
+        vectors = [list(range(8)), [7 - i for i in range(8)],
+                   [reverse_bits(i, 3) for i in range(8)]]
+        outs = pipe.run(vectors)
+        assert outs[0].latency == 2 * order - 1
+        emerged = [o.emerged_at for o in outs]
+        assert all(b - a == 1 for a, b in zip(emerged, emerged[1:]))
+
+    def test_mixed_permutations_in_flight(self):
+        """'a sequence of vectors (not necessarily according to the
+        same permutation).'"""
+        pipe = PipelinedBenes(2)
+        outs = pipe.run([[0, 1, 2, 3], [3, 2, 1, 0], [1, 0, 3, 2]])
+        assert [o.result.success for o in outs] == [True] * 3

@@ -1,0 +1,72 @@
+"""Unit tests for the data-parallel Benes setup."""
+
+from itertools import permutations
+
+import pytest
+
+from repro.core import BenesNetwork, Permutation, random_permutation
+from repro.core.waksman import setup_states
+from repro.simd import parallel_setup_states
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("order", [1, 2])
+    def test_realizes_all_permutations_exhaustively(self, order):
+        net = BenesNetwork(order)
+        for p in permutations(range(1 << order)):
+            run = parallel_setup_states(p)
+            assert net.route_with_states(run.states).realized == (
+                Permutation(p)
+            )
+
+    def test_realizes_all_n3(self):
+        net = BenesNetwork(3)
+        for p in permutations(range(8)):
+            run = parallel_setup_states(p)
+            assert net.route_with_states(run.states).realized == (
+                Permutation(p)
+            )
+
+    @pytest.mark.parametrize("order", [4, 5, 6, 7, 8])
+    def test_realizes_random_permutations(self, order, rng):
+        net = BenesNetwork(order)
+        for _ in range(8):
+            p = random_permutation(1 << order, rng)
+            run = parallel_setup_states(p)
+            assert net.route_with_states(run.states).realized == p
+
+    def test_state_shape(self):
+        run = parallel_setup_states(list(range(16)))
+        assert len(run.states) == 7
+        assert all(len(col) == 8 for col in run.states)
+
+    def test_agrees_with_serial_waksman_on_realized_perm(self, rng):
+        # the two setups may choose different states (the free side of
+        # each loop) but must realize the same permutation
+        net = BenesNetwork(5)
+        p = random_permutation(32, rng)
+        serial = net.route_with_states(setup_states(p)).realized
+        parallel = net.route_with_states(
+            parallel_setup_states(p).states
+        ).realized
+        assert serial == parallel == p
+
+
+class TestStepCounts:
+    def test_step_count_is_polylog(self):
+        # O(log^2 N) broadcast steps: compare against c * n^2 + c' * n
+        for order in (3, 5, 7, 9):
+            run = parallel_setup_states(list(range(1 << order)))
+            assert run.total_steps <= 2 * order * order + 8 * order
+
+    def test_steps_grow_with_order_not_size(self):
+        small = parallel_setup_states(list(range(8))).total_steps
+        large = parallel_setup_states(list(range(256))).total_steps
+        # size grew 32x; steps should grow far slower (polylog)
+        assert large < 8 * small
+
+    def test_counters_positive(self):
+        run = parallel_setup_states([3, 2, 1, 0])
+        assert run.route_steps > 0
+        assert run.compute_steps > 0
+        assert run.total_steps == run.route_steps + run.compute_steps

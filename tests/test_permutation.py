@@ -1,0 +1,170 @@
+"""Unit tests for the Permutation value type."""
+
+import random
+
+import pytest
+
+from repro.core.permutation import Permutation, identity, random_permutation
+from repro.errors import InvalidPermutationError, SizeMismatchError
+
+
+class TestValidation:
+    def test_accepts_valid(self):
+        Permutation((2, 0, 1))
+
+    def test_rejects_duplicate(self):
+        with pytest.raises(InvalidPermutationError):
+            Permutation((0, 0, 1))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvalidPermutationError):
+            Permutation((0, 3))
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidPermutationError):
+            Permutation((0, -1))
+
+    def test_rejects_non_int(self):
+        with pytest.raises(InvalidPermutationError):
+            Permutation((0.0, 1))
+        with pytest.raises(InvalidPermutationError):
+            Permutation((True, False))
+
+    def test_empty_permutation_allowed(self):
+        assert len(Permutation(())) == 0
+
+
+class TestConstructors:
+    def test_identity(self):
+        assert Permutation.identity(4).as_tuple() == (0, 1, 2, 3)
+        assert identity(4) == Permutation.identity(4)
+
+    def test_from_mapping(self):
+        p = Permutation.from_mapping(lambda i: (i + 1) % 4, 4)
+        assert p.as_tuple() == (1, 2, 3, 0)
+
+    def test_from_cycles(self):
+        p = Permutation.from_cycles([(0, 1, 2)], 4)
+        assert p.as_tuple() == (1, 2, 0, 3)
+
+    def test_from_cycles_rejects_overlap(self):
+        with pytest.raises(InvalidPermutationError):
+            Permutation.from_cycles([(0, 1), (1, 2)], 4)
+
+    def test_random_is_valid_and_seeded(self):
+        a = random_permutation(16, random.Random(1))
+        b = random_permutation(16, random.Random(1))
+        assert a == b
+        assert sorted(a) == list(range(16))
+
+
+class TestProtocol:
+    def test_len_getitem_iter(self):
+        p = Permutation((2, 0, 1))
+        assert len(p) == 3
+        assert p[0] == 2
+        assert list(p) == [2, 0, 1]
+
+    def test_equality_with_tuple(self):
+        assert Permutation((1, 0)) == (1, 0)
+        assert Permutation((1, 0)) != (0, 1)
+
+    def test_hashable(self):
+        assert len({Permutation((0, 1)), Permutation((0, 1)),
+                    Permutation((1, 0))}) == 2
+
+    def test_order(self):
+        assert Permutation(range(8)).order == 3
+
+    def test_order_rejects_non_power_of_two(self):
+        from repro.errors import NotAPowerOfTwoError
+        with pytest.raises(NotAPowerOfTwoError):
+            _ = Permutation((0, 1, 2)).order
+
+
+class TestAlgebra:
+    def test_inverse(self):
+        p = Permutation((2, 0, 3, 1))
+        inv = p.inverse()
+        for i in range(4):
+            assert inv[p[i]] == i
+
+    def test_then_order(self):
+        p = Permutation((1, 2, 0))
+        q = Permutation((0, 2, 1))
+        assert p.then(q)[0] == q[p[0]]
+
+    def test_compose_is_reverse_of_then(self):
+        p = Permutation((1, 2, 0))
+        q = Permutation((0, 2, 1))
+        assert p.compose(q) == q.then(p)
+
+    def test_then_size_mismatch(self):
+        with pytest.raises(SizeMismatchError):
+            Permutation((0, 1)).then(Permutation((0, 1, 2)))
+
+    def test_power(self):
+        p = Permutation((1, 2, 3, 0))
+        assert p.power(4).is_identity()
+        assert p.power(-1) == p.inverse()
+        assert p.power(0).is_identity()
+
+    def test_paper_product_example(self):
+        # Section II closing remark: A=(3,0,1,2), B=(0,1,3,2),
+        # applying A then B gives (2,0,1,3).
+        a = Permutation((3, 0, 1, 2))
+        b = Permutation((0, 1, 3, 2))
+        assert a.then(b).as_tuple() == (2, 0, 1, 3)
+
+    def test_conjugate_by(self):
+        p = Permutation((1, 0, 2, 3))
+        relabel = Permutation((3, 2, 1, 0))
+        conj = p.conjugate_by(relabel)
+        # conj = relabel ∘ p ∘ relabel^{-1}
+        for i in range(4):
+            assert conj[relabel[i]] == relabel[p[i]]
+
+
+class TestApplication:
+    def test_apply_moves_input_i_to_output_di(self):
+        p = Permutation((1, 2, 3, 0))
+        assert p.apply("abcd") == ["d", "a", "b", "c"]
+
+    def test_apply_size_mismatch(self):
+        with pytest.raises(SizeMismatchError):
+            Permutation((0, 1)).apply("abc")
+
+    def test_apply_then_matches_sequential_apply(self):
+        rng = random.Random(3)
+        p = random_permutation(8, rng)
+        q = random_permutation(8, rng)
+        data = list("abcdefgh")
+        assert p.then(q).apply(data) == q.apply(p.apply(data))
+
+
+class TestStructure:
+    def test_cycles_partition_all_elements(self):
+        p = Permutation((1, 0, 3, 4, 2, 5))
+        cycles = p.cycles()
+        flat = sorted(x for c in cycles for x in c)
+        assert flat == list(range(6))
+        assert (5,) in cycles
+
+    def test_fixed_points(self):
+        assert Permutation((0, 2, 1, 3)).fixed_points() == [0, 3]
+
+    def test_is_involution(self):
+        assert Permutation((1, 0, 3, 2)).is_involution()
+        assert not Permutation((1, 2, 0)).is_involution()
+
+    def test_parity(self):
+        assert Permutation((0, 1, 2)).parity() == 0
+        assert Permutation((1, 0, 2)).parity() == 1
+        assert Permutation((1, 2, 0)).parity() == 0
+
+    def test_parity_multiplicative(self):
+        rng = random.Random(9)
+        for _ in range(20):
+            p = random_permutation(8, rng)
+            q = random_permutation(8, rng)
+            assert p.then(q).parity() == (p.parity() + q.parity()) % 2

@@ -1,0 +1,104 @@
+"""Unit tests for pipelined operation (Section IV)."""
+
+import pytest
+
+from repro.core import PipelinedBenes, random_permutation
+from repro.core.bits import reverse_bits
+from repro.errors import SizeMismatchError
+
+
+def _vectors(order, count, rng):
+    """Random class-F tag vectors (drawn from BPC, always in F)."""
+    from repro.permclasses import BPCSpec
+    return [
+        list(BPCSpec.random(order, rng).to_permutation())
+        for _ in range(count)
+    ]
+
+
+class TestLatencyThroughput:
+    def test_latency_is_2n_minus_1(self, rng):
+        for order in (1, 2, 3, 4):
+            pipe = PipelinedBenes(order)
+            outs = pipe.run(_vectors(order, 3, rng))
+            assert all(o.latency == 2 * order - 1 for o in outs)
+
+    def test_one_vector_per_clock_after_fill(self, rng):
+        pipe = PipelinedBenes(3)
+        outs = pipe.run(_vectors(3, 6, rng))
+        emerged = [o.emerged_at for o in outs]
+        assert emerged == list(range(emerged[0], emerged[0] + 6))
+
+    def test_vectors_emerge_in_injection_order(self, rng):
+        pipe = PipelinedBenes(3)
+        outs = pipe.run(_vectors(3, 5, rng))
+        entered = [o.entered_at for o in outs]
+        assert entered == sorted(entered)
+
+
+class TestMixedTraffic:
+    def test_different_permutations_in_flight(self, rng):
+        # Section IV: vectors need not use the same permutation
+        pipe = PipelinedBenes(3)
+        id8 = list(range(8))
+        rev = [7 - i for i in range(8)]
+        bitrev = [reverse_bits(i, 3) for i in range(8)]
+        outs = pipe.run([id8, rev, bitrev])
+        assert [o.result.success for o in outs] == [True] * 3
+        assert [tuple(o.result.requested) for o in outs] == [
+            tuple(id8), tuple(rev), tuple(bitrev)
+        ]
+
+    def test_bubbles_preserve_correctness(self, rng):
+        pipe = PipelinedBenes(2)
+        first = pipe.clock([0, 1, 2, 3])
+        assert first is None
+        for _ in range(2):
+            pipe.clock()  # bubbles
+        out = pipe.clock([3, 2, 1, 0])
+        outs = [out] if out else []
+        outs += pipe.drain()
+        assert len(outs) == 2
+        assert all(o.result.success for o in outs)
+
+    def test_payloads_routed_per_vector(self, rng):
+        pipe = PipelinedBenes(2)
+        outs = pipe.run(
+            [[3, 2, 1, 0], [1, 0, 3, 2]],
+            payloads=[list("abcd"), list("wxyz")],
+        )
+        assert list(outs[0].result.payloads) == ["d", "c", "b", "a"]
+        assert list(outs[1].result.payloads) == ["x", "w", "z", "y"]
+
+    def test_non_f_vector_reports_failure_not_crash(self):
+        pipe = PipelinedBenes(2)
+        outs = pipe.run([[1, 3, 2, 0]])
+        assert len(outs) == 1 and not outs[0].result.success
+
+
+class TestBookkeeping:
+    def test_occupancy_tracks_in_flight(self, rng):
+        pipe = PipelinedBenes(3)
+        assert pipe.occupancy == 0
+        pipe.clock(list(range(8)))
+        pipe.clock(list(range(8)))
+        assert pipe.occupancy == 2
+        pipe.drain()
+        assert pipe.occupancy == 0
+
+    def test_clock_count_advances(self):
+        pipe = PipelinedBenes(2)
+        pipe.clock()
+        pipe.clock(list(range(4)))
+        assert pipe.clock_count == 2
+
+    def test_run_payload_length_mismatch(self):
+        pipe = PipelinedBenes(2)
+        with pytest.raises(SizeMismatchError):
+            pipe.run([[0, 1, 2, 3]], payloads=[])
+
+    def test_properties(self):
+        pipe = PipelinedBenes(3)
+        assert pipe.order == 3
+        assert pipe.n_terminals == 8
+        assert pipe.latency == 5

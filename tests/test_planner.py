@@ -1,0 +1,128 @@
+"""Unit tests for the routing strategy planner."""
+
+import pytest
+
+from repro.core import random_class_f, random_permutation, in_class_f
+from repro.permclasses import (
+    BPCSpec,
+    bit_reversal,
+    cyclic_shift,
+    matrix_transpose,
+)
+from repro.planner import plan
+from repro.simd import CCC, permute_ccc, sort_permute_ccc
+from repro.simd.sort import bitonic_compare_count
+
+
+class TestNetworkStrategy:
+    def test_f_member_self_routes(self, rng):
+        report = plan(random_class_f(4, rng))
+        assert report.network_strategy == "self-routing"
+        assert report.failure_witness is None
+
+    def test_omega_only_uses_omega_mode(self):
+        report = plan([1, 3, 2, 0])
+        assert not report.in_f and report.in_omega
+        assert report.network_strategy == "omega-mode"
+        assert report.failure_witness is not None
+
+    def test_general_permutation_needs_external(self, rng):
+        perm = random_permutation(16, rng)
+        while in_class_f(perm) or plan(perm).in_omega:
+            perm = random_permutation(16, rng)
+        assert plan(perm).network_strategy == "external-setup"
+
+
+class TestSkipRules:
+    def test_bpc_with_fixed_dims_preferred(self):
+        spec = BPCSpec((0, 1, 3, 2), (False,) * 4)  # dims 0,1 fixed
+        report = plan(spec.to_permutation())
+        assert report.skip_rule == "bpc"
+        assert report.bpc == spec
+
+    def test_cyclic_shift_uses_loop_half_skip(self):
+        report = plan(cyclic_shift(4, 3))
+        assert report.skip_rule in ("omega", "inverse-omega")
+        assert report.ccc_unit_routes == 4
+
+    def test_bit_reversal_even_order_no_skip(self):
+        # at even order, bit reversal fixes no dimension and is not
+        # omega either way: the full loop is required
+        report = plan(bit_reversal(4).to_permutation())
+        assert report.skip_rule is None
+        assert report.ccc_unit_routes == 7
+
+    def test_bit_reversal_odd_order_skips_middle_bit(self):
+        # at odd order the middle bit is its own reversal: A_1 = +1 at
+        # order 3, so both b = 1 iterations are skipped
+        report = plan(bit_reversal(3).to_permutation())
+        assert report.skip_rule == "bpc"
+        assert report.ccc_unit_routes == 3
+
+    def test_non_f_sorts(self):
+        report = plan([1, 3, 2, 0])
+        assert report.simd_strategy == "sort"
+        assert report.skip_rule is None
+
+
+class TestPredictedCosts:
+    def test_cost_matches_actual_ccc_run(self, rng):
+        for _ in range(20):
+            spec = BPCSpec.random(4, rng)
+            perm = spec.to_permutation()
+            report = plan(perm)
+            if report.simd_strategy != "simulate":
+                continue
+            kwargs = {}
+            if report.skip_rule == "bpc":
+                kwargs["bpc_spec"] = report.bpc
+            elif report.skip_rule == "omega":
+                kwargs["omega"] = True
+            elif report.skip_rule == "inverse-omega":
+                kwargs["inverse_omega"] = True
+            run = permute_ccc(CCC(4), perm, **kwargs)
+            assert run.success
+            assert run.unit_routes == report.ccc_unit_routes
+
+    def test_sort_cost_prediction(self, rng):
+        perm = random_permutation(16, rng)
+        while in_class_f(perm):
+            perm = random_permutation(16, rng)
+        report = plan(perm)
+        assert report.ccc_unit_routes == bitonic_compare_count(4)
+        run = sort_permute_ccc(CCC(4), perm)
+        assert run.route_instructions == report.ccc_unit_routes
+
+
+class TestAlternatives:
+    def test_non_f_offers_two_pass(self):
+        report = plan([1, 3, 2, 0])
+        assert "two-pass" in report.alternatives
+
+    def test_f_members_need_no_alternative(self, rng):
+        report = plan(random_class_f(4, rng))
+        assert report.alternatives == ()
+
+    def test_two_pass_alternative_actually_works(self, rng):
+        from repro.core.twopass import route_two_pass
+        perm = random_permutation(16, rng)
+        while in_class_f(perm):
+            perm = random_permutation(16, rng)
+        report = plan(perm)
+        assert "two-pass" in report.alternatives
+        data = list(range(16))
+        assert route_two_pass(perm, data) == perm.apply(data)
+
+
+class TestClassification:
+    def test_transpose_report(self):
+        report = plan(matrix_transpose(4).to_permutation())
+        assert report.in_f
+        assert report.bpc == matrix_transpose(4)
+        assert not report.in_omega and not report.in_inverse_omega
+
+    def test_identity_report(self):
+        report = plan(list(range(8)))
+        assert report.in_f and report.in_omega and report.in_inverse_omega
+        assert report.skip_rule == "bpc"   # all dims fixed: 0 routes
+        assert report.ccc_unit_routes == 0

@@ -1,0 +1,150 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BenesNetwork,
+    Permutation,
+    in_class_f,
+    setup_states,
+)
+from repro.core import bits as bitmod
+from repro.core.membership import derive_upper_lower
+from repro.permclasses import BPCSpec, is_bpc, is_inverse_omega, is_omega
+from repro.simd import CCC, PSC, permute_ccc, permute_psc
+
+
+def perms(order):
+    """Strategy: a random permutation of 2^order elements."""
+    n = 1 << order
+    return st.permutations(list(range(n))).map(Permutation)
+
+
+def bpc_specs(order):
+    """Strategy: a random BPC(order) spec."""
+    return st.tuples(
+        st.permutations(list(range(order))),
+        st.lists(st.booleans(), min_size=order, max_size=order),
+    ).map(lambda t: BPCSpec(tuple(t[0]), tuple(t[1])))
+
+
+ints = st.integers(min_value=0, max_value=(1 << 12) - 1)
+
+
+class TestBitProperties:
+    @given(ints, st.integers(min_value=1, max_value=12))
+    def test_reverse_is_involution(self, value, width):
+        value &= (1 << width) - 1
+        assert bitmod.reverse_bits(
+            bitmod.reverse_bits(value, width), width
+        ) == value
+
+    @given(ints, st.integers(min_value=1, max_value=12),
+           st.integers(min_value=0, max_value=24))
+    def test_rotate_roundtrip(self, value, width, k):
+        value &= (1 << width) - 1
+        left = bitmod.rotate_left(value, width, k)
+        assert bitmod.rotate_right(left, width, k) == value
+
+    @given(ints, st.integers(min_value=1, max_value=12))
+    def test_bits_of_from_bits_roundtrip(self, value, width):
+        value &= (1 << width) - 1
+        assert bitmod.from_bits(bitmod.bits_of(value, width)) == value
+
+    @given(ints, st.integers(min_value=0, max_value=11))
+    def test_flip_changes_exactly_one_bit(self, value, position):
+        flipped = bitmod.flip_bit(value, position)
+        assert bitmod.popcount(value ^ flipped) == 1
+
+
+class TestPermutationProperties:
+    @given(perms(3))
+    def test_inverse_roundtrip(self, p):
+        assert p.inverse().inverse() == p
+        assert p.then(p.inverse()).is_identity()
+
+    @given(perms(3), perms(3))
+    def test_then_associativity_with_apply(self, p, q):
+        data = list(range(8))
+        assert p.then(q).apply(data) == q.apply(p.apply(data))
+
+    @given(perms(2), perms(2), perms(2))
+    def test_composition_associative(self, p, q, r):
+        assert p.then(q).then(r) == p.then(q.then(r))
+
+    @given(perms(3))
+    def test_cycles_reconstruct(self, p):
+        assert Permutation.from_cycles(p.cycles(), 8) == p
+
+
+class TestClassFProperties:
+    @given(perms(3))
+    @settings(max_examples=150)
+    def test_recursion_matches_structural_simulation(self, p):
+        assert in_class_f(p) == BenesNetwork(3).route(p).success
+
+    @given(perms(3))
+    @settings(max_examples=100)
+    def test_derived_halves_partition(self, p):
+        upper, lower = derive_upper_lower(p)
+        assert sorted(upper + lower) == list(range(8))
+
+    @given(perms(3))
+    @settings(max_examples=100)
+    def test_waksman_realizes_everything(self, p):
+        net = BenesNetwork(3)
+        assert net.route_with_states(setup_states(p)).realized == p
+
+    @given(perms(3))
+    @settings(max_examples=80)
+    def test_simd_simulations_agree(self, p):
+        expected = in_class_f(p)
+        assert permute_ccc(CCC(3), p).success == expected
+        assert permute_psc(PSC(3), p).success == expected
+
+    @given(perms(2))
+    def test_inverse_omega_implies_f(self, p):
+        if is_inverse_omega(p):
+            assert in_class_f(p)
+
+
+class TestBPCProperties:
+    @given(bpc_specs(4))
+    @settings(max_examples=100)
+    def test_theorem2(self, spec):
+        assert in_class_f(spec.to_permutation())
+
+    @given(bpc_specs(4))
+    def test_recognition_roundtrip(self, spec):
+        assert is_bpc(spec.to_permutation()) == spec
+
+    @given(bpc_specs(4), bpc_specs(4))
+    def test_composition_homomorphism(self, a, b):
+        assert a.then(b).to_permutation() == (
+            a.to_permutation().then(b.to_permutation())
+        )
+
+    @given(bpc_specs(5))
+    def test_inverse_homomorphism(self, spec):
+        assert spec.inverse().to_permutation() == (
+            spec.to_permutation().inverse()
+        )
+
+    @given(bpc_specs(4))
+    def test_signed_token_roundtrip(self, spec):
+        assert BPCSpec.from_signed(spec.signed_tokens()) == spec
+
+
+class TestOmegaProperties:
+    @given(perms(3))
+    def test_omega_inverse_duality(self, p):
+        assert is_inverse_omega(p) == is_omega(p.inverse())
+
+    @given(perms(3))
+    @settings(max_examples=80)
+    def test_omega_mode_realizes_omega(self, p):
+        if is_omega(p):
+            assert BenesNetwork(3).route(p, omega_mode=True).success

@@ -1,0 +1,163 @@
+"""Property-based tests for the extension modules (sampler, GCN,
+planner, dual machine, parallel setup)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BenesNetwork,
+    Permutation,
+    in_class_f,
+    random_class_f,
+)
+from repro.networks import GeneralizedConnectionNetwork
+from repro.planner import plan
+from repro.simd import (
+    CCC,
+    DualNetworkComputer,
+    parallel_setup_states,
+    permute_ccc,
+    sort_permute_ccc,
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+perms8 = st.permutations(list(range(8))).map(Permutation)
+
+
+class TestSamplerProperties:
+    @given(seeds, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=60)
+    def test_every_sample_is_in_f(self, seed, order):
+        perm = random_class_f(order, random.Random(seed))
+        assert in_class_f(perm)
+
+    @given(seeds)
+    @settings(max_examples=30)
+    def test_samples_route_structurally(self, seed):
+        perm = random_class_f(5, random.Random(seed))
+        assert BenesNetwork(5).route(perm).success
+
+
+class TestGCNProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=7),
+                    min_size=8, max_size=8))
+    @settings(max_examples=80)
+    def test_any_map_is_realized(self, sources):
+        gcn = GeneralizedConnectionNetwork(3)
+        data = [f"v{i}" for i in range(8)]
+        result = gcn.connect(sources, payloads=data)
+        assert result.outputs == tuple(data[s] for s in sources)
+
+
+class TestPlannerProperties:
+    @given(perms8)
+    @settings(max_examples=80)
+    def test_plan_is_internally_consistent(self, perm):
+        report = plan(perm)
+        if report.in_f:
+            assert report.network_strategy == "self-routing"
+            assert report.simd_strategy == "simulate"
+            assert report.failure_witness is None
+        else:
+            assert report.simd_strategy == "sort"
+            assert report.failure_witness is not None
+        if report.network_strategy == "omega-mode":
+            assert report.in_omega and not report.in_f
+
+    @given(perms8)
+    @settings(max_examples=50)
+    def test_predicted_cost_achievable(self, perm):
+        report = plan(perm)
+        if report.simd_strategy == "sort":
+            run = sort_permute_ccc(CCC(3), perm)
+            assert run.route_instructions == report.ccc_unit_routes
+            return
+        kwargs = {}
+        if report.skip_rule == "bpc":
+            kwargs["bpc_spec"] = report.bpc
+        elif report.skip_rule == "omega":
+            kwargs["omega"] = True
+        elif report.skip_rule == "inverse-omega":
+            kwargs["inverse_omega"] = True
+        run = permute_ccc(CCC(3), perm, **kwargs)
+        assert run.success
+        assert run.unit_routes == report.ccc_unit_routes
+
+
+class TestDualProperties:
+    @given(perms8, st.integers(min_value=1, max_value=30))
+    @settings(max_examples=50)
+    def test_dual_always_routes_correctly(self, perm, overhead):
+        machine = DualNetworkComputer(3, step_gate_cost=overhead)
+        data = [f"d{i}" for i in range(8)]
+        report = machine.permute(perm, data)
+        assert list(report.data) == perm.apply(data)
+
+    @given(perms8)
+    @settings(max_examples=40)
+    def test_dual_choice_minimizes_cost(self, perm):
+        machine = DualNetworkComputer(3)
+        report = machine.permute(perm)
+        if report.benes_gate_delays is not None:
+            assert report.gate_delays == min(
+                report.benes_gate_delays,
+                report.e_network_gate_delays,
+            )
+
+
+class TestStatePackingProperties:
+    @given(perms8)
+    @settings(max_examples=60)
+    def test_pack_roundtrip(self, perm):
+        from repro.core import pack_states, setup_states, unpack_states
+        states = setup_states(perm)
+        assert unpack_states(pack_states(states), 3) == states
+
+    @given(perms8)
+    @settings(max_examples=40)
+    def test_packed_states_still_route(self, perm):
+        from repro.core import pack_states, setup_states, unpack_states
+        net = BenesNetwork(3)
+        reloaded = unpack_states(pack_states(setup_states(perm)), 3)
+        assert net.route_with_states(reloaded).realized == perm
+
+
+class TestTwoPassProperties:
+    @given(perms8)
+    @settings(max_examples=60)
+    def test_decomposition_classes(self, perm):
+        from repro.core.twopass import two_pass_decomposition
+        from repro.permclasses import is_inverse_omega, is_omega
+        first, second = two_pass_decomposition(perm)
+        assert first.then(second) == perm
+        assert is_inverse_omega(first)
+        assert is_omega(second)
+
+    @given(perms8)
+    @settings(max_examples=30)
+    def test_two_pass_routing_moves_data(self, perm):
+        from repro.core.twopass import route_two_pass
+        data = [f"v{i}" for i in range(8)]
+        assert route_two_pass(perm, data) == perm.apply(data)
+
+
+class TestFastPathProperties:
+    @given(perms8)
+    @settings(max_examples=80)
+    def test_fast_path_equivalent(self, perm):
+        from repro.core import fast_self_route
+        success, delivered = fast_self_route(perm)
+        result = BenesNetwork(3).route(perm)
+        assert success == result.success
+        assert delivered == result.delivered
+
+
+class TestParallelSetupProperties:
+    @given(perms8)
+    @settings(max_examples=60)
+    def test_parallel_setup_realizes_everything(self, perm):
+        net = BenesNetwork(3)
+        run = parallel_setup_states(perm)
+        assert net.route_with_states(run.states).realized == perm

@@ -1,0 +1,60 @@
+"""Unit tests for the consolidated reproduction report."""
+
+import pytest
+
+from repro.analysis import REPORT_SECTIONS, generate_report
+
+
+class TestSections:
+    def test_all_sections_render(self):
+        report = generate_report()
+        for name in REPORT_SECTIONS:
+            assert name in report
+
+    def test_single_section(self):
+        report = generate_report(["FIG5"])
+        assert "FIG5" in report
+        assert "FIG4" not in report
+        assert "success: False" in report
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(KeyError):
+            generate_report(["FIG99"])
+
+    def test_deterministic_given_seed(self):
+        assert generate_report(["CLM-SIMD"], seed=7) == (
+            generate_report(["CLM-SIMD"], seed=7)
+        )
+
+
+class TestContent:
+    def test_fig1_counts(self):
+        body = generate_report(["FIG1"])
+        assert "switches=  9728" in body  # n=10
+
+    def test_fig4_succeeds_and_fig5_fails(self):
+        body = generate_report(["FIG4", "FIG5"])
+        assert "success: True" in body
+        assert "success: False" in body
+
+    def test_fig6_spotcheck(self):
+        body = generate_report(["FIG6"])
+        assert "iteration bits b: 0, 1, 2, 1, 0" in body
+
+    def test_table1_rows(self):
+        body = generate_report(["TAB1"])
+        for name in ("matrix transpose", "bit reversal",
+                     "shuffled row major"):
+            assert name in body
+
+    def test_simd_route_counts(self):
+        body = generate_report(["CLM-SIMD"])
+        # the n=8 row: CCC 15, PSC 29, MCC 104
+        assert "15" in body and "29" in body and "104" in body
+
+    def test_rich_includes_f4(self):
+        assert "133488540928" in generate_report(["CLM-RICH"])
+
+    def test_setup_shows_zero_for_self_routing(self):
+        body = generate_report(["CLM-SETUP"])
+        assert "self-routing steps" in body

@@ -1,0 +1,97 @@
+"""Unit tests for RouteResult / StageTrace and the error hierarchy."""
+
+import pytest
+
+from repro.core import BenesNetwork, Permutation
+from repro.core.routing import RouteResult, StageTrace, collect_result
+from repro.core.switch import Signal
+from repro import errors
+
+
+class TestRouteResult:
+    def _result(self, tags, delivered_sources):
+        rows = [
+            Signal(tag=o, payload=f"p{src}", source=src)
+            if tags[src] == o else
+            Signal(tag=tags[src], payload=f"p{src}", source=src)
+            for o, src in enumerate(delivered_sources)
+        ]
+        return collect_result(tags, rows)
+
+    def test_success_when_all_tags_match(self):
+        tags = (1, 0, 2, 3)
+        rows = [Signal(tag=o, payload=None,
+                       source=tags.index(o)) for o in range(4)]
+        result = collect_result(tags, rows)
+        assert result.success
+        assert result.misrouted == ()
+        assert result.realized == Permutation(tags)
+
+    def test_misrouted_lists_wrong_outputs(self):
+        tags = (0, 1)
+        rows = [Signal(tag=1, source=1), Signal(tag=0, source=0)]
+        result = collect_result(tags, rows)
+        assert not result.success
+        assert result.misrouted == (0, 1)
+
+    def test_arrived_tags(self):
+        net = BenesNetwork(2)
+        result = net.route([1, 0, 3, 2])
+        assert result.arrived_tags() == (0, 1, 2, 3)
+
+    def test_realized_always_permutation(self):
+        net = BenesNetwork(2)
+        result = net.route([1, 3, 2, 0])  # fails, still a bijection
+        assert sorted(result.realized) == [0, 1, 2, 3]
+
+    def test_frozen(self):
+        net = BenesNetwork(2)
+        result = net.route(list(range(4)))
+        with pytest.raises(AttributeError):
+            result.success = False
+
+
+class TestStageTrace:
+    def test_fields(self):
+        net = BenesNetwork(2)
+        result = net.route([3, 2, 1, 0], trace=True)
+        st = result.stages[0]
+        assert isinstance(st, StageTrace)
+        assert st.stage == 0
+        assert st.control_bit == 0
+        assert len(st.input_tags) == 4
+        assert len(st.states) == 2
+        assert len(st.output_tags) == 4
+
+    def test_stage_chain_consistency(self):
+        # the output tags of stage s, pushed through the link, are the
+        # input tags of stage s+1
+        net = BenesNetwork(3)
+        result = net.route([7 - i for i in range(8)], trace=True)
+        topo = net.topology
+        for st, nxt in zip(result.stages, result.stages[1:]):
+            moved = topo.apply_link(st.stage, list(st.output_tags))
+            assert tuple(moved) == nxt.input_tags
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError)
+
+    def test_value_errors_where_appropriate(self):
+        assert issubclass(errors.InvalidPermutationError, ValueError)
+        assert issubclass(errors.NotAPowerOfTwoError, ValueError)
+        assert issubclass(errors.SpecificationError, ValueError)
+
+    def test_runtime_errors_where_appropriate(self):
+        assert issubclass(errors.RoutingError, RuntimeError)
+        assert issubclass(errors.MachineError, RuntimeError)
+
+    def test_single_catch_covers_library(self):
+        try:
+            BenesNetwork(2).route([0, 1])
+        except errors.ReproError:
+            caught = True
+        assert caught

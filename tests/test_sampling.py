@@ -1,0 +1,126 @@
+"""Unit tests for class-F sampling and the transfer-matrix count."""
+
+import random
+from itertools import permutations
+
+import pytest
+
+from repro.core import (
+    BenesNetwork,
+    Permutation,
+    class_f_count_recursive,
+    in_class_f,
+    pair_weight,
+    random_class_f,
+    random_class_f_uniform,
+)
+from repro.core.membership import derive_upper_lower, enumerate_class_f
+from repro.core.sampling import TRANSFER_MATRIX, _mat_pow
+
+
+class TestTransferMatrix:
+    def test_matrix_values(self):
+        # (beta_i, beta_sigma(i)): (0,0)->2 arrangements, (0,1)->1,
+        # (1,0)->1, (1,1)->forbidden
+        assert TRANSFER_MATRIX == ((2, 1), (1, 0))
+
+    def test_mat_pow(self):
+        m = TRANSFER_MATRIX
+        assert _mat_pow(m, 0) == ((1, 0), (0, 1))
+        assert _mat_pow(m, 1) == m
+        assert _mat_pow(m, 2) == ((5, 2), (2, 1))
+
+
+class TestPairWeight:
+    def test_identity_pair(self):
+        # u = l = identity: sigma = identity, N/2 fixed points, each a
+        # 1-cycle with trace(M) = 2
+        ident = Permutation.identity(4)
+        assert pair_weight(ident, ident) == 2 ** 4
+
+    def test_weights_sum_to_class_size_n2(self):
+        members = list(enumerate_class_f(1))
+        total = sum(
+            pair_weight(u, l) for u in members for l in members
+        )
+        assert total == 20  # |F(2)|
+
+    def test_weight_counts_actual_members(self):
+        # for a fixed (u, l) pair at order 2, count the F(2) members
+        # whose Theorem 1 decomposition matches, and compare
+        u = Permutation((1, 0))
+        l = Permutation((0, 1))
+        expected = pair_weight(u, l)
+        actual = 0
+        for p in permutations(range(4)):
+            if not in_class_f(p):
+                continue
+            upper, lower = derive_upper_lower(p)
+            if (tuple(x >> 1 for x in upper) == u.as_tuple()
+                    and tuple(x >> 1 for x in lower) == l.as_tuple()):
+                actual += 1
+        assert actual == expected
+
+
+class TestRecursiveCount:
+    def test_known_values(self):
+        assert class_f_count_recursive(1) == 2
+        assert class_f_count_recursive(2) == 20
+        assert class_f_count_recursive(3) == 11632
+
+    def test_guard(self):
+        with pytest.raises(ValueError):
+            class_f_count_recursive(4)
+        with pytest.raises(ValueError):
+            class_f_count_recursive(0)
+
+
+class TestRandomClassF:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 6, 8])
+    def test_samples_are_members(self, order, rng):
+        for _ in range(15):
+            assert in_class_f(random_class_f(order, rng))
+
+    def test_full_support_at_n2(self, rng):
+        seen = {random_class_f(2, rng).as_tuple() for _ in range(3000)}
+        assert len(seen) == 20
+
+    def test_samples_route_on_network(self, rng):
+        net = BenesNetwork(7)
+        for _ in range(5):
+            assert net.route(random_class_f(7, rng)).success
+
+    def test_order_one(self, rng):
+        seen = {random_class_f(1, rng).as_tuple() for _ in range(50)}
+        assert seen == {(0, 1), (1, 0)}
+
+    def test_rejects_order_zero(self, rng):
+        with pytest.raises(ValueError):
+            random_class_f(0, rng)
+
+    def test_deterministic_with_seed(self):
+        a = random_class_f(5, random.Random(42))
+        b = random_class_f(5, random.Random(42))
+        assert a == b
+
+
+class TestRandomClassFUniform:
+    def test_members_only(self, rng):
+        for order in (2, 3, 4):
+            for _ in range(5):
+                assert in_class_f(random_class_f_uniform(order, rng))
+
+    def test_roughly_uniform_at_n2(self, rng):
+        from collections import Counter
+        counts = Counter(
+            random_class_f_uniform(2, rng).as_tuple()
+            for _ in range(2000)
+        )
+        assert len(counts) == 20
+        # with 2000 draws over 20 members, each expects 100; allow wide
+        # tolerance
+        assert all(40 < c < 220 for c in counts.values())
+
+    def test_max_tries_exhaustion(self, rng):
+        with pytest.raises(RuntimeError):
+            random_class_f_uniform(6, rng, max_tries=1)

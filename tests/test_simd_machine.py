@@ -1,0 +1,219 @@
+"""Unit tests for the SIMD machine framework and the four models."""
+
+import pytest
+
+from repro.errors import MachineError, MaskError
+from repro.simd import CCC, CIC, MCC, PSC
+from repro.simd.machine import SIMDMachine
+
+
+class TestRegisters:
+    def test_set_and_read(self):
+        m = SIMDMachine(4)
+        m.set_register("R", [10, 20, 30, 40])
+        assert m.read("R") == (10, 20, 30, 40)
+
+    def test_wrong_length_rejected(self):
+        m = SIMDMachine(4)
+        with pytest.raises(MachineError):
+            m.set_register("R", [1, 2])
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(MachineError):
+            SIMDMachine(4).register("nope")
+
+    def test_has_register(self):
+        m = SIMDMachine(2)
+        assert not m.has_register("R")
+        m.set_register("R", [0, 1])
+        assert m.has_register("R")
+
+    def test_zero_pes_rejected(self):
+        with pytest.raises(MachineError):
+            SIMDMachine(0)
+
+
+class TestComputeAndMasks:
+    def test_elementwise(self):
+        m = SIMDMachine(4)
+        m.set_register("A", [1, 2, 3, 4])
+        m.set_register("B", [10, 20, 30, 40])
+        m.elementwise("C", lambda a, b: a + b, "A", "B")
+        assert m.read("C") == (11, 22, 33, 44)
+        assert m.stats.compute_steps == 1
+
+    def test_elementwise_masked(self):
+        m = SIMDMachine(4)
+        m.set_register("A", [1, 2, 3, 4])
+        m.elementwise("A", lambda a: a * 10, "A",
+                      mask=[True, False, True, False])
+        assert m.read("A") == (10, 2, 30, 4)
+
+    def test_elementwise_indexed(self):
+        m = SIMDMachine(4)
+        m.elementwise_indexed("I", lambda i: i * i)
+        assert m.read("I") == (0, 1, 4, 9)
+
+    def test_bad_mask_length(self):
+        m = SIMDMachine(4)
+        m.set_register("A", [0] * 4)
+        with pytest.raises(MaskError):
+            m.elementwise("A", lambda a: a, "A", mask=[True])
+
+    def test_mask_from_predicate(self):
+        m = SIMDMachine(4)
+        assert m.mask_from(lambda i, _m: i % 2 == 0) == (
+            [True, False, True, False]
+        )
+
+
+class TestCIC:
+    def test_permute_one_route(self):
+        m = CIC(4)
+        m.set_register("R", list("abcd"))
+        m.permute(("R",), [2, 3, 0, 1])
+        assert m.read("R") == ("c", "d", "a", "b")
+        assert m.stats.unit_routes == 1
+
+    def test_permute_size_checked(self):
+        m = CIC(4)
+        m.set_register("R", list("abcd"))
+        with pytest.raises(MachineError):
+            m.permute(("R",), [0, 1])
+
+
+class TestCCC:
+    def test_neighbor(self):
+        m = CCC(3)
+        assert m.neighbor(0b010, 0) == 0b011
+        assert m.neighbor(0b010, 2) == 0b110
+
+    def test_dim_bounds(self):
+        with pytest.raises(MachineError):
+            CCC(3).neighbor(0, 3)
+
+    def test_interchange_swaps_pairs(self):
+        m = CCC(2)
+        m.set_register("R", list("abcd"))
+        m.interchange(("R",), 1, [True, False, False, False])
+        assert m.read("R") == ("c", "b", "a", "d")
+        assert m.stats.unit_routes == 1
+
+    def test_interchange_cost_model(self):
+        m = CCC(2, routes_per_interchange=2)
+        m.set_register("R", list("abcd"))
+        m.interchange(("R",), 0)
+        assert m.stats.unit_routes == 2
+
+    def test_bad_cost_model_rejected(self):
+        with pytest.raises(MachineError):
+            CCC(2, routes_per_interchange=3)
+
+    def test_route_across_copies(self):
+        m = CCC(1)
+        m.set_register("R", ["x", "y"])
+        m.route_across(("R",), 0, mask=[True, False])
+        assert m.read("R") == ("x", "x")
+
+
+class TestPSC:
+    def test_shuffle_unshuffle_inverse(self):
+        m = PSC(3)
+        m.set_register("R", list(range(8)))
+        m.shuffle(("R",))
+        m.unshuffle(("R",))
+        assert m.read("R") == tuple(range(8))
+        assert m.stats.unit_routes == 2
+
+    def test_shuffle_moves_by_rotation(self):
+        m = PSC(2)
+        m.set_register("R", list("abcd"))
+        m.shuffle(("R",))
+        # value at PE i moves to rotate_left(i,2): 0->0,1->2,2->1,3->3
+        assert m.read("R") == ("a", "c", "b", "d")
+
+    def test_exchange_masked(self):
+        m = PSC(2)
+        m.set_register("R", list("abcd"))
+        m.exchange(("R",), [True, False, False, False])
+        assert m.read("R") == ("b", "a", "c", "d")
+
+    def test_n_shuffles_identity(self):
+        m = PSC(4)
+        m.set_register("R", list(range(16)))
+        for _ in range(4):
+            m.shuffle(("R",))
+        assert m.read("R") == tuple(range(16))
+
+
+class TestMCC:
+    def test_coordinates_roundtrip(self):
+        m = MCC(2)
+        for pe in range(16):
+            r, c = m.coordinates(pe)
+            assert m.pe_at(r, c) == pe
+
+    def test_dimension_geometry(self):
+        m = MCC(2)  # 4x4, n=4 bits, q=2
+        assert m.dimension_geometry(0) == ("horizontal", 1)
+        assert m.dimension_geometry(1) == ("horizontal", 2)
+        assert m.dimension_geometry(2) == ("vertical", 1)
+        assert m.dimension_geometry(3) == ("vertical", 2)
+        with pytest.raises(MachineError):
+            m.dimension_geometry(4)
+
+    def test_interchange_cost_is_twice_distance(self):
+        m = MCC(2)
+        m.set_register("R", list(range(16)))
+        m.interchange(("R",), 1)  # horizontal distance 2
+        assert m.stats.unit_routes == 4
+
+    def test_interchange_swaps_correct_pairs(self):
+        m = MCC(1)  # 2x2
+        m.set_register("R", list("abcd"))
+        m.interchange(("R",), 1, [True, False, False, False])
+        # bit 1 is vertical distance 1: swaps (0,2)
+        assert m.read("R") == ("c", "b", "a", "d")
+
+    def test_shift_drops_at_edges(self):
+        m = MCC(1)
+        m.set_register("R", list("abcd"))
+        m.shift(("R",), "horizontal", 1)
+        # row (a,b) -> (a, a); values pushed off the edge vanish
+        assert m.read("R") == ("a", "a", "c", "c")
+        assert m.stats.unit_routes == 1
+
+    def test_shift_cost_is_distance(self):
+        m = MCC(2)
+        m.set_register("R", list(range(16)))
+        m.shift(("R",), "vertical", 2)
+        assert m.stats.unit_routes == 2
+
+    def test_shift_zero_free(self):
+        m = MCC(1)
+        m.set_register("R", list("abcd"))
+        m.shift(("R",), "vertical", 0)
+        assert m.stats.unit_routes == 0
+
+    def test_bad_axis(self):
+        m = MCC(1)
+        m.set_register("R", list("abcd"))
+        with pytest.raises(MachineError):
+            m.shift(("R",), "diagonal", 1)
+
+
+class TestStats:
+    def test_reset(self):
+        m = CCC(2)
+        m.set_register("R", list(range(4)))
+        m.interchange(("R",), 0)
+        m.stats.reset()
+        assert m.stats.unit_routes == 0
+        assert m.stats.total_steps == 0
+
+    def test_total_steps(self):
+        m = CCC(2)
+        m.set_register("R", list(range(4)))
+        m.interchange(("R",), 0)
+        m.elementwise("R", lambda r: r, "R")
+        assert m.stats.total_steps == 2

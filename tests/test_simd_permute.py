@@ -1,0 +1,221 @@
+"""Unit tests for the Section III permutation algorithms."""
+
+from itertools import permutations
+
+import pytest
+
+from repro.core import Permutation, in_class_f, random_permutation
+from repro.errors import MachineError, RoutingError
+from repro.permclasses import (
+    BPCSpec,
+    cyclic_shift,
+    is_inverse_omega,
+    is_omega,
+)
+from repro.permclasses.bpc import bit_reversal
+from repro.simd import (
+    CCC,
+    MCC,
+    PSC,
+    benes_dimension_schedule,
+    permute_ccc,
+    permute_mcc,
+    permute_psc,
+)
+
+
+class TestSchedule:
+    def test_shape(self):
+        assert benes_dimension_schedule(3) == [0, 1, 2, 1, 0]
+        assert benes_dimension_schedule(1) == [0]
+
+    def test_length_2n_minus_1(self):
+        for order in range(1, 10):
+            assert len(benes_dimension_schedule(order)) == 2 * order - 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            benes_dimension_schedule(0)
+
+
+class TestCCCAlgorithm:
+    def test_agrees_with_class_f_exhaustive_n2(self):
+        for p in permutations(range(4)):
+            assert permute_ccc(CCC(2), p).success == in_class_f(p)
+
+    def test_agrees_with_class_f_sampled_n4(self, rng):
+        for _ in range(100):
+            p = random_permutation(16, rng)
+            assert permute_ccc(CCC(4), p).success == in_class_f(p)
+
+    def test_route_count_2n_minus_1(self):
+        for order in (1, 2, 3, 4, 5, 6):
+            run = permute_ccc(CCC(order), list(range(1 << order)))
+            assert run.unit_routes == 2 * order - 1
+            assert run.route_instructions == 2 * order - 1
+
+    def test_two_route_interchange_model(self):
+        run = permute_ccc(CCC(3, routes_per_interchange=2),
+                          list(range(8)))
+        assert run.unit_routes == 2 * (2 * 3 - 1)  # 4 log N - 2
+
+    def test_data_follows_tags(self, rng):
+        order = 4
+        spec = BPCSpec.random(order, rng)
+        perm = spec.to_permutation()
+        data = [f"item{i}" for i in range(16)]
+        run = permute_ccc(CCC(order), perm, data=data)
+        assert run.success
+        for i in range(16):
+            assert run.data[perm[i]] == data[i]
+
+    def test_require_success(self):
+        with pytest.raises(RoutingError):
+            permute_ccc(CCC(2), [1, 3, 2, 0], require_success=True)
+
+    def test_fig6_trace(self):
+        perm = bit_reversal(3).to_permutation()
+        run = permute_ccc(CCC(3), perm, trace=True)
+        assert len(run.tag_history) == 6  # initial + 5 iterations
+        assert run.tag_history[0] == perm.as_tuple()
+        assert run.tag_history[-1] == tuple(range(8))
+        # Fig. 6 spot-checks: first iteration exchanges PEs 6 and 7
+        # (D(6) = 011 has bit 0 set) but not PEs 0 and 1.
+        after1 = run.tag_history[1]
+        assert after1[6] == perm[7] and after1[7] == perm[6]
+        assert after1[0] == perm[0] and after1[1] == perm[1]
+
+    def test_size_mismatch(self):
+        with pytest.raises(MachineError):
+            permute_ccc(CCC(3), [0, 1, 2, 3])
+
+
+class TestCCCSkipRules:
+    def test_omega_skip(self):
+        order = 4
+        perm = cyclic_shift(order, 3)
+        assert is_omega(perm)
+        run = permute_ccc(CCC(order), perm, omega=True)
+        assert run.success
+        assert run.unit_routes == order  # last n iterations only
+        assert run.skipped_dimensions == tuple(range(order - 1))
+
+    def test_inverse_omega_skip(self):
+        order = 4
+        perm = cyclic_shift(order, 5)
+        assert is_inverse_omega(perm)
+        run = permute_ccc(CCC(order), perm, inverse_omega=True)
+        assert run.success
+        assert run.unit_routes == order
+
+    def test_bpc_skip(self, rng):
+        order = 5
+        spec = BPCSpec.random(order, rng)
+        run = permute_ccc(CCC(order), spec.to_permutation(),
+                          bpc_spec=spec)
+        assert run.success
+        fixed = spec.fixed_dimensions()
+        expected_skips = sum(
+            2 if b != order - 1 else 1 for b in fixed
+        )
+        assert run.unit_routes == 2 * order - 1 - expected_skips
+
+    def test_identity_with_bpc_spec_routes_zero(self):
+        order = 4
+        spec = BPCSpec.identity(order)
+        run = permute_ccc(CCC(order), spec.to_permutation(),
+                          bpc_spec=spec)
+        assert run.success and run.unit_routes == 0
+
+    def test_conflicting_skip_flags(self):
+        with pytest.raises(MachineError):
+            permute_ccc(CCC(2), [0, 1, 2, 3], omega=True,
+                        inverse_omega=True)
+
+    def test_mismatched_bpc_spec(self):
+        with pytest.raises(MachineError):
+            permute_ccc(CCC(3), list(range(8)),
+                        bpc_spec=BPCSpec.identity(2))
+
+
+class TestPSCAlgorithm:
+    def test_agrees_with_class_f_exhaustive_n2(self):
+        for p in permutations(range(4)):
+            assert permute_psc(PSC(2), p).success == in_class_f(p)
+
+    def test_agrees_with_ccc_sampled(self, rng):
+        for _ in range(80):
+            p = random_permutation(8, rng)
+            assert (permute_psc(PSC(3), p).success ==
+                    permute_ccc(CCC(3), p).success)
+
+    def test_route_count_4n_minus_3(self):
+        for order in (1, 2, 3, 4, 5):
+            run = permute_psc(PSC(order), list(range(1 << order)))
+            assert run.unit_routes == 4 * order - 3
+
+    def test_omega_replacement_shuffle(self):
+        order = 4
+        perm = cyclic_shift(order, 3)
+        run = permute_psc(PSC(order), perm, omega=True)
+        assert run.success
+        # 1 shuffle + 1 exchange + (n-1)*(shuffle+exchange)
+        assert run.unit_routes == 2 * order
+
+    def test_inverse_omega_replacement_unshuffle(self):
+        order = 4
+        perm = cyclic_shift(order, 5)
+        run = permute_psc(PSC(order), perm, inverse_omega=True)
+        assert run.success
+        assert run.unit_routes == 2 * order
+
+    def test_data_follows_tags(self, rng):
+        spec = BPCSpec.random(4, rng)
+        perm = spec.to_permutation()
+        data = list(range(100, 116))
+        run = permute_psc(PSC(4), perm, data=data)
+        for i in range(16):
+            assert run.data[perm[i]] == data[i]
+
+    def test_conflicting_flags(self):
+        with pytest.raises(MachineError):
+            permute_psc(PSC(2), [0, 1, 2, 3], omega=True,
+                        inverse_omega=True)
+
+
+class TestMCCAlgorithm:
+    def test_agrees_with_class_f_exhaustive_n2(self):
+        for p in permutations(range(4)):
+            assert permute_mcc(MCC(1), p).success == in_class_f(p)
+
+    def test_route_count_7_sqrt_n_minus_8(self):
+        for q in (1, 2, 3):
+            run = permute_mcc(MCC(q), list(range(1 << (2 * q))))
+            assert run.unit_routes == 7 * (1 << q) - 8
+
+    def test_agrees_with_ccc_sampled(self, rng):
+        for _ in range(60):
+            p = random_permutation(16, rng)
+            assert (permute_mcc(MCC(2), p).success ==
+                    permute_ccc(CCC(4), p).success)
+
+    def test_data_follows_tags(self, rng):
+        spec = BPCSpec.random(4, rng)
+        perm = spec.to_permutation()
+        run = permute_mcc(MCC(2), perm)
+        assert run.success
+        for i in range(16):
+            assert run.data[perm[i]] == i
+
+    def test_bpc_skip_reduces_routes(self, rng):
+        q = 2
+        spec = BPCSpec((0, 1, 3, 2), (False,) * 4)  # dims 0,1 fixed
+        full = permute_mcc(MCC(q), spec.to_permutation())
+        skipped = permute_mcc(MCC(q), spec.to_permutation(),
+                              bpc_spec=spec)
+        assert skipped.success
+        assert skipped.unit_routes < full.unit_routes
+
+    def test_require_success(self):
+        with pytest.raises(RoutingError):
+            permute_mcc(MCC(1), [1, 3, 2, 0], require_success=True)

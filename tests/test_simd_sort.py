@@ -1,0 +1,96 @@
+"""Unit tests for the sort-based permutation baseline."""
+
+from itertools import permutations
+
+import pytest
+
+from repro.core import random_permutation
+from repro.errors import MachineError
+from repro.simd import (
+    CCC,
+    PSC,
+    bitonic_compare_count,
+    sort_permute_ccc,
+    sort_permute_psc,
+)
+
+
+class TestCompareCount:
+    def test_formula(self):
+        assert bitonic_compare_count(1) == 1
+        assert bitonic_compare_count(4) == 10
+        assert bitonic_compare_count(10) == 55
+
+
+class TestCCCSort:
+    def test_realizes_everything_exhaustive_n2(self):
+        for p in permutations(range(4)):
+            assert sort_permute_ccc(CCC(2), p).success
+
+    def test_realizes_everything_exhaustive_n3(self):
+        for p in permutations(range(8)):
+            assert sort_permute_ccc(CCC(3), p).success
+
+    def test_realizes_random_large(self, rng):
+        for order in (4, 5, 6):
+            for _ in range(10):
+                p = random_permutation(1 << order, rng)
+                assert sort_permute_ccc(CCC(order), p).success
+
+    def test_interchange_count(self):
+        for order in (2, 3, 4, 5):
+            run = sort_permute_ccc(CCC(order), list(range(1 << order)))
+            assert run.route_instructions == bitonic_compare_count(order)
+
+    def test_cost_exceeds_class_f_algorithm(self):
+        # Theta(log^2 N) vs 2 log N - 1 — the paper's comparison
+        from repro.simd import permute_ccc
+        order = 6
+        sort_run = sort_permute_ccc(CCC(order), list(range(64)))
+        f_run = permute_ccc(CCC(order), list(range(64)))
+        assert sort_run.unit_routes > f_run.unit_routes
+
+    def test_data_follows_tags(self, rng):
+        order = 4
+        p = random_permutation(16, rng)
+        data = [f"d{i}" for i in range(16)]
+        run = sort_permute_ccc(CCC(order), p, data=data)
+        for i in range(16):
+            assert run.data[p[i]] == data[i]
+
+    def test_size_mismatch(self):
+        with pytest.raises(MachineError):
+            sort_permute_ccc(CCC(3), [0, 1])
+
+
+class TestPSCSort:
+    def test_realizes_everything_exhaustive_n2(self):
+        for p in permutations(range(4)):
+            assert sort_permute_psc(PSC(2), p).success
+
+    def test_realizes_random_large(self, rng):
+        for order in (3, 4, 5):
+            for _ in range(10):
+                p = random_permutation(1 << order, rng)
+                assert sort_permute_psc(PSC(order), p).success
+
+    def test_shuffle_count_is_n_squared(self):
+        # Stone's schedule: n passes of n shuffles each
+        order = 4
+        run = sort_permute_psc(PSC(order), list(range(16)))
+        # at least n^2 shuffles; exchanges add at most n(n+1)/2
+        assert run.unit_routes >= order * order
+        assert run.unit_routes <= order * order + bitonic_compare_count(order)
+
+    def test_data_follows_tags(self, rng):
+        p = random_permutation(16, rng)
+        run = sort_permute_psc(PSC(4), p)
+        for i in range(16):
+            assert run.data[p[i]] == i
+
+    def test_cost_order_log_squared(self):
+        # both machines pay Theta(log^2 N); PSC constant is larger
+        order = 5
+        ccc_run = sort_permute_ccc(CCC(order), list(range(32)))
+        psc_run = sort_permute_psc(PSC(order), list(range(32)))
+        assert psc_run.unit_routes > ccc_run.unit_routes

@@ -1,0 +1,72 @@
+"""Unit tests for per-PE destination-tag generation."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.permclasses import BPCSpec
+from repro.simd import CCC, PSC, load_affine_tags, load_bpc_tags
+from repro.simd.tags import load_explicit_tags
+
+
+class TestBPCTags:
+    def test_matches_spec_expansion(self, rng):
+        for order in (2, 3, 4, 5):
+            spec = BPCSpec.random(order, rng)
+            machine = CCC(order)
+            load_bpc_tags(machine, spec)
+            assert machine.read("D") == spec.to_permutation().as_tuple()
+
+    def test_step_count_is_order(self, rng):
+        for order in (2, 4, 6):
+            machine = CCC(order)
+            steps = load_bpc_tags(machine, BPCSpec.random(order, rng))
+            assert steps == order  # O(log N), no routes
+
+    def test_no_routes_charged(self, rng):
+        machine = PSC(4)
+        load_bpc_tags(machine, BPCSpec.random(4, rng))
+        assert machine.stats.unit_routes == 0
+
+    def test_size_mismatch(self):
+        with pytest.raises(MachineError):
+            load_bpc_tags(CCC(3), BPCSpec.identity(2))
+
+    def test_tags_usable_for_routing(self, rng):
+        from repro.simd import permute_ccc
+        order = 4
+        spec = BPCSpec.random(order, rng)
+        machine = CCC(order)
+        load_bpc_tags(machine, spec)
+        run = permute_ccc(machine, list(machine.read("D")),
+                          bpc_spec=spec)
+        assert run.success
+
+
+class TestAffineTags:
+    def test_matches_formula(self):
+        machine = CCC(4)
+        load_affine_tags(machine, 5, 3)
+        assert machine.read("D") == tuple(
+            (5 * i + 3) % 16 for i in range(16)
+        )
+
+    def test_single_step(self):
+        machine = CCC(3)
+        assert load_affine_tags(machine, 3, 0) == 1
+
+    def test_rejects_even_p(self):
+        with pytest.raises(MachineError):
+            load_affine_tags(CCC(3), 2, 0)
+
+    def test_produces_valid_permutation(self):
+        from repro.core import Permutation
+        machine = CCC(5)
+        load_affine_tags(machine, 7, 11)
+        Permutation(machine.read("D"))  # validates
+
+
+class TestExplicitTags:
+    def test_loads_verbatim(self):
+        machine = CCC(2)
+        load_explicit_tags(machine, [3, 2, 1, 0])
+        assert machine.read("D") == (3, 2, 1, 0)

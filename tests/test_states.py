@@ -1,0 +1,123 @@
+"""Unit tests for switch-state bit packing and the lower-control
+ablation variant."""
+
+from itertools import permutations
+
+import pytest
+
+from repro.core import (
+    BenesNetwork,
+    pack_states,
+    random_permutation,
+    setup_states,
+    state_bit_count,
+    unpack_states,
+)
+from repro.core.membership import in_class_f
+from repro.errors import SwitchStateError
+
+
+class TestStatePacking:
+    def test_bit_count_formula(self):
+        # the paper: "It returns N log N - N/2 bits"
+        for order in range(1, 10):
+            n = 1 << order
+            assert state_bit_count(order) == n * order - n // 2
+
+    def test_roundtrip(self, rng):
+        for order in (1, 2, 3, 5, 7):
+            perm = random_permutation(1 << order, rng)
+            states = setup_states(perm)
+            packed = pack_states(states)
+            assert unpack_states(packed, order) == states
+
+    def test_packed_length(self):
+        for order in (1, 3, 6):
+            states = setup_states(list(range(1 << order)))
+            packed = pack_states(states)
+            assert len(packed) == (state_bit_count(order) + 7) // 8
+
+    def test_packed_states_route(self, rng):
+        order = 4
+        net = BenesNetwork(order)
+        perm = random_permutation(16, rng)
+        wire_format = pack_states(setup_states(perm))   # "the machine
+        # returns N log N - N/2 bits" — reload them and route
+        states = unpack_states(wire_format, order)
+        assert net.route_with_states(states).realized == perm
+
+    def test_pack_rejects_bad_state(self):
+        with pytest.raises(SwitchStateError):
+            pack_states([[0, 2]])
+
+    def test_unpack_rejects_wrong_length(self):
+        with pytest.raises(SwitchStateError):
+            unpack_states(b"\x00", 3)
+
+    def test_unpack_rejects_dirty_padding(self):
+        # B(1): 1 state bit; the remaining 7 bits must be zero
+        with pytest.raises(SwitchStateError):
+            unpack_states(bytes([0x81]), 1)
+
+    def test_identity_packs_to_zeros(self):
+        net = BenesNetwork(3)
+        packed = pack_states(net.straight_states())
+        assert packed == bytes(len(packed))
+
+
+class TestLowerControlVariant:
+    def test_mirror_class_exhaustive(self):
+        # D is lower-routable iff i -> ~D(~i) is upper-routable
+        for order in (2, 3):
+            n = 1 << order
+            lower_net = BenesNetwork(order, control="lower")
+            count = 0
+            for p in permutations(range(n)):
+                conjugated = tuple(
+                    (n - 1) ^ p[(n - 1) ^ i] for i in range(n)
+                )
+                assert lower_net.route(p).success == in_class_f(
+                    conjugated
+                )
+                count += lower_net.route(p).success
+            # |F_lower| = |F| by symmetry
+            assert count == (20 if order == 2 else 11632)
+            if order == 3:
+                break  # n=3 loop above is already the expensive one
+
+    def test_identity_routable_under_both_rules(self):
+        for control in ("upper", "lower"):
+            net = BenesNetwork(3, control=control)
+            assert net.route(list(range(8))).success
+
+    def test_fig5_fails_under_both_rules(self):
+        for control in ("upper", "lower"):
+            net = BenesNetwork(2, control=control)
+            assert not net.route([1, 3, 2, 0]).success
+
+    def test_classes_coincide_at_order2(self):
+        # a small-size coincidence: F(2) is invariant under the
+        # complement conjugation, so both rules route the same set
+        upper = BenesNetwork(2)
+        lower = BenesNetwork(2, control="lower")
+        for p in permutations(range(4)):
+            assert upper.route(p).success == lower.route(p).success
+
+    def test_classes_differ_at_order3(self):
+        # ... but from n = 3 the two rules route different (equal-size)
+        # classes: 6528 of the 40320 permutations flip membership
+        upper = BenesNetwork(3)
+        lower = BenesNetwork(3, control="lower")
+        differ = sum(
+            upper.route(p).success != lower.route(p).success
+            for p in permutations(range(8))
+        )
+        assert differ == 6528
+
+    def test_invalid_control_rejected(self):
+        with pytest.raises(SwitchStateError):
+            BenesNetwork(2, control="sideways")
+
+    def test_repr_shows_variant(self):
+        assert "lower" in repr(BenesNetwork(2, control="lower"))
+        assert "lower" not in repr(BenesNetwork(2))

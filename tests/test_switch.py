@@ -1,0 +1,97 @@
+"""Unit tests for the binary switch (Figs. 2 and 3)."""
+
+import pytest
+
+from repro.core.switch import (
+    CROSS,
+    STRAIGHT,
+    BinarySwitch,
+    Signal,
+    SwitchState,
+)
+from repro.errors import SwitchStateError
+
+
+class TestSwitchState:
+    def test_values_match_paper(self):
+        assert int(STRAIGHT) == 0
+        assert int(CROSS) == 1
+
+    def test_invert(self):
+        assert ~STRAIGHT == CROSS
+        assert ~CROSS == STRAIGHT
+
+
+class TestExternalControl:
+    def test_straight_passes_through(self):
+        sw = BinarySwitch(STRAIGHT)
+        assert sw.transfer("a", "b") == ("a", "b")
+
+    def test_cross_exchanges(self):
+        sw = BinarySwitch(CROSS)
+        assert sw.transfer("a", "b") == ("b", "a")
+
+    def test_set_state_accepts_ints(self):
+        sw = BinarySwitch()
+        sw.set_state(1)
+        assert sw.state is CROSS
+        sw.set_state(0)
+        assert sw.state is STRAIGHT
+
+    def test_set_state_rejects_other(self):
+        with pytest.raises(SwitchStateError):
+            BinarySwitch().set_state(2)
+
+
+class TestSelfRouting:
+    def test_state_from_upper_tag_bit(self):
+        # Fig. 3: bit b of the UPPER input's tag decides the state.
+        for b in range(3):
+            for tag in range(8):
+                sw = BinarySwitch()
+                up = Signal(tag=tag)
+                low = Signal(tag=7 - tag if 7 - tag != tag else (tag + 1) % 8)
+                sw.self_route(up, low, b)
+                assert int(sw.state) == (tag >> b) & 1
+
+    def test_lower_tag_ignored(self):
+        sw1, sw2 = BinarySwitch(), BinarySwitch()
+        up = Signal(tag=0b010)
+        sw1.self_route(up, Signal(tag=0), 1)
+        sw2.self_route(up, Signal(tag=7), 1)
+        assert sw1.state == sw2.state == CROSS
+
+    def test_routing_moves_signals(self):
+        sw = BinarySwitch()
+        up, low = Signal(tag=1, payload="u"), Signal(tag=0, payload="l")
+        out_up, out_low = sw.self_route(up, low, 0)  # bit0 of 1 -> cross
+        assert out_up.payload == "l" and out_low.payload == "u"
+
+    def test_omega_bit_forces_straight(self):
+        sw = BinarySwitch()
+        up = Signal(tag=0b111, omega=True)
+        low = Signal(tag=0b000, omega=True)
+        out = sw.self_route(up, low, 0, force_straight_on_omega=True)
+        assert sw.state is STRAIGHT
+        assert out == (up, low)
+
+    def test_omega_bit_ignored_without_flag(self):
+        sw = BinarySwitch()
+        up = Signal(tag=0b111, omega=True)
+        sw.self_route(up, Signal(tag=0), 0)
+        assert sw.state is CROSS
+
+
+class TestSignal:
+    def test_defaults(self):
+        sig = Signal(tag=3)
+        assert sig.payload is None and not sig.omega and sig.source is None
+
+    def test_frozen(self):
+        sig = Signal(tag=3)
+        with pytest.raises(AttributeError):
+            sig.tag = 4
+
+    def test_repr_compact(self):
+        assert repr(Signal(tag=3)) == "Signal(tag=3)"
+        assert "payload" in repr(Signal(tag=3, payload="x"))

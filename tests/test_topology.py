@@ -1,0 +1,133 @@
+"""Unit tests for the flat Benes topology (Fig. 1 structure)."""
+
+import pytest
+
+from repro.core import bits
+from repro.core.topology import (
+    BenesTopology,
+    control_bit,
+    shuffle_link,
+    stage_count,
+    switch_count,
+    unshuffle_link,
+)
+
+
+class TestCounts:
+    def test_stage_count_formula(self):
+        # 2 log N - 1 stages
+        for order in range(1, 10):
+            assert stage_count(order) == 2 * order - 1
+
+    def test_switch_count_formula(self):
+        # N log N - N/2 switches
+        for order in range(1, 10):
+            n = 1 << order
+            assert switch_count(order) == n * order - n // 2
+
+    def test_rejects_order_zero(self):
+        with pytest.raises(ValueError):
+            stage_count(0)
+
+
+class TestControlBit:
+    def test_schedule_is_palindrome(self):
+        # Fig. 3: stages b and 2n-2-b share control bit b
+        for order in range(1, 8):
+            topo = BenesTopology.build(order)
+            sched = topo.control_bits()
+            assert sched == tuple(reversed(sched))
+            assert sched == tuple(
+                min(s, 2 * order - 2 - s) for s in range(2 * order - 1)
+            )
+
+    def test_middle_stage_uses_top_bit(self):
+        for order in range(1, 8):
+            assert control_bit(order - 1, order) == order - 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            control_bit(5, 2)
+        with pytest.raises(ValueError):
+            control_bit(-1, 2)
+
+
+class TestLinks:
+    def test_unshuffle_sends_switch_outputs_to_subnetworks(self):
+        # Fig. 1: upper output of switch i (row 2i) -> input i of the
+        # upper B(n-1) (row i); lower output (row 2i+1) -> row N/2 + i.
+        for order in (2, 3, 4):
+            link = unshuffle_link(order)
+            half = 1 << (order - 1)
+            for i in range(half):
+                assert link[2 * i] == i
+                assert link[2 * i + 1] == half + i
+
+    def test_shuffle_collects_subnetwork_outputs(self):
+        # output j of upper subnet (row j) -> upper input of last-stage
+        # switch j (row 2j); lower subnet output -> row 2j+1.
+        for order in (2, 3, 4):
+            link = shuffle_link(order)
+            half = 1 << (order - 1)
+            for j in range(half):
+                assert link[j] == 2 * j
+                assert link[half + j] == 2 * j + 1
+
+    def test_links_are_rotations(self):
+        order = 4
+        assert unshuffle_link(order) == tuple(
+            bits.rotate_right(r, order) for r in range(1 << order)
+        )
+        assert shuffle_link(order) == tuple(
+            bits.rotate_left(r, order) for r in range(1 << order)
+        )
+
+
+class TestBuild:
+    def test_b1_has_single_column(self):
+        topo = BenesTopology.build(1)
+        assert topo.n_stages == 1
+        assert topo.links == ()
+        topo.validate()
+
+    def test_validate_accepts_all_small_orders(self):
+        for order in range(1, 8):
+            BenesTopology.build(order).validate()
+
+    def test_inner_links_nested_in_halves(self):
+        # every interior link keeps signals within their half
+        for order in (3, 4, 5):
+            topo = BenesTopology.build(order)
+            half = topo.n_terminals // 2
+            for link in topo.links[1:-1]:
+                for r, target in enumerate(link):
+                    assert (r < half) == (target < half)
+
+    def test_apply_link_moves_values(self):
+        topo = BenesTopology.build(2)
+        moved = topo.apply_link(0, ["r0", "r1", "r2", "r3"])
+        # unshuffle: row0->0, row1->2, row2->1, row3->3
+        assert moved == ["r0", "r2", "r1", "r3"]
+
+    def test_build_rejects_order_zero(self):
+        with pytest.raises(ValueError):
+            BenesTopology.build(0)
+
+    def test_n_switches_consistent(self):
+        for order in range(1, 7):
+            topo = BenesTopology.build(order)
+            assert topo.n_switches == (
+                topo.n_stages * topo.switches_per_stage
+            )
+
+    def test_recursive_structure_matches_two_subnetworks(self):
+        # interior links of B(n) restricted to the top half equal the
+        # links of B(n-1)
+        for order in (3, 4, 5):
+            big = BenesTopology.build(order)
+            small = BenesTopology.build(order - 1)
+            half = big.n_terminals // 2
+            inner = big.links[1:-1]
+            assert len(inner) == len(small.links)
+            for big_link, small_link in zip(inner, small.links):
+                assert big_link[:half] == small_link

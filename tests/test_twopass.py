@@ -1,0 +1,72 @@
+"""Unit tests for two-pass universality."""
+
+from itertools import permutations
+
+import pytest
+
+from repro.core import BenesNetwork, Permutation, random_permutation
+from repro.core.twopass import route_two_pass, two_pass_decomposition
+from repro.permclasses import is_inverse_omega, is_omega
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize("order", [1, 2])
+    def test_exhaustive_small(self, order):
+        for p in permutations(range(1 << order)):
+            first, second = two_pass_decomposition(p)
+            assert first.then(second) == Permutation(p)
+            assert is_inverse_omega(first)
+            assert is_omega(second)
+
+    def test_exhaustive_n3(self):
+        for p in permutations(range(8)):
+            first, second = two_pass_decomposition(p)
+            assert first.then(second) == Permutation(p)
+            assert is_inverse_omega(first)
+            assert is_omega(second)
+
+    @pytest.mark.parametrize("order", [4, 5, 6, 7])
+    def test_random_large(self, order, rng):
+        for _ in range(10):
+            p = random_permutation(1 << order, rng)
+            first, second = two_pass_decomposition(p)
+            assert first.then(second) == p
+            assert is_inverse_omega(first)
+            assert is_omega(second)
+
+    def test_fig5_counterexample_decomposes(self):
+        first, second = two_pass_decomposition([1, 3, 2, 0])
+        assert first.then(second) == (1, 3, 2, 0)
+        assert is_inverse_omega(first)
+        assert is_omega(second)
+
+    def test_identity_decomposes_trivially(self):
+        first, second = two_pass_decomposition(list(range(8)))
+        assert first.then(second).is_identity()
+
+
+class TestRouting:
+    def test_routes_arbitrary_permutations(self, rng):
+        net = BenesNetwork(4)
+        for _ in range(20):
+            p = random_permutation(16, rng)
+            data = [f"d{i}" for i in range(16)]
+            assert route_two_pass(p, data, net) == p.apply(data)
+
+    def test_both_passes_self_routed(self, rng):
+        # the whole point: no external setup anywhere; route() with
+        # require_success would raise if either pass weren't routable
+        net = BenesNetwork(3)
+        p = Permutation((1, 3, 2, 0, 5, 7, 6, 4))
+        route_two_pass(p, list(range(8)), net)  # must not raise
+
+    def test_network_created_when_missing(self):
+        out = route_two_pass([1, 3, 2, 0], list("abcd"))
+        assert out == ["d", "a", "c", "b"]
+
+    def test_works_for_f_members_too(self, rng):
+        from repro.core import random_class_f
+        net = BenesNetwork(4)
+        p = random_class_f(4, rng)
+        data = list(range(100, 116))
+        assert route_two_pass(p, data, net) == p.apply(data)

@@ -1,0 +1,111 @@
+"""Unit tests for the ASCII figure renderings."""
+
+import pytest
+
+from repro.core import BenesNetwork, Permutation
+from repro.permclasses.bpc import bit_reversal
+from repro.simd import CCC, permute_ccc
+from repro.viz import (
+    format_binary,
+    render_ccc_trace,
+    render_network_diagram,
+    render_route,
+    render_switch,
+    render_topology,
+)
+
+
+class TestFormatBinary:
+    def test_padding(self):
+        assert format_binary(5, 4) == "0101"
+        assert format_binary(0, 3) == "000"
+
+
+class TestRenderSwitch:
+    def test_mentions_both_states(self):
+        art = render_switch()
+        assert "state 0" in art and "state 1" in art
+
+
+class TestRenderTopology:
+    def test_counts_in_header(self):
+        art = render_topology(3)
+        assert "N = 8" in art
+        assert "20 binary switches" in art
+        assert "5 stages" in art
+
+    def test_link_annotations(self):
+        art = render_topology(3)
+        assert "unshuffle (into sub-networks)" in art
+        assert "shuffle (out of sub-networks)" in art
+
+    def test_control_bit_column(self):
+        lines = render_topology(2).splitlines()
+        bits = [line.split()[1] for line in lines[3:]]
+        assert bits == ["0", "1", "0"]
+
+
+class TestRenderRoute:
+    def test_fig4_succeeds(self):
+        net = BenesNetwork(3)
+        perm = bit_reversal(3).to_permutation()
+        art = render_route(net.route(perm, trace=True), 3)
+        assert "success: True" in art
+        assert "000" in art  # binary tags
+
+    def test_fig5_reports_misrouted(self):
+        net = BenesNetwork(2)
+        art = render_route(net.route([1, 3, 2, 0], trace=True), 2)
+        assert "success: False" in art
+        assert "misrouted outputs: [0, 2]" in art
+
+    def test_decimal_mode(self):
+        net = BenesNetwork(2)
+        art = render_route(net.route([3, 2, 1, 0], trace=True), 2,
+                           binary=False)
+        assert "success: True" in art
+
+    def test_requires_trace(self):
+        net = BenesNetwork(2)
+        with pytest.raises(ValueError):
+            render_route(net.route([0, 1, 2, 3]), 2)
+
+    def test_row_count(self):
+        net = BenesNetwork(3)
+        art = render_route(net.route(list(range(8)), trace=True), 3)
+        # header + 8 rows + blank + success line
+        assert len(art.splitlines()) == 11
+
+
+class TestRenderNetworkDiagram:
+    def test_row_count(self):
+        art = render_network_diagram(3)
+        # header + blank + 8 wire rows + blank + control line
+        assert len(art.splitlines()) == 12
+
+    def test_links_shown(self):
+        art = render_network_diagram(2)
+        assert "> 2" in art  # the unshuffle crossing
+
+    def test_control_bits_line(self):
+        assert "0, 1, 2, 1, 0" in render_network_diagram(3)
+
+    def test_legibility_guard(self):
+        with pytest.raises(ValueError):
+            render_network_diagram(7)
+
+
+class TestRenderCCCTrace:
+    def test_fig6_shape(self):
+        perm = bit_reversal(3).to_permutation()
+        run = permute_ccc(CCC(3), perm, trace=True)
+        art = render_ccc_trace(run, 3)
+        assert "iteration bits b: 0, 1, 2, 1, 0" in art
+        assert "success: True" in art
+        assert "D(i)^5" in art
+        assert len(art.splitlines()) == 2 + 8 + 2  # headers + PEs + footer
+
+    def test_requires_trace(self):
+        run = permute_ccc(CCC(2), [0, 1, 2, 3])
+        with pytest.raises(ValueError):
+            render_ccc_trace(run, 2)

@@ -1,0 +1,82 @@
+"""Unit tests for the external (looping/Waksman) Benes setup."""
+
+from itertools import permutations
+
+import pytest
+
+from repro.core import BenesNetwork, Permutation, random_permutation
+from repro.core.waksman import looping_assignment, setup_states
+from repro.errors import InvalidPermutationError
+
+
+class TestLoopingAssignment:
+    def test_input_pairs_split(self):
+        for p in permutations(range(8)):
+            sub = looping_assignment(p)
+            for i in range(4):
+                assert sub[2 * i] != sub[2 * i + 1]
+            break  # structure identical; one exhaustive case below
+
+    def test_output_pairs_split_exhaustive_n2(self):
+        for p in permutations(range(4)):
+            sub = looping_assignment(p)
+            inverse = [0] * 4
+            for t, d in enumerate(p):
+                inverse[d] = t
+            for j in range(2):
+                assert sub[inverse[2 * j]] != sub[inverse[2 * j + 1]]
+                assert sub[2 * j] != sub[2 * j + 1]
+
+    def test_assignment_is_binary(self, rng):
+        p = random_permutation(32, rng)
+        assert set(looping_assignment(list(p))) <= {0, 1}
+
+
+class TestSetupStates:
+    def test_realizes_all_permutations_exhaustively_n2(self):
+        net = BenesNetwork(2)
+        for p in permutations(range(4)):
+            states = setup_states(p)
+            realized = net.route_with_states(states).realized
+            assert realized == Permutation(p), p
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 5, 6, 7])
+    def test_realizes_random_permutations(self, order, rng):
+        net = BenesNetwork(order)
+        for _ in range(10):
+            p = random_permutation(1 << order, rng)
+            states = setup_states(p)
+            assert net.route_with_states(states).realized == p
+
+    def test_realizes_fig5_counterexample(self):
+        # the whole point: permutations outside F still work externally
+        net = BenesNetwork(2)
+        states = setup_states([1, 3, 2, 0])
+        assert net.route_with_states(states).realized == (1, 3, 2, 0)
+
+    def test_state_shape_matches_network(self):
+        net = BenesNetwork(4)
+        states = setup_states(list(range(16)))
+        assert len(states) == net.n_stages
+        assert all(len(col) == net.n_terminals // 2 for col in states)
+
+    def test_identity_setup_uses_straight_last_column(self):
+        states = setup_states(list(range(8)))
+        assert all(s == 0 for s in states[-1])
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(InvalidPermutationError):
+            setup_states([0, 0, 1, 2])
+
+    def test_b1(self):
+        assert setup_states([0, 1]) == [[0]]
+        assert setup_states([1, 0]) == [[1]]
+
+    def test_payloads_travel_with_setup(self, rng):
+        net = BenesNetwork(3)
+        p = random_permutation(8, rng)
+        result = net.route_with_states(setup_states(p),
+                                       payloads=list("abcdefgh"))
+        routed = result.payloads
+        for i in range(8):
+            assert routed[p[i]] == "abcdefgh"[i]
