@@ -1,0 +1,107 @@
+"""ACCEL — vectorized batch-routing engine vs the scalar fast path.
+
+Not a paper claim: the perf budget that makes the ROADMAP's bulk
+workloads (Monte-Carlo F(n) density, cardinality sweeps, membership
+sampling) tractable at production scale.  Sweeps batch sizes x orders
+and records items/second for ``fast_self_route`` versus
+``repro.accel.batch_self_route``.
+
+Run as a script to (re)generate the machine-readable perf trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_accel.py --json BENCH_accel.json
+
+or under pytest (``pytest benchmarks -k accel``) for the smoke
+assertions: parity of the timed workload and — when NumPy is present —
+the >= 10x acceptance floor at order 8, batch 256.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+
+import pytest
+from conftest import emit
+
+from repro.accel import batch_self_route, have_numpy
+from repro.accel.benchmark import (
+    best_speedup,
+    format_table,
+    run_benchmark,
+    write_json,
+)
+from repro.core import random_permutation
+from repro.core.fastpath import fast_self_route
+
+SMOKE_ORDERS = (4, 8)
+SMOKE_BATCHES = (64, 256)
+
+
+def test_accel_parity_on_bench_workload(rng):
+    """The exact workload the timings route must agree with the scalar
+    path (guards against benchmarking a broken kernel)."""
+    for order in SMOKE_ORDERS:
+        n = 1 << order
+        tags = [random_permutation(n, rng).as_tuple() for _ in range(32)]
+        success, delivered = batch_self_route(tags)
+        for i, row in enumerate(tags):
+            ok, dst = fast_self_route(row)
+            assert bool(success[i]) == ok
+            assert tuple(int(v) for v in delivered[i]) == dst
+
+
+def test_accel_speedup_smoke():
+    """One reduced sweep; assert the acceptance floor when vectorized."""
+    report = run_benchmark(orders=SMOKE_ORDERS,
+                           batch_sizes=SMOKE_BATCHES, repeats=2)
+    emit("ACCEL: batch engine vs scalar fast path",
+         format_table(report))
+    assert len(report["cells"]) == len(SMOKE_ORDERS) * len(SMOKE_BATCHES)
+    if not have_numpy():
+        pytest.skip("NumPy absent: fallback mode, no speedup expected")
+    floor = best_speedup(report, min_order=8, min_batch=256)
+    assert floor is not None and floor >= 10.0, (
+        f"vectorized engine only {floor:.1f}x over scalar at order 8 "
+        "(acceptance floor is 10x)"
+    )
+
+
+def test_accel_throughput_order8(benchmark):
+    """pytest-benchmark hook on the headline cell (order 8, batch 256)."""
+    if not have_numpy():
+        pytest.skip("NumPy absent")
+    rng = random.Random(1980)
+    n = 1 << 8
+    tags = [random_permutation(n, rng).as_tuple() for _ in range(256)]
+    success, _ = benchmark(batch_self_route, tags)
+    assert len(success) == 256
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark repro.accel against the scalar fast path"
+    )
+    parser.add_argument("--orders", default="4,6,8",
+                        help="comma-separated network orders")
+    parser.add_argument("--batches", default="64,256,1024",
+                        help="comma-separated batch sizes")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=1980)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the machine-readable report here "
+                             "(e.g. BENCH_accel.json)")
+    args = parser.parse_args(argv)
+    report = run_benchmark(
+        orders=[int(t) for t in args.orders.split(",")],
+        batch_sizes=[int(t) for t in args.batches.split(",")],
+        seed=args.seed, repeats=args.repeats,
+    )
+    print(format_table(report))
+    if args.json:
+        write_json(report, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,7 @@ SIMD routers at N = 1024.
 import pytest
 from conftest import emit
 
+from repro.accel import batch_self_route, have_numpy
 from repro.core import BenesNetwork, random_class_f, setup_states
 from repro.core import random_permutation
 from repro.permclasses import BPCSpec
@@ -29,6 +30,18 @@ def test_waksman_scaling(benchmark, order, rng):
     perm = random_permutation(1 << order, rng)
     states = benchmark(setup_states, perm)
     assert len(states) == 2 * order - 1
+
+
+@pytest.mark.parametrize("order", [10, 12])
+def test_accel_batch_scaling(benchmark, order, rng):
+    """Bulk leg of the sweep: 256 self-routed passes per call through
+    the vectorized engine (falls back to the scalar loop sans NumPy)."""
+    if not have_numpy():
+        pytest.skip("NumPy absent: batch engine runs in fallback mode")
+    n = 1 << order
+    tags = [random_permutation(n, rng).as_tuple() for _ in range(256)]
+    success, delivered = benchmark(batch_self_route, tags)
+    assert len(success) == 256 and len(delivered[0]) == n
 
 
 def test_simd_scaling(benchmark, rng):

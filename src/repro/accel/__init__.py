@@ -1,0 +1,67 @@
+"""``repro.accel`` — the NumPy-vectorized batch-routing engine.
+
+Bulk analysis primitives (batched self-routing, batched external-state
+routing, batched F(n) membership) built on precompiled per-order
+**stage plans** held in a bounded, lock-guarded LRU cache — see
+:mod:`repro.accel.batch` and :mod:`repro.accel.plans`.
+
+NumPy is an *optional* ``accel`` extra: without it every primitive
+falls back to the scalar fast path with identical results.  Use
+:func:`repro.accel.have_numpy` to check which mode is active.
+
+Submodules are imported lazily so that leaf utilities (the LRU cache,
+the optional-import helper) can be pulled in from ``repro.core``
+without import cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "LRUCache",
+    "StagePlan",
+    "batch_in_class_f",
+    "batch_route_with_states",
+    "batch_self_route",
+    "cached_topology",
+    "have_numpy",
+    "numpy_or_none",
+    "plan_cache",
+    "require_numpy",
+    "run_benchmark",
+    "stage_plan",
+    "topology_cache",
+]
+
+_EXPORTS = {
+    "LRUCache": "lru",
+    "StagePlan": "plans",
+    "batch_in_class_f": "batch",
+    "batch_route_with_states": "batch",
+    "batch_self_route": "batch",
+    "cached_topology": "plans",
+    "have_numpy": "_np",
+    "numpy_or_none": "_np",
+    "plan_cache": "plans",
+    "require_numpy": "_np",
+    "run_benchmark": "benchmark",
+    "stage_plan": "plans",
+    "topology_cache": "plans",
+}
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

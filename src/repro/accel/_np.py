@@ -1,0 +1,61 @@
+"""Graceful optional import of NumPy.
+
+NumPy is the ``accel`` extra (``pip install repro[accel]``), **not** a
+hard dependency: every public entry point of :mod:`repro.accel` falls
+back to the pure-Python scalar fast path when it is absent.  All
+optional imports in the package go through this one module so
+
+- the degraded mode is decided in exactly one place,
+- error messages consistently name the extra to install,
+- tests can force the no-NumPy path by monkeypatching
+  :data:`FORCE_FALLBACK` (no uninstalling required).
+"""
+
+from __future__ import annotations
+
+from ..errors import MissingDependencyError
+
+__all__ = ["numpy_or_none", "require_numpy", "have_numpy",
+           "FORCE_FALLBACK"]
+
+#: Test hook: set to True (e.g. via monkeypatch) to behave as if NumPy
+#: were not installed, exercising every pure-Python fallback path.
+FORCE_FALLBACK = False
+
+_UNRESOLVED = object()
+_numpy = _UNRESOLVED
+
+
+def numpy_or_none():
+    """The ``numpy`` module, or ``None`` when it cannot be imported
+    (or when :data:`FORCE_FALLBACK` is set).  The import is attempted
+    once and memoized."""
+    global _numpy
+    if FORCE_FALLBACK:
+        return None
+    if _numpy is _UNRESOLVED:
+        try:
+            import numpy
+        except ImportError:
+            _numpy = None
+        else:
+            _numpy = numpy
+    return _numpy
+
+
+def have_numpy() -> bool:
+    """True when the vectorized paths are available."""
+    return numpy_or_none() is not None
+
+
+def require_numpy(feature: str):
+    """Return ``numpy`` or raise a :class:`MissingDependencyError`
+    explaining that ``feature`` needs the ``accel`` extra."""
+    np = numpy_or_none()
+    if np is None:
+        raise MissingDependencyError(
+            f"{feature} requires NumPy, which is not installed; "
+            "install the optional acceleration extra with "
+            "`pip install repro[accel]` (or plain `pip install numpy`)"
+        )
+    return np

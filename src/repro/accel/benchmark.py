@@ -1,0 +1,136 @@
+"""Scalar-vs-vectorized throughput measurement for the batch engine.
+
+Shared by the ``benes bench`` CLI subcommand and
+``benchmarks/bench_accel.py`` so both emit the same machine-readable
+shape (``BENCH_accel.json``): one record per (order, batch size) with
+items/second for the scalar fast path and the batch engine, and their
+ratio.
+
+To keep the sweep affordable at large orders the scalar side may be
+timed on a capped subsample of the batch (``scalar_cap``) — per-item
+cost is flat across a batch of i.i.d. vectors, so the throughput
+extrapolation is sound; the number actually timed is recorded in the
+result for honesty.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..core.fastpath import fast_self_route
+from ..core.permutation import random_permutation
+from ._np import have_numpy
+from .batch import batch_self_route
+
+__all__ = ["measure_cell", "run_benchmark", "format_table",
+           "write_json", "best_speedup"]
+
+DEFAULT_ORDERS = (4, 6, 8)
+DEFAULT_BATCH_SIZES = (64, 256, 1024)
+
+
+def _random_tag_batch(order: int, batch_size: int,
+                      rng: random.Random) -> List[tuple]:
+    """Uniform random permutations — the Monte-Carlo density workload
+    (a mix of F and non-F members; the engine's cost is input-
+    independent either way)."""
+    n = 1 << order
+    return [random_permutation(n, rng).as_tuple()
+            for _ in range(batch_size)]
+
+
+def measure_cell(order: int, batch_size: int, rng: random.Random,
+                 repeats: int = 3, scalar_cap: int = 256) -> Dict:
+    """Time one (order, batch_size) cell; return a JSON-ready record."""
+    tags = _random_tag_batch(order, batch_size, rng)
+
+    scalar_items = min(batch_size, scalar_cap)
+    best_scalar = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for row in tags[:scalar_items]:
+            fast_self_route(row)
+        best_scalar = min(best_scalar, time.perf_counter() - t0)
+
+    batch_self_route(tags[:2])  # warm the plan cache out of the timing
+    best_batch = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        batch_self_route(tags)
+        best_batch = min(best_batch, time.perf_counter() - t0)
+
+    scalar_rate = scalar_items / best_scalar if best_scalar > 0 else 0.0
+    batch_rate = batch_size / best_batch if best_batch > 0 else 0.0
+    return {
+        "order": order,
+        "n_terminals": 1 << order,
+        "batch_size": batch_size,
+        "scalar_items_timed": scalar_items,
+        "scalar_seconds": best_scalar,
+        "batch_seconds": best_batch,
+        "scalar_items_per_s": scalar_rate,
+        "batch_items_per_s": batch_rate,
+        "speedup": batch_rate / scalar_rate if scalar_rate else 0.0,
+    }
+
+
+def run_benchmark(orders: Sequence[int] = DEFAULT_ORDERS,
+                  batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+                  seed: int = 1980, repeats: int = 3,
+                  scalar_cap: int = 256) -> Dict:
+    """Sweep the (order, batch_size) grid; return the full report."""
+    rng = random.Random(seed)
+    cells = [
+        measure_cell(order, batch_size, rng, repeats=repeats,
+                     scalar_cap=scalar_cap)
+        for order in orders
+        for batch_size in batch_sizes
+    ]
+    return {
+        "benchmark": "accel.batch_self_route vs core.fast_self_route",
+        "numpy": have_numpy(),
+        "seed": seed,
+        "repeats": repeats,
+        "cells": cells,
+    }
+
+
+def format_table(report: Dict) -> str:
+    """Human-readable view of :func:`run_benchmark`'s report."""
+    mode = "vectorized (NumPy)" if report["numpy"] else \
+        "fallback (no NumPy — speedups ~1x expected)"
+    lines = [
+        f"batch engine: {mode}",
+        f"{'n':>3} {'N':>5} {'batch':>6} {'scalar/s':>12} "
+        f"{'batch/s':>12} {'speedup':>8}",
+    ]
+    for cell in report["cells"]:
+        lines.append(
+            f"{cell['order']:>3} {cell['n_terminals']:>5} "
+            f"{cell['batch_size']:>6} "
+            f"{cell['scalar_items_per_s']:>12.0f} "
+            f"{cell['batch_items_per_s']:>12.0f} "
+            f"{cell['speedup']:>7.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def write_json(report: Dict, path: str) -> None:
+    """Emit the machine-readable perf trajectory."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+
+def best_speedup(report: Dict, min_order: int = 0,
+                 min_batch: int = 0) -> Optional[float]:
+    """Largest measured speedup among cells meeting the floor (used by
+    benchmark assertions)."""
+    eligible = [
+        cell["speedup"] for cell in report["cells"]
+        if cell["order"] >= min_order and cell["batch_size"] >= min_batch
+    ]
+    return max(eligible) if eligible else None

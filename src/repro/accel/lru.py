@@ -1,0 +1,90 @@
+"""A small, lock-guarded, bounded LRU cache.
+
+The seed code kept per-order :class:`~repro.core.topology.BenesTopology`
+objects in a bare module-level dict (``_TOPO_CACHE``) — unbounded and
+racy under threads.  This class replaces it and also backs the stage-plan
+cache of :mod:`repro.accel.plans`.  It deliberately has **no**
+``repro``-internal imports so it can be pulled in from anywhere (in
+particular from :mod:`repro.core.fastpath`) without import cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Generic, Hashable, TypeVar
+
+__all__ = ["LRUCache"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """Bounded mapping with least-recently-used eviction.
+
+    All bookkeeping happens under a lock; the value *factory* runs
+    outside it, so a slow build never blocks readers of other keys.
+    Two threads may therefore race to build the same key — both builds
+    succeed and one result wins, which is harmless as long as the
+    factory is pure (true for topologies and stage plans).
+    """
+
+    def __init__(self, maxsize: int = 32):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self._maxsize = maxsize
+        self._lock = threading.Lock()
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def get_or_build(self, key: K, factory: Callable[[], V]) -> V:
+        """Return the cached value for ``key``, building it with
+        ``factory()`` (and caching the result) on a miss."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._hits += 1
+                return self._data[key]
+            self._misses += 1
+        value = factory()
+        with self._lock:
+            if key in self._data:          # lost a build race: keep winner
+                self._data.move_to_end(key)
+                return self._data[key]
+            self._data[key] = value
+            while len(self._data) > self._maxsize:
+                self._data.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def keys(self):
+        """Snapshot of the cached keys, oldest first (for tests)."""
+        with self._lock:
+            return list(self._data.keys())

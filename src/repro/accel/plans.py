@@ -1,0 +1,118 @@
+"""Precompiled per-order **stage plans** and the shared topology cache.
+
+A :class:`StagePlan` is everything the batch router needs to push a
+``(B, N)`` block of tag vectors through ``B(order)`` without touching
+the structural model per call:
+
+- the control-bit schedule ``(0, 1, ..., n-1, ..., 1, 0)`` (Fig. 3);
+- the ``2n - 2`` inter-stage link permutations of
+  :class:`~repro.core.topology.BenesTopology`, plus their **inverses**
+  so a link crossing becomes a single NumPy *gather*
+  (``rows[:, inv_link]``) instead of a scatter;
+- lazily-built ``intp`` index arrays of those inverses (only when NumPy
+  is importable — the plan itself is pure Python and always available).
+
+Plans and topologies live in bounded, lock-guarded
+:class:`~repro.accel.lru.LRUCache` instances.  :func:`cached_topology`
+replaces the old unbounded ``_TOPO_CACHE`` dict in
+:mod:`repro.core.fastpath`, so the scalar fast path and the vectorized
+batch engine share one cache hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.topology import BenesTopology
+from ._np import numpy_or_none
+from .lru import LRUCache
+
+__all__ = [
+    "StagePlan",
+    "cached_topology",
+    "stage_plan",
+    "topology_cache",
+    "plan_cache",
+]
+
+#: One ``B(order)`` topology can reach ~megabytes at order 12+; a few
+#: dozen distinct orders in flight is far beyond any realistic workload.
+_TOPOLOGY_CACHE: "LRUCache[int, BenesTopology]" = LRUCache(maxsize=32)
+_PLAN_CACHE: "LRUCache[int, StagePlan]" = LRUCache(maxsize=32)
+
+
+def topology_cache() -> "LRUCache[int, BenesTopology]":
+    """The process-wide topology cache (exposed for tests/metrics)."""
+    return _TOPOLOGY_CACHE
+
+
+def plan_cache() -> "LRUCache[int, StagePlan]":
+    """The process-wide stage-plan cache (exposed for tests/metrics)."""
+    return _PLAN_CACHE
+
+
+def cached_topology(order: int) -> BenesTopology:
+    """``BenesTopology.build(order)``, memoized in the bounded LRU."""
+    return _TOPOLOGY_CACHE.get_or_build(
+        order, lambda: BenesTopology.build(order)
+    )
+
+
+def _invert(link: Tuple[int, ...]) -> Tuple[int, ...]:
+    inv = [0] * len(link)
+    for r, target in enumerate(link):
+        inv[target] = r
+    return tuple(inv)
+
+
+class StagePlan:
+    """The compiled routing schedule of ``B(order)`` for batch use.
+
+    Attributes:
+        order: the paper's ``n``.
+        n_terminals: ``N = 2^n`` rows.
+        n_stages: ``2n - 1`` switch columns.
+        ctrl_bits: per-stage controlling tag bit, ``min(s, 2n-2-s)``.
+        links: the topology's link permutations (``links[s][r]`` = input
+            row of column ``s+1`` fed by output row ``r`` of column ``s``).
+        inv_links: their inverses (``inv_links[s][j]`` = output row of
+            column ``s`` wired to input row ``j`` of column ``s+1``), the
+            gather form used by the vectorized engine.
+    """
+
+    __slots__ = ("order", "n_terminals", "n_stages", "ctrl_bits",
+                 "links", "inv_links", "_np_inv_links")
+
+    def __init__(self, topology: BenesTopology):
+        self.order = topology.order
+        self.n_terminals = topology.n_terminals
+        self.n_stages = topology.n_stages
+        self.ctrl_bits = topology.control_bits()
+        self.links = topology.links
+        self.inv_links = tuple(_invert(link) for link in topology.links)
+        self._np_inv_links = None
+
+    def np_inv_links(self):
+        """``(2n-2, N)`` ``intp`` array of the inverse links, built on
+        first use (requires NumPy — callers on the fallback path use
+        the tuple form in :attr:`inv_links` instead)."""
+        if self._np_inv_links is None:
+            np = numpy_or_none()
+            if np is None:
+                raise RuntimeError(
+                    "np_inv_links() called without NumPy; use inv_links"
+                )
+            if self.inv_links:
+                arr = np.array(self.inv_links, dtype=np.intp)
+            else:  # order 1: single stage, no links
+                arr = np.empty((0, self.n_terminals), dtype=np.intp)
+            arr.setflags(write=False)
+            self._np_inv_links = arr
+        return self._np_inv_links
+
+
+def stage_plan(order: int) -> StagePlan:
+    """The (cached) :class:`StagePlan` for ``B(order)``."""
+    return _PLAN_CACHE.get_or_build(
+        order, lambda: StagePlan(cached_topology(order))
+    )

@@ -5,12 +5,19 @@ The network has ``2^{N logN - N/2}`` distinct switch settings but only
 slack that makes the looping algorithm's free choices possible (and
 gives the self-routing scheme room to pick a *canonical* setting for
 class-F permutations).  This module measures the redundancy exactly for
-small ``n`` by enumerating every setting with the fast path:
+small ``n`` by enumerating every setting:
 
 - :func:`setting_multiplicity` — for each permutation, how many
   settings realize it;
 - every permutation is realized at least once (rearrangeability,
   counted rather than assumed).
+
+The enumeration routes settings in blocks through the vectorized
+:func:`repro.accel.batch.batch_route_with_states` engine when NumPy is
+available (the bit patterns of a whole block are synthesized with one
+shift-and-mask broadcast), and falls back to the scalar fast path
+otherwise — same counts either way, pinned by ``tests/test_fastpath.py``
+and ``tests/test_accel.py``.
 """
 
 from __future__ import annotations
@@ -18,6 +25,8 @@ from __future__ import annotations
 from itertools import product
 from typing import Dict, Tuple
 
+from ..accel._np import numpy_or_none
+from ..accel.batch import batch_route_with_states
 from ..core.fastpath import fast_route_with_states
 from ..core.topology import stage_count, switch_count
 
@@ -29,20 +38,7 @@ def total_settings(order: int) -> int:
     return 1 << switch_count(order)
 
 
-def setting_multiplicity(order: int, limit_order: int = 2
-                         ) -> Dict[Tuple[int, ...], int]:
-    """Enumerate every switch setting of ``B(order)`` and count how
-    many realize each permutation.
-
-    Guarded to ``order <= limit_order``: B(2) has ``2^6 = 64``
-    settings; B(3) already has ``2^20 ≈ 10^6`` (tractable but slow, so
-    opt in by raising the limit).
-    """
-    if order > limit_order:
-        raise ValueError(
-            f"setting enumeration limited to order <= {limit_order}; "
-            "raise limit_order explicitly to opt in"
-        )
+def _multiplicity_scalar(order: int) -> Dict[Tuple[int, ...], int]:
     per_stage = (1 << order) // 2
     stages = stage_count(order)
     counts: Dict[Tuple[int, ...], int] = {}
@@ -54,3 +50,46 @@ def setting_multiplicity(order: int, limit_order: int = 2
         realized = fast_route_with_states(states, order)
         counts[realized] = counts.get(realized, 0) + 1
     return counts
+
+
+def _multiplicity_vectorized(np, order: int,
+                             block_size: int) -> Dict[Tuple[int, ...], int]:
+    per_stage = (1 << order) // 2
+    stages = stage_count(order)
+    n_bits = per_stage * stages
+    n_settings = 1 << n_bits
+    # Bit b of the setting index is switch (b % per_stage) of stage
+    # (b // per_stage); any fixed convention enumerates the same set.
+    shifts = np.arange(n_bits, dtype=np.int64)
+    counts: Dict[Tuple[int, ...], int] = {}
+    for start in range(0, n_settings, block_size):
+        stop = min(start + block_size, n_settings)
+        indices = np.arange(start, stop, dtype=np.int64)
+        bits = (indices[:, None] >> shifts) & 1
+        states = bits.reshape(len(indices), stages, per_stage)
+        realized = batch_route_with_states(states, order)
+        for row in realized:
+            key = tuple(int(v) for v in row)
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def setting_multiplicity(order: int, limit_order: int = 2,
+                         block_size: int = 4096
+                         ) -> Dict[Tuple[int, ...], int]:
+    """Enumerate every switch setting of ``B(order)`` and count how
+    many realize each permutation.
+
+    Guarded to ``order <= limit_order``: B(2) has ``2^6 = 64``
+    settings; B(3) already has ``2^20 ≈ 10^6`` (tractable with the
+    vectorized engine, so opt in by raising the limit).
+    """
+    if order > limit_order:
+        raise ValueError(
+            f"setting enumeration limited to order <= {limit_order}; "
+            "raise limit_order explicitly to opt in"
+        )
+    np = numpy_or_none()
+    if np is None:
+        return _multiplicity_scalar(order)
+    return _multiplicity_vectorized(np, order, block_size)

@@ -11,6 +11,7 @@ Subcommands::
     benes sample N [--count k]        random self-routable permutations
     benes census N                    classify all N! permutations
     benes report [--sections ...]     regenerate the evaluation report
+    benes bench [--json PATH]         scalar vs batch-engine throughput
 
 Permutations are comma-separated destination-tag lists.
 """
@@ -175,6 +176,30 @@ def _cmd_census(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_int_list(text: str, what: str) -> list:
+    try:
+        return [int(tok) for tok in text.replace(" ", "").split(",")]
+    except ValueError:
+        raise SystemExit(f"cannot parse {what} {text!r}: use a "
+                         "comma-separated integer list like 4,6,8")
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .accel.benchmark import format_table, run_benchmark, write_json
+
+    report = run_benchmark(
+        orders=_parse_int_list(args.orders, "--orders"),
+        batch_sizes=_parse_int_list(args.batches, "--batches"),
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    print(format_table(report))
+    if args.json:
+        write_json(report, args.json)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the `benes` argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -227,6 +252,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_census.add_argument("size", type=int, help="N (power of two, <= 8)")
     p_census.set_defaults(func=_cmd_census)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark the vectorized batch engine vs the scalar "
+             "fast path",
+    )
+    p_bench.add_argument("--orders", default="4,6,8",
+                         help="comma-separated network orders")
+    p_bench.add_argument("--batches", default="64,256,1024",
+                         help="comma-separated batch sizes")
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="timing repetitions (best is kept)")
+    p_bench.add_argument("--seed", type=int, default=1980)
+    p_bench.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the machine-readable report "
+                              "(e.g. BENCH_accel.json)")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_report = sub.add_parser(
         "report", help="regenerate the reproduction report"

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple, Union
 
+from ..accel.plans import cached_topology
 from ..errors import (
     RoutingError,
     SizeMismatchError,
@@ -60,7 +61,9 @@ class BenesNetwork:
             raise SwitchStateError(
                 f"control must be 'upper' or 'lower', got {control!r}"
             )
-        self._topology = BenesTopology.build(order)
+        # Shared LRU: many short-lived networks of one order (analysis
+        # sweeps, tests) reuse a single immutable topology.
+        self._topology = cached_topology(order)
         self._control = control
 
     # ------------------------------------------------------------------

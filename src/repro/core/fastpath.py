@@ -14,24 +14,22 @@ lists:
 Both are verified against the structural network in
 ``tests/test_fastpath.py`` (exhaustively for small n, randomized for
 large) and are drop-in building blocks for the analysis layer.
+
+For *batches* of tag vectors, prefer :mod:`repro.accel` — the
+NumPy-vectorized engine built on the same cached topologies.  Per-order
+topologies live in the lock-guarded bounded LRU of
+:mod:`repro.accel.plans` (shared with the batch engine's stage-plan
+cache), which replaced the unbounded module-level ``_TOPO_CACHE`` dict.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
+from ..accel.plans import cached_topology as _topology
 from .bits import log2_exact
-from .topology import BenesTopology
 
 __all__ = ["fast_self_route", "fast_route_with_states"]
-
-_TOPO_CACHE: Dict[int, BenesTopology] = {}
-
-
-def _topology(order: int) -> BenesTopology:
-    if order not in _TOPO_CACHE:
-        _TOPO_CACHE[order] = BenesTopology.build(order)
-    return _TOPO_CACHE[order]
 
 
 def fast_self_route(tags: Sequence[int]

@@ -198,19 +198,37 @@ def random_class_f(order: int,
 
 def random_class_f_uniform(order: int,
                            rng: "_random.Random | None" = None,
-                           max_tries: int = 100000) -> Permutation:
+                           max_tries: int = 100000,
+                           batch_size: int = 256) -> Permutation:
     """Uniform member of ``F(order)`` by rejection from uniform random
     permutations.  Practical for ``order <= 4`` (F-density ~0.013 at
-    order 4); raises after ``max_tries`` rejections."""
-    from .membership import in_class_f
+    order 4); raises after ``max_tries`` rejections.
+
+    Candidates are drawn from ``rng`` and membership-tested in blocks
+    of up to ``batch_size`` through the vectorized
+    :func:`repro.accel.batch.batch_in_class_f` engine (scalar Theorem 1
+    fallback without NumPy); the first member in draw order is
+    returned, so the output distribution is exactly that of one-by-one
+    rejection.  Note the block draw may consume more ``rng`` states
+    than a scalar loop would have.
+    """
+    # Local import: repro.accel.batch itself builds on repro.core.
+    from ..accel.batch import batch_in_class_f
     from .permutation import random_permutation
 
     rng = rng if rng is not None else _random
     n_elements = 1 << order
-    for _ in range(max_tries):
-        candidate = random_permutation(n_elements, rng)
-        if in_class_f(candidate):
-            return candidate
+    tried = 0
+    while tried < max_tries:
+        block = min(batch_size, max_tries - tried)
+        candidates = [
+            random_permutation(n_elements, rng) for _ in range(block)
+        ]
+        mask = batch_in_class_f([c.as_tuple() for c in candidates])
+        for candidate, hit in zip(candidates, mask):
+            if hit:
+                return candidate
+        tried += block
     raise RuntimeError(
         f"no F({order}) member found in {max_tries} tries; "
         "use random_class_f for large orders"

@@ -17,6 +17,7 @@ __all__ = [
     "SpecificationError",
     "MachineError",
     "MaskError",
+    "MissingDependencyError",
 ]
 
 
@@ -59,3 +60,8 @@ class MachineError(ReproError, RuntimeError):
 
 class MaskError(ReproError, ValueError):
     """An enable mask does not match the machine's PE count."""
+
+
+class MissingDependencyError(ReproError, ImportError):
+    """An optional dependency (e.g. the ``accel`` extra's NumPy) is
+    required for the requested feature but is not installed."""

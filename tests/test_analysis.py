@@ -5,6 +5,7 @@ import os
 
 import pytest
 
+from repro.accel import have_numpy
 from repro.analysis.cardinality import (
     bpc_count,
     class_census,
@@ -112,6 +113,9 @@ class TestCardinality:
         with pytest.raises(ValueError):
             class_f_count(4)
 
+    @pytest.mark.skipif(not have_numpy(),
+                        reason="class_f_count_fast needs the accel "
+                               "extra (NumPy)")
     def test_fast_count_agrees_with_exhaustive(self):
         for order in (1, 2, 3):
             assert class_f_count_fast(order) == class_f_count(order)
@@ -121,9 +125,10 @@ class TestCardinality:
             class_f_count_fast(0)
 
     @pytest.mark.skipif(
-        not os.environ.get("RUN_SLOW"),
-        reason="~2 minutes; the exact value is recorded in "
-               "EXPERIMENTS.md — set RUN_SLOW=1 to recompute",
+        not os.environ.get("RUN_SLOW") or not have_numpy(),
+        reason="~2 minutes and needs NumPy; the exact value is "
+               "recorded in EXPERIMENTS.md — set RUN_SLOW=1 to "
+               "recompute",
     )
     def test_exact_f4(self):
         assert class_f_count_fast(4) == 133_488_540_928
