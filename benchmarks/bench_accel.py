@@ -43,7 +43,8 @@ def test_accel_parity_on_bench_workload(rng):
     for order in SMOKE_ORDERS:
         n = 1 << order
         tags = [random_permutation(n, rng).as_tuple() for _ in range(32)]
-        success, delivered = batch_self_route(tags)
+        result = batch_self_route(tags)
+        success, delivered = result.success_mask, result.mappings
         for i, row in enumerate(tags):
             ok, dst = fast_self_route(row)
             assert bool(success[i]) == ok
@@ -73,8 +74,8 @@ def test_accel_throughput_order8(benchmark):
     rng = random.Random(1980)
     n = 1 << 8
     tags = [random_permutation(n, rng).as_tuple() for _ in range(256)]
-    success, _ = benchmark(batch_self_route, tags)
-    assert len(success) == 256
+    result = benchmark(batch_self_route, tags)
+    assert result.batch_size == 256
 
 
 def main(argv=None) -> int:
@@ -90,7 +91,13 @@ def main(argv=None) -> int:
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the machine-readable report here "
                              "(e.g. BENCH_accel.json)")
+    parser.add_argument("--profile", action="store_true",
+                        help="collect metrics during the sweep and "
+                             "embed the snapshot in the report")
     args = parser.parse_args(argv)
+    if args.profile:
+        from repro import obs
+        obs.enable()
     report = run_benchmark(
         orders=[int(t) for t in args.orders.split(",")],
         batch_sizes=[int(t) for t in args.batches.split(",")],

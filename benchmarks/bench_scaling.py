@@ -40,8 +40,8 @@ def test_accel_batch_scaling(benchmark, order, rng):
         pytest.skip("NumPy absent: batch engine runs in fallback mode")
     n = 1 << order
     tags = [random_permutation(n, rng).as_tuple() for _ in range(256)]
-    success, delivered = benchmark(batch_self_route, tags)
-    assert len(success) == 256 and len(delivered[0]) == n
+    result = benchmark(batch_self_route, tags)
+    assert result.batch_size == 256 and len(result.mappings[0]) == n
 
 
 def test_simd_scaling(benchmark, rng):

@@ -17,11 +17,14 @@ without import cycles.
 from __future__ import annotations
 
 __all__ = [
+    "BatchRouteResult",
     "LRUCache",
     "StagePlan",
     "batch_in_class_f",
     "batch_route_with_states",
     "batch_self_route",
+    "cache_clear",
+    "cache_stats",
     "cached_topology",
     "have_numpy",
     "numpy_or_none",
@@ -33,11 +36,14 @@ __all__ = [
 ]
 
 _EXPORTS = {
+    "BatchRouteResult": "batch",
     "LRUCache": "lru",
     "StagePlan": "plans",
     "batch_in_class_f": "batch",
     "batch_route_with_states": "batch",
     "batch_self_route": "batch",
+    "cache_clear": "plans",
+    "cache_stats": "plans",
     "cached_topology": "plans",
     "have_numpy": "_np",
     "numpy_or_none": "_np",

@@ -32,24 +32,36 @@ kernels per stage (measured ~40x over the scalar loop at order 8):
 
 Three bulk primitives cover the analysis workloads:
 
-- :func:`batch_self_route` — success mask + delivered mappings;
-- :func:`batch_route_with_states` — realized permutations under
-  external per-instance switch settings;
+- :func:`batch_self_route` — a
+  :class:`~repro.core.routing.BatchRouteResult` (success mask +
+  delivered mappings, optional per-stage switch-flip data);
+- :func:`batch_route_with_states` — the realized permutations under
+  external per-instance switch settings, same result shape;
 - :func:`batch_in_class_f` — the F(n) membership mask (success only,
   no source tracking: the cheapest of the three).
 
 Every primitive degrades to the scalar fast path when NumPy (the
-``accel`` extra) is absent, returning plain lists — same values,
-element for element.  Parity with both the scalar fast path and the
-structural :class:`~repro.core.benes.BenesNetwork` is pinned by
-``tests/test_accel.py`` (exhaustively for small orders, randomized via
-hypothesis for larger).
+``accel`` extra) is absent, carrying plain lists in the same result
+types — same values, element for element.  Parity with both the scalar
+fast path and the structural :class:`~repro.core.benes.BenesNetwork`
+is pinned by ``tests/test_accel.py`` (exhaustively for small orders,
+randomized via hypothesis for larger).
+
+When :mod:`repro.obs` is enabled the engine reports call/item counts,
+success/failure tallies, per-stage switch-flip totals, batch-size and
+wall-time histograms under the ``accel.*`` metric names; disabled, the
+only cost is one flag check per call.
 """
 
 from __future__ import annotations
 
+from time import perf_counter as _perf_counter
+
+from .. import obs as _obs
 from ..core.bits import log2_exact
 from ..core.fastpath import fast_route_with_states, fast_self_route
+from ..core.routing import BatchRouteResult
+from ..errors import InvalidParameterError, SizeMismatchError
 from ._np import numpy_or_none
 from .plans import stage_plan
 
@@ -64,13 +76,13 @@ def _as_tag_array(np, tags_batch):
     """Validate a batch of tag vectors as a ``(B, N)`` int64 array."""
     arr = np.asarray(tags_batch, dtype=np.int64)
     if arr.ndim != 2:
-        raise ValueError(
+        raise SizeMismatchError(
             f"expected a (B, N) batch of tag vectors, got shape "
             f"{arr.shape}"
         )
     n = arr.shape[1]
     if arr.size and ((arr < 0) | (arr >= n)).any():
-        raise ValueError(
+        raise InvalidParameterError(
             f"destination tags must lie in [0, {n}) — out-of-range "
             "values cannot address any output"
         )
@@ -100,22 +112,46 @@ def _swap_stage(rows, cond):
     odd -= diff
 
 
-def _route_array(np, rows, order):
+def _route_array(np, rows, order, stage_cross=None):
     """Push an ``(N, B)`` value block through all stages in place
     (modulo link gathers); the self-routing control reads tag bits of
-    ``rows``, which must occupy the low ``order`` bits of each value."""
+    ``rows``, which must occupy the low ``order`` bits of each value.
+
+    When ``stage_cross`` is a list, the per-instance crossed-switch
+    count of every stage (a ``(B,)`` array) is appended to it.
+    """
     plan = stage_plan(order)
     inv_links = plan.np_inv_links()
     last_stage = plan.n_stages - 1
     for stage in range(plan.n_stages):
         ctrl = plan.ctrl_bits[stage]
-        _swap_stage(rows, (rows[0::2, :] >> ctrl) & 1)
+        cond = (rows[0::2, :] >> ctrl) & 1
+        if stage_cross is not None:
+            stage_cross.append(cond.sum(axis=0))
+        _swap_stage(rows, cond)
         if stage < last_stage:
             rows = rows[inv_links[stage]]
     return rows
 
 
-def batch_self_route(tags_batch):
+def _record_batch_metrics(kind, batch_size, seconds, n_success=None,
+                          per_stage=None):
+    """Feed one batch call into the registry (metrics are enabled)."""
+    _obs.inc(f"accel.{kind}.calls")
+    _obs.inc(f"accel.{kind}.items", batch_size)
+    _obs.observe(f"accel.{kind}.seconds", seconds)
+    _obs.observe("accel.batch.size", batch_size,
+                 bounds=_obs.POW2_BOUNDS)
+    if n_success is not None:
+        _obs.inc(f"accel.{kind}.success", n_success)
+        _obs.inc(f"accel.{kind}.failure", batch_size - n_success)
+    if per_stage is not None:
+        for stage, crosses in enumerate(per_stage):
+            _obs.inc(f"accel.{kind}.stage_cross.{stage}",
+                     int(crosses.sum()))
+
+
+def batch_self_route(tags_batch, *, stage_data=False):
     """Self-route a batch of tag vectors; the vectorized equivalent of
     ``[fast_self_route(t) for t in tags_batch]``.
 
@@ -123,22 +159,34 @@ def batch_self_route(tags_batch):
         tags_batch: ``(B, N)`` array-like of destination tags (each row
             an arbitrary tag vector — duplicates allowed, exactly as in
             the scalar fast path).
+        stage_data: also collect per-stage switch-flip counts into the
+            result's ``per_stage`` field (NumPy path only; the fallback
+            path leaves it ``None``).
 
     Returns:
-        ``(success, delivered)`` — with NumPy, a ``(B,)`` bool array and
-        a ``(B, N)`` int array where ``delivered[b, o]`` is the input
-        whose signal reached output ``o`` of instance ``b``; without
-        NumPy, a list of bools and a list of tuples with identical
-        values.
+        a :class:`~repro.core.routing.BatchRouteResult` whose
+        ``success_mask`` is a ``(B,)`` bool array and whose
+        ``mappings[b][o]`` is the input whose signal reached output
+        ``o`` of instance ``b`` (lists of identical values on the
+        no-NumPy fallback path).  Tuple unpacking into ``(success,
+        delivered)`` still works for one deprecation cycle.
     """
     np = numpy_or_none()
+    enabled = _obs.enabled()
+    t0 = _perf_counter() if enabled else 0.0
     if np is None:
         successes, delivered = [], []
         for tags in tags_batch:
             ok, dst = fast_self_route(tags)
             successes.append(ok)
             delivered.append(dst)
-        return successes, delivered
+        if enabled:
+            _obs.inc("accel.fallback.calls")
+            _record_batch_metrics("batch", len(successes),
+                                  _perf_counter() - t0,
+                                  n_success=sum(successes))
+        return BatchRouteResult(success_mask=successes,
+                                mappings=delivered)
     arr = _as_tag_array(np, tags_batch)
     n = arr.shape[1]
     order = log2_exact(n)
@@ -146,11 +194,22 @@ def batch_self_route(tags_batch):
     # only reads tag bits < order, so one array routes both.
     rows = _working_block(np, arr, n_value_bits=2 * order)
     rows |= np.arange(n, dtype=rows.dtype)[:, None] << order
-    rows = _route_array(np, rows, order)
+    stage_cross = [] if (stage_data or enabled) else None
+    rows = _route_array(np, rows, order, stage_cross=stage_cross)
     tags = rows & (n - 1)
     success = (tags == np.arange(n, dtype=rows.dtype)[:, None]
                ).all(axis=0)
-    return success, (rows >> order).T.astype(np.int64)
+    result = BatchRouteResult(
+        success_mask=success,
+        mappings=(rows >> order).T.astype(np.int64),
+        per_stage=(np.array(stage_cross) if stage_data else None),
+    )
+    if enabled:
+        _record_batch_metrics("batch", int(arr.shape[0]),
+                              _perf_counter() - t0,
+                              n_success=int(success.sum()),
+                              per_stage=stage_cross)
+    return result
 
 
 def batch_in_class_f(perms_batch):
@@ -163,21 +222,35 @@ def batch_in_class_f(perms_batch):
     a ``(B,)`` bool array, or a list of bools on the fallback path.
     """
     np = numpy_or_none()
+    enabled = _obs.enabled()
+    t0 = _perf_counter() if enabled else 0.0
     if np is None:
         # Scalar Theorem 1 recursion early-exits on the first conflict,
         # so it beats a full scalar routing pass here.
         from ..core.membership import in_class_f
 
-        return [in_class_f(perm) for perm in perms_batch]
+        mask = [in_class_f(perm) for perm in perms_batch]
+        if enabled:
+            _obs.inc("accel.fallback.calls")
+            _record_batch_metrics("membership", len(mask),
+                                  _perf_counter() - t0,
+                                  n_success=sum(mask))
+        return mask
     arr = _as_tag_array(np, perms_batch)
     n = arr.shape[1]
     order = log2_exact(n)
     rows = _working_block(np, arr, n_value_bits=order)
     rows = _route_array(np, rows, order)
-    return (rows == np.arange(n, dtype=rows.dtype)[:, None]).all(axis=0)
+    mask = (rows == np.arange(n, dtype=rows.dtype)[:, None]).all(axis=0)
+    if enabled:
+        _record_batch_metrics("membership", int(arr.shape[0]),
+                              _perf_counter() - t0,
+                              n_success=int(mask.sum()))
+    return mask
 
 
-def batch_route_with_states(states_batch, order: int):
+def batch_route_with_states(states_batch, order: int, *,
+                            stage_data=False):
     """Realized permutations of ``B(order)`` under a batch of external
     state assignments; the vectorized equivalent of
     ``[fast_route_with_states(s, order) for s in states_batch]``.
@@ -186,21 +259,35 @@ def batch_route_with_states(states_batch, order: int):
         states_batch: ``(B, 2*order - 1, N/2)`` array-like of 0/1
             switch states.
         order: the network order ``n``.
+        stage_data: also expose the per-stage crossed-switch counts in
+            the result's ``per_stage`` field (NumPy path only).
 
     Returns:
-        ``(B, N)`` int array (or list of tuples on the fallback path)
-        where row ``b`` maps input -> output for instance ``b``.
+        a :class:`~repro.core.routing.BatchRouteResult`; row ``b`` of
+        ``mappings`` maps input -> output for instance ``b``.  External
+        states always deliver *some* permutation, so ``success_mask``
+        is all-True — mirroring
+        :meth:`~repro.core.benes.BenesNetwork.route_with_states`, where
+        what matters is the realized mapping.
     """
     np = numpy_or_none()
+    enabled = _obs.enabled()
+    t0 = _perf_counter() if enabled else 0.0
     if np is None:
-        return [fast_route_with_states(states, order)
-                for states in states_batch]
+        mappings = [fast_route_with_states(states, order)
+                    for states in states_batch]
+        if enabled:
+            _obs.inc("accel.fallback.calls")
+            _record_batch_metrics("states", len(mappings),
+                                  _perf_counter() - t0)
+        return BatchRouteResult(success_mask=[True] * len(mappings),
+                                mappings=mappings)
     plan = stage_plan(order)
     n = plan.n_terminals
     states = np.asarray(states_batch, dtype=np.int64)
     expected = (plan.n_stages, n // 2)
     if states.ndim != 3 or states.shape[1:] != expected:
-        raise ValueError(
+        raise SizeMismatchError(
             f"expected a (B, {expected[0]}, {expected[1]}) batch of "
             f"switch states for order {order}, got shape {states.shape}"
         )
@@ -219,4 +306,12 @@ def batch_route_with_states(states_batch, order: int):
     dest = np.empty_like(rows)
     outputs = np.broadcast_to(np.arange(n, dtype=np.int64), (batch, n))
     np.put_along_axis(dest, rows, outputs, axis=1)
-    return dest
+    result = BatchRouteResult(
+        success_mask=np.ones(batch, dtype=bool),
+        mappings=dest,
+        per_stage=((states != 0).sum(axis=2).T if stage_data else None),
+    )
+    if enabled:
+        _record_batch_metrics("states", int(batch),
+                              _perf_counter() - t0)
+    return result

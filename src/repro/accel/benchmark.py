@@ -20,6 +20,7 @@ import random
 import time
 from typing import Dict, List, Optional, Sequence
 
+from .. import obs as _obs
 from ..core.fastpath import fast_self_route
 from ..core.permutation import random_permutation
 from ._np import have_numpy
@@ -89,13 +90,18 @@ def run_benchmark(orders: Sequence[int] = DEFAULT_ORDERS,
         for order in orders
         for batch_size in batch_sizes
     ]
-    return {
+    report = {
         "benchmark": "accel.batch_self_route vs core.fast_self_route",
         "numpy": have_numpy(),
         "seed": seed,
         "repeats": repeats,
         "cells": cells,
     }
+    if _obs.enabled():
+        # The sweep itself is the workload: counters/histograms for
+        # every cell routed above travel with the perf numbers.
+        report["metrics"] = _obs.snapshot()
+    return report
 
 
 def format_table(report: Dict) -> str:

@@ -3,16 +3,19 @@
 The seed code kept per-order :class:`~repro.core.topology.BenesTopology`
 objects in a bare module-level dict (``_TOPO_CACHE``) — unbounded and
 racy under threads.  This class replaces it and also backs the stage-plan
-cache of :mod:`repro.accel.plans`.  It deliberately has **no**
-``repro``-internal imports so it can be pulled in from anywhere (in
-particular from :mod:`repro.core.fastpath`) without import cycles.
+cache of :mod:`repro.accel.plans`.  Its only ``repro``-internal import
+is the leaf :mod:`repro.errors` module, so it can be pulled in from
+anywhere (in particular from :mod:`repro.core.fastpath`) without
+import cycles.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Callable, Generic, Hashable, TypeVar
+from typing import Callable, Dict, Generic, Hashable, TypeVar
+
+from ..errors import InvalidParameterError
 
 __all__ = ["LRUCache"]
 
@@ -32,7 +35,9 @@ class LRUCache(Generic[K, V]):
 
     def __init__(self, maxsize: int = 32):
         if maxsize < 1:
-            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+            raise InvalidParameterError(
+                f"maxsize must be >= 1, got {maxsize}"
+            )
         self._maxsize = maxsize
         self._lock = threading.Lock()
         self._data: "OrderedDict[K, V]" = OrderedDict()
@@ -77,6 +82,18 @@ class LRUCache(Generic[K, V]):
             while len(self._data) > self._maxsize:
                 self._data.popitem(last=False)
         return value
+
+    def stats(self) -> Dict[str, int]:
+        """One consistent reading of the cache's counters — the shape
+        consumed by :func:`repro.accel.cache_stats` and the metrics
+        registry's ``accel.cache`` provider."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._data),
+                "maxsize": self._maxsize,
+            }
 
     def clear(self) -> None:
         with self._lock:

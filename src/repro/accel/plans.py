@@ -21,14 +21,17 @@ batch engine share one cache hierarchy.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Tuple
 
+from .. import obs as _obs
 from ..core.topology import BenesTopology
 from ._np import numpy_or_none
 from .lru import LRUCache
 
 __all__ = [
     "StagePlan",
+    "cache_clear",
+    "cache_stats",
     "cached_topology",
     "stage_plan",
     "topology_cache",
@@ -49,6 +52,28 @@ def topology_cache() -> "LRUCache[int, BenesTopology]":
 def plan_cache() -> "LRUCache[int, StagePlan]":
     """The process-wide stage-plan cache (exposed for tests/metrics)."""
     return _PLAN_CACHE
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/size/capacity counters of the process-wide plan and
+    topology LRUs — the public face of their internal bookkeeping, and
+    the payload of the metrics registry's ``accel.cache`` provider."""
+    return {
+        "plan": _PLAN_CACHE.stats(),
+        "topology": _TOPOLOGY_CACHE.stats(),
+    }
+
+
+def cache_clear() -> None:
+    """Empty both caches and zero their hit/miss counters (tests,
+    memory pressure)."""
+    _PLAN_CACHE.clear()
+    _TOPOLOGY_CACHE.clear()
+
+
+# Pull-style metrics: snapshots read the LRU counters on demand rather
+# than the hot path pushing on every lookup.
+_obs.registry().register_provider("accel.cache", cache_stats)
 
 
 def cached_topology(order: int) -> BenesTopology:

@@ -24,6 +24,7 @@ from ..accel._np import require_numpy
 from ..accel.batch import batch_in_class_f
 from ..core.membership import enumerate_class_f, in_class_f
 from ..core.permutation import Permutation, random_permutation
+from ..errors import InvalidParameterError
 from ..permclasses.bpc import is_bpc
 from ..permclasses.omega import is_inverse_omega, is_omega
 
@@ -46,7 +47,7 @@ def class_f_count(order: int, limit_order: int = 3) -> int:
     """Exact ``|F(order)|`` by exhaustive enumeration (guarded to
     ``order <= limit_order``; ``8! = 40320`` cases at order 3)."""
     if order > limit_order:
-        raise ValueError(
+        raise InvalidParameterError(
             f"exhaustive count limited to order <= {limit_order}; "
             "use estimate_class_f_density for larger orders"
         )
@@ -110,7 +111,7 @@ def class_f_count_fast(order: int) -> int:
     need |F(4)|^2 ≈ 10^22 pairs.
     """
     if order < 1:
-        raise ValueError(f"order must be >= 1, got {order}")
+        raise InvalidParameterError(f"order must be >= 1, got {order}")
     if order == 1:
         return 2
     np = require_numpy("class_f_count_fast")
@@ -174,7 +175,7 @@ def class_census(order: int, limit_order: int = 3) -> ClassCensus:
     """Exhaustively classify every permutation of ``2^order`` elements
     against F, BPC, Omega and InverseOmega (``order <= limit_order``)."""
     if order > limit_order:
-        raise ValueError(
+        raise InvalidParameterError(
             f"census limited to order <= {limit_order}"
         )
     n_elements = 1 << order

@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import Sequence, Union
 
 from ..core.permutation import Permutation
+from ..errors import SizeMismatchError
 from ..permclasses.bpc import BPCSpec
 
 __all__ = [
@@ -70,7 +71,7 @@ def mcc_interchange_floor(spec: BPCSpec, side_order: int) -> int:
     ``2^{(b mod q)+1}`` unit-routes per interchange.
     """
     if spec.order != 2 * side_order:
-        raise ValueError(
+        raise SizeMismatchError(
             f"BPC spec of order {spec.order} on a mesh with "
             f"{2 * side_order} index bits"
         )

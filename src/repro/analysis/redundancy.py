@@ -29,6 +29,7 @@ from ..accel._np import numpy_or_none
 from ..accel.batch import batch_route_with_states
 from ..core.fastpath import fast_route_with_states
 from ..core.topology import stage_count, switch_count
+from ..errors import InvalidParameterError
 
 __all__ = ["setting_multiplicity", "total_settings"]
 
@@ -67,7 +68,7 @@ def _multiplicity_vectorized(np, order: int,
         indices = np.arange(start, stop, dtype=np.int64)
         bits = (indices[:, None] >> shifts) & 1
         states = bits.reshape(len(indices), stages, per_stage)
-        realized = batch_route_with_states(states, order)
+        realized = batch_route_with_states(states, order).mappings
         for row in realized:
             key = tuple(int(v) for v in row)
             counts[key] = counts.get(key, 0) + 1
@@ -85,7 +86,7 @@ def setting_multiplicity(order: int, limit_order: int = 2,
     vectorized engine, so opt in by raising the limit).
     """
     if order > limit_order:
-        raise ValueError(
+        raise InvalidParameterError(
             f"setting enumeration limited to order <= {limit_order}; "
             "raise limit_order explicitly to opt in"
         )

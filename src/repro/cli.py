@@ -12,16 +12,24 @@ Subcommands::
     benes census N                    classify all N! permutations
     benes report [--sections ...]     regenerate the evaluation report
     benes bench [--json PATH]         scalar vs batch-engine throughput
+    benes metrics                     run a demo workload, dump metrics
 
 Permutations are comma-separated destination-tag lists.
+
+``benes route D --profile`` emits a JSON-lines event trace on stderr
+while routing; ``benes bench --profile`` runs the sweep with metrics
+collection on and embeds the snapshot in the report (see
+:mod:`repro.obs`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
+from . import obs as _obs
 from .core import (
     BenesNetwork,
     Permutation,
@@ -74,6 +82,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
     perm = _parse_permutation(args.permutation)
     order = perm.order
     net = BenesNetwork(order)
+    if args.profile:
+        _obs.enable(trace=sys.stderr)
     result = net.route(perm, omega_mode=args.omega, trace=True)
     print(render_route(result, order))
     if not result.success and not args.omega:
@@ -187,6 +197,8 @@ def _parse_int_list(text: str, what: str) -> list:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .accel.benchmark import format_table, run_benchmark, write_json
 
+    if args.profile:
+        _obs.enable()
     report = run_benchmark(
         orders=_parse_int_list(args.orders, "--orders"),
         batch_sizes=_parse_int_list(args.batches, "--batches"),
@@ -197,6 +209,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.json:
         write_json(report, args.json)
         print(f"\nwrote {args.json}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a small demo workload with collection on and dump the
+    resulting snapshot — a self-test of the observability layer."""
+    import random
+
+    from .accel import batch_self_route
+    from .core.fastpath import fast_self_route
+    from .planner import plan
+
+    _obs.enable()
+    # main() bumped this before collection was on; count ourselves in.
+    _obs.inc("cli.command.metrics")
+    rng = random.Random(args.seed)
+    net = BenesNetwork(3)
+    for _ in range(args.count):
+        perm = random_class_f(3, rng)
+        net.route(perm)
+        fast_self_route(perm.as_tuple())
+        plan(perm)
+    BenesNetwork(2).route(Permutation((1, 3, 2, 0)))  # guaranteed failure
+    batch_self_route([random_class_f(3, rng).as_tuple()
+                      for _ in range(args.count)])
+    print(json.dumps(_obs.snapshot(), indent=2, sort_keys=True))
     return 0
 
 
@@ -222,6 +260,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_route.add_argument("permutation", help="e.g. 3,1,2,0")
     p_route.add_argument("--omega", action="store_true",
                          help="force the first n-1 stages straight")
+    p_route.add_argument("--profile", action="store_true",
+                         help="emit a JSON-lines event trace on stderr "
+                              "while routing")
     p_route.set_defaults(func=_cmd_route)
 
     for fig, fn in (("fig4", _cmd_fig4), ("fig5", _cmd_fig5),
@@ -268,7 +309,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--json", default=None, metavar="PATH",
                          help="also write the machine-readable report "
                               "(e.g. BENCH_accel.json)")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="collect metrics during the sweep and "
+                              "embed the snapshot in the report")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="run a demo workload with collection on and dump the "
+             "metrics snapshot as JSON",
+    )
+    p_metrics.add_argument("--count", type=int, default=8,
+                           help="routes per leg of the demo workload")
+    p_metrics.add_argument("--seed", type=int, default=1980)
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     p_report = sub.add_parser(
         "report", help="regenerate the reproduction report"
@@ -285,6 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the `benes` command-line tool."""
     args = build_parser().parse_args(argv)
+    _obs.inc(f"cli.command.{args.command}")
     return args.func(args)
 
 

@@ -18,8 +18,10 @@ every ``Omega(n)`` permutation becomes realizable.
 
 from __future__ import annotations
 
+from time import perf_counter as _perf_counter
 from typing import List, Optional, Sequence, Tuple, Union
 
+from .. import obs as _obs
 from ..accel.plans import cached_topology
 from ..errors import (
     RoutingError,
@@ -142,12 +144,14 @@ class BenesNetwork:
     # ------------------------------------------------------------------
 
     def route(self, tags: PermutationLike,
-              payloads: Optional[Sequence] = None,
+              payloads: Optional[Sequence] = None, *,
               omega_mode: bool = False,
               trace: bool = False,
               require_success: bool = False,
               stuck_switches: Optional[dict] = None) -> RouteResult:
         """Route one vector through the network under self-routing.
+
+        All option arguments are keyword-only.
 
         Args:
             tags: the permutation ``D`` — ``tags[i]`` is the destination
@@ -180,7 +184,20 @@ class BenesNetwork:
                     raise SwitchStateError(
                         f"invalid stuck state {state!r}"
                     )
+        enabled = _obs.enabled()
+        tracing = _obs.trace_active()
+        t0 = _perf_counter() if (enabled or tracing) else 0.0
+        mode = "omega" if omega_mode else "self"
         signals = self._make_signals(tags, payloads, omega=omega_mode)
+        if tracing:
+            _obs.trace_event(
+                "route_start",
+                mode=mode,
+                order=self.order,
+                n=self.n_terminals,
+                tags=[s.tag for s in signals],
+                faults=len(stuck_switches) if stuck_switches else 0,
+            )
         omega_stages = self.order - 1  # columns forced straight in omega mode
         rows = signals
         traces: List[StageTrace] = []
@@ -195,6 +212,17 @@ class BenesNetwork:
             rows, states = self._switch_column_selfset(
                 rows, ctrl, force, stuck
             )
+            if enabled:
+                _obs.inc(f"benes.route.stage_cross.{stage}",
+                         sum(int(st) for st in states))
+            if tracing:
+                _obs.trace_event(
+                    "stage",
+                    stage=stage,
+                    control_bit=ctrl,
+                    states=[int(st) for st in states],
+                    cross=sum(int(st) for st in states),
+                )
             if trace:
                 traces.append(StageTrace(
                     stage=stage,
@@ -209,6 +237,22 @@ class BenesNetwork:
         result = collect_result(
             [s.tag for s in self._make_signals(tags)], rows, traces
         )
+        if enabled:
+            _obs.inc("benes.route.calls")
+            _obs.inc(f"benes.route.{mode}.success" if result.success
+                     else f"benes.route.{mode}.failure")
+            if stuck_switches:
+                _obs.inc("benes.route.faulted.calls")
+            _obs.observe("benes.route.seconds", _perf_counter() - t0)
+        if tracing:
+            _obs.trace_event(
+                "deliver",
+                mode=mode,
+                success=result.success,
+                delivered=list(result.delivered),
+                misrouted=list(result.misrouted),
+                seconds=_perf_counter() - t0,
+            )
         if require_success and not result.success:
             raise RoutingError(
                 f"permutation {tuple(tags)} is not self-routable on "
@@ -247,7 +291,7 @@ class BenesNetwork:
         ``D`` to its tagged output — i.e. ``D`` is in ``F(order)``."""
         return self.route(tags).success
 
-    def permute(self, tags: PermutationLike, data: Sequence,
+    def permute(self, tags: PermutationLike, data: Sequence, *,
                 omega_mode: bool = False) -> list:
         """Route ``data`` according to ``D`` and return the output
         vector; raises :class:`RoutingError` if ``D`` is not realizable
@@ -278,7 +322,7 @@ class BenesNetwork:
                     )
 
     def route_with_states(self, states: Sequence[Sequence[int]],
-                          payloads: Optional[Sequence] = None,
+                          payloads: Optional[Sequence] = None, *,
                           trace: bool = False) -> RouteResult:
         """Drive the network with externally supplied switch states.
 
@@ -289,6 +333,8 @@ class BenesNetwork:
         ``result.realized`` — the permutation this setting performs.
         """
         self._check_states(states)
+        enabled = _obs.enabled()
+        t0 = _perf_counter() if enabled else 0.0
         if payloads is None:
             payloads = list(range(self.n_terminals))
         # Tags are unknown under external control; carry source indices
@@ -328,6 +374,10 @@ class BenesNetwork:
             Signal(tag=output, payload=sig.payload, source=sig.source)
             for output, sig in enumerate(rows)
         ]
+        if enabled:
+            _obs.inc("benes.route_with_states.calls")
+            _obs.observe("benes.route_with_states.seconds",
+                         _perf_counter() - t0)
         return collect_result(realized.as_tuple(), rows, traces)
 
     def straight_states(self) -> List[List[int]]:

@@ -12,7 +12,7 @@ All functions are pure and operate on plain ``int`` values.
 
 from __future__ import annotations
 
-from ..errors import NotAPowerOfTwoError
+from ..errors import InvalidParameterError, NotAPowerOfTwoError
 
 __all__ = [
     "bit",
@@ -42,7 +42,7 @@ def bit(i: int, j: int) -> int:
     0
     """
     if j < 0:
-        raise ValueError(f"bit index must be non-negative, got {j}")
+        raise InvalidParameterError(f"bit index must be non-negative, got {j}")
     return (i >> j) & 1
 
 
@@ -54,7 +54,7 @@ def bits_of(i: int, n: int) -> tuple:
     (1, 1, 0)
     """
     if n < 0:
-        raise ValueError(f"bit count must be non-negative, got {n}")
+        raise InvalidParameterError(f"bit count must be non-negative, got {n}")
     return tuple((i >> j) & 1 for j in range(n - 1, -1, -1))
 
 
@@ -68,7 +68,7 @@ def from_bits(bits: "tuple | list") -> int:
     value = 0
     for b in bits:
         if b not in (0, 1):
-            raise ValueError(f"bits must be 0 or 1, got {b!r}")
+            raise InvalidParameterError(f"bits must be 0 or 1, got {b!r}")
         value = (value << 1) | b
     return value
 
@@ -83,7 +83,7 @@ def bit_segment(i: int, j: int, k: int) -> int:
     5
     """
     if j < k or k < 0:
-        raise ValueError(f"need j >= k >= 0, got j={j}, k={k}")
+        raise InvalidParameterError(f"need j >= k >= 0, got j={j}, k={k}")
     width = j - k + 1
     return (i >> k) & ((1 << width) - 1)
 
@@ -91,7 +91,7 @@ def bit_segment(i: int, j: int, k: int) -> int:
 def set_bit(i: int, j: int, value: int) -> int:
     """Return ``i`` with bit ``j`` forced to ``value`` (0 or 1)."""
     if value not in (0, 1):
-        raise ValueError(f"bit value must be 0 or 1, got {value!r}")
+        raise InvalidParameterError(f"bit value must be 0 or 1, got {value!r}")
     if value:
         return i | (1 << j)
     return i & ~(1 << j)
@@ -138,7 +138,7 @@ def rotate_left(i: int, n: int, k: int = 1) -> int:
     1
     """
     if n <= 0:
-        raise ValueError(f"width must be positive, got {n}")
+        raise InvalidParameterError(f"width must be positive, got {n}")
     k %= n
     mask = (1 << n) - 1
     i &= mask
@@ -153,7 +153,7 @@ def rotate_right(i: int, n: int, k: int = 1) -> int:
     4
     """
     if n <= 0:
-        raise ValueError(f"width must be positive, got {n}")
+        raise InvalidParameterError(f"width must be positive, got {n}")
     return rotate_left(i, n, n - (k % n))
 
 
@@ -209,5 +209,5 @@ def log2_exact(x: int) -> int:
 def popcount(i: int) -> int:
     """Return the number of one bits in ``i`` (``i >= 0``)."""
     if i < 0:
-        raise ValueError(f"popcount requires a non-negative value, got {i}")
+        raise InvalidParameterError(f"popcount requires a non-negative value, got {i}")
     return bin(i).count("1")

@@ -24,8 +24,10 @@ cache), which replaced the unbounded module-level ``_TOPO_CACHE`` dict.
 
 from __future__ import annotations
 
+from time import perf_counter as _perf_counter
 from typing import List, Sequence, Tuple
 
+from .. import obs as _obs
 from ..accel.plans import cached_topology as _topology
 from .bits import log2_exact
 
@@ -41,6 +43,8 @@ def fast_self_route(tags: Sequence[int]
     ``BenesNetwork(order).route(tags)`` -> ``(success, delivered)``,
     roughly an order of magnitude lighter.
     """
+    enabled = _obs.enabled()
+    t0 = _perf_counter() if enabled else 0.0
     n = len(tags)
     order = log2_exact(n)
     topology = _topology(order)
@@ -68,6 +72,12 @@ def fast_self_route(tags: Sequence[int]
             rows_tag = new_tag
             rows_src = new_src
     success = all(rows_tag[r] == r for r in range(n))
+    if enabled:
+        _obs.inc("fastpath.self_route.calls")
+        _obs.inc("fastpath.self_route.success" if success
+                 else "fastpath.self_route.failure")
+        _obs.observe("fastpath.self_route.seconds",
+                     _perf_counter() - t0)
     return success, tuple(rows_src)
 
 
@@ -76,6 +86,8 @@ def fast_route_with_states(states: Sequence[Sequence[int]],
     """Realized permutation (input -> output) of ``B(order)`` under an
     external state assignment; integer-only equivalent of
     ``BenesNetwork.route_with_states(states).realized``."""
+    enabled = _obs.enabled()
+    t0 = _perf_counter() if enabled else 0.0
     topology = _topology(order)
     n = 1 << order
     rows: List[int] = list(range(n))
@@ -96,4 +108,8 @@ def fast_route_with_states(states: Sequence[Sequence[int]],
     dest = [0] * n
     for output, source in enumerate(rows):
         dest[source] = output
+    if enabled:
+        _obs.inc("fastpath.route_with_states.calls")
+        _obs.observe("fastpath.route_with_states.seconds",
+                     _perf_counter() - t0)
     return tuple(dest)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import InvalidParameterError
 from .topology import stage_count, switch_count
 
 __all__ = [
@@ -68,7 +69,7 @@ def switch_gates(word_width: int) -> GateCosts:
     the select line itself is a wired tag bit (no gates).
     """
     if word_width < 1:
-        raise ValueError(f"word width must be >= 1, got {word_width}")
+        raise InvalidParameterError(f"word width must be >= 1, got {word_width}")
     return GateCosts(
         and_gates=4 * word_width,   # 2 per output per bit
         or_gates=2 * word_width,    # 1 per output per bit

@@ -7,17 +7,25 @@ when tracing is enabled — a :class:`StageTrace` per switch column with
 the tags present on every row and the state every switch took.  The
 traces are what the figure-reproduction benchmarks (Figs. 4 and 5)
 render.
+
+Routing a *batch* of vectors (:mod:`repro.accel`) produces the batched
+mirror, :class:`BatchRouteResult`: a success mask and the delivered
+mappings for every instance at once, with optional per-stage
+switch-flip data.  The two classes form the unified routing result API
+— one scalar shape, one batched shape, every entry point returning one
+of them.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 from .permutation import Permutation
 from .switch import SwitchState
 
-__all__ = ["StageTrace", "RouteResult"]
+__all__ = ["StageTrace", "RouteResult", "BatchRouteResult"]
 
 
 @dataclass(frozen=True)
@@ -79,6 +87,60 @@ class RouteResult:
     def arrived_tags(self) -> Tuple[int, ...]:
         """The tag that arrived at each output terminal."""
         return tuple(self.requested[src] for src in self.delivered)
+
+
+@dataclass(frozen=True, eq=False)
+class BatchRouteResult:
+    """Outcome of routing a batch of ``B`` vectors — the ``(B, N)``
+    mirror of :class:`RouteResult`, returned by
+    :func:`repro.accel.batch_self_route` and
+    :func:`repro.accel.batch_route_with_states`.
+
+    Attributes:
+        success_mask: per-instance success — a ``(B,)`` bool array on
+            the NumPy path, a list of bools on the fallback path.
+        mappings: ``mappings[b][o]`` is the *input terminal* whose
+            signal arrived at output ``o`` of instance ``b`` (the
+            batched ``RouteResult.delivered``) — a ``(B, N)`` int array
+            or a list of tuples.
+        per_stage: optional per-stage switch-flip data: row ``s`` holds
+            the number of crossed switches in column ``s`` for every
+            instance (``(2n-1, B)``).  Populated by the NumPy engine
+            when routing with ``stage_data=True``; ``None`` otherwise.
+
+    Iterating yields ``(success_mask, mappings)`` so the pre-1.1 tuple
+    API (``success, delivered = batch_self_route(...)``) keeps working
+    for one deprecation cycle; new code should use the named fields.
+    """
+
+    success_mask: Any
+    mappings: Any
+    per_stage: Optional[Any] = None
+
+    @property
+    def batch_size(self) -> int:
+        """Number of routed instances ``B``."""
+        return len(self.success_mask)
+
+    @property
+    def n_success(self) -> int:
+        """How many instances delivered every signal."""
+        return sum(1 for ok in self.success_mask if ok)
+
+    @property
+    def all_success(self) -> bool:
+        """True iff every instance succeeded."""
+        return self.n_success == self.batch_size
+
+    def __iter__(self):
+        warnings.warn(
+            "tuple unpacking of BatchRouteResult is deprecated; use "
+            "the .success_mask and .mappings fields",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        yield self.success_mask
+        yield self.mappings
 
 
 def collect_result(requested: Sequence[int],

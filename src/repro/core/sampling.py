@@ -34,6 +34,7 @@ from __future__ import annotations
 import random as _random
 from typing import Dict, List, Sequence, Tuple
 
+from ..errors import InvalidParameterError
 from .membership import enumerate_class_f
 from .permutation import Permutation
 
@@ -114,11 +115,11 @@ def class_f_count_recursive(order: int, limit_order: int = 3) -> int:
     explicitly (at order 4 that is 11632^2 pairs).
     """
     if order < 1:
-        raise ValueError(f"order must be >= 1, got {order}")
+        raise InvalidParameterError(f"order must be >= 1, got {order}")
     if order == 1:
         return 2
     if order > limit_order:
-        raise ValueError(
+        raise InvalidParameterError(
             f"recursive count limited to order <= {limit_order}"
         )
     members = list(enumerate_class_f(order - 1))
@@ -163,7 +164,7 @@ def random_class_f(order: int,
     """
     rng = rng if rng is not None else _random
     if order < 1:
-        raise ValueError(f"order must be >= 1, got {order}")
+        raise InvalidParameterError(f"order must be >= 1, got {order}")
     if order == 1:
         return Permutation((0, 1) if rng.getrandbits(1) else (1, 0))
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from ..errors import InvalidParameterError
 from .bits import rotate_left, rotate_right
 
 __all__ = [
@@ -44,7 +45,7 @@ __all__ = [
 def stage_count(order: int) -> int:
     """Number of switch columns in ``B(n)``: ``2n - 1``."""
     if order < 1:
-        raise ValueError(f"order must be >= 1, got {order}")
+        raise InvalidParameterError(f"order must be >= 1, got {order}")
     return 2 * order - 1
 
 
@@ -62,7 +63,7 @@ def control_bit(stage: int, order: int) -> int:
     """
     last = stage_count(order) - 1
     if not 0 <= stage <= last:
-        raise ValueError(f"stage {stage} out of range 0..{last}")
+        raise InvalidParameterError(f"stage {stage} out of range 0..{last}")
     return min(stage, last - stage)
 
 
@@ -111,7 +112,7 @@ class BenesTopology:
         """Construct the topology for ``B(order)`` by the paper's
         recursion."""
         if order < 1:
-            raise ValueError(f"order must be >= 1, got {order}")
+            raise InvalidParameterError(f"order must be >= 1, got {order}")
         return cls(order=order, links=tuple(cls._build_links(order)))
 
     @staticmethod

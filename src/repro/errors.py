@@ -9,6 +9,7 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "InvalidParameterError",
     "InvalidPermutationError",
     "SizeMismatchError",
     "NotAPowerOfTwoError",
@@ -23,6 +24,12 @@ __all__ = [
 
 class ReproError(Exception):
     """Base class for all errors raised by :mod:`repro`."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A scalar argument is outside its domain (a network order below
+    1, a negative bit index, a non-increasing histogram bound, an
+    opt-in enumeration limit exceeded, ...)."""
 
 
 class InvalidPermutationError(ReproError, ValueError):

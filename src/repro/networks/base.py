@@ -46,7 +46,7 @@ class PermutationNetwork(ABC):
 
     @abstractmethod
     def route(self, tags: PermutationLike,
-              payloads: Optional[Sequence] = None,
+              payloads: Optional[Sequence] = None, *,
               trace: bool = False) -> RouteResult:
         """Attempt to realize the permutation under the network's own
         (self-routing) control; ``result.success`` reports whether it

@@ -23,7 +23,7 @@ from ..core import bits as _bits
 from ..core.permutation import Permutation
 from ..core.routing import RouteResult, StageTrace, collect_result
 from ..core.switch import CROSS, STRAIGHT, Signal, SwitchState
-from ..errors import SizeMismatchError
+from ..errors import InvalidParameterError, SizeMismatchError
 from .base import PermutationNetwork
 
 __all__ = ["BitonicNetwork", "bitonic_schedule"]
@@ -57,7 +57,7 @@ class BitonicNetwork(PermutationNetwork):
 
     def __init__(self, order: int):
         if order < 1:
-            raise ValueError(f"order must be >= 1, got {order}")
+            raise InvalidParameterError(f"order must be >= 1, got {order}")
         self._order = order
 
     @property
@@ -80,7 +80,7 @@ class BitonicNetwork(PermutationNetwork):
         return self.n_stages
 
     def route(self, tags: PermutationLike,
-              payloads: Optional[Sequence] = None,
+              payloads: Optional[Sequence] = None, *,
               trace: bool = False) -> RouteResult:
         perm = tags if isinstance(tags, Permutation) else Permutation(tags)
         if perm.size != self.n_terminals:

@@ -13,7 +13,7 @@ from typing import List, Optional, Sequence, Union
 from ..core.permutation import Permutation
 from ..core.routing import RouteResult, StageTrace, collect_result
 from ..core.switch import CROSS, STRAIGHT, Signal
-from ..errors import SizeMismatchError
+from ..errors import InvalidParameterError, SizeMismatchError
 from .base import PermutationNetwork
 
 __all__ = ["Crossbar"]
@@ -33,7 +33,7 @@ class Crossbar(PermutationNetwork):
 
     def __init__(self, order: int):
         if order < 1:
-            raise ValueError(f"order must be >= 1, got {order}")
+            raise InvalidParameterError(f"order must be >= 1, got {order}")
         self._order = order
 
     @property
@@ -51,7 +51,7 @@ class Crossbar(PermutationNetwork):
         return 1
 
     def route(self, tags: PermutationLike,
-              payloads: Optional[Sequence] = None,
+              payloads: Optional[Sequence] = None, *,
               trace: bool = False) -> RouteResult:
         perm = tags if isinstance(tags, Permutation) else Permutation(tags)
         if perm.size != self.n_terminals:

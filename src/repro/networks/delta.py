@@ -31,7 +31,7 @@ from ..core import bits as _bits
 from ..core.permutation import Permutation
 from ..core.routing import RouteResult, StageTrace, collect_result
 from ..core.switch import CROSS, STRAIGHT, Signal, SwitchState
-from ..errors import SizeMismatchError
+from ..errors import InvalidParameterError, SizeMismatchError
 from .base import PermutationNetwork
 
 __all__ = ["ButterflyNetwork", "BaselineNetwork"]
@@ -45,7 +45,7 @@ class _DeltaNetwork(PermutationNetwork):
 
     def __init__(self, order: int):
         if order < 1:
-            raise ValueError(f"order must be >= 1, got {order}")
+            raise InvalidParameterError(f"order must be >= 1, got {order}")
         self._order = order
 
     @property
@@ -72,7 +72,7 @@ class _DeltaNetwork(PermutationNetwork):
         raise NotImplementedError
 
     def route(self, tags: PermutationLike,
-              payloads: Optional[Sequence] = None,
+              payloads: Optional[Sequence] = None, *,
               trace: bool = False) -> RouteResult:
         perm = tags if isinstance(tags, Permutation) else Permutation(tags)
         if perm.size != self.n_terminals:
@@ -170,7 +170,7 @@ class BaselineNetwork(_DeltaNetwork):
         return line ^ 1  # every column pairs adjacent lines
 
     def route(self, tags: PermutationLike,
-              payloads: Optional[Sequence] = None,
+              payloads: Optional[Sequence] = None, *,
               trace: bool = False) -> RouteResult:
         perm = tags if isinstance(tags, Permutation) else Permutation(tags)
         if perm.size != self.n_terminals:

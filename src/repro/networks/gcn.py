@@ -35,7 +35,7 @@ from ..core.benes import BenesNetwork
 from ..core.membership import in_class_f
 from ..core.permutation import Permutation
 from ..core.waksman import setup_states
-from ..errors import SizeMismatchError, SpecificationError
+from ..errors import InvalidParameterError, SizeMismatchError, SpecificationError
 from .batcher import BitonicNetwork
 
 __all__ = ["GeneralizedConnectionNetwork", "GCNResult"]
@@ -68,7 +68,7 @@ class GeneralizedConnectionNetwork:
 
     def __init__(self, order: int):
         if order < 1:
-            raise ValueError(f"order must be >= 1, got {order}")
+            raise InvalidParameterError(f"order must be >= 1, got {order}")
         self._order = order
         self._sorter = BitonicNetwork(order)
         self._benes = BenesNetwork(order)

@@ -22,7 +22,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple, Union
 from ..core.permutation import Permutation
 from ..core.routing import RouteResult, StageTrace, collect_result
 from ..core.switch import CROSS, STRAIGHT, Signal, SwitchState
-from ..errors import SizeMismatchError
+from ..errors import InvalidParameterError, SizeMismatchError
 from .base import PermutationNetwork
 
 __all__ = ["OddEvenMergeNetwork", "odd_even_schedule",
@@ -70,7 +70,7 @@ class OddEvenMergeNetwork(PermutationNetwork):
 
     def __init__(self, order: int):
         if order < 1:
-            raise ValueError(f"order must be >= 1, got {order}")
+            raise InvalidParameterError(f"order must be >= 1, got {order}")
         self._order = order
         self._schedule = list(odd_even_schedule(order))
 
@@ -94,7 +94,7 @@ class OddEvenMergeNetwork(PermutationNetwork):
         return self.n_stages
 
     def route(self, tags: PermutationLike,
-              payloads: Optional[Sequence] = None,
+              payloads: Optional[Sequence] = None, *,
               trace: bool = False) -> RouteResult:
         perm = tags if isinstance(tags, Permutation) else Permutation(tags)
         if perm.size != self.n_terminals:

@@ -28,7 +28,7 @@ from ..core import bits as _bits
 from ..core.permutation import Permutation
 from ..core.routing import RouteResult, StageTrace, collect_result
 from ..core.switch import CROSS, STRAIGHT, Signal, SwitchState
-from ..errors import SizeMismatchError
+from ..errors import InvalidParameterError, SizeMismatchError
 from .base import PermutationNetwork
 
 __all__ = ["OmegaNetwork", "InverseOmegaNetwork"]
@@ -41,7 +41,7 @@ class _ShuffleExchangeNetwork(PermutationNetwork):
 
     def __init__(self, order: int):
         if order < 1:
-            raise ValueError(f"order must be >= 1, got {order}")
+            raise InvalidParameterError(f"order must be >= 1, got {order}")
         self._order = order
 
     @property
@@ -138,7 +138,7 @@ class OmegaNetwork(_ShuffleExchangeNetwork):
     """
 
     def route(self, tags: PermutationLike,
-              payloads: Optional[Sequence] = None,
+              payloads: Optional[Sequence] = None, *,
               trace: bool = False) -> RouteResult:
         signals = self._make_signals(tags, payloads)
         requested = [sig.tag for sig in signals]
@@ -177,7 +177,7 @@ class InverseOmegaNetwork(_ShuffleExchangeNetwork):
     """
 
     def route(self, tags: PermutationLike,
-              payloads: Optional[Sequence] = None,
+              payloads: Optional[Sequence] = None, *,
               trace: bool = False) -> RouteResult:
         signals = self._make_signals(tags, payloads)
         requested = [sig.tag for sig in signals]

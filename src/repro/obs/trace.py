@@ -1,0 +1,100 @@
+"""Structured JSON-lines trace events.
+
+A trace is a flat stream of one-line JSON records written to a
+configured sink (a path or an open text file, e.g. ``sys.stderr`` for
+``benes route D --profile``).  Routing emits three event kinds:
+
+- ``route_start`` — a vector entered the network (size, mode, tags);
+- ``stage`` — one switch column fired (its control bit, the states it
+  took, how many switches crossed);
+- ``deliver`` — the vector left the network (success, realized
+  mapping, wall time).
+
+Every record carries the schema version, a wall-clock timestamp and a
+per-process monotonically increasing ``seq`` so interleaved writers
+remain sortable.  Emission is lock-guarded and line-buffered: one
+``write`` per record, flushed immediately, so a crashed process loses
+at most the record being written.
+
+The emitter is inert until :func:`repro.obs.trace_to` (or
+``repro.obs.enable(trace=...)`` / ``BENES_TRACE=<path>``) configures a
+sink; with no sink, :meth:`TraceEmitter.emit` is a single attribute
+check.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import IO, Optional, Union
+
+__all__ = ["TRACE_SCHEMA_VERSION", "TraceEmitter"]
+
+#: Bumped whenever an event's required fields change.
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceEmitter:
+    """Serializes trace events to one JSON line each."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._sink: Optional[IO[str]] = None
+        self._owns_sink = False
+        self._seq = 0
+
+    @property
+    def active(self) -> bool:
+        """True when a sink is configured and events will be written."""
+        return self._sink is not None
+
+    def configure(self, sink: Union[str, IO[str], None]) -> None:
+        """Direct events to ``sink`` — a path (opened for append) or an
+        open text file; ``None`` disables tracing and closes any
+        emitter-owned file."""
+        with self._lock:
+            if self._owns_sink and self._sink is not None:
+                self._sink.close()
+            if isinstance(sink, str):
+                self._sink = open(sink, "a", encoding="utf-8")
+                self._owns_sink = True
+            else:
+                self._sink = sink
+                self._owns_sink = False
+
+    def emit(self, event: str, **fields) -> None:
+        """Write one event record; a no-op without a configured sink.
+
+        ``fields`` must be JSON-serializable; tuples become lists.
+        """
+        if self._sink is None:
+            return
+        with self._lock:
+            sink = self._sink
+            if sink is None:  # configure(None) raced us
+                return
+            self._seq += 1
+            record = {
+                "v": TRACE_SCHEMA_VERSION,
+                "seq": self._seq,
+                "ts": time.time(),
+                "ev": event,
+            }
+            record.update(fields)
+            sink.write(json.dumps(record, separators=(",", ":"),
+                                  default=_jsonable) + "\n")
+            sink.flush()
+
+    def reset_seq(self) -> None:
+        with self._lock:
+            self._seq = 0
+
+
+def _jsonable(value):
+    """Last-resort encoder: IntEnums and NumPy scalars to int, other
+    unknown objects to their repr."""
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return repr(value)

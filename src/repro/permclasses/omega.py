@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Sequence, Union
 
 from ..core.permutation import Permutation
+from ..errors import InvalidParameterError
 
 __all__ = [
     "is_omega",
@@ -43,7 +44,7 @@ def omega_window(i: int, destination: int, stage: int, order: int) -> int:
     the high ``stage`` bits of ``destination``.
     """
     if not 0 <= stage <= order:
-        raise ValueError(f"stage must be in 0..{order}, got {stage}")
+        raise InvalidParameterError(f"stage must be in 0..{order}, got {stage}")
     low = i & ((1 << (order - stage)) - 1)
     high = destination >> (order - stage)
     return (low << stage) | high

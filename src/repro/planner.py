@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple, Union
 
+from . import obs as _obs
 from .core.membership import first_failure, in_class_f
 from .core.permutation import Permutation
 from .permclasses.bpc import BPCSpec, is_bpc
@@ -131,6 +132,16 @@ def plan(perm: PermutationLike) -> RoutingPlan:
         # two self-routed transits realize any permutation without
         # external setup (core.twopass); omega-mode is its own row.
         alternatives = ("two-pass",)
+
+    if _obs.enabled():
+        # Planner decisions, keyed by the strategies chosen — the
+        # "per permutation class" success/failure view: each network
+        # strategy corresponds to a Section II class verdict.
+        _obs.inc("planner.plan.calls")
+        _obs.inc(f"planner.network_strategy.{network_strategy}")
+        _obs.inc(f"planner.simd_strategy.{simd_strategy}")
+        if skip_rule:
+            _obs.inc(f"planner.skip_rule.{skip_rule}")
 
     return RoutingPlan(
         permutation=perm,

@@ -26,7 +26,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from ..core import bits as _bits
 from ..core.permutation import Permutation
-from ..errors import MachineError, RoutingError
+from ..errors import InvalidParameterError, MachineError, RoutingError
 from ..permclasses.bpc import BPCSpec
 from .ccc import CCC
 from .mcc import MCC
@@ -71,7 +71,7 @@ def benes_dimension_schedule(order: int) -> List[int]:
     """The loop schedule ``b = 0, 1, ..., n-2, n-1, n-2, ..., 0``
     (length ``2n - 1``) — one entry per Benes switch stage."""
     if order < 1:
-        raise ValueError(f"order must be >= 1, got {order}")
+        raise InvalidParameterError(f"order must be >= 1, got {order}")
     return list(range(order)) + list(range(order - 2, -1, -1))
 
 
@@ -139,7 +139,7 @@ def _finish(machine, skipped: Tuple[int, ...],
 # ----------------------------------------------------------------------
 
 def permute_ccc(machine: CCC, tags: PermutationLike,
-                data: Optional[Sequence] = None,
+                data: Optional[Sequence] = None, *,
                 bpc_spec: Optional[BPCSpec] = None,
                 omega: bool = False,
                 inverse_omega: bool = False,
@@ -190,7 +190,7 @@ def permute_ccc(machine: CCC, tags: PermutationLike,
 # ----------------------------------------------------------------------
 
 def permute_psc(machine: PSC, tags: PermutationLike,
-                data: Optional[Sequence] = None,
+                data: Optional[Sequence] = None, *,
                 omega: bool = False,
                 inverse_omega: bool = False,
                 require_success: bool = False) -> PermutationRun:
@@ -259,7 +259,7 @@ def permute_psc(machine: PSC, tags: PermutationLike,
 # ----------------------------------------------------------------------
 
 def permute_mcc(machine: MCC, tags: PermutationLike,
-                data: Optional[Sequence] = None,
+                data: Optional[Sequence] = None, *,
                 bpc_spec: Optional[BPCSpec] = None,
                 omega: bool = False,
                 inverse_omega: bool = False,

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from ..core.routing import RouteResult
 from ..core.switch import SwitchState
+from ..errors import InvalidParameterError
 from ..simd.permute import PermutationRun, benes_dimension_schedule
 
 __all__ = [
@@ -90,7 +91,7 @@ def render_route(result: RouteResult, order: int,
     (``route(..., trace=True)``).
     """
     if not result.stages:
-        raise ValueError(
+        raise InvalidParameterError(
             "render_route needs stage traces; route with trace=True"
         )
     n_rows = len(result.requested)
@@ -140,7 +141,7 @@ def render_network_diagram(order: int, max_order: int = 4) -> str:
     from ..core.topology import BenesTopology
 
     if order > max_order:
-        raise ValueError(
+        raise InvalidParameterError(
             f"diagram limited to order <= {max_order} for legibility"
         )
     topo = BenesTopology.build(order)
@@ -173,7 +174,7 @@ def render_ccc_trace(run: PermutationRun, order: int) -> str:
     iteration ``k`` of the CCC loop (requires
     ``permute_ccc(..., trace=True)``)."""
     if not run.tag_history:
-        raise ValueError(
+        raise InvalidParameterError(
             "render_ccc_trace needs tag history; run with trace=True"
         )
     schedule = benes_dimension_schedule(order)

@@ -59,7 +59,8 @@ def _random_states(order, rng, batch):
 
 
 def _assert_self_route_parity(tag_rows):
-    success, delivered = batch_self_route(tag_rows)
+    result = batch_self_route(tag_rows)
+    success, delivered = result.success_mask, result.mappings
     for i, row in enumerate(tag_rows):
         expect_ok, expect_dst = fast_self_route(row)
         assert bool(success[i]) == expect_ok, row
@@ -154,7 +155,8 @@ class TestBatchSelfRouteParity:
     def test_exhaustive_vs_network_and_fastpath(self, order):
         net = BenesNetwork(order)
         perms = list(permutations(range(1 << order)))
-        success, delivered = batch_self_route(perms)
+        result = batch_self_route(perms)
+        success, delivered = result.success_mask, result.mappings
         mask = batch_in_class_f(perms)
         for i, p in enumerate(perms):
             result = net.route(p)
@@ -169,9 +171,10 @@ class TestBatchSelfRouteParity:
         assert sum(map(bool, mask)) == 11632  # |F(3)|
 
     def test_fig5_counterexample(self):
-        success, delivered = batch_self_route([[1, 3, 2, 0]])
-        assert not bool(success[0])
-        assert sorted(int(v) for v in delivered[0]) == [0, 1, 2, 3]
+        result = batch_self_route([[1, 3, 2, 0]])
+        assert not bool(result.success_mask[0])
+        assert sorted(int(v) for v in result.mappings[0]) == [0, 1, 2, 3]
+        assert result.n_success == 0 and not result.all_success
 
     @settings(max_examples=40, deadline=None)
     @given(order=st.integers(min_value=4, max_value=7),
@@ -208,7 +211,7 @@ class TestBatchRouteWithStatesParity:
     @pytest.mark.parametrize("order", [1, 2, 3, 5])
     def test_random_states(self, order, rng):
         batch = _random_states(order, rng, batch=16)
-        out = batch_route_with_states(batch, order)
+        out = batch_route_with_states(batch, order).mappings
         for i, states in enumerate(batch):
             assert tuple(int(v) for v in out[i]) == \
                 fast_route_with_states(states, order)
@@ -216,7 +219,8 @@ class TestBatchRouteWithStatesParity:
     def test_straight_states_identity(self):
         net = BenesNetwork(3)
         out = batch_route_with_states([net.straight_states()] * 4, 3)
-        for row in out:
+        assert out.all_success
+        for row in out.mappings:
             assert tuple(int(v) for v in row) == tuple(range(8))
 
     def test_rejects_bad_shape(self):
@@ -256,7 +260,8 @@ class TestFallbackWithoutNumpy:
 
     def test_self_route_fallback_parity(self, no_numpy):
         perms = list(permutations(range(8)))[:200]
-        success, delivered = batch_self_route(perms)
+        result = batch_self_route(perms)
+        success, delivered = result.success_mask, result.mappings
         assert isinstance(success, list)
         for i, p in enumerate(perms):
             ok, dst = fast_self_route(p)
@@ -271,8 +276,9 @@ class TestFallbackWithoutNumpy:
     def test_route_with_states_fallback_parity(self, no_numpy, rng):
         batch = _random_states(3, rng, batch=8)
         out = batch_route_with_states(batch, 3)
-        assert isinstance(out, list)
-        assert out == [fast_route_with_states(s, 3) for s in batch]
+        assert isinstance(out.mappings, list)
+        assert out.mappings == [fast_route_with_states(s, 3)
+                                for s in batch]
 
     def test_density_estimator_identical_without_numpy(self, no_numpy):
         from repro.analysis import estimate_class_f_density

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Lint: forbid bare ``raise ValueError`` in the library source.
+
+Every domain violation raised by ``src/repro/`` must go through the
+:mod:`repro.errors` hierarchy (e.g. ``InvalidParameterError``,
+``SizeMismatchError``, ``NotAPowerOfTwoError``) so callers can catch
+``ReproError`` uniformly.  This walker parses each source file and
+flags any ``raise ValueError(...)`` / ``raise ValueError`` whose
+exception is the *builtin* — subclasses with other names pass.
+
+Exit status: 0 when clean, 1 with a ``path:line`` listing otherwise.
+
+Run from the repository root (CI does, on both matrix legs)::
+
+    python tools/check_errors.py
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+from typing import Iterator, List, Tuple
+
+FORBIDDEN = ("ValueError",)
+
+
+def _violations(path: pathlib.Path) -> Iterator[Tuple[int, str]]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        # raise ValueError(...)  |  raise ValueError
+        name = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name in FORBIDDEN:
+            yield node.lineno, name
+
+
+def check_tree(root: pathlib.Path) -> List[str]:
+    """Return ``path:line`` strings for every bare raise under root."""
+    found = []
+    for path in sorted(root.rglob("*.py")):
+        for lineno, name in _violations(path):
+            found.append(f"{path}:{lineno}: bare `raise {name}` — "
+                         f"use a repro.errors class instead")
+    return found
+
+
+def main(argv: List[str] = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    root = pathlib.Path(args[0]) if args else pathlib.Path("src/repro")
+    if not root.is_dir():
+        print(f"check_errors: no such directory {root}", file=sys.stderr)
+        return 2
+    found = check_tree(root)
+    for line in found:
+        print(line)
+    if found:
+        print(f"check_errors: {len(found)} bare raise(s) found",
+              file=sys.stderr)
+        return 1
+    print(f"check_errors: OK ({root})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
