@@ -19,6 +19,8 @@ Measured here:
 import pytest
 from conftest import emit
 
+from repro.accel import have_numpy
+from repro.accel.setup import batch_setup_states
 from repro.core import (
     BenesNetwork,
     in_class_f,
@@ -26,7 +28,7 @@ from repro.core import (
     setup_states,
 )
 from repro.permclasses import BPCSpec
-from repro.simd import parallel_setup_states
+from repro.simd import batch_parallel_setup, parallel_setup_states
 
 
 @pytest.mark.parametrize("order", [4, 6, 8, 10])
@@ -69,6 +71,37 @@ def test_parallel_setup_cost(benchmark, order, rng):
     assert run.total_steps <= 2 * order * order + 8 * order
     net = BenesNetwork(order)
     assert net.route_with_states(run.states).realized == perm
+
+
+@pytest.mark.parametrize("order", [4, 6, 8])
+def test_batch_setup_cost(benchmark, order, rng):
+    """The vectorized batched looping (repro.accel.setup): amortizes
+    the serial O(N log N) setup across a whole batch of permutations —
+    per-item cost drops by an order of magnitude when NumPy drives."""
+    batch = 64
+    perms = [random_permutation(1 << order, rng).as_tuple()
+             for _ in range(batch)]
+    batch_setup_states(order, perms[:2])  # warm plan caches
+    states = benchmark(batch_setup_states, order, perms)
+    assert len(states) == batch
+    # spot-check parity with the serial looping algorithm
+    want = setup_states(perms[0])
+    assert [[int(v) for v in col] for col in states[0]] == want
+
+
+def test_batch_parallel_setup_consistency(benchmark, rng):
+    """The batched CIC comparison point: same states, same (data-
+    independent) broadcast step counts as the scalar parallel model."""
+    order, batch = 6, 32
+    perms = [random_permutation(1 << order, rng).as_tuple()
+             for _ in range(batch)]
+    runs = benchmark.pedantic(batch_parallel_setup, args=(perms,),
+                              rounds=3, iterations=1, warmup_rounds=1)
+    reference = parallel_setup_states(perms[0])
+    assert runs[0].states == reference.states
+    assert runs[0].total_steps == reference.total_steps
+    if not have_numpy():
+        pytest.skip("NumPy absent: batched path is the scalar loop")
 
 
 def test_setup_regimes_table(benchmark, rng):

@@ -10,6 +10,7 @@ transit plus an O(N log N) serial setup.
 import pytest
 from conftest import emit
 
+from repro.accel.setup import batch_route_two_pass, batch_two_pass
 from repro.core import BenesNetwork, random_permutation
 from repro.core.twopass import route_two_pass, two_pass_decomposition
 from repro.permclasses import is_inverse_omega, is_omega
@@ -31,6 +32,40 @@ def test_two_pass_routing(benchmark, order, rng):
     data = list(range(1 << order))
     routed = benchmark(route_two_pass, perm, data, net)
     assert routed == perm.apply(data)
+
+
+@pytest.mark.parametrize("order", [4, 6, 8])
+def test_batch_two_pass_decomposition(benchmark, order, rng):
+    """The vectorized factorization (repro.accel.setup): a whole batch
+    of arbitrary permutations split into (omega_1, omega_2) at once."""
+    batch = 64
+    perms = [random_permutation(1 << order, rng).as_tuple()
+             for _ in range(batch)]
+    batch_two_pass(order, perms[:2])  # warm plan caches
+    first, second = benchmark(batch_two_pass, order, perms)
+    want_first, want_second = two_pass_decomposition(perms[0])
+    assert tuple(int(v) for v in first[0]) == want_first.as_tuple()
+    assert tuple(int(v) for v in second[0]) == want_second.as_tuple()
+    assert is_inverse_omega(tuple(int(v) for v in first[0]))
+    assert is_omega(tuple(int(v) for v in second[0]))
+
+
+def test_batch_two_pass_routing(benchmark, rng):
+    """Factor + route both transits through the vectorized engine;
+    every arbitrary permutation is delivered (universality)."""
+    order, batch = 6, 64
+    perms = [random_permutation(1 << order, rng).as_tuple()
+             for _ in range(batch)]
+    batch_route_two_pass(order, perms[:2])  # warm plan caches
+    result = benchmark.pedantic(batch_route_two_pass,
+                                args=(order, perms), rounds=3,
+                                iterations=1, warmup_rounds=1)
+    assert all(bool(ok) for ok in result.success_mask)
+    for i, perm in enumerate(perms):
+        delivered = [0] * len(perm)
+        for output, source in enumerate(result.mappings[i]):
+            delivered[int(source)] = output
+        assert tuple(delivered) == perm
 
 
 def test_two_pass_summary(benchmark, rng):

@@ -19,18 +19,26 @@ from __future__ import annotations
 __all__ = [
     "BatchRouteResult",
     "LRUCache",
+    "SetupPlan",
     "StagePlan",
     "batch_in_class_f",
+    "batch_route_two_pass",
     "batch_route_with_states",
     "batch_self_route",
+    "batch_setup_states",
+    "batch_two_pass",
     "cache_clear",
     "cache_stats",
     "cached_topology",
+    "executor_shutdown",
     "have_numpy",
     "numpy_or_none",
     "plan_cache",
     "require_numpy",
     "run_benchmark",
+    "run_setup_benchmark",
+    "setup_plan",
+    "setup_plan_cache",
     "stage_plan",
     "topology_cache",
 ]
@@ -38,18 +46,26 @@ __all__ = [
 _EXPORTS = {
     "BatchRouteResult": "batch",
     "LRUCache": "lru",
+    "SetupPlan": "setup",
     "StagePlan": "plans",
     "batch_in_class_f": "batch",
+    "batch_route_two_pass": "setup",
     "batch_route_with_states": "batch",
     "batch_self_route": "batch",
+    "batch_setup_states": "setup",
+    "batch_two_pass": "setup",
     "cache_clear": "plans",
     "cache_stats": "plans",
     "cached_topology": "plans",
+    "executor_shutdown": "executor",
     "have_numpy": "_np",
     "numpy_or_none": "_np",
     "plan_cache": "plans",
     "require_numpy": "_np",
     "run_benchmark": "benchmark",
+    "run_setup_benchmark": "benchmark",
+    "setup_plan": "setup",
+    "setup_plan_cache": "plans",
     "stage_plan": "plans",
     "topology_cache": "plans",
 }

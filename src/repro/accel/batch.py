@@ -62,6 +62,7 @@ from ..core.bits import log2_exact
 from ..core.fastpath import fast_route_with_states, fast_self_route
 from ..core.routing import BatchRouteResult
 from ..errors import InvalidParameterError, SizeMismatchError
+from . import executor as _executor
 from ._np import numpy_or_none
 from .plans import stage_plan
 
@@ -112,18 +113,28 @@ def _swap_stage(rows, cond):
     odd -= diff
 
 
-def _route_array(np, rows, order, stage_cross=None):
+def _route_array(np, rows, order, stage_cross=None, omega_mode=False):
     """Push an ``(N, B)`` value block through all stages in place
     (modulo link gathers); the self-routing control reads tag bits of
     ``rows``, which must occupy the low ``order`` bits of each value.
 
     When ``stage_cross`` is a list, the per-instance crossed-switch
-    count of every stage (a ``(B,)`` array) is appended to it.
+    count of every stage (a ``(B,)`` array) is appended to it.  With
+    ``omega_mode`` the first ``order - 1`` columns are forced straight
+    (the Section II omega-bit extension).
     """
     plan = stage_plan(order)
     inv_links = plan.np_inv_links()
     last_stage = plan.n_stages - 1
+    omega_stages = order - 1 if omega_mode else 0
     for stage in range(plan.n_stages):
+        if stage < omega_stages:
+            if stage_cross is not None:
+                stage_cross.append(
+                    np.zeros(rows.shape[1], dtype=rows.dtype)
+                )
+            rows = rows[inv_links[stage]]
+            continue
         ctrl = plan.ctrl_bits[stage]
         cond = (rows[0::2, :] >> ctrl) & 1
         if stage_cross is not None:
@@ -151,7 +162,8 @@ def _record_batch_metrics(kind, batch_size, seconds, n_success=None,
                      int(crosses.sum()))
 
 
-def batch_self_route(tags_batch, *, stage_data=False):
+def batch_self_route(tags_batch, *, omega_mode=False, stage_data=False,
+                     parallel=False):
     """Self-route a batch of tag vectors; the vectorized equivalent of
     ``[fast_self_route(t) for t in tags_batch]``.
 
@@ -159,9 +171,17 @@ def batch_self_route(tags_batch, *, stage_data=False):
         tags_batch: ``(B, N)`` array-like of destination tags (each row
             an arbitrary tag vector — duplicates allowed, exactly as in
             the scalar fast path).
+        omega_mode: set the omega bit on every signal, forcing the
+            first ``n - 1`` columns straight (realizes ``Omega(n)``,
+            mirroring ``BenesNetwork.route(omega_mode=True)``).
         stage_data: also collect per-stage switch-flip counts into the
             result's ``per_stage`` field (NumPy path only; the fallback
             path leaves it ``None``).
+        parallel: shard the batch across worker processes above the
+            executor threshold (see :mod:`repro.accel.executor`);
+            ``True`` resolves to ``os.cpu_count()`` workers, an int is
+            an explicit worker count.  Results are identical for any
+            value.
 
     Returns:
         a :class:`~repro.core.routing.BatchRouteResult` whose
@@ -175,9 +195,16 @@ def batch_self_route(tags_batch, *, stage_data=False):
     enabled = _obs.enabled()
     t0 = _perf_counter() if enabled else 0.0
     if np is None:
+        rows_in = tags_batch if isinstance(tags_batch, list) \
+            else list(tags_batch)
+        if _executor.wants_shards(parallel, len(rows_in)):
+            return _executor.dispatch(
+                "self_route", rows_in, extra=(omega_mode, stage_data),
+                parallel=parallel,
+            )
         successes, delivered = [], []
-        for tags in tags_batch:
-            ok, dst = fast_self_route(tags)
+        for tags in rows_in:
+            ok, dst = fast_self_route(tags, omega_mode=omega_mode)
             successes.append(ok)
             delivered.append(dst)
         if enabled:
@@ -190,12 +217,23 @@ def batch_self_route(tags_batch, *, stage_data=False):
     arr = _as_tag_array(np, tags_batch)
     n = arr.shape[1]
     order = log2_exact(n)
+    if _executor.wants_shards(parallel, arr.shape[0]):
+        result = _executor.dispatch(
+            "self_route", arr, extra=(omega_mode, stage_data),
+            parallel=parallel, order_hint=order,
+        )
+        if enabled:
+            _record_batch_metrics("batch", int(arr.shape[0]),
+                                  _perf_counter() - t0,
+                                  n_success=int(result.n_success))
+        return result
     # Pack each value's source row into its high bits; the control rule
     # only reads tag bits < order, so one array routes both.
     rows = _working_block(np, arr, n_value_bits=2 * order)
     rows |= np.arange(n, dtype=rows.dtype)[:, None] << order
     stage_cross = [] if (stage_data or enabled) else None
-    rows = _route_array(np, rows, order, stage_cross=stage_cross)
+    rows = _route_array(np, rows, order, stage_cross=stage_cross,
+                        omega_mode=omega_mode)
     tags = rows & (n - 1)
     success = (tags == np.arange(n, dtype=rows.dtype)[:, None]
                ).all(axis=0)
@@ -212,7 +250,7 @@ def batch_self_route(tags_batch, *, stage_data=False):
     return result
 
 
-def batch_in_class_f(perms_batch):
+def batch_in_class_f(perms_batch, *, parallel=False):
     """F(n) membership mask for a batch of permutations: instance ``b``
     is in ``F(n)`` iff the self-routing network delivers every one of
     its tags (Theorem 1 ≡ routing success; the equivalence is pinned in
@@ -220,6 +258,8 @@ def batch_in_class_f(perms_batch):
 
     Cheaper than :func:`batch_self_route`: no source tracking.  Returns
     a ``(B,)`` bool array, or a list of bools on the fallback path.
+    ``parallel=`` shards large batches across worker processes with
+    identical results.
     """
     np = numpy_or_none()
     enabled = _obs.enabled()
@@ -229,7 +269,12 @@ def batch_in_class_f(perms_batch):
         # so it beats a full scalar routing pass here.
         from ..core.membership import in_class_f
 
-        mask = [in_class_f(perm) for perm in perms_batch]
+        rows_in = perms_batch if isinstance(perms_batch, list) \
+            else list(perms_batch)
+        if _executor.wants_shards(parallel, len(rows_in)):
+            return _executor.dispatch("in_class_f", rows_in,
+                                      parallel=parallel)
+        mask = [in_class_f(perm) for perm in rows_in]
         if enabled:
             _obs.inc("accel.fallback.calls")
             _record_batch_metrics("membership", len(mask),
@@ -239,6 +284,14 @@ def batch_in_class_f(perms_batch):
     arr = _as_tag_array(np, perms_batch)
     n = arr.shape[1]
     order = log2_exact(n)
+    if _executor.wants_shards(parallel, arr.shape[0]):
+        mask = _executor.dispatch("in_class_f", arr, parallel=parallel,
+                                  order_hint=order)
+        if enabled:
+            _record_batch_metrics("membership", int(arr.shape[0]),
+                                  _perf_counter() - t0,
+                                  n_success=int(np.sum(mask)))
+        return mask
     rows = _working_block(np, arr, n_value_bits=order)
     rows = _route_array(np, rows, order)
     mask = (rows == np.arange(n, dtype=rows.dtype)[:, None]).all(axis=0)
@@ -250,7 +303,7 @@ def batch_in_class_f(perms_batch):
 
 
 def batch_route_with_states(states_batch, order: int, *,
-                            stage_data=False):
+                            stage_data=False, parallel=False):
     """Realized permutations of ``B(order)`` under a batch of external
     state assignments; the vectorized equivalent of
     ``[fast_route_with_states(s, order) for s in states_batch]``.
@@ -261,6 +314,8 @@ def batch_route_with_states(states_batch, order: int, *,
         order: the network order ``n``.
         stage_data: also expose the per-stage crossed-switch counts in
             the result's ``per_stage`` field (NumPy path only).
+        parallel: shard the batch across worker processes above the
+            executor threshold; results identical for any value.
 
     Returns:
         a :class:`~repro.core.routing.BatchRouteResult`; row ``b`` of
@@ -274,8 +329,15 @@ def batch_route_with_states(states_batch, order: int, *,
     enabled = _obs.enabled()
     t0 = _perf_counter() if enabled else 0.0
     if np is None:
+        rows_in = states_batch if isinstance(states_batch, list) \
+            else list(states_batch)
+        if _executor.wants_shards(parallel, len(rows_in)):
+            return _executor.dispatch(
+                "route_with_states", rows_in,
+                extra=(order, stage_data), parallel=parallel,
+            )
         mappings = [fast_route_with_states(states, order)
-                    for states in states_batch]
+                    for states in rows_in]
         if enabled:
             _obs.inc("accel.fallback.calls")
             _record_batch_metrics("states", len(mappings),
@@ -292,6 +354,15 @@ def batch_route_with_states(states_batch, order: int, *,
             f"switch states for order {order}, got shape {states.shape}"
         )
     batch = states.shape[0]
+    if _executor.wants_shards(parallel, batch):
+        result = _executor.dispatch(
+            "route_with_states", states, extra=(order, stage_data),
+            parallel=parallel, order_hint=order,
+        )
+        if enabled:
+            _record_batch_metrics("states", int(batch),
+                                  _perf_counter() - t0)
+        return result
     inv_links = plan.np_inv_links()
     dtype = np.int32 if plan.order <= 31 else np.int64
     rows = np.repeat(np.arange(n, dtype=dtype)[:, None], batch, axis=1)

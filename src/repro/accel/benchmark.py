@@ -23,14 +23,19 @@ from typing import Dict, List, Optional, Sequence
 from .. import obs as _obs
 from ..core.fastpath import fast_self_route
 from ..core.permutation import random_permutation
+from ..errors import InvalidParameterError
 from ._np import have_numpy
 from .batch import batch_self_route
 
 __all__ = ["measure_cell", "run_benchmark", "format_table",
-           "write_json", "best_speedup"]
+           "write_json", "best_speedup", "measure_setup_cell",
+           "run_setup_benchmark", "format_setup_table",
+           "best_setup_speedup"]
 
 DEFAULT_ORDERS = (4, 6, 8)
 DEFAULT_BATCH_SIZES = (64, 256, 1024)
+DEFAULT_SETUP_ORDERS = (3, 4, 5, 6, 7, 8)
+DEFAULT_SETUP_BATCH_SIZES = (64, 256)
 
 
 def _random_tag_batch(order: int, batch_size: int,
@@ -102,6 +107,135 @@ def run_benchmark(orders: Sequence[int] = DEFAULT_ORDERS,
         # every cell routed above travel with the perf numbers.
         report["metrics"] = _obs.snapshot()
     return report
+
+
+def measure_setup_cell(order: int, batch_size: int, rng: random.Random,
+                       *, kind: str = "setup", repeats: int = 3,
+                       scalar_cap: int = 64, parallel=False) -> Dict:
+    """Time one universal-setup cell; ``kind`` selects the batched
+    looping setup (``"setup"``) or the full two-pass factorization
+    (``"two_pass"``).  ``parallel`` is forwarded to the batch call, so
+    the same cell shape measures the shard executor."""
+    from .setup import (batch_setup_states, batch_two_pass,
+                        scalar_setup_loop, scalar_two_pass_loop)
+
+    if kind == "setup":
+        scalar_fn, batch_fn = scalar_setup_loop, batch_setup_states
+    elif kind == "two_pass":
+        scalar_fn, batch_fn = scalar_two_pass_loop, batch_two_pass
+    else:
+        raise InvalidParameterError(
+            f"unknown setup benchmark kind {kind!r}"
+        )
+    perms = _random_tag_batch(order, batch_size, rng)
+
+    scalar_items = min(batch_size, scalar_cap)
+    best_scalar = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        scalar_fn(order, perms[:scalar_items])
+        best_scalar = min(best_scalar, time.perf_counter() - t0)
+
+    batch_fn(order, perms[:2], parallel=parallel)  # warm caches / pool
+    best_batch = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        batch_fn(order, perms, parallel=parallel)
+        best_batch = min(best_batch, time.perf_counter() - t0)
+
+    scalar_rate = scalar_items / best_scalar if best_scalar > 0 else 0.0
+    batch_rate = batch_size / best_batch if best_batch > 0 else 0.0
+    return {
+        "kind": kind,
+        "order": order,
+        "n_terminals": 1 << order,
+        "batch_size": batch_size,
+        "parallel": bool(parallel),
+        "scalar_items_timed": scalar_items,
+        "scalar_seconds": best_scalar,
+        "batch_seconds": best_batch,
+        "scalar_items_per_s": scalar_rate,
+        "batch_items_per_s": batch_rate,
+        "speedup": batch_rate / scalar_rate if scalar_rate else 0.0,
+    }
+
+
+def run_setup_benchmark(orders: Sequence[int] = DEFAULT_SETUP_ORDERS,
+                        batch_sizes: Sequence[int] =
+                        DEFAULT_SETUP_BATCH_SIZES,
+                        seed: int = 1968, repeats: int = 3,
+                        scalar_cap: int = 64,
+                        include_parallel: bool = True) -> Dict:
+    """Sweep the universal-setup grid (looping setup and two-pass
+    factorization, scalar vs batch); with ``include_parallel`` an extra
+    executor cell is timed at the largest batch size of the largest
+    order, so BENCH_setup.json records both single-process and sharded
+    throughput on the same machine."""
+    import os
+
+    rng = random.Random(seed)
+    cells = [
+        measure_setup_cell(order, batch_size, rng, kind=kind,
+                           repeats=repeats, scalar_cap=scalar_cap)
+        for kind in ("setup", "two_pass")
+        for order in orders
+        for batch_size in batch_sizes
+    ]
+    if include_parallel:
+        for kind in ("setup", "two_pass"):
+            cells.append(measure_setup_cell(
+                max(orders), max(batch_sizes), rng, kind=kind,
+                repeats=repeats, scalar_cap=scalar_cap, parallel=True,
+            ))
+    report = {
+        "benchmark": "accel.batch_setup_states / batch_two_pass vs "
+                     "scalar looping",
+        "numpy": have_numpy(),
+        "cpu_count": os.cpu_count(),
+        "seed": seed,
+        "repeats": repeats,
+        "cells": cells,
+    }
+    if _obs.enabled():
+        report["metrics"] = _obs.snapshot()
+    return report
+
+
+def format_setup_table(report: Dict) -> str:
+    """Human-readable view of :func:`run_setup_benchmark`'s report."""
+    mode = "vectorized (NumPy)" if report["numpy"] else \
+        "fallback (no NumPy — speedups ~1x expected)"
+    lines = [
+        f"universal setup: {mode}",
+        f"{'kind':>8} {'n':>3} {'batch':>6} {'par':>4} "
+        f"{'scalar/s':>12} {'batch/s':>12} {'speedup':>8}",
+    ]
+    for cell in report["cells"]:
+        lines.append(
+            f"{cell['kind']:>8} {cell['order']:>3} "
+            f"{cell['batch_size']:>6} "
+            f"{'yes' if cell['parallel'] else 'no':>4} "
+            f"{cell['scalar_items_per_s']:>12.0f} "
+            f"{cell['batch_items_per_s']:>12.0f} "
+            f"{cell['speedup']:>7.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def best_setup_speedup(report: Dict, kind: str = "setup",
+                       min_order: int = 0, min_batch: int = 0,
+                       parallel: Optional[bool] = False
+                       ) -> Optional[float]:
+    """Largest measured speedup among matching setup cells (used by the
+    benchmark assertions); ``parallel=None`` matches both modes."""
+    eligible = [
+        cell["speedup"] for cell in report["cells"]
+        if cell["kind"] == kind
+        and cell["order"] >= min_order
+        and cell["batch_size"] >= min_batch
+        and (parallel is None or cell["parallel"] == parallel)
+    ]
+    return max(eligible) if eligible else None
 
 
 def format_table(report: Dict) -> str:

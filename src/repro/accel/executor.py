@@ -1,0 +1,324 @@
+"""Multicore **shard executor** for the batch engine.
+
+One process can only push NumPy kernels through one core at a time; the
+ROADMAP's bulk workloads (density sweeps over millions of candidates,
+all-``N!`` setup batches) leave the other cores idle.  This module
+splits a batch above a configurable threshold into contiguous shards
+and runs each shard in a worker process, reassembling the results in
+order — the answer is bit-identical to the single-process call for any
+shard count (pinned by ``tests/test_accel_setup.py``).
+
+Design notes:
+
+- **Spawn-safe.**  Workers are created with the ``spawn`` start method
+  (fork would duplicate the parent's locks and NumPy state); every task
+  is a module-level function dispatched *by name* through
+  :data:`_TASKS`, so nothing unpicklable crosses the process boundary
+  — payloads are plain arrays/lists, results are the same frozen
+  result types the inline path returns.
+- **Plan-cache warmup.**  The pool initializer pre-builds the stage
+  plan of the order that triggered pool creation in every worker, so
+  the per-worker LRU (each process has its own) is warm before the
+  first shard lands; other orders warm on first use and stay cached for
+  the life of the pool, which persists across calls.
+- **Bounded.**  ``parallel=True`` resolves to ``os.cpu_count()``
+  workers; an explicit integer is honoured as given (useful to
+  oversubscribe in tests or cap on shared boxes).  One worker — or a
+  batch below :data:`SHARD_THRESHOLD` — runs inline: sharding a small
+  batch costs more in pickling than it saves.
+- **Pure-thread fallback.**  Without NumPy the scalar loops are
+  GIL-bound, so processes would pay serialization for nothing; shards
+  run on a thread pool instead — same shapes, same results, no worker
+  processes to keep alive.  Process-pool creation failures (restricted
+  environments) also degrade to threads.
+
+When :mod:`repro.obs` is enabled the dispatcher records shard counts,
+per-shard worker wall-time histograms, executor mode tallies
+(``process`` / ``thread`` / ``inline``) and fallback events under the
+``executor.*`` metric names.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from time import perf_counter as _perf_counter
+from typing import Any, Callable, Dict, List, Optional
+
+from .. import obs as _obs
+from ..errors import InvalidParameterError
+from ._np import have_numpy, numpy_or_none
+
+__all__ = [
+    "SHARD_THRESHOLD",
+    "dispatch",
+    "resolve_workers",
+    "shutdown",
+    "wants_shards",
+]
+
+#: Minimum batch size before sharding engages; overridable via the
+#: ``BENES_SHARD_THRESHOLD`` environment variable (read at import).
+SHARD_THRESHOLD = int(os.environ.get("BENES_SHARD_THRESHOLD", "2048"))
+
+_POOL = None
+_POOL_WORKERS = 0
+_POOL_LOCK = threading.Lock()
+
+
+# ----------------------------------------------------------------------
+# Worker-side task table.  Every task takes one payload tuple and
+# returns a picklable result; the batch entry points are imported
+# lazily so a spawned worker pays the import once, and so this module
+# never creates an import cycle with repro.accel.batch / .setup.
+# ----------------------------------------------------------------------
+
+def _task_self_route(payload):
+    from .batch import batch_self_route
+
+    tags, omega_mode, stage_data = payload
+    return batch_self_route(tags, omega_mode=omega_mode,
+                            stage_data=stage_data)
+
+
+def _task_in_class_f(payload):
+    from .batch import batch_in_class_f
+
+    (perms,) = payload
+    return batch_in_class_f(perms)
+
+
+def _task_route_with_states(payload):
+    from .batch import batch_route_with_states
+
+    states, order, stage_data = payload
+    return batch_route_with_states(states, order, stage_data=stage_data)
+
+
+def _task_setup_states(payload):
+    from .setup import batch_setup_states
+
+    perms, order = payload
+    return batch_setup_states(order, perms)
+
+
+def _task_two_pass(payload):
+    from .setup import batch_two_pass
+
+    perms, order = payload
+    return batch_two_pass(order, perms)
+
+
+_TASKS: Dict[str, Callable[[tuple], Any]] = {
+    "self_route": _task_self_route,
+    "in_class_f": _task_in_class_f,
+    "route_with_states": _task_route_with_states,
+    "setup_states": _task_setup_states,
+    "two_pass": _task_two_pass,
+}
+
+
+def _run_task(task: str, payload: tuple):
+    """Worker entry point: execute one shard, returning its result
+    together with the worker-side wall time (fed to the
+    ``executor.worker.seconds`` histogram by the parent)."""
+    t0 = _perf_counter()
+    result = _TASKS[task](payload)
+    return _perf_counter() - t0, result
+
+
+def _warm_worker(orders: tuple) -> None:
+    """Pool initializer: pre-build the stage plans the triggering call
+    needs, so the first real shard finds a warm per-worker cache."""
+    from .plans import stage_plan
+
+    for order in orders:
+        stage_plan(order)
+
+
+# ----------------------------------------------------------------------
+# Shard-count policy
+# ----------------------------------------------------------------------
+
+def resolve_workers(parallel) -> int:
+    """Worker count for a ``parallel=`` value: ``False``/``None`` -> 1,
+    ``True`` -> ``os.cpu_count()``, an explicit positive int -> itself."""
+    if parallel is None or parallel is False:
+        return 1
+    if parallel is True:
+        return max(1, os.cpu_count() or 1)
+    workers = int(parallel)
+    if workers < 1:
+        raise InvalidParameterError(
+            f"parallel= must be a bool or a positive worker count, "
+            f"got {parallel!r}"
+        )
+    return workers
+
+
+def wants_shards(parallel, batch_size: int) -> bool:
+    """True when a batch of ``batch_size`` should take the executor
+    path: parallelism requested, more than one worker resolved, and the
+    batch above the sharding threshold."""
+    return (bool(parallel)
+            and batch_size >= max(2, SHARD_THRESHOLD)
+            and resolve_workers(parallel) > 1)
+
+
+# ----------------------------------------------------------------------
+# Pool management
+# ----------------------------------------------------------------------
+
+def _get_process_pool(workers: int, orders: tuple):
+    """The persistent spawn pool, (re)created when more workers are
+    requested than the current pool holds."""
+    global _POOL, _POOL_WORKERS
+    from concurrent.futures import ProcessPoolExecutor
+    from multiprocessing import get_context
+
+    with _POOL_LOCK:
+        if _POOL is not None and _POOL_WORKERS >= workers:
+            return _POOL
+        old = _POOL
+        _POOL = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=get_context("spawn"),
+            initializer=_warm_worker,
+            initargs=(orders,),
+        )
+        _POOL_WORKERS = workers
+    if old is not None:
+        old.shutdown(wait=False)
+    return _POOL
+
+
+def shutdown(wait: bool = True) -> None:
+    """Tear down the worker pool (tests, end of process).  The next
+    sharded call lazily builds a fresh one."""
+    global _POOL, _POOL_WORKERS
+    with _POOL_LOCK:
+        pool, _POOL, _POOL_WORKERS = _POOL, None, 0
+    if pool is not None:
+        pool.shutdown(wait=wait)
+
+
+#: Name under which :func:`shutdown` is re-exported from ``repro.accel``.
+executor_shutdown = shutdown
+
+atexit.register(shutdown, wait=False)
+
+
+def _thread_map(task: str, payloads: List[tuple]):
+    """Shard runner of last resort: a transient thread pool (shared
+    caches, no pickling).  GIL-bound for the pure-Python fallback, but
+    shape- and value-identical to the process path."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(max_workers=len(payloads)) as pool:
+        futures = [pool.submit(_run_task, task, p) for p in payloads]
+        return [f.result() for f in futures]
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+
+def _shard_bounds(n_items: int, n_shards: int) -> List[tuple]:
+    """Contiguous, order-preserving shard slices covering ``n_items``."""
+    base, extra = divmod(n_items, n_shards)
+    bounds, start = [], 0
+    for i in range(n_shards):
+        stop = start + base + (1 if i < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def _merge(task: str, parts: List[Any]):
+    """Reassemble shard results in submission order."""
+    np = numpy_or_none()
+    if task in ("self_route", "route_with_states"):
+        from ..core.routing import BatchRouteResult
+
+        masks = [p.success_mask for p in parts]
+        maps = [p.mappings for p in parts]
+        stages = [p.per_stage for p in parts]
+        if np is not None and not isinstance(masks[0], list):
+            per_stage = (np.concatenate(stages, axis=1)
+                         if all(s is not None for s in stages) else None)
+            return BatchRouteResult(
+                success_mask=np.concatenate(masks),
+                mappings=np.concatenate(maps, axis=0),
+                per_stage=per_stage,
+            )
+        return BatchRouteResult(
+            success_mask=[ok for part in masks for ok in part],
+            mappings=[row for part in maps for row in part],
+        )
+    if task == "in_class_f":
+        if np is not None and not isinstance(parts[0], list):
+            return np.concatenate(parts)
+        return [ok for part in parts for ok in part]
+    if task == "setup_states":
+        if np is not None and not isinstance(parts[0], list):
+            return np.concatenate(parts, axis=0)
+        return [states for part in parts for states in part]
+    if task == "two_pass":
+        firsts = [p[0] for p in parts]
+        seconds = [p[1] for p in parts]
+        if np is not None and not isinstance(firsts[0], list):
+            return (np.concatenate(firsts, axis=0),
+                    np.concatenate(seconds, axis=0))
+        return ([row for part in firsts for row in part],
+                [row for part in seconds for row in part])
+    raise InvalidParameterError(f"unknown executor task {task!r}")
+
+
+def dispatch(task: str, items, *, extra: tuple = (), parallel=True,
+             order_hint: Optional[int] = None):
+    """Run ``task`` over ``items`` (an array or list sliced along axis
+    0) in shards, merging the results in order.
+
+    ``extra`` is appended to every shard's payload after the item
+    slice.  Caller guarantees :func:`wants_shards` returned True; the
+    result is identical to the corresponding inline call.
+    """
+    n_items = len(items)
+    workers = resolve_workers(parallel)
+    n_shards = min(workers, n_items)
+    bounds = _shard_bounds(n_items, n_shards)
+    payloads = [(items[start:stop],) + extra for start, stop in bounds]
+
+    enabled = _obs.enabled()
+    t0 = _perf_counter() if enabled else 0.0
+    orders = (order_hint,) if order_hint is not None else ()
+    mode = "process"
+    if have_numpy():
+        try:
+            pool = _get_process_pool(workers, orders)
+            futures = [pool.submit(_run_task, task, p) for p in payloads]
+            timed = [f.result() for f in futures]
+        except (OSError, RuntimeError, ImportError):
+            # Restricted environments (no /dev/shm, sandboxed spawn):
+            # degrade to threads rather than fail the batch.
+            mode = "thread"
+            if enabled:
+                _obs.inc("executor.fallback.calls")
+            timed = _thread_map(task, payloads)
+    else:
+        mode = "thread"
+        timed = _thread_map(task, payloads)
+
+    results = [result for _, result in timed]
+    if enabled:
+        _obs.inc("executor.calls")
+        _obs.inc(f"executor.mode.{mode}")
+        _obs.inc("executor.items", n_items)
+        _obs.observe("executor.shards", n_shards,
+                     bounds=_obs.POW2_BOUNDS)
+        for seconds, _ in timed:
+            _obs.observe("executor.worker.seconds", seconds)
+        _obs.observe("executor.dispatch.seconds",
+                     _perf_counter() - t0)
+    return _merge(task, results)

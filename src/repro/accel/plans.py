@@ -33,6 +33,7 @@ __all__ = [
     "cache_clear",
     "cache_stats",
     "cached_topology",
+    "setup_plan_cache",
     "stage_plan",
     "topology_cache",
     "plan_cache",
@@ -42,6 +43,10 @@ __all__ = [
 #: dozen distinct orders in flight is far beyond any realistic workload.
 _TOPOLOGY_CACHE: "LRUCache[int, BenesTopology]" = LRUCache(maxsize=32)
 _PLAN_CACHE: "LRUCache[int, StagePlan]" = LRUCache(maxsize=32)
+# Per-order constants of the batched universal setup (the SetupPlan
+# objects of repro.accel.setup); held here so all three accel LRUs are
+# exposed through one cache_stats()/cache_clear() surface.
+_SETUP_CACHE: "LRUCache[int, object]" = LRUCache(maxsize=32)
 
 
 def topology_cache() -> "LRUCache[int, BenesTopology]":
@@ -54,21 +59,30 @@ def plan_cache() -> "LRUCache[int, StagePlan]":
     return _PLAN_CACHE
 
 
+def setup_plan_cache() -> "LRUCache[int, object]":
+    """The process-wide setup-plan cache backing
+    :func:`repro.accel.setup.setup_plan` (exposed for tests/metrics)."""
+    return _SETUP_CACHE
+
+
 def cache_stats() -> Dict[str, Dict[str, int]]:
-    """Hit/miss/size/capacity counters of the process-wide plan and
-    topology LRUs — the public face of their internal bookkeeping, and
-    the payload of the metrics registry's ``accel.cache`` provider."""
+    """Hit/miss/size/capacity counters of the process-wide plan,
+    topology and setup-plan LRUs — the public face of their internal
+    bookkeeping, and the payload of the metrics registry's
+    ``accel.cache`` provider."""
     return {
         "plan": _PLAN_CACHE.stats(),
         "topology": _TOPOLOGY_CACHE.stats(),
+        "setup": _SETUP_CACHE.stats(),
     }
 
 
 def cache_clear() -> None:
-    """Empty both caches and zero their hit/miss counters (tests,
+    """Empty all three caches and zero their hit/miss counters (tests,
     memory pressure)."""
     _PLAN_CACHE.clear()
     _TOPOLOGY_CACHE.clear()
+    _SETUP_CACHE.clear()
 
 
 # Pull-style metrics: snapshots read the LRU counters on demand rather

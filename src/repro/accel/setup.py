@@ -1,0 +1,409 @@
+"""Vectorized **universal setup**: batch Waksman looping and the batch
+two-pass decomposition.
+
+PR 1 vectorized the *self-routing* surface (:mod:`repro.accel.batch`);
+this module vectorizes the paper's other half — the ``O(N log N)``
+serial looping setup it benchmarks against (Waksman 1968, Section I)
+and the two-pass universality construction (Section II) — so the
+all-``N!``-permutations path scales like the ``F(n)`` path.
+
+**Batched looping** (:func:`batch_setup_states`).  The serial algorithm
+walks each input/output-pair constraint cycle one element at a time;
+here a whole ``(B, N)`` permutation array is processed *level by
+level*, every cycle of every instance at once:
+
+- the looping successor ``succ(t) = inv[D[t XOR 1] XOR 1]`` of every
+  terminal is two NumPy gathers;
+- each succ-orbit elects its minimum-index **leader** by pointer
+  jumping (``log m`` doubling steps, each one gather + one ``minimum``)
+  — exactly the data-parallel formulation of
+  :mod:`repro.simd.parallel_setup`, which provably assigns the same
+  sub-network sides as the serial walk: the serial scan starts every
+  cycle at its smallest untouched terminal with side 0, so *side 0 is
+  the orbit with the smaller leader* (the states are byte-identical to
+  :func:`repro.core.waksman.setup_states`, pinned by
+  ``tests/test_accel_setup.py``);
+- the first/last switch columns fall out of the side array with one
+  slice and one gather, and the two half-size sub-problems of every
+  instance are stacked onto the batch axis (``(B*S, m)`` with ``S``
+  same-level sub-problems of size ``m``) so the next level is again one
+  flat array pass — no recursion, no Python per cycle.
+
+**Batch two-pass** (:func:`batch_two_pass`).  Mirrors
+:mod:`repro.core.twopass`: run the batched looping setup, push identity
+rows through the first ``n`` switch columns with the stage plan's link
+gathers to read the half-way map ``M``, compose with the cached
+inverse of the fixed all-straight wire map — one gather for
+``omega_1`` and one scatter for ``omega_2``.
+:func:`batch_route_two_pass` then routes both factors through the
+vectorized engine (pass 1 ordinary self-routing, pass 2 with the omega
+bit set) and composes the delivered mappings.
+
+Per-order constants (the fixed all-straight map and its inverse) live
+in a :class:`SetupPlan`, cached in the bounded LRU exposed through
+:func:`repro.accel.cache_stats` next to the topology and stage-plan
+caches.
+
+Every entry point accepts ``parallel=`` (see
+:mod:`repro.accel.executor`) and degrades to the scalar algorithms when
+NumPy is absent — identical values, element for element.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter as _perf_counter
+from typing import List, Sequence, Tuple
+
+from .. import obs as _obs
+from ..core.bits import log2_exact
+from ..core.permutation import Permutation
+from ..core.routing import BatchRouteResult
+from ..errors import InvalidPermutationError, SizeMismatchError
+from . import executor as _executor
+from ._np import numpy_or_none
+from .batch import _as_tag_array, _swap_stage, batch_self_route
+from .plans import setup_plan_cache, stage_plan
+
+__all__ = [
+    "SetupPlan",
+    "batch_setup_states",
+    "batch_two_pass",
+    "batch_route_two_pass",
+    "setup_plan",
+]
+
+
+class SetupPlan:
+    """Per-order constants of the batched universal setup.
+
+    Attributes:
+        order: the paper's ``n``.
+        n_terminals: ``N = 2^n``.
+        straight: the fixed wire permutation the first ``n`` columns
+            perform with every switch straight (the "rearrangement of
+            switches" between the Benes half and a true inverse-omega
+            network), as a tuple.
+        straight_inverse: its inverse, the gather form used by the
+            two-pass factorization.
+    """
+
+    __slots__ = ("order", "n_terminals", "straight", "straight_inverse",
+                 "_np_straight_inverse")
+
+    def __init__(self, order: int):
+        # Local import: core.twopass pulls in the structural network,
+        # which this leaf package must not require at import time.
+        from ..core.twopass import straight_map
+
+        self.order = order
+        self.n_terminals = 1 << order
+        self.straight = straight_map(order).as_tuple()
+        self.straight_inverse = Permutation(self.straight) \
+            .inverse().as_tuple()
+        self._np_straight_inverse = None
+
+    def np_straight_inverse(self):
+        """``(N,)`` index array of :attr:`straight_inverse` (NumPy
+        path only), built on first use."""
+        if self._np_straight_inverse is None:
+            np = numpy_or_none()
+            arr = np.array(self.straight_inverse, dtype=np.intp)
+            arr.setflags(write=False)
+            self._np_straight_inverse = arr
+        return self._np_straight_inverse
+
+
+def setup_plan(order: int) -> SetupPlan:
+    """The (cached) :class:`SetupPlan` for ``B(order)``."""
+    return setup_plan_cache().get_or_build(
+        order, lambda: SetupPlan(order)
+    )
+
+
+def _as_perm_array(np, order: int, perms):
+    """Validate a ``(B, N)`` batch where every row must be a genuine
+    permutation (the looping algorithm's cycles are only consistent on
+    permutations — duplicates would walk forever)."""
+    arr = _as_tag_array(np, perms)
+    n = 1 << order
+    if arr.shape[1] != n:
+        raise SizeMismatchError(
+            f"expected (B, {n}) permutations for order {order}, got "
+            f"shape {arr.shape}"
+        )
+    if arr.size and (np.sort(arr, axis=1)
+                     != np.arange(n, dtype=arr.dtype)).any():
+        raise InvalidPermutationError(
+            "every row of a setup batch must be a permutation — "
+            "duplicate or missing destinations break the looping cycles"
+        )
+    return arr
+
+
+def _record_setup_metrics(kind: str, batch_size: int,
+                          seconds: float) -> None:
+    _obs.inc(f"accel.{kind}.calls")
+    _obs.inc(f"accel.{kind}.items", batch_size)
+    _obs.observe(f"accel.{kind}.seconds", seconds)
+    _obs.observe("accel.batch.size", batch_size, bounds=_obs.POW2_BOUNDS)
+
+
+def _leaders(np, succ, base, steps: int):
+    """Minimum-index orbit leader of every element of the **flat**
+    successor array (values are flat indices, so orbits compose with
+    plain ``take``), by pointer jumping: after ``k`` doubling steps each
+    element has folded ``2^k`` successors into its running minimum, so
+    ``steps >= log2(orbit length)`` converges.  Leaders are flat indices
+    too — orbits never cross a sub-problem boundary, so within any
+    comparison the flat and local orderings agree."""
+    leader = base.copy()
+    jump = succ
+    for _ in range(steps):
+        leader = np.minimum(leader, leader.take(jump))
+        jump = jump.take(jump)
+    return leader
+
+
+def _setup_levels(np, plan: SetupPlan, arr):
+    """Core of the batched looping algorithm: returns the
+    ``(B, 2n-1, N/2)`` int8 states array for the validated ``(B, N)``
+    permutation array ``arr``.
+
+    All gathers run on **flat** arrays with precomputed per-sub-problem
+    offsets (``ndarray.take`` / fancy assignment, no ``*_along_axis``
+    wrapper overhead); the stacked sub-problems of every level occupy
+    contiguous flat runs, so the (batch, sub-problem) structure is
+    carried entirely by index arithmetic."""
+    order = plan.order
+    n = plan.n_terminals
+    batch = arr.shape[0]
+    half = n // 2
+    states = np.empty((batch, 2 * order - 1, half), dtype=np.int8)
+
+    total = batch * n
+    tags = arr.astype(np.intp).ravel()  # flat working copy
+    base = np.arange(total, dtype=np.intp)
+    inv = np.empty(total, dtype=np.intp)
+    for level in range(order - 1):
+        m = n >> level
+        offs = base & ~(m - 1)  # flat start of each sub-problem
+        # inverse permutation of every sub-problem: inv[D[t]] = t,
+        # both sides in flat coordinates (full overwrite every level)
+        inv[tags + offs] = base
+        # looping successor succ(t) = inv[D[t ^ 1] ^ 1]; the partner's
+        # tag is one pair-flip of the flat layout away
+        partner_tags = tags.reshape(-1, 2)[:, ::-1].ravel()
+        succ = inv.take((partner_tags ^ 1) + offs)
+        leader = _leaders(np, succ, base,
+                          steps=max(1, order - level - 1))
+        # serial walk starts each cycle at its smallest untouched
+        # terminal with side 0 => side 0 iff my orbit's leader is the
+        # smaller of the pair (matches the scalar states exactly).
+        pairs = leader.reshape(-1, 2)
+        side_even = pairs[:, 0] >= pairs[:, 1]  # side of even terminals
+        states[:, level, :] = side_even.reshape(batch, half)
+        # last column: side of the terminal feeding each even output;
+        # side[t] = side_even[t >> 1] ^ (t & 1), t = inv at even slots
+        sources = inv[0::2]
+        states[:, 2 * order - 2 - level, :] = (
+            side_even.take(sources >> 1) ^ (sources & 1)
+        ).reshape(batch, half)
+
+        even, odd = tags[0::2], tags[1::2]
+        upper = (np.where(side_even, odd, even) >> 1).reshape(-1, m // 2)
+        lower = (np.where(side_even, even, odd) >> 1).reshape(-1, m // 2)
+        # stack (sub-problem-major) onto the batch axis: row r splits
+        # into rows 2r (its upper half) and 2r + 1 (its lower half) —
+        # exactly the recursion order of the serial algorithm, so each
+        # level's columns concatenate into the stage rows above.
+        tags = np.stack((upper, lower), axis=1).ravel()
+    # base case m == 2: one switch per sub-problem, crossed iff the
+    # upper terminal's tag is 1.
+    states[:, order - 1, :] = tags[0::2].reshape(batch, half)
+    return states
+
+
+def batch_setup_states(order: int, perms, *, parallel=False):
+    """Switch states realizing a whole batch of **arbitrary**
+    permutations on ``B(order)`` — the vectorized equivalent of
+    ``[setup_states(p) for p in perms]``, byte-identical to the serial
+    looping algorithm of :mod:`repro.core.waksman`.
+
+    Args:
+        perms: ``(B, N)`` array-like; every row must be a permutation.
+        parallel: shard the batch across worker processes above the
+            executor threshold (``True`` for ``os.cpu_count()`` workers,
+            an int for an explicit worker count).
+
+    Returns:
+        a ``(B, 2*order - 1, N/2)`` int8 array (a list of per-instance
+        nested state lists on the no-NumPy fallback path) that plugs
+        straight into :func:`repro.accel.batch_route_with_states`.
+    """
+    np = numpy_or_none()
+    enabled = _obs.enabled()
+    t0 = _perf_counter() if enabled else 0.0
+    if np is None:
+        from ..core.waksman import setup_states
+
+        rows = perms if isinstance(perms, list) else list(perms)
+        if _executor.wants_shards(parallel, len(rows)):
+            return _executor.dispatch(
+                "setup_states", rows, extra=(order,), parallel=parallel
+            )
+        result = [setup_states(p) for p in rows]
+        if enabled:
+            _obs.inc("accel.fallback.calls")
+            _record_setup_metrics("setup", len(result),
+                                  _perf_counter() - t0)
+        return result
+    arr = _as_perm_array(np, order, perms)
+    if _executor.wants_shards(parallel, arr.shape[0]):
+        result = _executor.dispatch(
+            "setup_states", arr, extra=(order,), parallel=parallel
+        )
+        if enabled:
+            _record_setup_metrics("setup", int(arr.shape[0]),
+                                  _perf_counter() - t0)
+        return result
+    states = _setup_levels(np, setup_plan(order), arr)
+    if enabled:
+        _record_setup_metrics("setup", int(arr.shape[0]),
+                              _perf_counter() - t0)
+    return states
+
+
+def _first_half_maps(np, order: int, states):
+    """Where each input of each instance sits after the first ``n``
+    switch columns — the batched
+    :func:`repro.core.twopass._first_half_map`: returns ``middle`` with
+    ``middle[b, source] = row``."""
+    plan = stage_plan(order)
+    n = plan.n_terminals
+    batch = states.shape[0]
+    inv_links = plan.np_inv_links()
+    dtype = np.int32 if order <= 31 else np.int64
+    rows = np.repeat(np.arange(n, dtype=dtype)[:, None], batch, axis=1)
+    for stage in range(order):
+        cond = states[:, stage, :].T.astype(dtype)
+        _swap_stage(rows, cond)
+        if stage < order - 1:
+            rows = rows[inv_links[stage]]
+    # rows[row, b] = source occupying that row -> middle[b, source] = row
+    sources = rows.T.astype(np.int64)
+    middle = np.empty_like(sources)
+    np.put_along_axis(
+        middle, sources,
+        np.broadcast_to(np.arange(n, dtype=np.int64), (batch, n)),
+        axis=1,
+    )
+    return middle
+
+
+def batch_two_pass(order: int, perms, *, parallel=False):
+    """Factor a whole batch of arbitrary permutations for two-pass
+    universal routing: returns ``(omega_1, omega_2)`` as ``(B, N)``
+    arrays with ``omega_2[omega_1] == perms`` row-wise, ``omega_1``
+    inverse-omega (self-routable) and ``omega_2`` omega (routable with
+    the omega bit set) — the vectorized equivalent of
+    ``[two_pass_decomposition(p) for p in perms]``, identical factors.
+
+    On the no-NumPy fallback path both factors are lists of tuples.
+    """
+    np = numpy_or_none()
+    enabled = _obs.enabled()
+    t0 = _perf_counter() if enabled else 0.0
+    if np is None:
+        from ..core.twopass import two_pass_decomposition
+
+        rows = perms if isinstance(perms, list) else list(perms)
+        if _executor.wants_shards(parallel, len(rows)):
+            return _executor.dispatch(
+                "two_pass", rows, extra=(order,), parallel=parallel
+            )
+        firsts, seconds = [], []
+        for p in rows:
+            first, second = two_pass_decomposition(p)
+            firsts.append(first.as_tuple())
+            seconds.append(second.as_tuple())
+        if enabled:
+            _obs.inc("accel.fallback.calls")
+            _record_setup_metrics("two_pass", len(firsts),
+                                  _perf_counter() - t0)
+        return firsts, seconds
+    arr = _as_perm_array(np, order, perms)
+    if _executor.wants_shards(parallel, arr.shape[0]):
+        result = _executor.dispatch(
+            "two_pass", arr, extra=(order,), parallel=parallel
+        )
+        if enabled:
+            _record_setup_metrics("two_pass", int(arr.shape[0]),
+                                  _perf_counter() - t0)
+        return result
+    plan = setup_plan(order)
+    states = _setup_levels(np, plan, arr)
+    middle = _first_half_maps(np, order, states)
+    # omega_1 = M ∘ M_straight^{-1}  (gather), then
+    # omega_2 = omega_1^{-1} ∘ D    (scatter: second[first[i]] = D[i]).
+    first = plan.np_straight_inverse()[middle]
+    second = np.empty_like(arr)
+    np.put_along_axis(second, first, arr, axis=1)
+    if enabled:
+        _record_setup_metrics("two_pass", int(arr.shape[0]),
+                              _perf_counter() - t0)
+    return first, second
+
+
+def batch_route_two_pass(order: int, perms, *,
+                         parallel=False) -> BatchRouteResult:
+    """Route a batch of arbitrary permutations by two self-routed
+    transits each — factor with :func:`batch_two_pass`, route pass 1
+    through the ordinary vectorized engine and pass 2 with the omega
+    bit set, and compose the delivered mappings.
+
+    Returns a :class:`~repro.core.routing.BatchRouteResult` whose
+    ``mappings`` row ``b`` is the composed input -> position-of-signal
+    view (``mappings[b][o]`` = input whose signal reached output ``o``
+    after both transits); ``success_mask`` is all-True for genuine
+    permutations (two-pass universality, Section II).
+    """
+    np = numpy_or_none()
+    first, second = batch_two_pass(order, perms, parallel=parallel)
+    pass1 = batch_self_route(first, parallel=parallel)
+    pass2 = batch_self_route(second, omega_mode=True, parallel=parallel)
+    if np is None:
+        success = [a and b for a, b in zip(pass1.success_mask,
+                                           pass2.success_mask)]
+        mappings = [
+            tuple(m1[o] for o in m2)
+            for m1, m2 in zip(pass1.mappings, pass2.mappings)
+        ]
+        return BatchRouteResult(success_mask=success, mappings=mappings)
+    mappings = np.take_along_axis(
+        np.asarray(pass1.mappings), np.asarray(pass2.mappings), axis=1
+    )
+    success = np.asarray(pass1.success_mask) \
+        & np.asarray(pass2.success_mask)
+    return BatchRouteResult(success_mask=success, mappings=mappings)
+
+
+def scalar_setup_loop(order: int,
+                      perms: Sequence) -> List[List[List[int]]]:
+    """Reference loop used by benchmarks and the executor's fallback
+    parity tests: the scalar looping algorithm applied per instance."""
+    from ..core.waksman import setup_states
+
+    return [setup_states(p) for p in perms]
+
+
+def scalar_two_pass_loop(order: int, perms: Sequence
+                         ) -> Tuple[List[tuple], List[tuple]]:
+    """Reference loop: scalar two-pass decomposition per instance."""
+    from ..core.twopass import two_pass_decomposition
+
+    firsts, seconds = [], []
+    for p in perms:
+        first, second = two_pass_decomposition(p)
+        firsts.append(first.as_tuple())
+        seconds.append(second.as_tuple())
+    return firsts, seconds

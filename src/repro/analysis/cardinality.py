@@ -59,7 +59,8 @@ def class_f_count(order: int, limit_order: int = 3) -> int:
 
 def estimate_class_f_density(order: int, samples: int,
                              rng: "_random.Random | None" = None,
-                             batch_size: int = 1024) -> float:
+                             batch_size: int = 1024,
+                             parallel=False) -> float:
     """Monte-Carlo estimate of ``|F(n)| / N!`` — the probability that a
     uniformly random permutation is self-routable.
 
@@ -67,8 +68,10 @@ def estimate_class_f_density(order: int, samples: int,
     the exact same permutation stream as the historical scalar loop)
     but membership-tested in blocks of ``batch_size`` through the
     vectorized engine of :mod:`repro.accel` — the hot path of large
-    density sweeps.  Falls back to the scalar Theorem 1 recursion when
-    NumPy is absent, with identical results.
+    density sweeps.  ``parallel`` forwards to the shard executor
+    (:mod:`repro.accel.executor`), splitting blocks above its threshold
+    across worker processes.  Falls back to the scalar Theorem 1
+    recursion when NumPy is absent, with identical results.
     """
     rng = rng if rng is not None else _random.Random()
     n_elements = 1 << order
@@ -80,7 +83,8 @@ def estimate_class_f_density(order: int, samples: int,
             random_permutation(n_elements, rng).as_tuple()
             for _ in range(block)
         ]
-        hits += sum(map(bool, batch_in_class_f(candidates)))
+        hits += sum(map(bool, batch_in_class_f(candidates,
+                                               parallel=parallel)))
         remaining -= block
     return hits / samples
 

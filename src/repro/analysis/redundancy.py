@@ -53,8 +53,8 @@ def _multiplicity_scalar(order: int) -> Dict[Tuple[int, ...], int]:
     return counts
 
 
-def _multiplicity_vectorized(np, order: int,
-                             block_size: int) -> Dict[Tuple[int, ...], int]:
+def _multiplicity_vectorized(np, order: int, block_size: int,
+                             parallel=False) -> Dict[Tuple[int, ...], int]:
     per_stage = (1 << order) // 2
     stages = stage_count(order)
     n_bits = per_stage * stages
@@ -68,7 +68,8 @@ def _multiplicity_vectorized(np, order: int,
         indices = np.arange(start, stop, dtype=np.int64)
         bits = (indices[:, None] >> shifts) & 1
         states = bits.reshape(len(indices), stages, per_stage)
-        realized = batch_route_with_states(states, order).mappings
+        realized = batch_route_with_states(states, order,
+                                           parallel=parallel).mappings
         for row in realized:
             key = tuple(int(v) for v in row)
             counts[key] = counts.get(key, 0) + 1
@@ -76,14 +77,15 @@ def _multiplicity_vectorized(np, order: int,
 
 
 def setting_multiplicity(order: int, limit_order: int = 2,
-                         block_size: int = 4096
+                         block_size: int = 4096, parallel=False
                          ) -> Dict[Tuple[int, ...], int]:
     """Enumerate every switch setting of ``B(order)`` and count how
     many realize each permutation.
 
     Guarded to ``order <= limit_order``: B(2) has ``2^6 = 64``
     settings; B(3) already has ``2^20 ≈ 10^6`` (tractable with the
-    vectorized engine, so opt in by raising the limit).
+    vectorized engine, so opt in by raising the limit).  ``parallel``
+    forwards each block to the shard executor.
     """
     if order > limit_order:
         raise InvalidParameterError(
@@ -93,4 +95,5 @@ def setting_multiplicity(order: int, limit_order: int = 2,
     np = numpy_or_none()
     if np is None:
         return _multiplicity_scalar(order)
-    return _multiplicity_vectorized(np, order, block_size)
+    return _multiplicity_vectorized(np, order, block_size,
+                                    parallel=parallel)

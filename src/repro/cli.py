@@ -12,6 +12,8 @@ Subcommands::
     benes census N                    classify all N! permutations
     benes report [--sections ...]     regenerate the evaluation report
     benes bench [--json PATH]         scalar vs batch-engine throughput
+                [--suite setup]       ... of the universal setup instead
+                [--parallel]          ... plus shard-executor cells
     benes metrics                     run a demo workload, dump metrics
 
 Permutations are comma-separated destination-tag lists.
@@ -195,17 +197,33 @@ def _parse_int_list(text: str, what: str) -> list:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .accel.benchmark import format_table, run_benchmark, write_json
+    from .accel.benchmark import (
+        format_setup_table,
+        format_table,
+        run_benchmark,
+        run_setup_benchmark,
+        write_json,
+    )
 
     if args.profile:
         _obs.enable()
-    report = run_benchmark(
-        orders=_parse_int_list(args.orders, "--orders"),
-        batch_sizes=_parse_int_list(args.batches, "--batches"),
-        seed=args.seed,
-        repeats=args.repeats,
-    )
-    print(format_table(report))
+    if args.suite == "setup":
+        report = run_setup_benchmark(
+            orders=_parse_int_list(args.orders, "--orders"),
+            batch_sizes=_parse_int_list(args.batches, "--batches"),
+            seed=args.seed,
+            repeats=args.repeats,
+            include_parallel=args.parallel,
+        )
+        print(format_setup_table(report))
+    else:
+        report = run_benchmark(
+            orders=_parse_int_list(args.orders, "--orders"),
+            batch_sizes=_parse_int_list(args.batches, "--batches"),
+            seed=args.seed,
+            repeats=args.repeats,
+        )
+        print(format_table(report))
     if args.json:
         write_json(report, args.json)
         print(f"\nwrote {args.json}")
@@ -299,6 +317,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark the vectorized batch engine vs the scalar "
              "fast path",
     )
+    p_bench.add_argument("--suite", choices=("route", "setup"),
+                         default="route",
+                         help="'route' times batch self-routing; "
+                              "'setup' times the batched universal "
+                              "setup and two-pass factorization")
+    p_bench.add_argument("--parallel", action="store_true",
+                         help="also time shard-executor cells "
+                              "(setup suite)")
     p_bench.add_argument("--orders", default="4,6,8",
                          help="comma-separated network orders")
     p_bench.add_argument("--batches", default="64,256,1024",

@@ -34,14 +34,16 @@ from .bits import log2_exact
 __all__ = ["fast_self_route", "fast_route_with_states"]
 
 
-def fast_self_route(tags: Sequence[int]
+def fast_self_route(tags: Sequence[int], *, omega_mode: bool = False
                     ) -> Tuple[bool, Tuple[int, ...]]:
     """Self-route a tag vector; return ``(success, delivered)`` where
     ``delivered[o]`` is the input whose signal arrived at output ``o``.
 
     Semantically identical to
     ``BenesNetwork(order).route(tags)`` -> ``(success, delivered)``,
-    roughly an order of magnitude lighter.
+    roughly an order of magnitude lighter.  ``omega_mode`` sets the
+    omega bit on every signal (first ``n - 1`` columns forced
+    straight), mirroring ``BenesNetwork.route(omega_mode=True)``.
     """
     enabled = _obs.enabled()
     t0 = _perf_counter() if enabled else 0.0
@@ -51,16 +53,18 @@ def fast_self_route(tags: Sequence[int]
     rows_tag: List[int] = list(tags)
     rows_src: List[int] = list(range(n))
     last_stage = topology.n_stages - 1
+    omega_stages = order - 1 if omega_mode else 0
     for stage in range(topology.n_stages):
         ctrl = min(stage, 2 * order - 2 - stage)
-        for i in range(0, n, 2):
-            if (rows_tag[i] >> ctrl) & 1:
-                rows_tag[i], rows_tag[i + 1] = (
-                    rows_tag[i + 1], rows_tag[i]
-                )
-                rows_src[i], rows_src[i + 1] = (
-                    rows_src[i + 1], rows_src[i]
-                )
+        if stage >= omega_stages:  # omega bit forces early columns straight
+            for i in range(0, n, 2):
+                if (rows_tag[i] >> ctrl) & 1:
+                    rows_tag[i], rows_tag[i + 1] = (
+                        rows_tag[i + 1], rows_tag[i]
+                    )
+                    rows_src[i], rows_src[i + 1] = (
+                        rows_src[i + 1], rows_src[i]
+                    )
         if stage < last_stage:
             link = topology.links[stage]
             new_tag = [0] * n

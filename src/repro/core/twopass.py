@@ -37,7 +37,7 @@ from .permutation import Permutation
 from .topology import BenesTopology
 from .waksman import setup_states
 
-__all__ = ["two_pass_decomposition", "route_two_pass"]
+__all__ = ["two_pass_decomposition", "route_two_pass", "straight_map"]
 
 PermutationLike = Union[Permutation, Sequence[int]]
 
@@ -65,15 +65,19 @@ def _first_half_map(states: List[List[int]], order: int) -> Permutation:
     return Permutation(middle)
 
 
-def _straight_map(order: int) -> Permutation:
+def straight_map(order: int) -> Permutation:
     """The fixed wire permutation the first half performs with every
     switch straight — the 'rearrangement of switches' between the Benes
-    half and a true inverse-omega network."""
+    half and a true inverse-omega network.  Shared with the vectorized
+    two-pass factorization (:mod:`repro.accel.setup`)."""
     if order not in _STRAIGHT_CACHE:
         n = 1 << order
         straight = [[0] * (n // 2) for _ in range(2 * order - 1)]
         _STRAIGHT_CACHE[order] = _first_half_map(straight, order)
     return _STRAIGHT_CACHE[order]
+
+
+_straight_map = straight_map  # back-compat alias for the private name
 
 
 def two_pass_decomposition(perm: PermutationLike

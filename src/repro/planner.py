@@ -29,7 +29,7 @@ from .core.permutation import Permutation
 from .permclasses.bpc import BPCSpec, is_bpc
 from .permclasses.omega import is_inverse_omega, is_omega
 
-__all__ = ["RoutingPlan", "plan"]
+__all__ = ["RoutingPlan", "plan", "plan_batch"]
 
 PermutationLike = Union[Permutation, Sequence[int]]
 
@@ -95,8 +95,49 @@ def plan(perm: PermutationLike) -> RoutingPlan:
     'self-routing'
     """
     perm = perm if isinstance(perm, Permutation) else Permutation(perm)
+    return _build_plan(perm, in_class_f(perm))
+
+
+def plan_batch(perms: Sequence[PermutationLike],
+               *, parallel=False) -> "list[RoutingPlan]":
+    """:func:`plan` for a whole batch, with the F-membership test — the
+    planner's dominant cost — pushed through the vectorized engine
+    (:func:`repro.accel.batch_in_class_f`); ``parallel`` forwards to
+    the shard executor.  Plans are identical to ``[plan(p) for p in
+    perms]``, order preserved.
+    """
+    from .accel.batch import batch_in_class_f
+
+    normalized = [
+        p if isinstance(p, Permutation) else Permutation(p)
+        for p in perms
+    ]
+    if not normalized:
+        return []
+    # The engine needs rectangular batches; mixed sizes are grouped and
+    # membership-tested per size, results re-scattered in input order.
+    members: "list[bool]" = [False] * len(normalized)
+    by_size: "dict[int, list[int]]" = {}
+    for i, p in enumerate(normalized):
+        by_size.setdefault(p.size, []).append(i)
+    for indices in by_size.values():
+        verdicts = batch_in_class_f(
+            [normalized[i].as_tuple() for i in indices],
+            parallel=parallel,
+        )
+        for i, verdict in zip(indices, verdicts):
+            members[i] = bool(verdict)
+    return [
+        _build_plan(perm, member)
+        for perm, member in zip(normalized, members)
+    ]
+
+
+def _build_plan(perm: Permutation, member: bool) -> RoutingPlan:
+    """Assemble the :class:`RoutingPlan` given the (already computed)
+    F-membership verdict — shared by the scalar and batch entry
+    points."""
     order = perm.order
-    member = in_class_f(perm)
     omega = is_omega(perm)
     inverse_omega = is_inverse_omega(perm)
     bpc = is_bpc(perm)

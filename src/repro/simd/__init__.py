@@ -7,7 +7,11 @@ from .cic import CIC
 from .dual import DualNetworkComputer, DualRouteReport
 from .machine import RouteStats, SIMDMachine
 from .mcc import MCC
-from .parallel_setup import ParallelSetupRun, parallel_setup_states
+from .parallel_setup import (
+    ParallelSetupRun,
+    batch_parallel_setup,
+    parallel_setup_states,
+)
 from .permute import (
     PermutationRun,
     benes_dimension_schedule,
@@ -36,6 +40,7 @@ __all__ = [
     "RouteStats",
     "SIMDMachine",
     "SortRun",
+    "batch_parallel_setup",
     "benes_dimension_schedule",
     "bitonic_compare_count",
     "load_affine_tags",

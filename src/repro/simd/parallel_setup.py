@@ -34,12 +34,13 @@ to realize every permutation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 from ..core.bits import log2_exact
 from ..core.permutation import Permutation
 
-__all__ = ["ParallelSetupRun", "parallel_setup_states"]
+__all__ = ["ParallelSetupRun", "batch_parallel_setup",
+           "parallel_setup_states"]
 
 PermutationLike = Union[Permutation, Sequence[int]]
 
@@ -168,3 +169,49 @@ def parallel_setup_states(perm: PermutationLike) -> ParallelSetupRun:
         route_steps=counter.route_steps,
         compute_steps=counter.compute_steps,
     )
+
+
+_STEP_MODEL: Dict[int, Tuple[int, int]] = {}
+
+
+def _step_counts(order: int) -> Tuple[int, int]:
+    """(route_steps, compute_steps) of the CIC model at one order.  The
+    broadcast-instruction counts are data-independent — every level
+    issues the same instruction stream regardless of the permutation —
+    so one scalar run on the identity pins them for the whole batch."""
+    if order not in _STEP_MODEL:
+        run = parallel_setup_states(tuple(range(1 << order)))
+        _STEP_MODEL[order] = (run.route_steps, run.compute_steps)
+    return _STEP_MODEL[order]
+
+
+def batch_parallel_setup(perms: Sequence[PermutationLike], *,
+                         parallel=False) -> List[ParallelSetupRun]:
+    """Batched :func:`parallel_setup_states`: one
+    :class:`ParallelSetupRun` per input, same states and step counts.
+
+    The per-element states come from the vectorized batch looping
+    engine (:func:`repro.accel.setup.batch_setup_states`, byte-identical
+    to the serial and CIC walks — see ``tests/test_accel_setup.py``);
+    the CIC step counters are data-independent, so they are read off
+    one cached scalar run per order.  ``parallel`` forwards to the
+    shard executor for batches above its threshold.
+    """
+    from ..accel.setup import batch_setup_states
+
+    rows = [
+        p.as_tuple() if isinstance(p, Permutation) else tuple(p)
+        for p in perms
+    ]
+    if not rows:
+        return []
+    order = log2_exact(len(rows[0]))
+    states = batch_setup_states(order, rows, parallel=parallel)
+    route_steps, compute_steps = _step_counts(order)
+    if not isinstance(states, list):  # NumPy path: (B, 2n-1, N/2)
+        states = [instance.tolist() for instance in states]
+    return [
+        ParallelSetupRun(states=instance, route_steps=route_steps,
+                         compute_steps=compute_steps)
+        for instance in states
+    ]

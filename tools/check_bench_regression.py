@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Perf guard: re-measure the batch engine's headline cell and compare
+it against the committed baseline.
+
+The headline cell is order 8, batch 256 of ``BENCH_accel.json`` (and,
+when present, the same cell of ``BENCH_setup.json``).  Raw items/second
+are machine-dependent, so the guard compares the **scalar-normalized
+speedup** — batch throughput over scalar throughput measured in the
+same process on the same machine — which tracks engine regressions
+(a dropped vectorized path, an accidental per-item Python loop) while
+shrugging off slow CI runners.
+
+Verdict per cell:
+
+- **fail** when the measured speedup drops more than ``--tolerance``
+  (default 30%) below the baseline *and* falls under the acceptance
+  floor (10x); a run that still clears the floor passes with a warning
+  unless ``--strict`` is given (CI boxes are noisy — a 30% swing above
+  the floor is weather, not climate);
+- **skip** cleanly (exit 0) when NumPy is absent (fallback mode has no
+  speedup to guard) or a baseline file is missing.
+
+Run from the repository root (CI does, on the numpy matrix leg)::
+
+    PYTHONPATH=src python tools/check_bench_regression.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+
+GUARD_ORDER = 8
+GUARD_BATCH = 256
+FLOOR = 10.0
+
+
+def _baseline_speedup(path: pathlib.Path, kind=None):
+    """The guarded cell's speedup in a committed report, or None."""
+    if not path.exists():
+        return None
+    report = json.loads(path.read_text(encoding="utf-8"))
+    if not report.get("numpy", False):
+        return None
+    for cell in report.get("cells", []):
+        if (cell.get("order") == GUARD_ORDER
+                and cell.get("batch_size") == GUARD_BATCH
+                and not cell.get("parallel", False)
+                and (kind is None or cell.get("kind") == kind)):
+            return float(cell["speedup"])
+    return None
+
+
+def _check(name: str, baseline: float, current: float,
+           tolerance: float, strict: bool) -> bool:
+    """Print one verdict line; return False on a hard failure."""
+    drop = 1.0 - current / baseline if baseline > 0 else 0.0
+    status = "ok"
+    failed = False
+    if drop > tolerance:
+        if current < FLOOR or strict:
+            status, failed = "FAIL", True
+        else:
+            status = "warn (above floor)"
+    print(f"  {name}: baseline {baseline:.1f}x, measured "
+          f"{current:.1f}x ({-drop * 100.0:+.0f}%) -> {status}")
+    return not failed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="guard the batch engine's headline speedup against "
+                    "the committed baselines"
+    )
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional speedup drop "
+                             "(default 0.30)")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on any drop beyond tolerance, even "
+                             "above the acceptance floor")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--root", default=".",
+                        help="repository root holding the BENCH_*.json "
+                             "baselines")
+    args = parser.parse_args(argv)
+
+    from repro.accel import have_numpy
+
+    if not have_numpy():
+        print("bench guard: NumPy absent, nothing to guard (skip)")
+        return 0
+
+    root = pathlib.Path(args.root)
+    from repro.accel.benchmark import measure_cell, measure_setup_cell
+
+    ok = True
+    print(f"bench guard: order {GUARD_ORDER}, batch {GUARD_BATCH}, "
+          f"tolerance {args.tolerance:.0%}")
+
+    baseline = _baseline_speedup(root / "BENCH_accel.json")
+    if baseline is None:
+        print("  route: no baseline (skip)")
+    else:
+        cell = measure_cell(GUARD_ORDER, GUARD_BATCH,
+                            random.Random(1980), repeats=args.repeats)
+        ok &= _check("route", baseline, cell["speedup"],
+                     args.tolerance, args.strict)
+
+    for kind in ("setup", "two_pass"):
+        baseline = _baseline_speedup(root / "BENCH_setup.json", kind)
+        if baseline is None:
+            print(f"  {kind}: no baseline (skip)")
+            continue
+        cell = measure_setup_cell(GUARD_ORDER, GUARD_BATCH,
+                                  random.Random(1968), kind=kind,
+                                  repeats=args.repeats)
+        ok &= _check(kind, baseline, cell["speedup"],
+                     args.tolerance, args.strict)
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
