@@ -62,6 +62,7 @@ from ..core.bits import log2_exact
 from ..core.fastpath import fast_route_with_states, fast_self_route
 from ..core.routing import BatchRouteResult
 from ..errors import InvalidParameterError, SizeMismatchError
+from ..obs.spans import spanned as _spanned
 from . import executor as _executor
 from ._np import numpy_or_none
 from .plans import stage_plan
@@ -146,22 +147,40 @@ def _route_array(np, rows, order, stage_cross=None, omega_mode=False):
 
 
 def _record_batch_metrics(kind, batch_size, seconds, n_success=None,
-                          per_stage=None):
-    """Feed one batch call into the registry (metrics are enabled)."""
-    _obs.inc(f"accel.{kind}.calls")
-    _obs.inc(f"accel.{kind}.items", batch_size)
-    _obs.observe(f"accel.{kind}.seconds", seconds)
-    _obs.observe("accel.batch.size", batch_size,
-                 bounds=_obs.POW2_BOUNDS)
-    if n_success is not None:
-        _obs.inc(f"accel.{kind}.success", n_success)
-        _obs.inc(f"accel.{kind}.failure", batch_size - n_success)
-    if per_stage is not None:
-        for stage, crosses in enumerate(per_stage):
-            _obs.inc(f"accel.{kind}.stage_cross.{stage}",
-                     int(crosses.sum()))
+                          per_stage=None, scope="full"):
+    """Feed one batch call into the registry (metrics are enabled).
+
+    ``scope`` splits the catalogue so a sharded run's totals equal the
+    inline run's exactly (no double counting between the dispatching
+    call and its shards): ``"call"`` records the once-per-user-call
+    instruments (calls, wall time, batch-size histogram), ``"work"``
+    the per-item ones each shard records for its slice (items,
+    success/failure, per-stage crosses), and ``"full"`` — the inline,
+    unsharded path — both.  Entry points pick ``"work"`` when
+    :func:`repro.accel.executor.in_shard` is true.
+    """
+    if scope != "work":
+        _obs.inc(f"accel.{kind}.calls")
+        _obs.observe(f"accel.{kind}.seconds", seconds)
+        _obs.observe("accel.batch.size", batch_size,
+                     bounds=_obs.POW2_BOUNDS)
+    if scope != "call":
+        _obs.inc(f"accel.{kind}.items", batch_size)
+        if n_success is not None:
+            _obs.inc(f"accel.{kind}.success", n_success)
+            _obs.inc(f"accel.{kind}.failure", batch_size - n_success)
+        if per_stage is not None:
+            for stage, crosses in enumerate(per_stage):
+                _obs.inc(f"accel.{kind}.stage_cross.{stage}",
+                         int(crosses.sum()))
 
 
+def _metric_scope() -> str:
+    """``"work"`` inside an executor shard, else ``"full"``."""
+    return "work" if _executor.in_shard() else "full"
+
+
+@_spanned("batch.self_route")
 def batch_self_route(tags_batch, *, omega_mode=False, stage_data=False,
                      parallel=False):
     """Self-route a batch of tag vectors; the vectorized equivalent of
@@ -188,8 +207,7 @@ def batch_self_route(tags_batch, *, omega_mode=False, stage_data=False,
         ``success_mask`` is a ``(B,)`` bool array and whose
         ``mappings[b][o]`` is the input whose signal reached output
         ``o`` of instance ``b`` (lists of identical values on the
-        no-NumPy fallback path).  Tuple unpacking into ``(success,
-        delivered)`` still works for one deprecation cycle.
+        no-NumPy fallback path).
     """
     np = numpy_or_none()
     enabled = _obs.enabled()
@@ -198,20 +216,27 @@ def batch_self_route(tags_batch, *, omega_mode=False, stage_data=False,
         rows_in = tags_batch if isinstance(tags_batch, list) \
             else list(tags_batch)
         if _executor.wants_shards(parallel, len(rows_in)):
-            return _executor.dispatch(
+            result = _executor.dispatch(
                 "self_route", rows_in, extra=(omega_mode, stage_data),
                 parallel=parallel,
             )
+            if enabled:
+                _obs.inc("accel.fallback.calls")
+                _record_batch_metrics("batch", len(rows_in),
+                                      _perf_counter() - t0, scope="call")
+            return result
+        scope = _metric_scope()
         successes, delivered = [], []
         for tags in rows_in:
             ok, dst = fast_self_route(tags, omega_mode=omega_mode)
             successes.append(ok)
             delivered.append(dst)
         if enabled:
-            _obs.inc("accel.fallback.calls")
+            if scope == "full":
+                _obs.inc("accel.fallback.calls")
             _record_batch_metrics("batch", len(successes),
                                   _perf_counter() - t0,
-                                  n_success=sum(successes))
+                                  n_success=sum(successes), scope=scope)
         return BatchRouteResult(success_mask=successes,
                                 mappings=delivered)
     arr = _as_tag_array(np, tags_batch)
@@ -223,9 +248,10 @@ def batch_self_route(tags_batch, *, omega_mode=False, stage_data=False,
             parallel=parallel, order_hint=order,
         )
         if enabled:
+            # Work-level metrics (items, success/failure, crosses) were
+            # recorded by the shards and merged from their deltas.
             _record_batch_metrics("batch", int(arr.shape[0]),
-                                  _perf_counter() - t0,
-                                  n_success=int(result.n_success))
+                                  _perf_counter() - t0, scope="call")
         return result
     # Pack each value's source row into its high bits; the control rule
     # only reads tag bits < order, so one array routes both.
@@ -246,10 +272,12 @@ def batch_self_route(tags_batch, *, omega_mode=False, stage_data=False,
         _record_batch_metrics("batch", int(arr.shape[0]),
                               _perf_counter() - t0,
                               n_success=int(success.sum()),
-                              per_stage=stage_cross)
+                              per_stage=stage_cross,
+                              scope=_metric_scope())
     return result
 
 
+@_spanned("batch.membership")
 def batch_in_class_f(perms_batch, *, parallel=False):
     """F(n) membership mask for a batch of permutations: instance ``b``
     is in ``F(n)`` iff the self-routing network delivers every one of
@@ -272,14 +300,21 @@ def batch_in_class_f(perms_batch, *, parallel=False):
         rows_in = perms_batch if isinstance(perms_batch, list) \
             else list(perms_batch)
         if _executor.wants_shards(parallel, len(rows_in)):
-            return _executor.dispatch("in_class_f", rows_in,
+            mask = _executor.dispatch("in_class_f", rows_in,
                                       parallel=parallel)
+            if enabled:
+                _obs.inc("accel.fallback.calls")
+                _record_batch_metrics("membership", len(rows_in),
+                                      _perf_counter() - t0, scope="call")
+            return mask
+        scope = _metric_scope()
         mask = [in_class_f(perm) for perm in rows_in]
         if enabled:
-            _obs.inc("accel.fallback.calls")
+            if scope == "full":
+                _obs.inc("accel.fallback.calls")
             _record_batch_metrics("membership", len(mask),
                                   _perf_counter() - t0,
-                                  n_success=sum(mask))
+                                  n_success=sum(mask), scope=scope)
         return mask
     arr = _as_tag_array(np, perms_batch)
     n = arr.shape[1]
@@ -289,8 +324,7 @@ def batch_in_class_f(perms_batch, *, parallel=False):
                                   order_hint=order)
         if enabled:
             _record_batch_metrics("membership", int(arr.shape[0]),
-                                  _perf_counter() - t0,
-                                  n_success=int(np.sum(mask)))
+                                  _perf_counter() - t0, scope="call")
         return mask
     rows = _working_block(np, arr, n_value_bits=order)
     rows = _route_array(np, rows, order)
@@ -298,10 +332,12 @@ def batch_in_class_f(perms_batch, *, parallel=False):
     if enabled:
         _record_batch_metrics("membership", int(arr.shape[0]),
                               _perf_counter() - t0,
-                              n_success=int(mask.sum()))
+                              n_success=int(mask.sum()),
+                              scope=_metric_scope())
     return mask
 
 
+@_spanned("batch.route_with_states")
 def batch_route_with_states(states_batch, order: int, *,
                             stage_data=False, parallel=False):
     """Realized permutations of ``B(order)`` under a batch of external
@@ -332,16 +368,23 @@ def batch_route_with_states(states_batch, order: int, *,
         rows_in = states_batch if isinstance(states_batch, list) \
             else list(states_batch)
         if _executor.wants_shards(parallel, len(rows_in)):
-            return _executor.dispatch(
+            result = _executor.dispatch(
                 "route_with_states", rows_in,
                 extra=(order, stage_data), parallel=parallel,
             )
+            if enabled:
+                _obs.inc("accel.fallback.calls")
+                _record_batch_metrics("states", len(rows_in),
+                                      _perf_counter() - t0, scope="call")
+            return result
+        scope = _metric_scope()
         mappings = [fast_route_with_states(states, order)
                     for states in rows_in]
         if enabled:
-            _obs.inc("accel.fallback.calls")
+            if scope == "full":
+                _obs.inc("accel.fallback.calls")
             _record_batch_metrics("states", len(mappings),
-                                  _perf_counter() - t0)
+                                  _perf_counter() - t0, scope=scope)
         return BatchRouteResult(success_mask=[True] * len(mappings),
                                 mappings=mappings)
     plan = stage_plan(order)
@@ -361,7 +404,7 @@ def batch_route_with_states(states_batch, order: int, *,
         )
         if enabled:
             _record_batch_metrics("states", int(batch),
-                                  _perf_counter() - t0)
+                                  _perf_counter() - t0, scope="call")
         return result
     inv_links = plan.np_inv_links()
     dtype = np.int32 if plan.order <= 31 else np.int64
@@ -384,5 +427,6 @@ def batch_route_with_states(states_batch, order: int, *,
     )
     if enabled:
         _record_batch_metrics("states", int(batch),
-                              _perf_counter() - t0)
+                              _perf_counter() - t0,
+                              scope=_metric_scope())
     return result

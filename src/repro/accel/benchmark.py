@@ -49,8 +49,11 @@ def _random_tag_batch(order: int, batch_size: int,
 
 
 def measure_cell(order: int, batch_size: int, rng: random.Random,
-                 repeats: int = 3, scalar_cap: int = 256) -> Dict:
-    """Time one (order, batch_size) cell; return a JSON-ready record."""
+                 repeats: int = 3, scalar_cap: int = 256,
+                 parallel=False) -> Dict:
+    """Time one (order, batch_size) cell; return a JSON-ready record.
+    ``parallel`` is forwarded to the batch call, so the same cell shape
+    measures the shard executor."""
     tags = _random_tag_batch(order, batch_size, rng)
 
     scalar_items = min(batch_size, scalar_cap)
@@ -61,11 +64,12 @@ def measure_cell(order: int, batch_size: int, rng: random.Random,
             fast_self_route(row)
         best_scalar = min(best_scalar, time.perf_counter() - t0)
 
-    batch_self_route(tags[:2])  # warm the plan cache out of the timing
+    # warm the plan cache (and, in parallel mode, the pool) untimed
+    batch_self_route(tags[:2], parallel=parallel)
     best_batch = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
-        batch_self_route(tags)
+        batch_self_route(tags, parallel=parallel)
         best_batch = min(best_batch, time.perf_counter() - t0)
 
     scalar_rate = scalar_items / best_scalar if best_scalar > 0 else 0.0
@@ -74,6 +78,7 @@ def measure_cell(order: int, batch_size: int, rng: random.Random,
         "order": order,
         "n_terminals": 1 << order,
         "batch_size": batch_size,
+        "parallel": bool(parallel),
         "scalar_items_timed": scalar_items,
         "scalar_seconds": best_scalar,
         "batch_seconds": best_batch,
@@ -86,8 +91,14 @@ def measure_cell(order: int, batch_size: int, rng: random.Random,
 def run_benchmark(orders: Sequence[int] = DEFAULT_ORDERS,
                   batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
                   seed: int = 1980, repeats: int = 3,
-                  scalar_cap: int = 256) -> Dict:
-    """Sweep the (order, batch_size) grid; return the full report."""
+                  scalar_cap: int = 256,
+                  include_parallel: bool = False) -> Dict:
+    """Sweep the (order, batch_size) grid; return the full report.
+    With ``include_parallel`` an extra shard-executor cell is timed at
+    the largest (order, batch size) of the grid, mirroring
+    :func:`run_setup_benchmark`."""
+    import os
+
     rng = random.Random(seed)
     cells = [
         measure_cell(order, batch_size, rng, repeats=repeats,
@@ -95,9 +106,15 @@ def run_benchmark(orders: Sequence[int] = DEFAULT_ORDERS,
         for order in orders
         for batch_size in batch_sizes
     ]
+    if include_parallel:
+        cells.append(measure_cell(
+            max(orders), max(batch_sizes), rng, repeats=repeats,
+            scalar_cap=scalar_cap, parallel=True,
+        ))
     report = {
         "benchmark": "accel.batch_self_route vs core.fast_self_route",
         "numpy": have_numpy(),
+        "cpu_count": os.cpu_count(),
         "seed": seed,
         "repeats": repeats,
         "cells": cells,
@@ -244,13 +261,14 @@ def format_table(report: Dict) -> str:
         "fallback (no NumPy — speedups ~1x expected)"
     lines = [
         f"batch engine: {mode}",
-        f"{'n':>3} {'N':>5} {'batch':>6} {'scalar/s':>12} "
+        f"{'n':>3} {'N':>5} {'batch':>6} {'par':>4} {'scalar/s':>12} "
         f"{'batch/s':>12} {'speedup':>8}",
     ]
     for cell in report["cells"]:
         lines.append(
             f"{cell['order']:>3} {cell['n_terminals']:>5} "
             f"{cell['batch_size']:>6} "
+            f"{'yes' if cell.get('parallel') else 'no':>4} "
             f"{cell['scalar_items_per_s']:>12.0f} "
             f"{cell['batch_items_per_s']:>12.0f} "
             f"{cell['speedup']:>7.1f}x"
@@ -266,11 +284,16 @@ def write_json(report: Dict, path: str) -> None:
 
 
 def best_speedup(report: Dict, min_order: int = 0,
-                 min_batch: int = 0) -> Optional[float]:
+                 min_batch: int = 0,
+                 parallel: Optional[bool] = False) -> Optional[float]:
     """Largest measured speedup among cells meeting the floor (used by
-    benchmark assertions)."""
+    benchmark assertions); ``parallel=None`` matches both modes, the
+    default ``False`` keeps executor cells out of single-process
+    guards (older reports without the key count as non-parallel)."""
     eligible = [
         cell["speedup"] for cell in report["cells"]
         if cell["order"] >= min_order and cell["batch_size"] >= min_batch
+        and (parallel is None
+             or bool(cell.get("parallel", False)) == parallel)
     ]
     return max(eligible) if eligible else None

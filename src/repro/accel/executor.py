@@ -36,6 +36,23 @@ When :mod:`repro.obs` is enabled the dispatcher records shard counts,
 per-shard worker wall-time histograms, executor mode tallies
 (``process`` / ``thread`` / ``inline``) and fallback events under the
 ``executor.*`` metric names.
+
+**Distributed observability.**  Spawn workers have their own
+``repro.obs`` registry; counters bumped there used to die with the
+worker.  The dispatcher now ships an *observability context* with every
+task — whether metrics are on, the parent's trace-file path, and the
+dispatch span's ``(trace_id, span_id)`` — and each worker returns its
+registry delta (:func:`repro.obs.snapshot_delta`) piggybacked on the
+shard result; the parent merges it, so ``obs.snapshot()`` totals equal
+the inline run exactly.  Deltas travel with *every* result, so worker
+teardown has nothing left to flush — :func:`shutdown` still performs a
+best-effort final sweep for completeness.  Shard executions are marked
+via :func:`in_shard` so the batch entry points record work-level
+metrics (items, successes, failures, per-stage crosses) but skip the
+call-level ones (calls, batch-size, wall time) that the parent records
+once per user-facing call.  Tracing workers re-root their spans under
+the dispatch span (``executor.dispatch`` -> ``executor.shard``) and
+append to the parent's trace file with atomic one-line writes.
 """
 
 from __future__ import annotations
@@ -48,11 +65,13 @@ from typing import Any, Callable, Dict, List, Optional
 
 from .. import obs as _obs
 from ..errors import InvalidParameterError
+from ..obs import spans as _spans
 from ._np import have_numpy, numpy_or_none
 
 __all__ = [
     "SHARD_THRESHOLD",
     "dispatch",
+    "in_shard",
     "resolve_workers",
     "shutdown",
     "wants_shards",
@@ -119,13 +138,72 @@ _TASKS: Dict[str, Callable[[tuple], Any]] = {
 }
 
 
-def _run_task(task: str, payload: tuple):
-    """Worker entry point: execute one shard, returning its result
-    together with the worker-side wall time (fed to the
-    ``executor.worker.seconds`` histogram by the parent)."""
+_SHARD_FLAG = threading.local()
+
+
+def in_shard() -> bool:
+    """True while the current thread is executing one shard of a
+    dispatched batch (worker process or thread-fallback).  The batch
+    entry points consult this to record work-level metrics only —
+    call-level metrics are the dispatching call's to record, once."""
+    return getattr(_SHARD_FLAG, "active", False)
+
+
+def _sync_worker_obs(ctx: Dict) -> bool:
+    """Process-worker side: mirror the parent's observability switches
+    (carried in the task's obs context) onto this worker's module
+    state.  Returns True when a registry delta should be shipped back."""
+    if ctx["metrics"]:
+        if not _obs.enabled():
+            _obs.enable()
+    elif _obs.enabled():
+        _obs.disable()
+    trace_path = ctx.get("trace_path")
+    if _obs.trace_path() != trace_path:
+        if trace_path:
+            _obs.trace_to(trace_path)
+        else:
+            _obs.trace_off()
+    return bool(ctx["metrics"])
+
+
+def _run_task(task: str, payload: tuple, ctx: Optional[Dict] = None):
+    """Worker entry point: execute one shard, returning ``(seconds,
+    result, delta)`` — the worker-side wall time (fed to the
+    ``executor.worker.seconds`` histogram by the parent), the shard
+    result, and the worker registry's metrics delta (``None`` unless
+    this is a process worker with metrics on).
+
+    ``ctx`` is the dispatcher's observability context: ``"metrics"`` /
+    ``"trace_path"`` are present only for process workers (thread
+    shards share the parent's live registry and sink), ``"trace"``
+    carries the dispatch span's ``(trace_id, span_id)`` and ``"shard"``
+    the shard index.
+    """
+    ctx = ctx or {}
+    collect_delta = "metrics" in ctx and _sync_worker_obs(ctx)
+    trace_ref = ctx.get("trace")
+    _SHARD_FLAG.active = True
     t0 = _perf_counter()
-    result = _TASKS[task](payload)
-    return _perf_counter() - t0, result
+    try:
+        if trace_ref is not None:
+            with _spans.adopt(*trace_ref):
+                with _spans.span("executor.shard", task=task,
+                                 shard=ctx.get("shard")):
+                    result = _TASKS[task](payload)
+        else:
+            result = _TASKS[task](payload)
+    finally:
+        _SHARD_FLAG.active = False
+    seconds = _perf_counter() - t0
+    delta = _obs.snapshot_delta() if collect_delta else None
+    return seconds, result, delta
+
+
+def _flush_worker_obs():
+    """Teardown sweep: any unshipped worker-registry delta (normally
+    empty — every task ships its own)."""
+    return _obs.snapshot_delta() if _obs.enabled() else None
 
 
 def _warm_worker(orders: tuple) -> None:
@@ -195,12 +273,29 @@ def _get_process_pool(workers: int, orders: tuple):
 
 def shutdown(wait: bool = True) -> None:
     """Tear down the worker pool (tests, end of process).  The next
-    sharded call lazily builds a fresh one."""
+    sharded call lazily builds a fresh one.
+
+    When metrics are on, a best-effort flush task is submitted per
+    worker first so any unshipped registry delta is merged before the
+    processes die (normally a no-op: every shard result already
+    carries its delta)."""
     global _POOL, _POOL_WORKERS
     with _POOL_LOCK:
-        pool, _POOL, _POOL_WORKERS = _POOL, None, 0
-    if pool is not None:
-        pool.shutdown(wait=wait)
+        pool, workers = _POOL, _POOL_WORKERS
+        _POOL, _POOL_WORKERS = None, 0
+    if pool is None:
+        return
+    if wait and _obs.enabled():
+        try:
+            for future in [pool.submit(_flush_worker_obs)
+                           for _ in range(workers)]:
+                delta = future.result(timeout=5.0)
+                if delta is not None:
+                    _obs.merge(delta)
+        except Exception:
+            # A dying/broken pool must never fail the shutdown path.
+            pass
+    pool.shutdown(wait=wait)
 
 
 #: Name under which :func:`shutdown` is re-exported from ``repro.accel``.
@@ -209,14 +304,20 @@ executor_shutdown = shutdown
 atexit.register(shutdown, wait=False)
 
 
-def _thread_map(task: str, payloads: List[tuple]):
+def _thread_map(task: str, payloads: List[tuple],
+                contexts: Optional[List[Dict]] = None):
     """Shard runner of last resort: a transient thread pool (shared
     caches, no pickling).  GIL-bound for the pure-Python fallback, but
-    shape- and value-identical to the process path."""
+    shape- and value-identical to the process path.  Thread shards
+    share the parent's live registry and trace sink, so their contexts
+    carry only the span linkage — no metrics flag, no delta."""
     from concurrent.futures import ThreadPoolExecutor
 
+    if contexts is None:
+        contexts = [None] * len(payloads)
     with ThreadPoolExecutor(max_workers=len(payloads)) as pool:
-        futures = [pool.submit(_run_task, task, p) for p in payloads]
+        futures = [pool.submit(_run_task, task, p, c)
+                   for p, c in zip(payloads, contexts)]
         return [f.result() for f in futures]
 
 
@@ -293,32 +394,58 @@ def dispatch(task: str, items, *, extra: tuple = (), parallel=True,
     enabled = _obs.enabled()
     t0 = _perf_counter() if enabled else 0.0
     orders = (order_hint,) if order_hint is not None else ()
-    mode = "process"
-    if have_numpy():
-        try:
-            pool = _get_process_pool(workers, orders)
-            futures = [pool.submit(_run_task, task, p) for p in payloads]
-            timed = [f.result() for f in futures]
-        except (OSError, RuntimeError, ImportError):
-            # Restricted environments (no /dev/shm, sandboxed spawn):
-            # degrade to threads rather than fail the batch.
+    with _spans.span("executor.dispatch", task=task, items=n_items,
+                     shards=n_shards) as dispatch_span:
+        trace_ref = None
+        if dispatch_span is not None:
+            trace_ref = (dispatch_span.context.trace_id,
+                         dispatch_span.context.span_id)
+        thread_ctxs = (
+            [{"trace": trace_ref, "shard": i} for i in range(n_shards)]
+            if trace_ref is not None else None
+        )
+        mode = "process"
+        if have_numpy():
+            # Spawn workers run with their own registry and sink:
+            # ship the parent's observability switches with every task
+            # and take a registry delta back with every result.
+            process_ctxs = [
+                {"metrics": enabled, "trace_path": _obs.trace_path(),
+                 "trace": trace_ref, "shard": i}
+                for i in range(n_shards)
+            ]
+            try:
+                pool = _get_process_pool(workers, orders)
+                futures = [pool.submit(_run_task, task, p, c)
+                           for p, c in zip(payloads, process_ctxs)]
+                timed = [f.result() for f in futures]
+            except (OSError, RuntimeError, ImportError):
+                # Restricted environments (no /dev/shm, sandboxed
+                # spawn): degrade to threads rather than fail the batch.
+                mode = "thread"
+                if enabled:
+                    _obs.inc("executor.fallback.calls")
+                timed = _thread_map(task, payloads, thread_ctxs)
+        else:
             mode = "thread"
-            if enabled:
-                _obs.inc("executor.fallback.calls")
-            timed = _thread_map(task, payloads)
-    else:
-        mode = "thread"
-        timed = _thread_map(task, payloads)
+            timed = _thread_map(task, payloads, thread_ctxs)
 
-    results = [result for _, result in timed]
-    if enabled:
-        _obs.inc("executor.calls")
-        _obs.inc(f"executor.mode.{mode}")
-        _obs.inc("executor.items", n_items)
-        _obs.observe("executor.shards", n_shards,
-                     bounds=_obs.POW2_BOUNDS)
-        for seconds, _ in timed:
-            _obs.observe("executor.worker.seconds", seconds)
-        _obs.observe("executor.dispatch.seconds",
-                     _perf_counter() - t0)
+        results = []
+        n_deltas = 0
+        for _, result, delta in timed:
+            results.append(result)
+            if delta is not None and enabled:
+                _obs.merge(delta)
+                n_deltas += 1
+        if enabled:
+            _obs.inc("executor.calls")
+            _obs.inc(f"executor.mode.{mode}")
+            _obs.inc("executor.items", n_items)
+            _obs.inc("executor.worker.deltas", n_deltas)
+            _obs.observe("executor.shards", n_shards,
+                         bounds=_obs.POW2_BOUNDS)
+            for seconds, _, _ in timed:
+                _obs.observe("executor.worker.seconds", seconds)
+            _obs.observe("executor.dispatch.seconds",
+                         _perf_counter() - t0)
     return _merge(task, results)

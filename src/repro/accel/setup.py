@@ -59,9 +59,15 @@ from ..core.bits import log2_exact
 from ..core.permutation import Permutation
 from ..core.routing import BatchRouteResult
 from ..errors import InvalidPermutationError, SizeMismatchError
+from ..obs.spans import spanned as _spanned
 from . import executor as _executor
 from ._np import numpy_or_none
-from .batch import _as_tag_array, _swap_stage, batch_self_route
+from .batch import (
+    _as_tag_array,
+    _metric_scope,
+    _swap_stage,
+    batch_self_route,
+)
 from .plans import setup_plan_cache, stage_plan
 
 __all__ = [
@@ -140,12 +146,19 @@ def _as_perm_array(np, order: int, perms):
     return arr
 
 
-def _record_setup_metrics(kind: str, batch_size: int,
-                          seconds: float) -> None:
-    _obs.inc(f"accel.{kind}.calls")
-    _obs.inc(f"accel.{kind}.items", batch_size)
-    _obs.observe(f"accel.{kind}.seconds", seconds)
-    _obs.observe("accel.batch.size", batch_size, bounds=_obs.POW2_BOUNDS)
+def _record_setup_metrics(kind: str, batch_size: int, seconds: float,
+                          scope: str = "full") -> None:
+    """Same call/work split as
+    :func:`repro.accel.batch._record_batch_metrics`: the dispatching
+    call records ``"call"`` instruments once, shards record ``"work"``
+    for their slice, the inline path records ``"full"`` (both)."""
+    if scope != "work":
+        _obs.inc(f"accel.{kind}.calls")
+        _obs.observe(f"accel.{kind}.seconds", seconds)
+        _obs.observe("accel.batch.size", batch_size,
+                     bounds=_obs.POW2_BOUNDS)
+    if scope != "call":
+        _obs.inc(f"accel.{kind}.items", batch_size)
 
 
 def _leaders(np, succ, base, steps: int):
@@ -223,6 +236,7 @@ def _setup_levels(np, plan: SetupPlan, arr):
     return states
 
 
+@_spanned("batch.setup")
 def batch_setup_states(order: int, perms, *, parallel=False):
     """Switch states realizing a whole batch of **arbitrary**
     permutations on ``B(order)`` — the vectorized equivalent of
@@ -248,14 +262,21 @@ def batch_setup_states(order: int, perms, *, parallel=False):
 
         rows = perms if isinstance(perms, list) else list(perms)
         if _executor.wants_shards(parallel, len(rows)):
-            return _executor.dispatch(
+            result = _executor.dispatch(
                 "setup_states", rows, extra=(order,), parallel=parallel
             )
+            if enabled:
+                _obs.inc("accel.fallback.calls")
+                _record_setup_metrics("setup", len(rows),
+                                      _perf_counter() - t0, scope="call")
+            return result
+        scope = _metric_scope()
         result = [setup_states(p) for p in rows]
         if enabled:
-            _obs.inc("accel.fallback.calls")
+            if scope == "full":
+                _obs.inc("accel.fallback.calls")
             _record_setup_metrics("setup", len(result),
-                                  _perf_counter() - t0)
+                                  _perf_counter() - t0, scope=scope)
         return result
     arr = _as_perm_array(np, order, perms)
     if _executor.wants_shards(parallel, arr.shape[0]):
@@ -264,12 +285,13 @@ def batch_setup_states(order: int, perms, *, parallel=False):
         )
         if enabled:
             _record_setup_metrics("setup", int(arr.shape[0]),
-                                  _perf_counter() - t0)
+                                  _perf_counter() - t0, scope="call")
         return result
     states = _setup_levels(np, setup_plan(order), arr)
     if enabled:
         _record_setup_metrics("setup", int(arr.shape[0]),
-                              _perf_counter() - t0)
+                              _perf_counter() - t0,
+                              scope=_metric_scope())
     return states
 
 
@@ -300,6 +322,7 @@ def _first_half_maps(np, order: int, states):
     return middle
 
 
+@_spanned("batch.two_pass")
 def batch_two_pass(order: int, perms, *, parallel=False):
     """Factor a whole batch of arbitrary permutations for two-pass
     universal routing: returns ``(omega_1, omega_2)`` as ``(B, N)``
@@ -318,18 +341,25 @@ def batch_two_pass(order: int, perms, *, parallel=False):
 
         rows = perms if isinstance(perms, list) else list(perms)
         if _executor.wants_shards(parallel, len(rows)):
-            return _executor.dispatch(
+            result = _executor.dispatch(
                 "two_pass", rows, extra=(order,), parallel=parallel
             )
+            if enabled:
+                _obs.inc("accel.fallback.calls")
+                _record_setup_metrics("two_pass", len(rows),
+                                      _perf_counter() - t0, scope="call")
+            return result
+        scope = _metric_scope()
         firsts, seconds = [], []
         for p in rows:
             first, second = two_pass_decomposition(p)
             firsts.append(first.as_tuple())
             seconds.append(second.as_tuple())
         if enabled:
-            _obs.inc("accel.fallback.calls")
+            if scope == "full":
+                _obs.inc("accel.fallback.calls")
             _record_setup_metrics("two_pass", len(firsts),
-                                  _perf_counter() - t0)
+                                  _perf_counter() - t0, scope=scope)
         return firsts, seconds
     arr = _as_perm_array(np, order, perms)
     if _executor.wants_shards(parallel, arr.shape[0]):
@@ -338,7 +368,7 @@ def batch_two_pass(order: int, perms, *, parallel=False):
         )
         if enabled:
             _record_setup_metrics("two_pass", int(arr.shape[0]),
-                                  _perf_counter() - t0)
+                                  _perf_counter() - t0, scope="call")
         return result
     plan = setup_plan(order)
     states = _setup_levels(np, plan, arr)
@@ -350,10 +380,12 @@ def batch_two_pass(order: int, perms, *, parallel=False):
     np.put_along_axis(second, first, arr, axis=1)
     if enabled:
         _record_setup_metrics("two_pass", int(arr.shape[0]),
-                              _perf_counter() - t0)
+                              _perf_counter() - t0,
+                              scope=_metric_scope())
     return first, second
 
 
+@_spanned("batch.route_two_pass")
 def batch_route_two_pass(order: int, perms, *,
                          parallel=False) -> BatchRouteResult:
     """Route a batch of arbitrary permutations by two self-routed

@@ -15,6 +15,9 @@ Subcommands::
                 [--suite setup]       ... of the universal setup instead
                 [--parallel]          ... plus shard-executor cells
     benes metrics                     run a demo workload, dump metrics
+    benes metrics dump                render OpenMetrics / JSON once
+                [--format openmetrics|json] [--input PATH] [--demo]
+    benes metrics serve --port P      serve GET /metrics for Prometheus
 
 Permutations are comma-separated destination-tag lists.
 
@@ -222,6 +225,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             batch_sizes=_parse_int_list(args.batches, "--batches"),
             seed=args.seed,
             repeats=args.repeats,
+            include_parallel=args.parallel,
         )
         print(format_table(report))
     if args.json:
@@ -230,9 +234,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_metrics(args: argparse.Namespace) -> int:
-    """Run a small demo workload with collection on and dump the
-    resulting snapshot — a self-test of the observability layer."""
+def _run_metrics_demo(count: int, seed: Optional[int]) -> None:
+    """The small demo workload behind ``benes metrics``: enable
+    collection and route/plan enough to populate every instrument
+    family — a self-test of the observability layer."""
     import random
 
     from .accel import batch_self_route
@@ -242,17 +247,61 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     _obs.enable()
     # main() bumped this before collection was on; count ourselves in.
     _obs.inc("cli.command.metrics")
-    rng = random.Random(args.seed)
+    rng = random.Random(seed)
     net = BenesNetwork(3)
-    for _ in range(args.count):
+    for _ in range(count):
         perm = random_class_f(3, rng)
         net.route(perm)
         fast_self_route(perm.as_tuple())
         plan(perm)
     BenesNetwork(2).route(Permutation((1, 3, 2, 0)))  # guaranteed failure
     batch_self_route([random_class_f(3, rng).as_tuple()
-                      for _ in range(args.count)])
+                      for _ in range(count)])
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    _run_metrics_demo(args.count, args.seed)
     print(json.dumps(_obs.snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
+def _load_snapshot(path: str) -> dict:
+    """A metrics snapshot from ``path`` — either a raw ``benes
+    metrics``-style snapshot or a bench report embedding one under its
+    ``"metrics"`` key (``benes bench --profile --json``)."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path}: not a metrics snapshot")
+    if "counters" not in data and isinstance(data.get("metrics"), dict):
+        return data["metrics"]
+    return data
+
+
+def _cmd_metrics_dump(args: argparse.Namespace) -> int:
+    """Render the registry (or a saved snapshot) once, in the format
+    external tooling wants."""
+    from .obs import export
+
+    snapshot = _load_snapshot(args.input) if args.input else None
+    if snapshot is None and args.demo:
+        _run_metrics_demo(args.count, args.seed)
+    if args.format == "json":
+        print(export.render_json(snapshot))
+    else:
+        print(export.render_openmetrics(snapshot), end="")
+    return 0
+
+
+def _cmd_metrics_serve(args: argparse.Namespace) -> int:
+    """Serve ``GET /metrics`` (OpenMetrics text) until interrupted."""
+    from .obs import export
+
+    if args.demo:
+        _run_metrics_demo(args.count, args.seed)
+    print(f"serving OpenMetrics on http://{args.host}:{args.port}"
+          f"/metrics (ctrl-C to stop)", file=sys.stderr)
+    export.serve(args.port, args.host)
     return 0
 
 
@@ -323,8 +372,8 @@ def build_parser() -> argparse.ArgumentParser:
                               "'setup' times the batched universal "
                               "setup and two-pass factorization")
     p_bench.add_argument("--parallel", action="store_true",
-                         help="also time shard-executor cells "
-                              "(setup suite)")
+                         help="also time shard-executor cells at the "
+                              "largest (order, batch) of the grid")
     p_bench.add_argument("--orders", default="4,6,8",
                          help="comma-separated network orders")
     p_bench.add_argument("--batches", default="64,256,1024",
@@ -342,13 +391,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_metrics = sub.add_parser(
         "metrics",
-        help="run a demo workload with collection on and dump the "
-             "metrics snapshot as JSON",
+        help="observability: demo snapshot (default), 'dump' renders "
+             "OpenMetrics/JSON once, 'serve' exposes GET /metrics",
     )
     p_metrics.add_argument("--count", type=int, default=8,
                            help="routes per leg of the demo workload")
     p_metrics.add_argument("--seed", type=int, default=1980)
     p_metrics.set_defaults(func=_cmd_metrics)
+    sub_metrics = p_metrics.add_subparsers(dest="metrics_command")
+
+    p_dump = sub_metrics.add_parser(
+        "dump",
+        help="render the live registry (or a saved snapshot) once",
+    )
+    p_dump.add_argument("--format", choices=("openmetrics", "json"),
+                        default="openmetrics")
+    p_dump.add_argument("--input", default=None, metavar="PATH",
+                        help="render a saved snapshot instead of the "
+                             "live registry — a 'benes metrics' JSON "
+                             "dump or a bench report with an embedded "
+                             "'metrics' key")
+    p_dump.add_argument("--demo", action="store_true",
+                        help="run the demo workload first so the dump "
+                             "has content")
+    p_dump.set_defaults(func=_cmd_metrics_dump)
+
+    p_serve = sub_metrics.add_parser(
+        "serve",
+        help="serve GET /metrics in the OpenMetrics text format",
+    )
+    p_serve.add_argument("--port", type=int, default=9464)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--demo", action="store_true",
+                         help="run the demo workload first so scrapes "
+                              "have content")
+    p_serve.set_defaults(func=_cmd_metrics_serve)
 
     p_report = sub.add_parser(
         "report", help="regenerate the reproduction report"

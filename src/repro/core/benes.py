@@ -22,6 +22,7 @@ from time import perf_counter as _perf_counter
 from typing import List, Optional, Sequence, Tuple, Union
 
 from .. import obs as _obs
+from ..obs import spans as _spans
 from ..accel.plans import cached_topology
 from ..errors import (
     RoutingError,
@@ -189,7 +190,12 @@ class BenesNetwork:
         t0 = _perf_counter() if (enabled or tracing) else 0.0
         mode = "omega" if omega_mode else "self"
         signals = self._make_signals(tags, payloads, omega=omega_mode)
+        route_span = None
         if tracing:
+            # Manual span (not the context manager): the body below has
+            # early raises to stamp with success=False first.
+            route_span = _spans.start_span("route", mode=mode,
+                                           order=self.order)
             _obs.trace_event(
                 "route_start",
                 mode=mode,
@@ -253,6 +259,8 @@ class BenesNetwork:
                 misrouted=list(result.misrouted),
                 seconds=_perf_counter() - t0,
             )
+        if route_span is not None:
+            route_span.finish(success=result.success)
         if require_success and not result.success:
             raise RoutingError(
                 f"permutation {tuple(tags)} is not self-routable on "

@@ -18,7 +18,6 @@ of them.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence, Tuple
 
@@ -108,9 +107,8 @@ class BatchRouteResult:
             instance (``(2n-1, B)``).  Populated by the NumPy engine
             when routing with ``stage_data=True``; ``None`` otherwise.
 
-    Iterating yields ``(success_mask, mappings)`` so the pre-1.1 tuple
-    API (``success, delivered = batch_self_route(...)``) keeps working
-    for one deprecation cycle; new code should use the named fields.
+    The pre-1.1 tuple API (``success, delivered = ...``) completed its
+    deprecation cycle and was removed; use the named fields.
     """
 
     success_mask: Any
@@ -131,17 +129,6 @@ class BatchRouteResult:
     def all_success(self) -> bool:
         """True iff every instance succeeded."""
         return self.n_success == self.batch_size
-
-    def __iter__(self):
-        warnings.warn(
-            "tuple unpacking of BatchRouteResult is deprecated; use "
-            "the .success_mask and .mappings fields",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        yield self.success_mask
-        yield self.mappings
-
 
 def collect_result(requested: Sequence[int],
                    final_rows: Sequence,

@@ -38,7 +38,15 @@ from .registry import (
     Histogram,
     MetricsRegistry,
     DEFAULT_TIME_BOUNDS,
+    DELTA_SCHEMA_VERSION,
     POW2_BOUNDS,
+)
+from .spans import (
+    Span,
+    SpanContext,
+    current_context as current_span,
+    span,
+    start_span,
 )
 from .trace import TRACE_SCHEMA_VERSION, TraceEmitter
 
@@ -47,22 +55,31 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Span",
+    "SpanContext",
     "TraceEmitter",
     "DEFAULT_TIME_BOUNDS",
+    "DELTA_SCHEMA_VERSION",
     "POW2_BOUNDS",
     "TRACE_SCHEMA_VERSION",
+    "current_span",
     "enable",
     "disable",
     "enabled",
     "inc",
+    "merge",
     "set_gauge",
     "observe",
     "registry",
     "reset",
     "snapshot",
+    "snapshot_delta",
+    "span",
+    "start_span",
     "trace_active",
     "trace_event",
     "trace_off",
+    "trace_path",
     "trace_to",
 ]
 
@@ -114,6 +131,21 @@ def snapshot() -> dict:
     return snap
 
 
+def snapshot_delta() -> dict:
+    """The registry's change since the previous ``snapshot_delta``
+    call, in the mergeable wire form of
+    :meth:`~repro.obs.registry.MetricsRegistry.snapshot_delta` —
+    what an executor worker ships back with each shard result."""
+    return _REGISTRY.snapshot_delta()
+
+
+def merge(delta: dict) -> None:
+    """Fold another process's :func:`snapshot_delta` into this
+    process's registry (counter-sum / gauge-last-write /
+    histogram-bucket-add)."""
+    _REGISTRY.merge(delta)
+
+
 # ----------------------------------------------------------------------
 # Push helpers — each is a no-op unless metrics are enabled, so call
 # sites stay single-line.
@@ -157,6 +189,12 @@ def trace_off() -> None:
 def trace_active() -> bool:
     """True when routing should emit trace events."""
     return _TRACER.active
+
+
+def trace_path() -> Optional[str]:
+    """The trace sink's filesystem path when it has one (shippable to
+    executor workers, which append to the same file), else ``None``."""
+    return _TRACER.path
 
 
 def trace_event(event: str, **fields) -> None:

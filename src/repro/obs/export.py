@@ -1,0 +1,176 @@
+"""Metric **exporters**: OpenMetrics / JSON text renderers and a
+scrape endpoint.
+
+The registry's :func:`repro.obs.snapshot` is a JSON-ready dict; this
+module turns it into the two formats external tooling expects:
+
+- :func:`render_json` — the snapshot, pretty-printed (the format
+  ``benes metrics`` has always printed);
+- :func:`render_openmetrics` — the OpenMetrics text exposition format
+  (the Prometheus wire format): counters as ``<name>_total``,
+  histograms as cumulative ``_bucket{le="..."}`` series plus
+  ``_count`` / ``_sum``, terminated by ``# EOF``.  Dotted metric names
+  are sanitized to underscore form (``accel.batch.calls`` ->
+  ``accel_batch_calls``); provider pulls (the accel cache stats) are
+  flattened to gauges.
+
+:func:`serve` exposes ``GET /metrics`` on a :mod:`http.server`
+endpoint rendering a fresh snapshot per scrape — stdlib only, wired to
+``benes metrics serve --port``.  ``benes metrics dump`` prints either
+format once (lintable by ``tools/check_openmetrics.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Optional, Tuple
+
+__all__ = [
+    "OPENMETRICS_CONTENT_TYPE",
+    "render_json",
+    "render_openmetrics",
+    "build_server",
+    "serve",
+]
+
+#: The content type Prometheus negotiates for OpenMetrics payloads.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str) -> str:
+    """Sanitize a dotted registry name to OpenMetrics form."""
+    sanitized = _NAME_OK.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value) -> str:
+    """OpenMetrics sample value: integers bare, floats via repr."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _histogram_buckets(snap: dict) -> Tuple[list, int]:
+    """``[(upper_bound, window_count), ...]`` sorted by bound, plus the
+    overflow count, recovered from a histogram snapshot's sparse
+    ``le_<bound>`` bucket dict."""
+    buckets = snap.get("buckets", {})
+    bounded = []
+    overflow = 0
+    for key, count in buckets.items():
+        if key == "overflow":
+            overflow = count
+        else:
+            bounded.append((float(key[len("le_"):]), count))
+    bounded.sort(key=lambda pair: pair[0])
+    return bounded, overflow
+
+
+def _flatten_provider(prefix: str, value, out: list) -> None:
+    """Flatten a provider pull (nested dicts of numbers) into
+    ``(dotted_name, number)`` leaves; non-numeric leaves are dropped."""
+    if isinstance(value, dict):
+        for key, sub in sorted(value.items()):
+            _flatten_provider(f"{prefix}.{key}", sub, out)
+    elif isinstance(value, (int, float)):
+        out.append((prefix, value))
+
+
+def render_json(snapshot: Optional[dict] = None, *, indent: int = 2
+                ) -> str:
+    """The snapshot as pretty-printed JSON (``benes metrics``'s
+    historical output format)."""
+    if snapshot is None:
+        from . import snapshot as take_snapshot
+
+        snapshot = take_snapshot()
+    return json.dumps(snapshot, indent=indent, sort_keys=True,
+                      default=repr)
+
+
+def render_openmetrics(snapshot: Optional[dict] = None) -> str:
+    """The snapshot in the OpenMetrics text exposition format,
+    ``# EOF``-terminated; pass ``snapshot`` to render a saved dict
+    instead of the live registry."""
+    if snapshot is None:
+        from . import snapshot as take_snapshot
+
+        snapshot = take_snapshot()
+    lines = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_format_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        metric = _metric_name(name)
+        count = hist.get("count", 0)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, bucket_count in _histogram_buckets(hist)[0]:
+            cumulative += bucket_count
+            lines.append(
+                f'{metric}_bucket{{le="{bound:g}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
+        lines.append(f"{metric}_sum {_format_value(hist.get('sum', 0.0))}")
+        lines.append(f"{metric}_count {count}")
+    provider_leaves: list = []
+    for name, pulled in snapshot.get("providers", {}).items():
+        _flatten_provider(name, pulled, provider_leaves)
+    for name, value in provider_leaves:
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def build_server(port: int, host: str = "127.0.0.1"):
+    """An :class:`http.server.HTTPServer` answering ``GET /metrics``
+    with a fresh OpenMetrics snapshot per request (anything else is a
+    404).  Returned unstarted so tests and :func:`serve` share one
+    construction path; call ``serve_forever()`` (or ``handle_request``)
+    on it and ``server_close()`` when done."""
+    from http.server import BaseHTTPRequestHandler, HTTPServer
+
+    class MetricsHandler(BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 - http.server API
+            if self.path.split("?", 1)[0] != "/metrics":
+                self.send_error(404, "only /metrics is served")
+                return
+            body = render_openmetrics().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", OPENMETRICS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, format, *args):  # noqa: A002
+            pass  # scrapes should not spam stderr
+
+    return HTTPServer((host, port), MetricsHandler)
+
+
+def serve(port: int, host: str = "127.0.0.1") -> None:
+    """Serve ``/metrics`` until interrupted (the ``benes metrics
+    serve`` entry point)."""
+    server = build_server(port, host)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

@@ -1,0 +1,191 @@
+"""Causally-linked **spans** over the JSON-lines trace stream.
+
+A span is one timed unit of routing work — a batch route, a planner
+pass, an executor dispatch, one shard inside a worker process — emitted
+as a single ``span`` trace event when it finishes::
+
+    {"ev": "span", "name": "executor.shard", "trace_id": "…",
+     "span_id": "…", "parent_id": "…", "start_ts": …, "seconds": …, …}
+
+Spans nest through a :mod:`contextvars` variable: a span opened while
+another is active becomes its child (same ``trace_id``, ``parent_id`` =
+the enclosing ``span_id``), so ``route -> plan -> shard[i] ->
+setup/transit`` reassembles into one tree from the flat stream
+(``tools/trace_tree.py`` pretty-prints it).  The shard executor carries
+``(trace_id, span_id)`` into worker processes inside the task payload
+and re-roots the worker's spans under the dispatch span with
+:func:`adopt`, so per-shard events written from many processes — one
+atomic appended line each, see :mod:`repro.obs.trace` — interleave
+safely and still stitch back together.
+
+Everything here is inert while no trace sink is configured:
+:func:`start_span` returns ``None`` and the :func:`span` context
+manager yields ``None`` after a single activity check, preserving the
+observability layer's off-by-default cost contract.  Emitted span
+counts are tallied under the ``obs.spans.emitted`` counter when
+metrics are enabled.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+import os
+import time
+from contextlib import contextmanager
+from time import perf_counter as _perf_counter
+from typing import Optional
+
+__all__ = [
+    "SpanContext",
+    "Span",
+    "adopt",
+    "current_context",
+    "new_id",
+    "span",
+    "spanned",
+    "start_span",
+]
+
+
+class SpanContext:
+    """The identifiers that place one span in its trace tree."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id")
+
+    def __init__(self, trace_id: str, span_id: str,
+                 parent_id: Optional[str]):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+
+    def __repr__(self) -> str:
+        return (f"SpanContext(trace_id={self.trace_id!r}, "
+                f"span_id={self.span_id!r}, "
+                f"parent_id={self.parent_id!r})")
+
+
+_CURRENT: "contextvars.ContextVar[Optional[SpanContext]]" = \
+    contextvars.ContextVar("benes_current_span", default=None)
+
+
+def new_id() -> str:
+    """A fresh 64-bit hex identifier (collision-safe across the
+    executor's worker processes, unlike a per-process counter)."""
+    return os.urandom(8).hex()
+
+
+def current_context() -> Optional[SpanContext]:
+    """The active span's context in this thread/task, or ``None``."""
+    return _CURRENT.get()
+
+
+class Span:
+    """A started span; call :meth:`finish` exactly once.
+
+    Prefer the :func:`span` context manager; this manual form exists
+    for hot paths that cannot wrap their body in a ``with`` block
+    without restructuring (e.g. ``BenesNetwork.route``).
+    """
+
+    __slots__ = ("name", "context", "fields", "_start_ts", "_t0",
+                 "_token", "_done")
+
+    def __init__(self, name: str, context: SpanContext, fields: dict,
+                 token: "contextvars.Token"):
+        self.name = name
+        self.context = context
+        self.fields = fields
+        self._start_ts = time.time()
+        self._t0 = _perf_counter()
+        self._token = token
+        self._done = False
+
+    def finish(self, **extra) -> None:
+        """Emit the ``span`` event and restore the enclosing span."""
+        if self._done:
+            return
+        self._done = True
+        _CURRENT.reset(self._token)
+        from . import inc, trace_event
+
+        fields = dict(self.fields)
+        fields.update(extra)
+        trace_event(
+            "span",
+            name=self.name,
+            trace_id=self.context.trace_id,
+            span_id=self.context.span_id,
+            parent_id=self.context.parent_id,
+            start_ts=self._start_ts,
+            seconds=_perf_counter() - self._t0,
+            **fields,
+        )
+        inc("obs.spans.emitted")
+
+
+def start_span(name: str, **fields) -> Optional[Span]:
+    """Open a span as a child of the current one (or a new trace root)
+    and make it current; returns ``None`` — and does no work beyond one
+    activity check — when no trace sink is configured."""
+    from . import trace_active
+
+    if not trace_active():
+        return None
+    parent = _CURRENT.get()
+    context = SpanContext(
+        trace_id=parent.trace_id if parent is not None else new_id(),
+        span_id=new_id(),
+        parent_id=parent.span_id if parent is not None else None,
+    )
+    token = _CURRENT.set(context)
+    return Span(name, context, fields, token)
+
+
+@contextmanager
+def span(name: str, **fields):
+    """Context-manager form of :func:`start_span`: yields the
+    :class:`Span` (or ``None`` while tracing is off) and finishes it on
+    exit, success or not."""
+    opened = start_span(name, **fields)
+    if opened is None:
+        yield None
+        return
+    try:
+        yield opened
+    finally:
+        opened.finish()
+
+
+def spanned(name: str):
+    """Decorator form of :func:`span` for whole entry points: wraps
+    each call of the decorated function in a span named ``name`` while
+    a trace sink is active, and costs one activity check per call while
+    it is not — cheap enough for the batch engine's public surface."""
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            from . import trace_active
+
+            if not trace_active():
+                return fn(*args, **kwargs)
+            opened = start_span(name)
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                opened.finish()
+        return wrapper
+    return decorate
+
+
+@contextmanager
+def adopt(trace_id: str, span_id: str):
+    """Install a *remote* parent context — used by executor workers to
+    re-root their spans under the dispatching process's span.  Children
+    opened inside the block carry ``trace_id`` and parent ``span_id``
+    exactly as if the dispatch span were local."""
+    token = _CURRENT.set(SpanContext(trace_id, span_id, None))
+    try:
+        yield
+    finally:
+        _CURRENT.reset(token)

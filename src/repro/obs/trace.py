@@ -2,19 +2,31 @@
 
 A trace is a flat stream of one-line JSON records written to a
 configured sink (a path or an open text file, e.g. ``sys.stderr`` for
-``benes route D --profile``).  Routing emits three event kinds:
+``benes route D --profile``).  Routing emits four event kinds:
 
 - ``route_start`` — a vector entered the network (size, mode, tags);
 - ``stage`` — one switch column fired (its control bit, the states it
   took, how many switches crossed);
 - ``deliver`` — the vector left the network (success, realized
-  mapping, wall time).
+  mapping, wall time);
+- ``span`` — a finished unit of timed work carrying
+  ``trace_id``/``span_id``/``parent_id`` so the flat stream reassembles
+  into a causal tree (see :mod:`repro.obs.spans` and
+  ``tools/trace_tree.py``).
 
 Every record carries the schema version, a wall-clock timestamp and a
 per-process monotonically increasing ``seq`` so interleaved writers
-remain sortable.  Emission is lock-guarded and line-buffered: one
-``write`` per record, flushed immediately, so a crashed process loses
-at most the record being written.
+remain sortable; non-span records emitted while a span is active are
+additionally stamped with its ``trace_id``/``span_id``.
+
+**Multi-process safety.**  A path sink is opened with ``O_APPEND`` and
+every record is serialized to one buffer written by a single
+``os.write`` call — on POSIX, appends of a whole buffer to a regular
+file do not interleave mid-line, so the shard executor's worker
+processes may share one trace file and every line still parses as
+JSON.  File-object sinks get the same one-``write``-per-record
+discipline plus an immediate flush, so a crashed process loses at most
+the record being written.
 
 The emitter is inert until :func:`repro.obs.trace_to` (or
 ``repro.obs.enable(trace=...)`` / ``BENES_TRACE=<path>``) configures a
@@ -25,14 +37,16 @@ check.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from typing import IO, Optional, Union
 
 __all__ = ["TRACE_SCHEMA_VERSION", "TraceEmitter"]
 
-#: Bumped whenever an event's required fields change.
-TRACE_SCHEMA_VERSION = 1
+#: Bumped whenever an event's required fields change.  v2: ``span``
+#: events and span-context stamping of enclosed records.
+TRACE_SCHEMA_VERSION = 2
 
 
 class TraceEmitter:
@@ -41,39 +55,61 @@ class TraceEmitter:
     def __init__(self):
         self._lock = threading.Lock()
         self._sink: Optional[IO[str]] = None
-        self._owns_sink = False
+        self._fd: Optional[int] = None
+        self._path: Optional[str] = None
         self._seq = 0
 
     @property
     def active(self) -> bool:
         """True when a sink is configured and events will be written."""
-        return self._sink is not None
+        return self._sink is not None or self._fd is not None
+
+    @property
+    def path(self) -> Optional[str]:
+        """The sink's filesystem path when configured with one —
+        shippable to worker processes so they append to the same file —
+        else ``None`` (opaque file-object sinks cannot cross a process
+        boundary)."""
+        return self._path
 
     def configure(self, sink: Union[str, IO[str], None]) -> None:
-        """Direct events to ``sink`` — a path (opened for append) or an
-        open text file; ``None`` disables tracing and closes any
-        emitter-owned file."""
+        """Direct events to ``sink`` — a path (opened ``O_APPEND`` for
+        atomic multi-process line writes) or an open text file;
+        ``None`` disables tracing and closes any emitter-owned file."""
         with self._lock:
-            if self._owns_sink and self._sink is not None:
-                self._sink.close()
+            if self._fd is not None:
+                os.close(self._fd)
+            self._sink = None
+            self._fd = None
+            self._path = None
             if isinstance(sink, str):
-                self._sink = open(sink, "a", encoding="utf-8")
-                self._owns_sink = True
+                self._fd = os.open(
+                    sink, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+                )
+                self._path = sink
             else:
                 self._sink = sink
-                self._owns_sink = False
 
     def emit(self, event: str, **fields) -> None:
         """Write one event record; a no-op without a configured sink.
 
         ``fields`` must be JSON-serializable; tuples become lists.
+        Records other than ``span`` events inherit the active span's
+        ``trace_id``/``span_id`` (explicit fields win), linking
+        per-stage events to their enclosing span.
         """
-        if self._sink is None:
+        if self._sink is None and self._fd is None:
             return
+        if event != "span":
+            from .spans import current_context
+
+            context = current_context()
+            if context is not None:
+                fields.setdefault("trace_id", context.trace_id)
+                fields.setdefault("span_id", context.span_id)
         with self._lock:
-            sink = self._sink
-            if sink is None:  # configure(None) raced us
-                return
+            if self._sink is None and self._fd is None:
+                return  # configure(None) raced us
             self._seq += 1
             record = {
                 "v": TRACE_SCHEMA_VERSION,
@@ -82,9 +118,16 @@ class TraceEmitter:
                 "ev": event,
             }
             record.update(fields)
-            sink.write(json.dumps(record, separators=(",", ":"),
-                                  default=_jsonable) + "\n")
-            sink.flush()
+            line = json.dumps(record, separators=(",", ":"),
+                              default=_jsonable) + "\n"
+            if self._fd is not None:
+                # One write() of the whole line to an O_APPEND fd:
+                # atomic on POSIX regular files, so concurrent worker
+                # processes never interleave mid-line.
+                os.write(self._fd, line.encode("utf-8"))
+            else:
+                self._sink.write(line)
+                self._sink.flush()
 
     def reset_seq(self) -> None:
         with self._lock:

@@ -25,6 +25,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 from . import obs as _obs
 from .core.membership import first_failure, in_class_f
+from .obs.spans import spanned as _spanned
 from .core.permutation import Permutation
 from .permclasses.bpc import BPCSpec, is_bpc
 from .permclasses.omega import is_inverse_omega, is_omega
@@ -85,6 +86,7 @@ def _ccc_cost(order: int, skip_rule: Optional[str],
     return full
 
 
+@_spanned("plan")
 def plan(perm: PermutationLike) -> RoutingPlan:
     """Classify ``perm`` and choose routing strategies.
 
@@ -98,6 +100,7 @@ def plan(perm: PermutationLike) -> RoutingPlan:
     return _build_plan(perm, in_class_f(perm))
 
 
+@_spanned("plan.batch")
 def plan_batch(perms: Sequence[PermutationLike],
                *, parallel=False) -> "list[RoutingPlan]":
     """:func:`plan` for a whole batch, with the F-membership test — the

@@ -4,7 +4,7 @@
 Covers the registry primitives, the enabled/disabled facade contract
 (identical routing results either way), the JSON-lines trace schema,
 the CLI surfaces (``benes metrics``, ``--profile``), the accel cache
-introspection, and the one-cycle tuple-unpacking deprecation shim.
+introspection, and the removal of the tuple-unpacking shim.
 """
 
 import io
@@ -174,18 +174,22 @@ class TestTrace:
         events = [json.loads(line) for line in
                   sink.getvalue().splitlines()]
         assert [e["ev"] for e in events] == \
-               ["route_start", "stage", "stage", "stage", "deliver"]
+               ["route_start", "stage", "stage", "stage", "deliver",
+                "span"]
         seqs = [e["seq"] for e in events]
         assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
         for e in events:
             assert e["v"] == TRACE_SCHEMA_VERSION
             assert isinstance(e["ts"], float)
-        start, deliver = events[0], events[-1]
+        start, deliver, span = events[0], events[-2], events[-1]
         assert start["tags"] == [3, 2, 1, 0] and start["order"] == 2
         assert deliver["success"] is True
-        for stage_event in events[1:-1]:
+        for stage_event in events[1:4]:
             assert set(stage_event) >= {"stage", "control_bit",
                                         "states", "cross"}
+            # v2: mid-span events are stamped with their span's ids
+            assert stage_event["span_id"] == span["span_id"]
+        assert span["name"] == "route" and span["parent_id"] is None
 
     def test_no_sink_no_events(self):
         assert not obs.trace_active()
@@ -197,7 +201,8 @@ class TestTrace:
         assert not obs.enabled()           # tracing without metrics
         BenesNetwork(2).route((0, 1, 2, 3))
         obs.trace_off()
-        assert sink.getvalue().count("\n") == 5
+        # route_start + 3 stages + deliver + the route span
+        assert sink.getvalue().count("\n") == 6
 
 
 class TestCLI:
@@ -215,14 +220,16 @@ class TestCLI:
         err = capsys.readouterr().err
         events = [json.loads(line) for line in err.splitlines()]
         assert events[0]["ev"] == "route_start"
-        assert events[-1]["ev"] == "deliver"
+        assert events[-1]["ev"] == "span"
+        assert events[-2]["ev"] == "deliver"
         assert all(e["v"] == TRACE_SCHEMA_VERSION for e in events)
 
     def test_route_profile_keeps_exit_code(self, capsys):
         assert main(["route", "1,3,2,0", "--profile"]) == 1
         err = capsys.readouterr().err
-        deliver = json.loads(err.splitlines()[-1])
-        assert deliver["ev"] == "deliver" and not deliver["success"]
+        events = [json.loads(line) for line in err.splitlines()]
+        deliver = next(e for e in events if e["ev"] == "deliver")
+        assert not deliver["success"]
 
     def test_bench_profile_embeds_metrics(self, capsys, tmp_path):
         path = tmp_path / "bench.json"
@@ -283,13 +290,14 @@ class TestBatchRouteResult:
         else:
             assert len(result.per_stage) == 3   # stages of B(2)
 
-    def test_tuple_unpacking_deprecated_but_works(self):
+    def test_tuple_unpacking_removed(self):
+        # the PR-2 deprecation cycle is complete: results are not
+        # iterable any more, so stale tuple unpacking fails loudly
         result = batch_self_route([(3, 2, 1, 0)])
-        with pytest.deprecated_call():
+        with pytest.raises(TypeError):
             success, delivered = result
-        assert list(success) == list(result.success_mask)
-        assert [tuple(int(v) for v in row) for row in delivered] == \
-               [tuple(int(v) for v in row) for row in result.mappings]
+        with pytest.raises(TypeError):
+            iter(result)
 
     def test_states_batch_all_success(self):
         net = BenesNetwork(2)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Append a ``BENCH_*.json`` report to the ``BENCH_history.jsonl``
+perf trajectory.
+
+One committed ``BENCH_accel.json`` is a single point; a trajectory of
+them lets ``tools/check_bench_regression.py`` compare a fresh
+measurement against the *recent median* instead of whatever machine
+happened to write the last baseline.  Each invocation appends one
+compact JSON line::
+
+    {"ts": 1754438400, "source": "BENCH_accel.json",
+     "benchmark": "...", "numpy": true, "cpu_count": 8,
+     "cells": [{"kind": "route", "order": 8, "batch_size": 256,
+                "parallel": false, "speedup": 24.1}, ...]}
+
+Only the identifying keys and the speedup of each cell are kept — the
+raw items/second are machine-dependent noise for trend purposes.  Cells
+from route reports (no ``kind`` field) are recorded as
+``kind = "route"``.  Usage::
+
+    python tools/bench_history.py BENCH_accel.json BENCH_setup.json \\
+        [--history BENCH_history.jsonl]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+
+def summarize(report: dict, source: str, ts: int) -> dict:
+    """The one-line trajectory record for a bench report."""
+    return {
+        "ts": ts,
+        "source": source,
+        "benchmark": report.get("benchmark", "?"),
+        "numpy": bool(report.get("numpy", False)),
+        "cpu_count": report.get("cpu_count"),
+        "cells": [
+            {
+                "kind": cell.get("kind", "route"),
+                "order": cell.get("order"),
+                "batch_size": cell.get("batch_size"),
+                "parallel": bool(cell.get("parallel", False)),
+                "speedup": cell.get("speedup"),
+            }
+            for cell in report.get("cells", [])
+        ],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="append bench reports to the perf trajectory"
+    )
+    parser.add_argument("reports", nargs="+",
+                        help="BENCH_*.json files to record")
+    parser.add_argument("--history", default="BENCH_history.jsonl",
+                        help="trajectory file to append to")
+    args = parser.parse_args(argv)
+
+    ts = int(time.time())
+    lines = []
+    for path in args.reports:
+        report_path = pathlib.Path(path)
+        if not report_path.exists():
+            print(f"bench history: {path} missing (skip)")
+            continue
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        lines.append(summarize(report, report_path.name, ts))
+
+    if not lines:
+        return 0
+    history = pathlib.Path(args.history)
+    with history.open("a", encoding="utf-8") as fh:
+        for record in lines:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+    print(f"bench history: appended {len(lines)} record(s) "
+          f"to {history}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

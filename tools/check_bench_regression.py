@@ -20,6 +20,13 @@ Verdict per cell:
 - **skip** cleanly (exit 0) when NumPy is absent (fallback mode has no
   speedup to guard) or a baseline file is missing.
 
+When a ``BENCH_history.jsonl`` trajectory exists (appended by
+``tools/bench_history.py``), the baseline for each cell is the
+**median of its recent history** (last ``--window`` records, default
+5) rather than the single committed report — one outlier run, fast or
+slow, no longer moves the goalposts.  The committed ``BENCH_*.json``
+remains the fallback when the trajectory has no matching cell.
+
 Run from the repository root (CI does, on the numpy matrix leg)::
 
     PYTHONPATH=src python tools/check_bench_regression.py
@@ -31,6 +38,7 @@ import argparse
 import json
 import pathlib
 import random
+import statistics
 import sys
 
 GUARD_ORDER = 8
@@ -52,6 +60,37 @@ def _baseline_speedup(path: pathlib.Path, kind=None):
                 and (kind is None or cell.get("kind") == kind)):
             return float(cell["speedup"])
     return None
+
+
+def _trajectory_speedup(history: pathlib.Path, kind: str,
+                        window: int) -> tuple:
+    """Median guarded-cell speedup over the last ``window`` matching
+    trajectory records, as ``(median, n_points)`` — ``(None, 0)``
+    when the history has nothing usable."""
+    if not history.exists():
+        return None, 0
+    points = []
+    for line in history.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # a torn/hand-edited line must not kill the guard
+        if not record.get("numpy", False):
+            continue
+        for cell in record.get("cells", []):
+            if (cell.get("kind", "route") == kind
+                    and cell.get("order") == GUARD_ORDER
+                    and cell.get("batch_size") == GUARD_BATCH
+                    and not cell.get("parallel", False)
+                    and cell.get("speedup") is not None):
+                points.append(float(cell["speedup"]))
+    if not points:
+        return None, 0
+    recent = points[-window:]
+    return statistics.median(recent), len(recent)
 
 
 def _check(name: str, baseline: float, current: float,
@@ -85,6 +124,13 @@ def main(argv=None) -> int:
     parser.add_argument("--root", default=".",
                         help="repository root holding the BENCH_*.json "
                              "baselines")
+    parser.add_argument("--history", default="BENCH_history.jsonl",
+                        help="perf trajectory (relative to --root) "
+                             "whose recent median beats the single "
+                             "committed baseline when present")
+    parser.add_argument("--window", type=int, default=5,
+                        help="trajectory records per median "
+                             "(default 5)")
     args = parser.parse_args(argv)
 
     from repro.accel import have_numpy
@@ -99,25 +145,37 @@ def main(argv=None) -> int:
     ok = True
     print(f"bench guard: order {GUARD_ORDER}, batch {GUARD_BATCH}, "
           f"tolerance {args.tolerance:.0%}")
+    history = root / args.history
 
-    baseline = _baseline_speedup(root / "BENCH_accel.json")
+    def _resolve_baseline(kind: str, committed):
+        """Trajectory median when available, else the committed
+        report's cell; the source is named in the verdict line."""
+        median, n_points = _trajectory_speedup(history, kind,
+                                               args.window)
+        if median is not None:
+            return median, f"{kind} (median of {n_points})"
+        return committed, kind
+
+    baseline, label = _resolve_baseline(
+        "route", _baseline_speedup(root / "BENCH_accel.json"))
     if baseline is None:
         print("  route: no baseline (skip)")
     else:
         cell = measure_cell(GUARD_ORDER, GUARD_BATCH,
                             random.Random(1980), repeats=args.repeats)
-        ok &= _check("route", baseline, cell["speedup"],
+        ok &= _check(label, baseline, cell["speedup"],
                      args.tolerance, args.strict)
 
     for kind in ("setup", "two_pass"):
-        baseline = _baseline_speedup(root / "BENCH_setup.json", kind)
+        baseline, label = _resolve_baseline(
+            kind, _baseline_speedup(root / "BENCH_setup.json", kind))
         if baseline is None:
             print(f"  {kind}: no baseline (skip)")
             continue
         cell = measure_setup_cell(GUARD_ORDER, GUARD_BATCH,
                                   random.Random(1968), kind=kind,
                                   repeats=args.repeats)
-        ok &= _check(kind, baseline, cell["speedup"],
+        ok &= _check(label, baseline, cell["speedup"],
                      args.tolerance, args.strict)
 
     return 0 if ok else 1

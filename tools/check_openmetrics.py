@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Lint an OpenMetrics text exposition (``benes metrics dump``).
+
+Checks the structural invariants scrapers rely on, without requiring
+any Prometheus tooling in the environment:
+
+- every line is a ``# TYPE`` / ``# HELP`` / ``# UNIT`` comment, a
+  sample (``name[{labels}] value [timestamp]``), or the terminator;
+- the exposition ends with ``# EOF`` (exactly once, last line);
+- metric names are legal (``[a-zA-Z_:][a-zA-Z0-9_:]*``) and every
+  sample belongs to a declared ``# TYPE`` family;
+- counter samples carry the ``_total`` suffix;
+- histogram families expose ``_bucket`` series with non-decreasing
+  cumulative counts ending in a ``le="+Inf"`` bucket that equals
+  ``_count``, plus ``_sum``;
+- sample values parse as floats.
+
+Reads a file argument or stdin; exit 0 when clean::
+
+    PYTHONPATH=src python -m repro.cli metrics dump --demo \\
+        | python tools/check_openmetrics.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import re
+import sys
+from collections import defaultdict
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_TYPE_RE = re.compile(rf"^# TYPE ({_NAME}) "
+                      r"(counter|gauge|histogram|summary|"
+                      r"stateset|info|unknown)$")
+_COMMENT_RE = re.compile(rf"^# (HELP|UNIT) ({_NAME}) ?.*$")
+_SAMPLE_RE = re.compile(
+    rf"^({_NAME})(\{{[^}}]*\}})? (\S+)( \S+)?$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _family_of(name: str, families: dict) -> str:
+    """The declared family a sample name belongs to (suffix-aware)."""
+    if name in families:
+        return name
+    for suffix in ("_total", "_bucket", "_count", "_sum", "_created"):
+        if name.endswith(suffix) and name[: -len(suffix)] in families:
+            return name[: -len(suffix)]
+    return ""
+
+
+def lint(text: str) -> list:
+    """All violations found in ``text`` (empty when clean)."""
+    errors = []
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        errors.append("exposition does not end with '# EOF'")
+    families: dict = {}
+    buckets = defaultdict(list)  # family -> [(le, value), ...]
+    counts: dict = {}
+    sums: dict = {}
+
+    for lineno, line in enumerate(lines, 1):
+        if not line:
+            errors.append(f"line {lineno}: blank line")
+            continue
+        if line == "# EOF":
+            if lineno != len(lines):
+                errors.append(f"line {lineno}: '# EOF' before the end")
+            continue
+        type_match = _TYPE_RE.match(line)
+        if type_match:
+            name, kind = type_match.groups()
+            if name in families:
+                errors.append(f"line {lineno}: duplicate # TYPE {name}")
+            families[name] = kind
+            continue
+        if _COMMENT_RE.match(line):
+            continue
+        if line.startswith("#"):
+            errors.append(f"line {lineno}: unrecognized comment {line!r}")
+            continue
+        sample = _SAMPLE_RE.match(line)
+        if not sample:
+            errors.append(f"line {lineno}: not a valid sample: {line!r}")
+            continue
+        name, labels, value = sample.group(1), sample.group(2), \
+            sample.group(3)
+        try:
+            number = float(value)
+        except ValueError:
+            errors.append(f"line {lineno}: non-numeric value {value!r}")
+            continue
+        family = _family_of(name, families)
+        if not family:
+            errors.append(f"line {lineno}: sample {name!r} has no "
+                          f"# TYPE declaration")
+            continue
+        kind = families[family]
+        if kind == "counter" and not name.endswith(
+                ("_total", "_created")):
+            errors.append(f"line {lineno}: counter sample {name!r} "
+                          f"must end with _total")
+        if kind == "counter" and number < 0:
+            errors.append(f"line {lineno}: counter {name!r} is negative")
+        if kind == "histogram":
+            if name.endswith("_bucket"):
+                parsed = dict(_LABEL_RE.findall(labels or ""))
+                if "le" not in parsed:
+                    errors.append(f"line {lineno}: histogram bucket "
+                                  f"without an le label")
+                else:
+                    le = (math.inf if parsed["le"] == "+Inf"
+                          else float(parsed["le"]))
+                    buckets[family].append((lineno, le, number))
+            elif name.endswith("_count"):
+                counts[family] = (lineno, number)
+            elif name.endswith("_sum"):
+                sums[family] = (lineno, number)
+
+    for family, series in buckets.items():
+        previous = -math.inf
+        cumulative = -1.0
+        for lineno, le, value in series:
+            if le <= previous:
+                errors.append(f"line {lineno}: {family} buckets out of "
+                              f"le order")
+            if value < cumulative:
+                errors.append(f"line {lineno}: {family} bucket counts "
+                              f"not cumulative")
+            previous, cumulative = le, value
+        if series and series[-1][1] != math.inf:
+            errors.append(f"{family}: histogram lacks an le=\"+Inf\" "
+                          f"bucket")
+        if family in counts and series \
+                and series[-1][2] != counts[family][1]:
+            errors.append(f"{family}: +Inf bucket != _count")
+    for family, kind in families.items():
+        if kind == "histogram":
+            if family not in counts:
+                errors.append(f"{family}: histogram lacks _count")
+            if family not in sums:
+                errors.append(f"{family}: histogram lacks _sum")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="lint an OpenMetrics text exposition"
+    )
+    parser.add_argument("path", nargs="?", default="-",
+                        help="file to lint (default: stdin)")
+    args = parser.parse_args(argv)
+
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.path, encoding="utf-8") as fh:
+            text = fh.read()
+    errors = lint(text)
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if not errors:
+        samples = sum(1 for line in text.splitlines()
+                      if line and not line.startswith("#"))
+        print(f"openmetrics ok: {samples} samples")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
