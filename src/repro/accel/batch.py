@@ -59,8 +59,13 @@ from time import perf_counter as _perf_counter
 
 from .. import obs as _obs
 from ..core.bits import log2_exact
-from ..core.fastpath import fast_route_with_states, fast_self_route
+from ..core.fastpath import (
+    fast_route_with_states,
+    fast_self_route,
+    fast_self_route_states,
+)
 from ..core.routing import BatchRouteResult
+from ..core.switch import validate_stuck_switches
 from ..errors import InvalidParameterError, SizeMismatchError
 from ..obs.spans import spanned as _spanned
 from . import executor as _executor
@@ -91,6 +96,46 @@ def _as_tag_array(np, tags_batch):
     return arr
 
 
+def _reject_scalar_options(entry: str, options: dict) -> None:
+    """Engine options this batch entry point does not implement must
+    fail loudly: the scalar path honors them, so accepting-and-ignoring
+    would make the engines silently diverge — exactly the bug class
+    :mod:`repro.verify` exists to catch.  Raises
+    :class:`~repro.errors.InvalidParameterError` (never a bare
+    ``TypeError``) naming every offending option."""
+    if options:
+        names = ", ".join(repr(name) for name in sorted(options))
+        raise InvalidParameterError(
+            f"{entry}() does not support engine option(s) {names}; "
+            "the scalar path (BenesNetwork.route / fast_self_route) "
+            "honors them, and silently ignoring them here would let "
+            "the engines diverge — route through the scalar API or "
+            "drop the option"
+        )
+
+
+def _stuck_plan(np, order: int, stuck_switches):
+    """Validate a ``{(stage, switch): state}`` fault map and compile it
+    into per-stage ``(switch_indices, states)`` index arrays — the
+    vectorized stuck-mask applied on top of each stage's control
+    decision (one fancy assignment per faulted stage)."""
+    if not stuck_switches:
+        return None
+    n_stages = 2 * order - 1
+    half = (1 << order) // 2
+    validate_stuck_switches(stuck_switches, n_stages, half)
+    grouped = {}
+    for (stage, index), state in stuck_switches.items():
+        grouped.setdefault(stage, ([], []))
+        grouped[stage][0].append(index)
+        grouped[stage][1].append(1 if state else 0)
+    return {
+        stage: (np.asarray(idx, dtype=np.intp),
+                np.asarray(vals, dtype=np.int64))
+        for stage, (idx, vals) in grouped.items()
+    }
+
+
 def _working_block(np, arr, n_value_bits):
     """Transpose ``(B, N)`` into the ``(N, B)`` working layout with the
     narrowest safe dtype for ``n_value_bits`` bits per element (int32
@@ -114,7 +159,8 @@ def _swap_stage(rows, cond):
     odd -= diff
 
 
-def _route_array(np, rows, order, stage_cross=None, omega_mode=False):
+def _route_array(np, rows, order, stage_cross=None, omega_mode=False,
+                 stuck=None, stage_states=None):
     """Push an ``(N, B)`` value block through all stages in place
     (modulo link gathers); the self-routing control reads tag bits of
     ``rows``, which must occupy the low ``order`` bits of each value.
@@ -122,24 +168,43 @@ def _route_array(np, rows, order, stage_cross=None, omega_mode=False):
     When ``stage_cross`` is a list, the per-instance crossed-switch
     count of every stage (a ``(B,)`` array) is appended to it.  With
     ``omega_mode`` the first ``order - 1`` columns are forced straight
-    (the Section II omega-bit extension).
+    (the Section II omega-bit extension).  ``stuck`` is a compiled
+    fault plan (:func:`_stuck_plan`): in each faulted stage the stuck
+    switches' decisions are overwritten with their stuck states —
+    overriding the omega forcing too, exactly like the structural
+    network.  When ``stage_states`` is a list, the full ``(N/2, B)``
+    0/1 decision array of every stage is appended to it.
     """
     plan = stage_plan(order)
     inv_links = plan.np_inv_links()
     last_stage = plan.n_stages - 1
     omega_stages = order - 1 if omega_mode else 0
+    half = rows.shape[0] // 2
     for stage in range(plan.n_stages):
-        if stage < omega_stages:
+        stuck_here = stuck.get(stage) if stuck else None
+        if stage < omega_stages and stuck_here is None:
             if stage_cross is not None:
                 stage_cross.append(
                     np.zeros(rows.shape[1], dtype=rows.dtype)
                 )
+            if stage_states is not None:
+                stage_states.append(
+                    np.zeros((half, rows.shape[1]), dtype=np.int8)
+                )
             rows = rows[inv_links[stage]]
             continue
-        ctrl = plan.ctrl_bits[stage]
-        cond = (rows[0::2, :] >> ctrl) & 1
+        if stage < omega_stages:
+            cond = np.zeros((half, rows.shape[1]), dtype=rows.dtype)
+        else:
+            ctrl = plan.ctrl_bits[stage]
+            cond = (rows[0::2, :] >> ctrl) & 1
+        if stuck_here is not None:
+            indices, states = stuck_here
+            cond[indices, :] = states.astype(rows.dtype)[:, None]
         if stage_cross is not None:
             stage_cross.append(cond.sum(axis=0))
+        if stage_states is not None:
+            stage_states.append(cond.astype(np.int8))
         _swap_stage(rows, cond)
         if stage < last_stage:
             rows = rows[inv_links[stage]]
@@ -182,7 +247,8 @@ def _metric_scope() -> str:
 
 @_spanned("batch.self_route")
 def batch_self_route(tags_batch, *, omega_mode=False, stage_data=False,
-                     parallel=False):
+                     stage_states=False, stuck_switches=None,
+                     parallel=False, **scalar_options):
     """Self-route a batch of tag vectors; the vectorized equivalent of
     ``[fast_self_route(t) for t in tags_batch]``.
 
@@ -196,11 +262,28 @@ def batch_self_route(tags_batch, *, omega_mode=False, stage_data=False,
         stage_data: also collect per-stage switch-flip counts into the
             result's ``per_stage`` field (NumPy path only; the fallback
             path leaves it ``None``).
+        stage_states: also record every stage's full 0/1 switch-state
+            array into the result's ``stage_states`` field
+            (``(B, 2n-1, N/2)`` int8, nested tuples on the fallback
+            path) — value-identical to the scalar network's per-stage
+            trace states; the evidence differential verification
+            compares byte-for-byte.
+        stuck_switches: fault injection — the same ``{(stage, switch):
+            state}`` map ``BenesNetwork.route`` takes, applied to
+            *every* instance of the batch (one fault configuration,
+            many workloads: the shape of a fault campaign).  Stuck
+            states override both the tag rule and the omega forcing.
         parallel: shard the batch across worker processes above the
             executor threshold (see :mod:`repro.accel.executor`);
             ``True`` resolves to ``os.cpu_count()`` workers, an int is
             an explicit worker count.  Results are identical for any
             value.
+
+    Any other keyword — in particular scalar-route options such as
+    ``control``, ``trace``, ``payloads`` or ``require_success`` that
+    this engine does not implement — raises
+    :class:`~repro.errors.InvalidParameterError` rather than being
+    silently ignored.
 
     Returns:
         a :class:`~repro.core.routing.BatchRouteResult` whose
@@ -209,16 +292,17 @@ def batch_self_route(tags_batch, *, omega_mode=False, stage_data=False,
         ``o`` of instance ``b`` (lists of identical values on the
         no-NumPy fallback path).
     """
+    _reject_scalar_options("batch_self_route", scalar_options)
     np = numpy_or_none()
     enabled = _obs.enabled()
     t0 = _perf_counter() if enabled else 0.0
+    extra = (omega_mode, stage_data, stuck_switches, stage_states)
     if np is None:
         rows_in = tags_batch if isinstance(tags_batch, list) \
             else list(tags_batch)
         if _executor.wants_shards(parallel, len(rows_in)):
             result = _executor.dispatch(
-                "self_route", rows_in, extra=(omega_mode, stage_data),
-                parallel=parallel,
+                "self_route", rows_in, extra=extra, parallel=parallel,
             )
             if enabled:
                 _obs.inc("accel.fallback.calls")
@@ -227,8 +311,19 @@ def batch_self_route(tags_batch, *, omega_mode=False, stage_data=False,
             return result
         scope = _metric_scope()
         successes, delivered = [], []
+        states_acc = [] if stage_states else None
         for tags in rows_in:
-            ok, dst = fast_self_route(tags, omega_mode=omega_mode)
+            if stage_states:
+                ok, dst, st = fast_self_route_states(
+                    tags, omega_mode=omega_mode,
+                    stuck_switches=stuck_switches,
+                )
+                states_acc.append(st)
+            else:
+                ok, dst = fast_self_route(
+                    tags, omega_mode=omega_mode,
+                    stuck_switches=stuck_switches,
+                )
             successes.append(ok)
             delivered.append(dst)
         if enabled:
@@ -238,13 +333,15 @@ def batch_self_route(tags_batch, *, omega_mode=False, stage_data=False,
                                   _perf_counter() - t0,
                                   n_success=sum(successes), scope=scope)
         return BatchRouteResult(success_mask=successes,
-                                mappings=delivered)
+                                mappings=delivered,
+                                stage_states=states_acc)
     arr = _as_tag_array(np, tags_batch)
     n = arr.shape[1]
     order = log2_exact(n)
+    stuck = _stuck_plan(np, order, stuck_switches)  # validates eagerly
     if _executor.wants_shards(parallel, arr.shape[0]):
         result = _executor.dispatch(
-            "self_route", arr, extra=(omega_mode, stage_data),
+            "self_route", arr, extra=extra,
             parallel=parallel, order_hint=order,
         )
         if enabled:
@@ -258,8 +355,10 @@ def batch_self_route(tags_batch, *, omega_mode=False, stage_data=False,
     rows = _working_block(np, arr, n_value_bits=2 * order)
     rows |= np.arange(n, dtype=rows.dtype)[:, None] << order
     stage_cross = [] if (stage_data or enabled) else None
+    states_acc = [] if stage_states else None
     rows = _route_array(np, rows, order, stage_cross=stage_cross,
-                        omega_mode=omega_mode)
+                        omega_mode=omega_mode, stuck=stuck,
+                        stage_states=states_acc)
     tags = rows & (n - 1)
     success = (tags == np.arange(n, dtype=rows.dtype)[:, None]
                ).all(axis=0)
@@ -267,6 +366,8 @@ def batch_self_route(tags_batch, *, omega_mode=False, stage_data=False,
         success_mask=success,
         mappings=(rows >> order).T.astype(np.int64),
         per_stage=(np.array(stage_cross) if stage_data else None),
+        stage_states=(np.transpose(np.array(states_acc), (2, 0, 1))
+                      if stage_states else None),
     )
     if enabled:
         _record_batch_metrics("batch", int(arr.shape[0]),
@@ -278,7 +379,7 @@ def batch_self_route(tags_batch, *, omega_mode=False, stage_data=False,
 
 
 @_spanned("batch.membership")
-def batch_in_class_f(perms_batch, *, parallel=False):
+def batch_in_class_f(perms_batch, *, parallel=False, **scalar_options):
     """F(n) membership mask for a batch of permutations: instance ``b``
     is in ``F(n)`` iff the self-routing network delivers every one of
     its tags (Theorem 1 ≡ routing success; the equivalence is pinned in
@@ -287,8 +388,12 @@ def batch_in_class_f(perms_batch, *, parallel=False):
     Cheaper than :func:`batch_self_route`: no source tracking.  Returns
     a ``(B,)`` bool array, or a list of bools on the fallback path.
     ``parallel=`` shards large batches across worker processes with
-    identical results.
+    identical results.  Unsupported engine options (``stuck_switches``
+    and friends — fault campaigns read :func:`batch_self_route`'s
+    success mask instead) raise
+    :class:`~repro.errors.InvalidParameterError`.
     """
+    _reject_scalar_options("batch_in_class_f", scalar_options)
     np = numpy_or_none()
     enabled = _obs.enabled()
     t0 = _perf_counter() if enabled else 0.0
@@ -339,7 +444,8 @@ def batch_in_class_f(perms_batch, *, parallel=False):
 
 @_spanned("batch.route_with_states")
 def batch_route_with_states(states_batch, order: int, *,
-                            stage_data=False, parallel=False):
+                            stage_data=False, parallel=False,
+                            **scalar_options):
     """Realized permutations of ``B(order)`` under a batch of external
     state assignments; the vectorized equivalent of
     ``[fast_route_with_states(s, order) for s in states_batch]``.
@@ -359,8 +465,11 @@ def batch_route_with_states(states_batch, order: int, *,
         states always deliver *some* permutation, so ``success_mask``
         is all-True — mirroring
         :meth:`~repro.core.benes.BenesNetwork.route_with_states`, where
-        what matters is the realized mapping.
+        what matters is the realized mapping.  Unsupported engine
+        options (``payloads``, ``trace``, ...) raise
+        :class:`~repro.errors.InvalidParameterError`.
     """
+    _reject_scalar_options("batch_route_with_states", scalar_options)
     np = numpy_or_none()
     enabled = _obs.enabled()
     t0 = _perf_counter() if enabled else 0.0

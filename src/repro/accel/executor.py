@@ -96,9 +96,11 @@ _POOL_LOCK = threading.Lock()
 def _task_self_route(payload):
     from .batch import batch_self_route
 
-    tags, omega_mode, stage_data = payload
+    tags, omega_mode, stage_data, stuck_switches, stage_states = payload
     return batch_self_route(tags, omega_mode=omega_mode,
-                            stage_data=stage_data)
+                            stage_data=stage_data,
+                            stuck_switches=stuck_switches,
+                            stage_states=stage_states)
 
 
 def _task_in_class_f(payload):
@@ -318,6 +320,10 @@ def _thread_map(task: str, payloads: List[tuple],
     with ThreadPoolExecutor(max_workers=len(payloads)) as pool:
         futures = [pool.submit(_run_task, task, p, c)
                    for p, c in zip(payloads, contexts)]
+        # A shard that raises mid-batch fails the whole call with its
+        # original traceback: the first failing result re-raises here
+        # (before any merge), and the pool's __exit__ still waits for
+        # the remaining shards, so nothing partial ever escapes.
         return [f.result() for f in futures]
 
 
@@ -345,17 +351,26 @@ def _merge(task: str, parts: List[Any]):
         masks = [p.success_mask for p in parts]
         maps = [p.mappings for p in parts]
         stages = [p.per_stage for p in parts]
+        states = [p.stage_states for p in parts]
         if np is not None and not isinstance(masks[0], list):
             per_stage = (np.concatenate(stages, axis=1)
                          if all(s is not None for s in stages) else None)
+            stage_states = (np.concatenate(states, axis=0)
+                            if all(s is not None for s in states)
+                            else None)
             return BatchRouteResult(
                 success_mask=np.concatenate(masks),
                 mappings=np.concatenate(maps, axis=0),
                 per_stage=per_stage,
+                stage_states=stage_states,
             )
         return BatchRouteResult(
             success_mask=[ok for part in masks for ok in part],
             mappings=[row for part in maps for row in part],
+            stage_states=(
+                [st for part in states for st in part]
+                if all(s is not None for s in states) else None
+            ),
         )
     if task == "in_class_f":
         if np is not None and not isinstance(parts[0], list):
@@ -414,11 +429,12 @@ def dispatch(task: str, items, *, extra: tuple = (), parallel=True,
                  "trace": trace_ref, "shard": i}
                 for i in range(n_shards)
             ]
+            from concurrent.futures.process import BrokenProcessPool
+
             try:
                 pool = _get_process_pool(workers, orders)
                 futures = [pool.submit(_run_task, task, p, c)
                            for p, c in zip(payloads, process_ctxs)]
-                timed = [f.result() for f in futures]
             except (OSError, RuntimeError, ImportError):
                 # Restricted environments (no /dev/shm, sandboxed
                 # spawn): degrade to threads rather than fail the batch.
@@ -426,6 +442,24 @@ def dispatch(task: str, items, *, extra: tuple = (), parallel=True,
                 if enabled:
                     _obs.inc("executor.fallback.calls")
                 timed = _thread_map(task, payloads, thread_ctxs)
+            else:
+                try:
+                    timed = [f.result() for f in futures]
+                except BrokenProcessPool:
+                    # The pool itself died (worker OOM-killed, sandbox
+                    # teardown) — an environment failure, not a task
+                    # failure: retry the shards on threads.
+                    mode = "thread"
+                    if enabled:
+                        _obs.inc("executor.fallback.calls")
+                    timed = _thread_map(task, payloads, thread_ctxs)
+                # Any other exception is a *shard* failure: a task that
+                # raised mid-batch.  It propagates here with its
+                # original traceback and the whole dispatch fails —
+                # never a silent thread-pool re-execution (the pre-fix
+                # behavior for RuntimeError/OSError subclasses), never
+                # a partially merged result (_merge only ever sees the
+                # full shard list).
         else:
             mode = "thread"
             timed = _thread_map(task, payloads, thread_ctxs)

@@ -43,6 +43,8 @@ class LRUCache(Generic[K, V]):
         self._data: "OrderedDict[K, V]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._building = 0
+        self._generation = 0
 
     @property
     def maxsize(self) -> int:
@@ -50,11 +52,13 @@ class LRUCache(Generic[K, V]):
 
     @property
     def hits(self) -> int:
-        return self._hits
+        with self._lock:
+            return self._hits
 
     @property
     def misses(self) -> int:
-        return self._misses
+        with self._lock:
+            return self._misses
 
     def __len__(self) -> int:
         with self._lock:
@@ -66,15 +70,30 @@ class LRUCache(Generic[K, V]):
 
     def get_or_build(self, key: K, factory: Callable[[], V]) -> V:
         """Return the cached value for ``key``, building it with
-        ``factory()`` (and caching the result) on a miss."""
+        ``factory()`` (and caching the result) on a miss.
+
+        A :meth:`clear` that lands while a build is in flight wins: the
+        finished build is returned to its caller but **not** inserted
+        (the generation check below), so a cleared cache stays empty —
+        without it, a worker warming the cache concurrently with a
+        test's ``cache_clear()`` resurrected stale entries and made
+        ``cache_stats()`` read nonzero sizes after a clear."""
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
                 self._hits += 1
                 return self._data[key]
             self._misses += 1
-        value = factory()
+            self._building += 1
+            generation = self._generation
+        try:
+            value = factory()
+        finally:
+            with self._lock:
+                self._building -= 1
         with self._lock:
+            if self._generation != generation:
+                return value               # cleared mid-build: don't cache
             if key in self._data:          # lost a build race: keep winner
                 self._data.move_to_end(key)
                 return self._data[key]
@@ -86,20 +105,33 @@ class LRUCache(Generic[K, V]):
     def stats(self) -> Dict[str, int]:
         """One consistent reading of the cache's counters — the shape
         consumed by :func:`repro.accel.cache_stats` and the metrics
-        registry's ``accel.cache`` provider."""
+        registry's ``accel.cache`` provider.
+
+        Every field is read under a single lock acquisition, so the
+        snapshot is internally consistent: ``hits + misses`` equals the
+        number of completed lookups, and ``building`` accounts for
+        lookups whose factory is still running (a stats read taken
+        while an executor worker warms the cache used to show a missed
+        lookup with no matching entry and no way to tell the two
+        apart)."""
         with self._lock:
             return {
                 "hits": self._hits,
                 "misses": self._misses,
                 "size": len(self._data),
                 "maxsize": self._maxsize,
+                "building": self._building,
             }
 
     def clear(self) -> None:
+        """Empty the cache and zero its counters.  In-flight builds
+        (lookups that already missed) complete for their callers but do
+        not repopulate the cleared cache."""
         with self._lock:
             self._data.clear()
             self._hits = 0
             self._misses = 0
+            self._generation += 1
 
     def keys(self):
         """Snapshot of the cached keys, oldest first (for tests)."""

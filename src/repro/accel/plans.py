@@ -69,7 +69,15 @@ def cache_stats() -> Dict[str, Dict[str, int]]:
     """Hit/miss/size/capacity counters of the process-wide plan,
     topology and setup-plan LRUs — the public face of their internal
     bookkeeping, and the payload of the metrics registry's
-    ``accel.cache`` provider."""
+    ``accel.cache`` provider.
+
+    Each per-cache dict is an atomic snapshot (one lock acquisition in
+    :meth:`~repro.accel.lru.LRUCache.stats`): ``hits + misses`` counts
+    completed lookups and ``building`` the in-flight factory builds, so
+    a read taken while an executor thread-shard warms a cache is
+    internally consistent.  The three caches are snapshotted in
+    sequence — values may straddle an update *between* caches, but
+    never within one."""
     return {
         "plan": _PLAN_CACHE.stats(),
         "topology": _TOPOLOGY_CACHE.stats(),

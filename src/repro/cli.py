@@ -18,6 +18,9 @@ Subcommands::
     benes metrics dump                render OpenMetrics / JSON once
                 [--format openmetrics|json] [--input PATH] [--demo]
     benes metrics serve --port P      serve GET /metrics for Prometheus
+    benes verify [--seed S]           differential cross-engine fuzzing,
+                [--budget 30s]        fault-injection parity, and the
+                [--json PATH]         planted-mutant self-test
 
 Permutations are comma-separated destination-tag lists.
 
@@ -305,6 +308,106 @@ def _cmd_metrics_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_budget(text: str) -> float:
+    """Seconds from a human budget string: ``30``, ``30s``, ``500ms``,
+    ``2m``."""
+    token = text.strip().lower()
+    try:
+        if token.endswith("ms"):
+            return float(token[:-2]) / 1000.0
+        if token.endswith("s"):
+            return float(token[:-1])
+        if token.endswith("m"):
+            return float(token[:-1]) * 60.0
+        return float(token)
+    except ValueError:
+        raise SystemExit(f"cannot parse --budget {text!r}: use seconds "
+                         "like 30, '30s', '500ms', or '2m'")
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .verify import VerifyConfig, run_verify
+    from .verify.engines import SELF_ROUTE_ENGINES
+
+    if args.profile:
+        _obs.enable()
+        _obs.inc("cli.command.verify")
+    engines = None
+    if args.engines:
+        engines = tuple(args.engines.replace(" ", "").split(","))
+        unknown = [e for e in engines if e not in SELF_ROUTE_ENGINES]
+        if unknown:
+            raise SystemExit(
+                f"unknown --engines {', '.join(unknown)}; known: "
+                f"{', '.join(SELF_ROUTE_ENGINES)}"
+            )
+    families = tuple(args.families.replace(" ", "").split(","))
+    known_families = VerifyConfig().families
+    unknown = [f for f in families if f not in known_families]
+    if unknown:
+        raise SystemExit(
+            f"unknown --families {', '.join(unknown)}; known: "
+            f"{', '.join(known_families)}"
+        )
+    config = VerifyConfig(
+        seed=args.seed,
+        budget_seconds=_parse_budget(args.budget),
+        orders=tuple(_parse_int_list(args.orders, "--orders")),
+        batch=args.batch,
+        families=families,
+        fault_orders=tuple(
+            _parse_int_list(args.fault_orders, "--fault-orders")),
+        fault_perms=args.fault_perms,
+        engines=engines,
+        self_test=not args.no_self_test,
+    )
+    report = run_verify(config)
+
+    d = report.to_dict()
+    print(f"verify: seed={config.seed} budget={config.budget_seconds}s "
+          f"elapsed={d['elapsed_seconds']}s rounds={report.rounds} "
+          f"numpy={report.numpy}")
+    print(f"  engines   : {', '.join(report.engines['selfroute'])}")
+    print(f"  orders    : {','.join(str(o) for o in config.orders)}  "
+          f"batch={config.batch}")
+    for family in config.families:
+        print(f"  {family:<10}: {report.cases.get(family, 0)} rounds")
+    for campaign in report.fault_campaigns:
+        print(f"  faults n={campaign['order']}: "
+              f"{campaign['n_faults']} configs x "
+              f"{campaign['n_perms']} perms -> "
+              f"{'ok' if campaign['ok'] else 'FAIL'} "
+              f"(dichotomy "
+              f"{'holds' if campaign['dichotomy_holds'] else 'BROKEN'})")
+    if report.self_test is not None:
+        st = report.self_test
+        print(f"  self-test : mutant at stage {st['mutate_stage']} "
+              f"{'caught' if st['caught'] else 'MISSED'}"
+              + (", shrunk to minimal counterexample"
+                 if st.get("minimal") else ""))
+    if report.disagreements:
+        print(f"\n{len(report.disagreements)} DISAGREEMENT(S):")
+        for entry in report.disagreements:
+            print(f"  - {entry['family']}/{entry['field']}: "
+                  f"{' vs '.join(entry['engines'])} at order "
+                  f"{entry['order']} (row {entry['row']})")
+            test_source = entry.get("regression_test")
+            if test_source:
+                print("    ready-to-paste regression test:")
+                for line in test_source.splitlines():
+                    print(f"      {line}")
+    print(f"\nverdict: {'OK' if report.ok else 'FAIL'}")
+    if args.json:
+        payload = report.to_dict()
+        if args.profile:
+            payload["metrics"] = _obs.snapshot()
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the `benes` argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -426,6 +529,48 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the demo workload first so scrapes "
                               "have content")
     p_serve.set_defaults(func=_cmd_metrics_serve)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="differential verification: fuzz every engine pair, "
+             "run the exhaustive fault-parity campaign, and prove "
+             "the pipeline catches a planted mutant",
+    )
+    p_verify.add_argument("--seed", type=int, default=0,
+                          help="campaign seed (fully determines the "
+                               "workloads)")
+    p_verify.add_argument("--budget", default="30s",
+                          help="time budget like '30s', '500ms', or "
+                               "'2m'; the first full sweep always "
+                               "completes, the budget bounds extra "
+                               "rounds")
+    p_verify.add_argument("--orders", default="2,3,4,5,6",
+                          help="comma-separated network orders to fuzz")
+    p_verify.add_argument("--batch", type=int, default=64,
+                          help="workload rows per (order, family) case")
+    p_verify.add_argument("--families",
+                          default="selfroute,membership,universal,"
+                                  "twopass",
+                          help="comma-separated comparison families")
+    p_verify.add_argument("--engines", default=None,
+                          help="comma-separated self-route engine "
+                               "subset (default: all; first entry is "
+                               "the oracle)")
+    p_verify.add_argument("--fault-orders", default="2,3,4,5",
+                          help="orders for the exhaustive single-fault "
+                               "campaign")
+    p_verify.add_argument("--fault-perms", type=int, default=8,
+                          help="F(n) members routed per fault config")
+    p_verify.add_argument("--no-self-test", action="store_true",
+                          help="skip the planted-mutant self-test")
+    p_verify.add_argument("--json", default=None, metavar="PATH",
+                          help="also write the machine-readable report "
+                               "(e.g. VERIFY.json)")
+    p_verify.add_argument("--profile", action="store_true",
+                          help="collect verify.* metrics during the "
+                               "campaign and embed the snapshot in the "
+                               "JSON report")
+    p_verify.set_defaults(func=_cmd_verify)
 
     p_report = sub.add_parser(
         "report", help="regenerate the reproduction report"

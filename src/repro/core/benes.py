@@ -32,7 +32,13 @@ from ..errors import (
 from .bits import bit as _tag_bit
 from .permutation import Permutation
 from .routing import RouteResult, StageTrace, collect_result
-from .switch import STRAIGHT, BinarySwitch, Signal, SwitchState
+from .switch import (
+    STRAIGHT,
+    BinarySwitch,
+    Signal,
+    SwitchState,
+    validate_stuck_switches,
+)
 from .topology import BenesTopology
 
 __all__ = ["BenesNetwork"]
@@ -174,17 +180,8 @@ class BenesNetwork:
             ``D`` was realized.
         """
         if stuck_switches:
-            for (stage, index), state in stuck_switches.items():
-                if not 0 <= stage < self.n_stages:
-                    raise SwitchStateError(f"no stage {stage}")
-                if not 0 <= index < self.n_terminals // 2:
-                    raise SwitchStateError(
-                        f"no switch {index} in stage {stage}"
-                    )
-                if state not in (0, 1):
-                    raise SwitchStateError(
-                        f"invalid stuck state {state!r}"
-                    )
+            validate_stuck_switches(stuck_switches, self.n_stages,
+                                    self.n_terminals // 2)
         enabled = _obs.enabled()
         tracing = _obs.trace_active()
         t0 = _perf_counter() if (enabled or tracing) else 0.0

@@ -25,46 +25,82 @@ cache), which replaced the unbounded module-level ``_TOPO_CACHE`` dict.
 from __future__ import annotations
 
 from time import perf_counter as _perf_counter
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import obs as _obs
 from ..accel.plans import cached_topology as _topology
 from .bits import log2_exact
+from .switch import validate_stuck_switches
 
-__all__ = ["fast_self_route", "fast_route_with_states"]
+__all__ = [
+    "fast_self_route",
+    "fast_self_route_states",
+    "fast_route_with_states",
+]
 
 
-def fast_self_route(tags: Sequence[int], *, omega_mode: bool = False
-                    ) -> Tuple[bool, Tuple[int, ...]]:
-    """Self-route a tag vector; return ``(success, delivered)`` where
-    ``delivered[o]`` is the input whose signal arrived at output ``o``.
+def _stuck_by_stage(stuck_switches, n_stages: int, half: int
+                    ) -> Optional[Dict[int, Dict[int, int]]]:
+    """Validate a fault map and regroup it per stage for the loop."""
+    if not stuck_switches:
+        return None
+    validate_stuck_switches(stuck_switches, n_stages, half)
+    by_stage: Dict[int, Dict[int, int]] = {}
+    for (stage, index), state in stuck_switches.items():
+        by_stage.setdefault(stage, {})[index] = 1 if state else 0
+    return by_stage
 
-    Semantically identical to
-    ``BenesNetwork(order).route(tags)`` -> ``(success, delivered)``,
-    roughly an order of magnitude lighter.  ``omega_mode`` sets the
-    omega bit on every signal (first ``n - 1`` columns forced
-    straight), mirroring ``BenesNetwork.route(omega_mode=True)``.
-    """
-    enabled = _obs.enabled()
-    t0 = _perf_counter() if enabled else 0.0
+
+def _self_route_pass(tags: Sequence[int], omega_mode: bool,
+                     stuck_switches, want_states: bool):
+    """Shared routing loop: returns ``(success, delivered, states)``
+    with ``states`` ``None`` unless requested."""
     n = len(tags)
     order = log2_exact(n)
     topology = _topology(order)
+    by_stage = _stuck_by_stage(stuck_switches, topology.n_stages, n // 2)
     rows_tag: List[int] = list(tags)
     rows_src: List[int] = list(range(n))
+    states: Optional[List[Tuple[int, ...]]] = [] if want_states else None
     last_stage = topology.n_stages - 1
     omega_stages = order - 1 if omega_mode else 0
     for stage in range(topology.n_stages):
         ctrl = min(stage, 2 * order - 2 - stage)
-        if stage >= omega_stages:  # omega bit forces early columns straight
-            for i in range(0, n, 2):
-                if (rows_tag[i] >> ctrl) & 1:
-                    rows_tag[i], rows_tag[i + 1] = (
-                        rows_tag[i + 1], rows_tag[i]
+        stuck = by_stage.get(stage) if by_stage else None
+        forced = stage < omega_stages
+        if stuck is None and states is None:
+            if not forced:  # omega bit forces early columns straight
+                for i in range(0, n, 2):
+                    if (rows_tag[i] >> ctrl) & 1:
+                        rows_tag[i], rows_tag[i + 1] = (
+                            rows_tag[i + 1], rows_tag[i]
+                        )
+                        rows_src[i], rows_src[i + 1] = (
+                            rows_src[i + 1], rows_src[i]
+                        )
+        else:
+            # General column: stuck control overrides both the tag rule
+            # and the omega forcing, exactly as in the structural
+            # network's switch logic.
+            column: List[int] = []
+            for i in range(n // 2):
+                if stuck is not None and i in stuck:
+                    s = stuck[i]
+                elif forced:
+                    s = 0
+                else:
+                    s = (rows_tag[2 * i] >> ctrl) & 1
+                if s:
+                    rows_tag[2 * i], rows_tag[2 * i + 1] = (
+                        rows_tag[2 * i + 1], rows_tag[2 * i]
                     )
-                    rows_src[i], rows_src[i + 1] = (
-                        rows_src[i + 1], rows_src[i]
+                    rows_src[2 * i], rows_src[2 * i + 1] = (
+                        rows_src[2 * i + 1], rows_src[2 * i]
                     )
+                if states is not None:
+                    column.append(s)
+            if states is not None:
+                states.append(tuple(column))
         if stage < last_stage:
             link = topology.links[stage]
             new_tag = [0] * n
@@ -76,13 +112,63 @@ def fast_self_route(tags: Sequence[int], *, omega_mode: bool = False
             rows_tag = new_tag
             rows_src = new_src
     success = all(rows_tag[r] == r for r in range(n))
+    return (success, tuple(rows_src),
+            tuple(states) if states is not None else None)
+
+
+def fast_self_route(tags: Sequence[int], *, omega_mode: bool = False,
+                    stuck_switches: Optional[dict] = None
+                    ) -> Tuple[bool, Tuple[int, ...]]:
+    """Self-route a tag vector; return ``(success, delivered)`` where
+    ``delivered[o]`` is the input whose signal arrived at output ``o``.
+
+    Semantically identical to
+    ``BenesNetwork(order).route(tags)`` -> ``(success, delivered)``,
+    roughly an order of magnitude lighter.  ``omega_mode`` sets the
+    omega bit on every signal (first ``n - 1`` columns forced
+    straight), mirroring ``BenesNetwork.route(omega_mode=True)``.
+    ``stuck_switches`` injects faults exactly as the structural
+    network's ``route(stuck_switches=...)``: a ``{(stage, switch):
+    state}`` map of switches whose control logic is stuck.
+    """
+    enabled = _obs.enabled()
+    t0 = _perf_counter() if enabled else 0.0
+    success, delivered, _ = _self_route_pass(
+        tags, omega_mode, stuck_switches, want_states=False
+    )
     if enabled:
         _obs.inc("fastpath.self_route.calls")
         _obs.inc("fastpath.self_route.success" if success
                  else "fastpath.self_route.failure")
         _obs.observe("fastpath.self_route.seconds",
                      _perf_counter() - t0)
-    return success, tuple(rows_src)
+    return success, delivered
+
+
+def fast_self_route_states(tags: Sequence[int], *,
+                           omega_mode: bool = False,
+                           stuck_switches: Optional[dict] = None
+                           ) -> Tuple[bool, Tuple[int, ...],
+                                      Tuple[Tuple[int, ...], ...]]:
+    """:func:`fast_self_route` plus the per-column switch states:
+    returns ``(success, delivered, states)`` with ``states[s][i]`` the
+    0/1 state switch ``i`` of column ``s`` took — value-identical to
+    the :class:`~repro.core.routing.StageTrace` states of
+    ``BenesNetwork.route(..., trace=True)``.  This is the state oracle
+    the differential verifier (:mod:`repro.verify`) compares every
+    engine against."""
+    enabled = _obs.enabled()
+    t0 = _perf_counter() if enabled else 0.0
+    success, delivered, states = _self_route_pass(
+        tags, omega_mode, stuck_switches, want_states=True
+    )
+    if enabled:
+        _obs.inc("fastpath.self_route.calls")
+        _obs.inc("fastpath.self_route.success" if success
+                 else "fastpath.self_route.failure")
+        _obs.observe("fastpath.self_route.seconds",
+                     _perf_counter() - t0)
+    return success, delivered, states
 
 
 def fast_route_with_states(states: Sequence[Sequence[int]],

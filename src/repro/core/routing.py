@@ -106,6 +106,13 @@ class BatchRouteResult:
             the number of crossed switches in column ``s`` for every
             instance (``(2n-1, B)``).  Populated by the NumPy engine
             when routing with ``stage_data=True``; ``None`` otherwise.
+        stage_states: optional full switch-state record:
+            ``stage_states[b][s][i]`` is the 0/1 state switch ``i`` of
+            column ``s`` took for instance ``b`` (``(B, 2n-1, N/2)``
+            int8 array, or a list of per-instance nested tuples on the
+            fallback path).  Populated when routing with
+            ``stage_states=True`` — the byte-level evidence the
+            differential verifier compares against the scalar oracle.
 
     The pre-1.1 tuple API (``success, delivered = ...``) completed its
     deprecation cycle and was removed; use the named fields.
@@ -114,6 +121,7 @@ class BatchRouteResult:
     success_mask: Any
     mappings: Any
     per_stage: Optional[Any] = None
+    stage_states: Optional[Any] = None
 
     @property
     def batch_size(self) -> int:

@@ -22,7 +22,34 @@ from typing import Optional, Tuple
 from ..errors import SwitchStateError
 from .bits import bit
 
-__all__ = ["SwitchState", "STRAIGHT", "CROSS", "BinarySwitch", "Signal"]
+__all__ = ["SwitchState", "STRAIGHT", "CROSS", "BinarySwitch", "Signal",
+           "validate_stuck_switches"]
+
+
+def validate_stuck_switches(stuck_switches, n_stages: int,
+                            switches_per_stage: int) -> None:
+    """Validate a fault map ``{(stage, switch_index): state}`` against a
+    network with ``n_stages`` columns of ``switches_per_stage`` switches.
+
+    Shared by every engine that supports fault injection (the
+    structural network, the integer fast path, the vectorized batch
+    kernel) so they agree byte-for-byte on which maps are legal —
+    a prerequisite for differential fault campaigns (:mod:`repro.verify`).
+    """
+    for key, state in stuck_switches.items():
+        try:
+            stage, index = key
+        except (TypeError, ValueError):
+            raise SwitchStateError(
+                f"stuck_switches keys must be (stage, switch) pairs, "
+                f"got {key!r}"
+            )
+        if not 0 <= stage < n_stages:
+            raise SwitchStateError(f"no stage {stage}")
+        if not 0 <= index < switches_per_stage:
+            raise SwitchStateError(f"no switch {index} in stage {stage}")
+        if state not in (0, 1):
+            raise SwitchStateError(f"invalid stuck state {state!r}")
 
 
 class SwitchState(IntEnum):

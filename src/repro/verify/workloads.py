@@ -1,0 +1,102 @@
+"""Seeded workload generators for the differential verifier.
+
+A fuzzer is only as strong as its inputs.  Pure random permutations
+almost never land in ``F(n)`` (density ~1.3% already at order 4), so a
+naive generator would exercise the *failure* path of every engine and
+barely touch the success path, omega forcing, or the Theorem-4
+structure.  These generators therefore mix:
+
+- uniformly random permutations (the bulk failure path);
+- constructive ``F(order)`` members via
+  :func:`~repro.core.sampling.random_class_f` (the success path);
+- structured classics — identity, reversal, the Fig. 4 bit-reversal
+  BPC — that historically shake out off-by-one stage bugs;
+- Theorem-4 block composites (:func:`~repro.permclasses.blocks.
+  within_blocks` over a random J-partition with random ``F(r)`` block
+  permutations), which are guaranteed ``F(order)`` members with
+  non-trivial internal structure;
+- for the self-routing family only: tag vectors with *duplicate*
+  destinations (not permutations), because the paper's switches route
+  whatever tags arrive and every engine must agree on the resulting
+  collisions too.
+
+Everything is driven by an explicit ``random.Random`` so a seed fully
+determines the campaign.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..core.permutation import Permutation, random_permutation
+from ..core.sampling import random_class_f
+from ..permclasses.blocks import JPartition, within_blocks
+from ..permclasses.bpc import bit_reversal
+
+__all__ = ["perm_rows", "tag_rows", "structured_rows"]
+
+Row = Tuple[int, ...]
+
+
+def structured_rows(order: int) -> List[Row]:
+    """The deterministic corner cases every round replays: identity,
+    full reversal, and the Fig. 4 bit-reversal permutation."""
+    n = 1 << order
+    rows = [
+        tuple(range(n)),
+        tuple(range(n - 1, -1, -1)),
+        bit_reversal(order).to_permutation().as_tuple(),
+    ]
+    return rows
+
+
+def _block_composite(order: int, rng: random.Random) -> Row:
+    """A Theorem-4 ``F(order)`` member: random J-partition, random
+    ``F(r)`` permutation inside each block."""
+    if order < 2:
+        return random_class_f(order, rng).as_tuple()
+    j_size = rng.randrange(1, order)
+    j_set = tuple(sorted(rng.sample(range(order), j_size)))
+    partition = JPartition(order, j_set)
+    r = order - j_size
+    composite = within_blocks(
+        partition, lambda block: random_class_f(r, rng)
+    )
+    return composite.as_tuple()
+
+
+def perm_rows(order: int, batch: int, rng: random.Random) -> List[Row]:
+    """``batch`` genuine permutations of ``0..2^order-1``: the
+    structured classics first, then a seeded mix of random, ``F``
+    members, and Theorem-4 composites."""
+    n = 1 << order
+    rows: List[Row] = list(structured_rows(order))[:batch]
+    while len(rows) < batch:
+        kind = rng.randrange(4)
+        if kind == 0:
+            rows.append(random_class_f(order, rng).as_tuple())
+        elif kind == 1:
+            rows.append(_block_composite(order, rng))
+        else:
+            rows.append(random_permutation(n, rng).as_tuple())
+    return rows
+
+
+def tag_rows(order: int, batch: int, rng: random.Random) -> List[Row]:
+    """Like :func:`perm_rows` but roughly a quarter of the rows are
+    tag vectors with duplicate destinations — legal self-routing input
+    (switches just route what arrives), never a permutation.  Only the
+    self-routing family may consume these."""
+    n = 1 << order
+    rows = perm_rows(order, batch, rng)
+    for i in range(len(rows)):
+        if i >= 3 and rng.randrange(4) == 0:
+            rows[i] = tuple(rng.randrange(n) for _ in range(n))
+    return rows
+
+
+def as_permutations(rows: List[Row]) -> List[Permutation]:
+    """Wrap raw tuples back into :class:`Permutation` (universal-family
+    call sites need the object API)."""
+    return [Permutation(row) for row in rows]

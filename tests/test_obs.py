@@ -257,7 +257,7 @@ class TestCacheIntrospection:
         stats = cache_stats()
         for cache in ("plan", "topology"):
             assert set(stats[cache]) == \
-                {"hits", "misses", "size", "maxsize"}
+                {"hits", "misses", "size", "maxsize", "building"}
 
     def test_clear_then_miss_then_hit(self):
         cache_clear()

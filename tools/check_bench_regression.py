@@ -46,18 +46,43 @@ GUARD_BATCH = 256
 FLOOR = 10.0
 
 
-def _baseline_speedup(path: pathlib.Path, kind=None):
-    """The guarded cell's speedup in a committed report, or None."""
+def _load_report(path: pathlib.Path):
+    """Parse a committed BENCH report, or None with a skip note when
+    the file is unreadable or predates the current report schema — an
+    old baseline must downgrade the guard to a skip, never crash it."""
     if not path.exists():
         return None
-    report = json.loads(path.read_text(encoding="utf-8"))
-    if not report.get("numpy", False):
+    try:
+        report = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, OSError) as exc:
+        print(f"  {path.name}: unreadable ({exc.__class__.__name__}) "
+              f"-> skip")
+        return None
+    if not isinstance(report, dict) or \
+            not isinstance(report.get("cells"), list):
+        print(f"  {path.name}: pre-verify report format (no cells "
+              f"list) -> skip")
+        return None
+    return report
+
+
+def _baseline_speedup(path: pathlib.Path, kind=None):
+    """The guarded cell's speedup in a committed report, or None."""
+    report = _load_report(path)
+    if report is None or not report.get("numpy", False):
         return None
     for cell in report.get("cells", []):
-        if (cell.get("order") == GUARD_ORDER
+        if (isinstance(cell, dict)
+                and cell.get("order") == GUARD_ORDER
                 and cell.get("batch_size") == GUARD_BATCH
                 and not cell.get("parallel", False)
                 and (kind is None or cell.get("kind") == kind)):
+            if cell.get("speedup") is None:
+                # pre-verify benchmark cells carried no normalized
+                # speedup; nothing comparable to guard against
+                print(f"  {path.name}: guarded cell has no speedup "
+                      f"field (pre-verify baseline) -> skip")
+                return None
             return float(cell["speedup"])
     return None
 
