@@ -1,18 +1,20 @@
-"""ACCEL — vectorized batch-routing engine vs the scalar fast path.
+"""ACCEL — batch-routing engines vs the scalar fast path.
 
 Not a paper claim: the perf budget that makes the ROADMAP's bulk
 workloads (Monte-Carlo F(n) density, cardinality sweeps, membership
 sampling) tractable at production scale.  Sweeps batch sizes x orders
 and records items/second for ``fast_self_route`` versus
-``repro.accel.batch_self_route``.
+``repro.accel.batch_self_route`` under each engine (NumPy vectorized
+and the bit-sliced big-int kernel; ``--engine`` pins one).
 
 Run as a script to (re)generate the machine-readable perf trajectory::
 
     PYTHONPATH=src python benchmarks/bench_accel.py --json BENCH_accel.json
 
 or under pytest (``pytest benchmarks -k accel``) for the smoke
-assertions: parity of the timed workload and — when NumPy is present —
-the >= 10x acceptance floor at order 8, batch 256.
+assertions: parity of the timed workload, the >= 10x acceptance floor
+at order 8, batch 256 when NumPy is present, and the >= 5x bitslice
+floor at the same cell with or without NumPy.
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from repro.accel import batch_self_route, have_numpy
 from repro.accel.benchmark import (
     best_speedup,
     format_table,
+    measure_cell,
     run_benchmark,
     write_json,
 )
@@ -55,15 +58,34 @@ def test_accel_speedup_smoke():
     """One reduced sweep; assert the acceptance floor when vectorized."""
     report = run_benchmark(orders=SMOKE_ORDERS,
                            batch_sizes=SMOKE_BATCHES, repeats=2)
-    emit("ACCEL: batch engine vs scalar fast path",
+    emit("ACCEL: batch engines vs scalar fast path",
          format_table(report))
-    assert len(report["cells"]) == len(SMOKE_ORDERS) * len(SMOKE_BATCHES)
+    # the auto sweep appends bitslice cells wherever auto resolved to
+    # another engine, so the grid is a lower bound, not an exact count
+    assert len(report["cells"]) >= len(SMOKE_ORDERS) * len(SMOKE_BATCHES)
+    assert all("engine" in cell for cell in report["cells"])
     if not have_numpy():
-        pytest.skip("NumPy absent: fallback mode, no speedup expected")
-    floor = best_speedup(report, min_order=8, min_batch=256)
+        pytest.skip("NumPy absent: no vectorized cells to gate")
+    floor = best_speedup(report, min_order=8, min_batch=256,
+                         engine="numpy")
     assert floor is not None and floor >= 10.0, (
         f"vectorized engine only {floor:.1f}x over scalar at order 8 "
         "(acceptance floor is 10x)"
+    )
+
+
+def test_bitslice_speedup_smoke():
+    """The bit-sliced big-int engine must beat the scalar loop >= 5x at
+    the headline cell (order 8, batch 256) — the no-NumPy fast-path
+    acceptance floor, asserted with or without NumPy installed."""
+    rng = random.Random(1980)
+    cell = measure_cell(8, 256, rng, repeats=2, engine="bitslice")
+    emit("ACCEL: bitslice engine headline cell",
+         f"order 8 batch 256: {cell['speedup']:.1f}x over scalar")
+    assert cell["engine"] == "bitslice"
+    assert cell["speedup"] >= 5.0, (
+        f"bitslice engine only {cell['speedup']:.1f}x over scalar at "
+        "order 8, batch 256 (acceptance floor is 5x)"
     )
 
 
@@ -88,6 +110,11 @@ def main(argv=None) -> int:
                         help="comma-separated batch sizes")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=1980)
+    parser.add_argument("--engine", default="auto",
+                        choices=("scalar", "numpy", "bitslice", "auto"),
+                        help="pin every cell to one engine; auto "
+                             "resolves per cell and also times the "
+                             "bitslice column")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the machine-readable report here "
                              "(e.g. BENCH_accel.json)")
@@ -101,7 +128,7 @@ def main(argv=None) -> int:
     report = run_benchmark(
         orders=[int(t) for t in args.orders.split(",")],
         batch_sizes=[int(t) for t in args.batches.split(",")],
-        seed=args.seed, repeats=args.repeats,
+        seed=args.seed, repeats=args.repeats, engine=args.engine,
     )
     print(format_table(report))
     if args.json:

@@ -6,8 +6,14 @@ routing, batched F(n) membership) built on precompiled per-order
 :mod:`repro.accel.batch` and :mod:`repro.accel.plans`.
 
 NumPy is an *optional* ``accel`` extra: without it every primitive
-falls back to the scalar fast path with identical results.  Use
-:func:`repro.accel.have_numpy` to check which mode is active.
+falls back to a pure-Python engine with identical results — the scalar
+fast-path loop, or the bit-sliced big-int kernel of
+:mod:`repro.accel.bitslice` that packs every batch lane into one big
+integer per network row and routes the whole batch with bitwise
+operations.  :func:`resolve_engine` decides which engine serves a call
+(explicit ``engine=`` keyword > ``BENES_ENGINE`` env var > measured
+auto crossover); use :func:`repro.accel.have_numpy` to check whether
+the vectorized paths are available.
 
 Submodules are imported lazily so that leaf utilities (the LRU cache,
 the optional-import helper) can be pulled in from ``repro.core``
@@ -18,23 +24,36 @@ from __future__ import annotations
 
 __all__ = [
     "BatchRouteResult",
+    "BitslicePlan",
+    "ENGINES",
     "LRUCache",
     "SetupPlan",
     "StagePlan",
+    "autotune_clear",
     "batch_in_class_f",
     "batch_route_two_pass",
     "batch_route_with_states",
     "batch_self_route",
     "batch_setup_states",
     "batch_two_pass",
+    "bitslice_in_class_f",
+    "bitslice_plan",
+    "bitslice_plan_cache",
+    "bitslice_route_with_states",
+    "bitslice_self_route",
+    "bitslice_setup_states",
+    "bitslice_two_pass",
     "cache_clear",
     "cache_stats",
     "cached_topology",
+    "choose_engine",
+    "crossover_table",
     "executor_shutdown",
     "have_numpy",
     "numpy_or_none",
     "plan_cache",
     "require_numpy",
+    "resolve_engine",
     "run_benchmark",
     "run_setup_benchmark",
     "setup_plan",
@@ -45,23 +64,36 @@ __all__ = [
 
 _EXPORTS = {
     "BatchRouteResult": "batch",
+    "BitslicePlan": "bitslice",
+    "ENGINES": "_np",
     "LRUCache": "lru",
     "SetupPlan": "setup",
     "StagePlan": "plans",
+    "autotune_clear": "autotune",
     "batch_in_class_f": "batch",
     "batch_route_two_pass": "setup",
     "batch_route_with_states": "batch",
     "batch_self_route": "batch",
     "batch_setup_states": "setup",
     "batch_two_pass": "setup",
+    "bitslice_in_class_f": "bitslice",
+    "bitslice_plan": "bitslice",
+    "bitslice_plan_cache": "plans",
+    "bitslice_route_with_states": "bitslice",
+    "bitslice_self_route": "bitslice",
+    "bitslice_setup_states": "bitslice",
+    "bitslice_two_pass": "bitslice",
     "cache_clear": "plans",
     "cache_stats": "plans",
     "cached_topology": "plans",
+    "choose_engine": "autotune",
+    "crossover_table": "autotune",
     "executor_shutdown": "executor",
     "have_numpy": "_np",
     "numpy_or_none": "_np",
     "plan_cache": "plans",
     "require_numpy": "_np",
+    "resolve_engine": "_np",
     "run_benchmark": "benchmark",
     "run_setup_benchmark": "benchmark",
     "setup_plan": "setup",

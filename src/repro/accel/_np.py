@@ -1,26 +1,51 @@
-"""Graceful optional import of NumPy.
+"""Graceful optional import of NumPy, and the **engine seam**.
 
 NumPy is the ``accel`` extra (``pip install repro[accel]``), **not** a
 hard dependency: every public entry point of :mod:`repro.accel` falls
-back to the pure-Python scalar fast path when it is absent.  All
-optional imports in the package go through this one module so
+back to a pure-Python engine when it is absent.  All optional imports
+in the package go through this one module so
 
 - the degraded mode is decided in exactly one place,
 - error messages consistently name the extra to install,
 - tests can force the no-NumPy path by monkeypatching
   :data:`FORCE_FALLBACK` (no uninstalling required).
+
+Since the bit-sliced big-int engine (:mod:`repro.accel.bitslice`)
+joined the scalar loop and the NumPy kernels, "which engine runs this
+batch" is a three-way choice resolved here by :func:`resolve_engine`,
+in precedence order:
+
+1. an explicit ``engine=`` keyword on the batch entry point;
+2. the :data:`FORCE_ENGINE` test hook (monkeypatch seam);
+3. the ``BENES_ENGINE`` environment variable;
+4. ``auto`` — NumPy when importable (the batch entry points promise
+   array results whenever the extra is active, so auto never silently
+   changes result types underneath a NumPy caller), otherwise the
+   measured scalar-vs-bitslice crossover of
+   :mod:`repro.accel.autotune` decides per (order, batch size).
 """
 
 from __future__ import annotations
 
-from ..errors import MissingDependencyError
+import os
+
+from ..errors import InvalidParameterError, MissingDependencyError
 
 __all__ = ["numpy_or_none", "require_numpy", "have_numpy",
-           "FORCE_FALLBACK"]
+           "resolve_engine", "ENGINES", "FORCE_FALLBACK",
+           "FORCE_ENGINE"]
 
 #: Test hook: set to True (e.g. via monkeypatch) to behave as if NumPy
 #: were not installed, exercising every pure-Python fallback path.
 FORCE_FALLBACK = False
+
+#: The concrete batch execution engines behind the accel entry points.
+ENGINES = ("scalar", "numpy", "bitslice")
+
+#: Test hook: set to an engine name (or ``"auto"``) to steer every
+#: resolution that was not given an explicit ``engine=`` keyword —
+#: the monkeypatch equivalent of exporting ``BENES_ENGINE``.
+FORCE_ENGINE = None
 
 _UNRESOLVED = object()
 _numpy = _UNRESOLVED
@@ -59,3 +84,50 @@ def require_numpy(feature: str):
             "`pip install repro[accel]` (or plain `pip install numpy`)"
         )
     return np
+
+
+def resolve_engine(engine=None, *, order=None, batch_size=None,
+                   kind: str = "route") -> str:
+    """Resolve a requested engine to a concrete member of
+    :data:`ENGINES`.
+
+    ``engine`` is the entry point's explicit keyword (``None`` means
+    "not specified"); :data:`FORCE_ENGINE` and the ``BENES_ENGINE``
+    environment variable fill in for an unspecified engine, and
+    ``"auto"`` (the default default) picks by policy:
+
+    - ``kind="route"`` (self-routing, membership, external-state
+      routing): NumPy when available, else the measured per-order
+      scalar/bitslice crossover of :mod:`repro.accel.autotune` at the
+      given ``order`` and ``batch_size``;
+    - ``kind="setup"`` (Waksman looping, two-pass factorization):
+      NumPy when available, else scalar — the side assignment is
+      data-dependent cycle chasing with no bit-sliced formulation, so
+      auto never routes it through the bitslice label.
+
+    Requesting ``"numpy"`` without NumPy raises
+    :class:`~repro.errors.MissingDependencyError`; an unknown name
+    raises :class:`~repro.errors.InvalidParameterError`.
+    """
+    requested = engine
+    if requested is None:
+        requested = FORCE_ENGINE or os.environ.get("BENES_ENGINE") \
+            or "auto"
+    if requested not in ENGINES and requested != "auto":
+        raise InvalidParameterError(
+            f"unknown accel engine {requested!r}; choose one of "
+            f"{', '.join(ENGINES)} or 'auto' (also settable via the "
+            "BENES_ENGINE environment variable)"
+        )
+    if requested == "numpy":
+        require_numpy("engine='numpy'")
+        return "numpy"
+    if requested != "auto":
+        return requested
+    if have_numpy():
+        return "numpy"
+    if kind != "route":
+        return "scalar"
+    from .autotune import choose_engine
+
+    return choose_engine(order, batch_size)

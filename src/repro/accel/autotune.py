@@ -1,0 +1,146 @@
+"""Measured scalar/bitslice crossover data for ``engine="auto"``.
+
+On the no-NumPy leg two pure-Python engines compete: the scalar
+per-instance loop (cheap entry, per-item cost grows with ``N log N``
+bytecode) and the bit-sliced big-int kernel (a packing/unpacking
+overhead amortized across lanes, then a per-stage cost nearly flat in
+the batch width).  Which one wins is a classic crossover: scalar for a
+handful of rows, bitslice from a few dozen on — and where exactly the
+lines cross depends on the order and the interpreter, so the planner's
+auto engine choice is driven by *measured* per-order probe data rather
+than a guessed constant (the same cost-driven-selection shape as the
+KR-Benes control-cost argument for realizer choice).
+
+The first ``auto`` resolution at a given order times two silent probes
+— the raw scalar routing pass and the bitslice kernel at two batch
+widths — fits a linear ``overhead + per_item * B`` model to the
+bitslice side, and caches the resulting crossover batch size under a
+lock.  Probes call the engines' *internal* kernels directly
+(:func:`repro.core.fastpath._self_route_pass`,
+:func:`repro.accel.bitslice.bitslice_self_route`), so they record no
+metrics and perturb no counters a parity test might pin.  Everything
+is process-local and costs a few milliseconds once per order; orders
+above :data:`MAX_PROBE_ORDER` skip probing for a batch-width
+heuristic.
+
+``BENES_ENGINE`` (or an explicit ``engine=`` keyword) overrides the
+whole mechanism — see :func:`repro.accel._np.resolve_engine`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from time import perf_counter as _perf_counter
+from typing import Dict, Optional
+
+from ._np import have_numpy
+
+__all__ = ["choose_engine", "crossover_table", "autotune_clear",
+           "MAX_PROBE_ORDER"]
+
+#: Probe batch widths for the bitslice linear cost model.
+PROBE_BATCHES = (4, 64)
+#: Scalar probe row count (per-item cost is flat across i.i.d. rows).
+SCALAR_PROBE_ROWS = 8
+#: Largest order probed; above it a (2^n)-row probe would cost more
+#: than it saves, so a batch-width heuristic stands in.
+MAX_PROBE_ORDER = 10
+#: Heuristic crossover for unprobed orders: the measured crossover
+#: shrinks as the order grows (scalar cost is N log N per item, the
+#: bitslice overhead is one pack/unpack), so a small constant is safe.
+HEURISTIC_CROSSOVER = 8
+
+_LOCK = threading.Lock()
+_TABLE: Dict[int, Dict[str, float]] = {}
+
+
+def _probe_rows(order: int, count: int) -> list:
+    rng = random.Random(1980 * 1000003 + order)
+    n = 1 << order
+    rows = []
+    for _ in range(count):
+        row = list(range(n))
+        rng.shuffle(row)
+        rows.append(row)
+    return rows
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = _perf_counter()
+        fn()
+        best = min(best, _perf_counter() - t0)
+    return best
+
+
+def _measure(order: int) -> Dict[str, float]:
+    """Time the silent probes and fit the crossover for one order."""
+    from ..core.fastpath import _self_route_pass
+    from .bitslice import bitslice_self_route
+
+    rows = _probe_rows(order, max(SCALAR_PROBE_ROWS,
+                                  max(PROBE_BATCHES)))
+    scalar_rows = rows[:SCALAR_PROBE_ROWS]
+    scalar_per_item = _best_of(
+        lambda: [_self_route_pass(r, False, None, False)
+                 for r in scalar_rows]
+    ) / len(scalar_rows)
+
+    small, large = PROBE_BATCHES
+    bitslice_self_route(rows[:2])  # warm the plan caches untimed
+    t_small = _best_of(lambda: bitslice_self_route(rows[:small]))
+    t_large = _best_of(lambda: bitslice_self_route(rows[:large]))
+    per_item = max(0.0, (t_large - t_small) / (large - small))
+    overhead = max(0.0, t_small - per_item * small)
+
+    if scalar_per_item > per_item:
+        crossover = overhead / (scalar_per_item - per_item)
+        crossover = max(1, int(crossover) + 1)
+    else:  # bitslice never catches up at this order
+        crossover = float("inf")
+    return {
+        "scalar_per_item": scalar_per_item,
+        "bitslice_overhead": overhead,
+        "bitslice_per_item": per_item,
+        "crossover": crossover,
+    }
+
+
+def _table_entry(order: int) -> Dict[str, float]:
+    with _LOCK:
+        entry = _TABLE.get(order)
+        if entry is None:
+            entry = _measure(order)
+            _TABLE[order] = entry
+        return entry
+
+
+def choose_engine(order: Optional[int],
+                  batch_size: Optional[int]) -> str:
+    """The auto engine for one batch shape: NumPy when importable
+    (type-stable results for the accel extra), else bitslice iff the
+    batch is at or past the measured per-order crossover."""
+    if have_numpy():
+        return "numpy"
+    if order is None or batch_size is None or batch_size <= 1:
+        return "scalar"
+    if order > MAX_PROBE_ORDER:
+        return "bitslice" if batch_size >= HEURISTIC_CROSSOVER \
+            else "scalar"
+    entry = _table_entry(order)
+    return "bitslice" if batch_size >= entry["crossover"] else "scalar"
+
+
+def crossover_table() -> Dict[int, Dict[str, float]]:
+    """A copy of the per-order probe data measured so far (diagnostic
+    surface for DESIGN.md's crossover guidance and tests)."""
+    with _LOCK:
+        return {order: dict(entry) for order, entry in _TABLE.items()}
+
+
+def autotune_clear() -> None:
+    """Drop all cached probe data (tests, CPU migration)."""
+    with _LOCK:
+        _TABLE.clear()

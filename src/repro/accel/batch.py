@@ -69,7 +69,7 @@ from ..core.switch import validate_stuck_switches
 from ..errors import InvalidParameterError, SizeMismatchError
 from ..obs.spans import spanned as _spanned
 from . import executor as _executor
-from ._np import numpy_or_none
+from ._np import numpy_or_none, resolve_engine
 from .plans import stage_plan
 
 __all__ = [
@@ -77,6 +77,40 @@ __all__ = [
     "batch_route_with_states",
     "batch_in_class_f",
 ]
+
+
+def _batch_dims(batch):
+    """Cheap ``(B, N)`` hint for engine resolution — no validation, no
+    materialization; ``(None, None)`` when the shape is unreadable
+    (the selected engine's own validation then reports properly)."""
+    shape = getattr(batch, "shape", None)
+    if shape is not None and len(shape) == 2:
+        return int(shape[0]), int(shape[1])
+    try:
+        b = len(batch)
+        n = len(batch[0]) if b else 0
+    except (TypeError, IndexError, KeyError):
+        return None, None
+    return b, n
+
+
+def _order_hint(width):
+    """``log2(width)`` when it is a positive power of two, else None."""
+    if width and width > 0 and (width & (width - 1)) == 0:
+        return width.bit_length() - 1
+    return None
+
+
+def _resolve(engine, *, order, batch_size, kind="route"):
+    """Resolve the engine for one user-facing call and record the
+    decision (``accel.engine_selected.<engine>``).  Shard-side calls
+    arrive with the dispatcher's concrete engine and skip the counter
+    — the selection happened once, at the dispatching call."""
+    resolved = resolve_engine(engine, order=order,
+                              batch_size=batch_size, kind=kind)
+    if _obs.enabled() and not _executor.in_shard():
+        _obs.inc(f"accel.engine_selected.{resolved}")
+    return resolved
 
 
 def _as_tag_array(np, tags_batch):
@@ -235,9 +269,14 @@ def _record_batch_metrics(kind, batch_size, seconds, n_success=None,
             _obs.inc(f"accel.{kind}.success", n_success)
             _obs.inc(f"accel.{kind}.failure", batch_size - n_success)
         if per_stage is not None:
+            # NumPy path entries are (B,) arrays; the bitslice path
+            # hands whole-batch ints per stage.
             for stage, crosses in enumerate(per_stage):
+                if not isinstance(crosses, int):
+                    crosses = crosses.sum() if hasattr(crosses, "sum") \
+                        else sum(crosses)
                 _obs.inc(f"accel.{kind}.stage_cross.{stage}",
-                         int(crosses.sum()))
+                         int(crosses))
 
 
 def _metric_scope() -> str:
@@ -248,7 +287,7 @@ def _metric_scope() -> str:
 @_spanned("batch.self_route")
 def batch_self_route(tags_batch, *, omega_mode=False, stage_data=False,
                      stage_states=False, stuck_switches=None,
-                     parallel=False, **scalar_options):
+                     parallel=False, engine=None, **scalar_options):
     """Self-route a batch of tag vectors; the vectorized equivalent of
     ``[fast_self_route(t) for t in tags_batch]``.
 
@@ -278,6 +317,11 @@ def batch_self_route(tags_batch, *, omega_mode=False, stage_data=False,
             ``True`` resolves to ``os.cpu_count()`` workers, an int is
             an explicit worker count.  Results are identical for any
             value.
+        engine: ``"scalar"``, ``"numpy"``, ``"bitslice"`` or ``"auto"``
+            (default: auto, overridable via ``BENES_ENGINE`` — see
+            :func:`repro.accel.resolve_engine`).  Values are identical
+            for every engine; result *containers* follow the engine
+            (arrays for numpy, lists/tuples otherwise).
 
     Any other keyword — in particular scalar-route options such as
     ``control``, ``trace``, ``payloads`` or ``require_success`` that
@@ -296,8 +340,12 @@ def batch_self_route(tags_batch, *, omega_mode=False, stage_data=False,
     np = numpy_or_none()
     enabled = _obs.enabled()
     t0 = _perf_counter() if enabled else 0.0
-    extra = (omega_mode, stage_data, stuck_switches, stage_states)
-    if np is None:
+    b_hint, n_hint = _batch_dims(tags_batch)
+    engine = _resolve(engine, order=_order_hint(n_hint),
+                      batch_size=b_hint)
+    extra = (omega_mode, stage_data, stuck_switches, stage_states,
+             engine)
+    if engine != "numpy":
         rows_in = tags_batch if isinstance(tags_batch, list) \
             else list(tags_batch)
         if _executor.wants_shards(parallel, len(rows_in)):
@@ -305,11 +353,31 @@ def batch_self_route(tags_batch, *, omega_mode=False, stage_data=False,
                 "self_route", rows_in, extra=extra, parallel=parallel,
             )
             if enabled:
-                _obs.inc("accel.fallback.calls")
+                if np is None:
+                    _obs.inc("accel.fallback.calls")
                 _record_batch_metrics("batch", len(rows_in),
                                       _perf_counter() - t0, scope="call")
             return result
         scope = _metric_scope()
+        if engine == "bitslice":
+            from .bitslice import bitslice_self_route
+
+            stage_totals = [] if enabled else None
+            result = bitslice_self_route(
+                rows_in, omega_mode=omega_mode, stage_data=stage_data,
+                stage_states=stage_states,
+                stuck_switches=stuck_switches,
+                _stage_totals=stage_totals,
+            )
+            if enabled:
+                if np is None and scope == "full":
+                    _obs.inc("accel.fallback.calls")
+                _record_batch_metrics("batch", len(result.success_mask),
+                                      _perf_counter() - t0,
+                                      n_success=sum(result.success_mask),
+                                      per_stage=stage_totals,
+                                      scope=scope)
+            return result
         successes, delivered = [], []
         states_acc = [] if stage_states else None
         for tags in rows_in:
@@ -327,7 +395,7 @@ def batch_self_route(tags_batch, *, omega_mode=False, stage_data=False,
             successes.append(ok)
             delivered.append(dst)
         if enabled:
-            if scope == "full":
+            if np is None and scope == "full":
                 _obs.inc("accel.fallback.calls")
             _record_batch_metrics("batch", len(successes),
                                   _perf_counter() - t0,
@@ -379,16 +447,19 @@ def batch_self_route(tags_batch, *, omega_mode=False, stage_data=False,
 
 
 @_spanned("batch.membership")
-def batch_in_class_f(perms_batch, *, parallel=False, **scalar_options):
+def batch_in_class_f(perms_batch, *, parallel=False, engine=None,
+                     **scalar_options):
     """F(n) membership mask for a batch of permutations: instance ``b``
     is in ``F(n)`` iff the self-routing network delivers every one of
     its tags (Theorem 1 ≡ routing success; the equivalence is pinned in
     ``tests/test_membership.py``).
 
     Cheaper than :func:`batch_self_route`: no source tracking.  Returns
-    a ``(B,)`` bool array, or a list of bools on the fallback path.
-    ``parallel=`` shards large batches across worker processes with
-    identical results.  Unsupported engine options (``stuck_switches``
+    a ``(B,)`` bool array, or a list of bools on the pure-Python
+    engines.  ``parallel=`` shards large batches across worker
+    processes with identical results; ``engine=`` selects the
+    execution engine exactly as in :func:`batch_self_route`.
+    Unsupported engine options (``stuck_switches``
     and friends — fault campaigns read :func:`batch_self_route`'s
     success mask instead) raise
     :class:`~repro.errors.InvalidParameterError`.
@@ -397,25 +468,35 @@ def batch_in_class_f(perms_batch, *, parallel=False, **scalar_options):
     np = numpy_or_none()
     enabled = _obs.enabled()
     t0 = _perf_counter() if enabled else 0.0
-    if np is None:
-        # Scalar Theorem 1 recursion early-exits on the first conflict,
-        # so it beats a full scalar routing pass here.
-        from ..core.membership import in_class_f
-
+    b_hint, n_hint = _batch_dims(perms_batch)
+    engine = _resolve(engine, order=_order_hint(n_hint),
+                      batch_size=b_hint)
+    if engine != "numpy":
         rows_in = perms_batch if isinstance(perms_batch, list) \
             else list(perms_batch)
         if _executor.wants_shards(parallel, len(rows_in)):
             mask = _executor.dispatch("in_class_f", rows_in,
+                                      extra=(engine,),
                                       parallel=parallel)
             if enabled:
-                _obs.inc("accel.fallback.calls")
+                if np is None:
+                    _obs.inc("accel.fallback.calls")
                 _record_batch_metrics("membership", len(rows_in),
                                       _perf_counter() - t0, scope="call")
             return mask
         scope = _metric_scope()
-        mask = [in_class_f(perm) for perm in rows_in]
+        if engine == "bitslice":
+            from .bitslice import bitslice_in_class_f
+
+            mask = bitslice_in_class_f(rows_in)
+        else:
+            # Scalar Theorem 1 recursion early-exits on the first
+            # conflict, so it beats a full scalar routing pass here.
+            from ..core.membership import in_class_f
+
+            mask = [in_class_f(perm) for perm in rows_in]
         if enabled:
-            if scope == "full":
+            if np is None and scope == "full":
                 _obs.inc("accel.fallback.calls")
             _record_batch_metrics("membership", len(mask),
                                   _perf_counter() - t0,
@@ -425,7 +506,8 @@ def batch_in_class_f(perms_batch, *, parallel=False, **scalar_options):
     n = arr.shape[1]
     order = log2_exact(n)
     if _executor.wants_shards(parallel, arr.shape[0]):
-        mask = _executor.dispatch("in_class_f", arr, parallel=parallel,
+        mask = _executor.dispatch("in_class_f", arr,
+                                  extra=("numpy",), parallel=parallel,
                                   order_hint=order)
         if enabled:
             _record_batch_metrics("membership", int(arr.shape[0]),
@@ -445,7 +527,7 @@ def batch_in_class_f(perms_batch, *, parallel=False, **scalar_options):
 @_spanned("batch.route_with_states")
 def batch_route_with_states(states_batch, order: int, *,
                             stage_data=False, parallel=False,
-                            **scalar_options):
+                            engine=None, **scalar_options):
     """Realized permutations of ``B(order)`` under a batch of external
     state assignments; the vectorized equivalent of
     ``[fast_route_with_states(s, order) for s in states_batch]``.
@@ -455,9 +537,12 @@ def batch_route_with_states(states_batch, order: int, *,
             switch states.
         order: the network order ``n``.
         stage_data: also expose the per-stage crossed-switch counts in
-            the result's ``per_stage`` field (NumPy path only).
+            the result's ``per_stage`` field (numpy and bitslice
+            engines).
         parallel: shard the batch across worker processes above the
             executor threshold; results identical for any value.
+        engine: execution engine, exactly as in
+            :func:`batch_self_route`.
 
     Returns:
         a :class:`~repro.core.routing.BatchRouteResult`; row ``b`` of
@@ -473,29 +558,43 @@ def batch_route_with_states(states_batch, order: int, *,
     np = numpy_or_none()
     enabled = _obs.enabled()
     t0 = _perf_counter() if enabled else 0.0
-    if np is None:
+    try:
+        b_hint = len(states_batch)
+    except TypeError:
+        b_hint = None
+    engine = _resolve(engine, order=order, batch_size=b_hint)
+    if engine != "numpy":
         rows_in = states_batch if isinstance(states_batch, list) \
             else list(states_batch)
         if _executor.wants_shards(parallel, len(rows_in)):
             result = _executor.dispatch(
                 "route_with_states", rows_in,
-                extra=(order, stage_data), parallel=parallel,
+                extra=(order, stage_data, engine), parallel=parallel,
             )
             if enabled:
-                _obs.inc("accel.fallback.calls")
+                if np is None:
+                    _obs.inc("accel.fallback.calls")
                 _record_batch_metrics("states", len(rows_in),
                                       _perf_counter() - t0, scope="call")
             return result
         scope = _metric_scope()
-        mappings = [fast_route_with_states(states, order)
-                    for states in rows_in]
+        if engine == "bitslice":
+            from .bitslice import bitslice_route_with_states
+
+            result = bitslice_route_with_states(rows_in, order,
+                                                stage_data=stage_data)
+        else:
+            mappings = [fast_route_with_states(states, order)
+                        for states in rows_in]
+            result = BatchRouteResult(
+                success_mask=[True] * len(mappings), mappings=mappings
+            )
         if enabled:
-            if scope == "full":
+            if np is None and scope == "full":
                 _obs.inc("accel.fallback.calls")
-            _record_batch_metrics("states", len(mappings),
+            _record_batch_metrics("states", len(result.success_mask),
                                   _perf_counter() - t0, scope=scope)
-        return BatchRouteResult(success_mask=[True] * len(mappings),
-                                mappings=mappings)
+        return result
     plan = stage_plan(order)
     n = plan.n_terminals
     states = np.asarray(states_batch, dtype=np.int64)
@@ -508,7 +607,8 @@ def batch_route_with_states(states_batch, order: int, *,
     batch = states.shape[0]
     if _executor.wants_shards(parallel, batch):
         result = _executor.dispatch(
-            "route_with_states", states, extra=(order, stage_data),
+            "route_with_states", states,
+            extra=(order, stage_data, "numpy"),
             parallel=parallel, order_hint=order,
         )
         if enabled:

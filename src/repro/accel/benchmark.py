@@ -1,10 +1,15 @@
-"""Scalar-vs-vectorized throughput measurement for the batch engine.
+"""Scalar-vs-batch throughput measurement for the accel engines.
 
 Shared by the ``benes bench`` CLI subcommand and
 ``benchmarks/bench_accel.py`` so both emit the same machine-readable
-shape (``BENCH_accel.json``): one record per (order, batch size) with
-items/second for the scalar fast path and the batch engine, and their
-ratio.
+shape (``BENCH_accel.json``): one record per (order, batch size,
+engine) with items/second for the scalar fast path and the batch
+engine, and their ratio.  Cells carry an ``engine`` column naming the
+concrete engine that served the batch call (``numpy``, ``bitslice`` or
+``scalar`` — resolved through :func:`repro.accel.resolve_engine`), and
+an ``engine="auto"`` sweep additionally times the bit-sliced big-int
+kernel wherever auto resolved to something else, so the report always
+records the no-NumPy fast path.
 
 To keep the sweep affordable at large orders the scalar side may be
 timed on a capped subsample of the batch (``scalar_cap``) — per-item
@@ -24,7 +29,7 @@ from .. import obs as _obs
 from ..core.fastpath import fast_self_route
 from ..core.permutation import random_permutation
 from ..errors import InvalidParameterError
-from ._np import have_numpy
+from ._np import have_numpy, resolve_engine
 from .batch import batch_self_route
 
 __all__ = ["measure_cell", "run_benchmark", "format_table",
@@ -50,11 +55,15 @@ def _random_tag_batch(order: int, batch_size: int,
 
 def measure_cell(order: int, batch_size: int, rng: random.Random,
                  repeats: int = 3, scalar_cap: int = 256,
-                 parallel=False) -> Dict:
+                 parallel=False, engine=None) -> Dict:
     """Time one (order, batch_size) cell; return a JSON-ready record.
     ``parallel`` is forwarded to the batch call, so the same cell shape
-    measures the shard executor."""
+    measures the shard executor; ``engine`` pins a concrete engine
+    (``None``/``"auto"`` resolves through the seam), and the resolved
+    name is recorded in the cell's ``engine`` column."""
     tags = _random_tag_batch(order, batch_size, rng)
+    resolved = resolve_engine(None if engine == "auto" else engine,
+                              order=order, batch_size=batch_size)
 
     scalar_items = min(batch_size, scalar_cap)
     best_scalar = float("inf")
@@ -65,11 +74,11 @@ def measure_cell(order: int, batch_size: int, rng: random.Random,
         best_scalar = min(best_scalar, time.perf_counter() - t0)
 
     # warm the plan cache (and, in parallel mode, the pool) untimed
-    batch_self_route(tags[:2], parallel=parallel)
+    batch_self_route(tags[:2], parallel=parallel, engine=resolved)
     best_batch = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
-        batch_self_route(tags, parallel=parallel)
+        batch_self_route(tags, parallel=parallel, engine=resolved)
         best_batch = min(best_batch, time.perf_counter() - t0)
 
     scalar_rate = scalar_items / best_scalar if best_scalar > 0 else 0.0
@@ -79,6 +88,7 @@ def measure_cell(order: int, batch_size: int, rng: random.Random,
         "n_terminals": 1 << order,
         "batch_size": batch_size,
         "parallel": bool(parallel),
+        "engine": resolved,
         "scalar_items_timed": scalar_items,
         "scalar_seconds": best_scalar,
         "batch_seconds": best_batch,
@@ -92,28 +102,42 @@ def run_benchmark(orders: Sequence[int] = DEFAULT_ORDERS,
                   batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
                   seed: int = 1980, repeats: int = 3,
                   scalar_cap: int = 256,
-                  include_parallel: bool = False) -> Dict:
+                  include_parallel: bool = False,
+                  engine: str = "auto") -> Dict:
     """Sweep the (order, batch_size) grid; return the full report.
     With ``include_parallel`` an extra shard-executor cell is timed at
     the largest (order, batch size) of the grid, mirroring
-    :func:`run_setup_benchmark`."""
+    :func:`run_setup_benchmark`.  ``engine`` pins every cell to one
+    engine; the default ``"auto"`` lets the seam resolve per cell and
+    then times the bitslice kernel too wherever auto picked something
+    else, so the report always carries the no-NumPy fast-path column."""
     import os
 
     rng = random.Random(seed)
     cells = [
         measure_cell(order, batch_size, rng, repeats=repeats,
-                     scalar_cap=scalar_cap)
+                     scalar_cap=scalar_cap, engine=engine)
         for order in orders
         for batch_size in batch_sizes
     ]
+    if engine == "auto":
+        auto_cells = list(cells)
+        cells.extend(
+            measure_cell(cell["order"], cell["batch_size"], rng,
+                         repeats=repeats, scalar_cap=scalar_cap,
+                         engine="bitslice")
+            for cell in auto_cells
+            if cell["engine"] != "bitslice"
+        )
     if include_parallel:
         cells.append(measure_cell(
             max(orders), max(batch_sizes), rng, repeats=repeats,
-            scalar_cap=scalar_cap, parallel=True,
+            scalar_cap=scalar_cap, parallel=True, engine=engine,
         ))
     report = {
         "benchmark": "accel.batch_self_route vs core.fast_self_route",
         "numpy": have_numpy(),
+        "engine": engine,
         "cpu_count": os.cpu_count(),
         "seed": seed,
         "repeats": repeats,
@@ -128,11 +152,14 @@ def run_benchmark(orders: Sequence[int] = DEFAULT_ORDERS,
 
 def measure_setup_cell(order: int, batch_size: int, rng: random.Random,
                        *, kind: str = "setup", repeats: int = 3,
-                       scalar_cap: int = 64, parallel=False) -> Dict:
+                       scalar_cap: int = 64, parallel=False,
+                       engine=None) -> Dict:
     """Time one universal-setup cell; ``kind`` selects the batched
     looping setup (``"setup"``) or the full two-pass factorization
     (``"two_pass"``).  ``parallel`` is forwarded to the batch call, so
-    the same cell shape measures the shard executor."""
+    the same cell shape measures the shard executor; ``engine`` pins a
+    concrete engine (resolved with ``kind="setup"`` semantics — auto
+    never picks bitslice for the data-dependent side assignment)."""
     from .setup import (batch_setup_states, batch_two_pass,
                         scalar_setup_loop, scalar_two_pass_loop)
 
@@ -145,6 +172,9 @@ def measure_setup_cell(order: int, batch_size: int, rng: random.Random,
             f"unknown setup benchmark kind {kind!r}"
         )
     perms = _random_tag_batch(order, batch_size, rng)
+    resolved = resolve_engine(None if engine == "auto" else engine,
+                              order=order, batch_size=batch_size,
+                              kind="setup")
 
     scalar_items = min(batch_size, scalar_cap)
     best_scalar = float("inf")
@@ -153,11 +183,12 @@ def measure_setup_cell(order: int, batch_size: int, rng: random.Random,
         scalar_fn(order, perms[:scalar_items])
         best_scalar = min(best_scalar, time.perf_counter() - t0)
 
-    batch_fn(order, perms[:2], parallel=parallel)  # warm caches / pool
+    # warm caches / pool untimed
+    batch_fn(order, perms[:2], parallel=parallel, engine=resolved)
     best_batch = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
-        batch_fn(order, perms, parallel=parallel)
+        batch_fn(order, perms, parallel=parallel, engine=resolved)
         best_batch = min(best_batch, time.perf_counter() - t0)
 
     scalar_rate = scalar_items / best_scalar if best_scalar > 0 else 0.0
@@ -168,6 +199,7 @@ def measure_setup_cell(order: int, batch_size: int, rng: random.Random,
         "n_terminals": 1 << order,
         "batch_size": batch_size,
         "parallel": bool(parallel),
+        "engine": resolved,
         "scalar_items_timed": scalar_items,
         "scalar_seconds": best_scalar,
         "batch_seconds": best_batch,
@@ -182,18 +214,21 @@ def run_setup_benchmark(orders: Sequence[int] = DEFAULT_SETUP_ORDERS,
                         DEFAULT_SETUP_BATCH_SIZES,
                         seed: int = 1968, repeats: int = 3,
                         scalar_cap: int = 64,
-                        include_parallel: bool = True) -> Dict:
+                        include_parallel: bool = True,
+                        engine: str = "auto") -> Dict:
     """Sweep the universal-setup grid (looping setup and two-pass
     factorization, scalar vs batch); with ``include_parallel`` an extra
     executor cell is timed at the largest batch size of the largest
     order, so BENCH_setup.json records both single-process and sharded
-    throughput on the same machine."""
+    throughput on the same machine.  ``engine`` pins every cell to one
+    engine (setup-kind resolution semantics)."""
     import os
 
     rng = random.Random(seed)
     cells = [
         measure_setup_cell(order, batch_size, rng, kind=kind,
-                           repeats=repeats, scalar_cap=scalar_cap)
+                           repeats=repeats, scalar_cap=scalar_cap,
+                           engine=engine)
         for kind in ("setup", "two_pass")
         for order in orders
         for batch_size in batch_sizes
@@ -203,11 +238,13 @@ def run_setup_benchmark(orders: Sequence[int] = DEFAULT_SETUP_ORDERS,
             cells.append(measure_setup_cell(
                 max(orders), max(batch_sizes), rng, kind=kind,
                 repeats=repeats, scalar_cap=scalar_cap, parallel=True,
+                engine=engine,
             ))
     report = {
         "benchmark": "accel.batch_setup_states / batch_two_pass vs "
                      "scalar looping",
         "numpy": have_numpy(),
+        "engine": engine,
         "cpu_count": os.cpu_count(),
         "seed": seed,
         "repeats": repeats,
@@ -220,17 +257,17 @@ def run_setup_benchmark(orders: Sequence[int] = DEFAULT_SETUP_ORDERS,
 
 def format_setup_table(report: Dict) -> str:
     """Human-readable view of :func:`run_setup_benchmark`'s report."""
-    mode = "vectorized (NumPy)" if report["numpy"] else \
-        "fallback (no NumPy — speedups ~1x expected)"
+    mode = "NumPy available" if report["numpy"] else "no NumPy"
     lines = [
         f"universal setup: {mode}",
-        f"{'kind':>8} {'n':>3} {'batch':>6} {'par':>4} "
+        f"{'kind':>8} {'n':>3} {'batch':>6} {'engine':>9} {'par':>4} "
         f"{'scalar/s':>12} {'batch/s':>12} {'speedup':>8}",
     ]
     for cell in report["cells"]:
         lines.append(
             f"{cell['kind']:>8} {cell['order']:>3} "
             f"{cell['batch_size']:>6} "
+            f"{cell.get('engine', '?'):>9} "
             f"{'yes' if cell['parallel'] else 'no':>4} "
             f"{cell['scalar_items_per_s']:>12.0f} "
             f"{cell['batch_items_per_s']:>12.0f} "
@@ -241,33 +278,36 @@ def format_setup_table(report: Dict) -> str:
 
 def best_setup_speedup(report: Dict, kind: str = "setup",
                        min_order: int = 0, min_batch: int = 0,
-                       parallel: Optional[bool] = False
+                       parallel: Optional[bool] = False,
+                       engine: Optional[str] = None
                        ) -> Optional[float]:
     """Largest measured speedup among matching setup cells (used by the
-    benchmark assertions); ``parallel=None`` matches both modes."""
+    benchmark assertions); ``parallel=None`` matches both modes,
+    ``engine=None`` matches every engine column."""
     eligible = [
         cell["speedup"] for cell in report["cells"]
         if cell["kind"] == kind
         and cell["order"] >= min_order
         and cell["batch_size"] >= min_batch
         and (parallel is None or cell["parallel"] == parallel)
+        and (engine is None or cell.get("engine") == engine)
     ]
     return max(eligible) if eligible else None
 
 
 def format_table(report: Dict) -> str:
     """Human-readable view of :func:`run_benchmark`'s report."""
-    mode = "vectorized (NumPy)" if report["numpy"] else \
-        "fallback (no NumPy — speedups ~1x expected)"
+    mode = "NumPy available" if report["numpy"] else "no NumPy"
     lines = [
         f"batch engine: {mode}",
-        f"{'n':>3} {'N':>5} {'batch':>6} {'par':>4} {'scalar/s':>12} "
-        f"{'batch/s':>12} {'speedup':>8}",
+        f"{'n':>3} {'N':>5} {'batch':>6} {'engine':>9} {'par':>4} "
+        f"{'scalar/s':>12} {'batch/s':>12} {'speedup':>8}",
     ]
     for cell in report["cells"]:
         lines.append(
             f"{cell['order']:>3} {cell['n_terminals']:>5} "
             f"{cell['batch_size']:>6} "
+            f"{cell.get('engine', '?'):>9} "
             f"{'yes' if cell.get('parallel') else 'no':>4} "
             f"{cell['scalar_items_per_s']:>12.0f} "
             f"{cell['batch_items_per_s']:>12.0f} "
@@ -285,15 +325,18 @@ def write_json(report: Dict, path: str) -> None:
 
 def best_speedup(report: Dict, min_order: int = 0,
                  min_batch: int = 0,
-                 parallel: Optional[bool] = False) -> Optional[float]:
+                 parallel: Optional[bool] = False,
+                 engine: Optional[str] = None) -> Optional[float]:
     """Largest measured speedup among cells meeting the floor (used by
     benchmark assertions); ``parallel=None`` matches both modes, the
     default ``False`` keeps executor cells out of single-process
-    guards (older reports without the key count as non-parallel)."""
+    guards (older reports without the key count as non-parallel), and
+    ``engine=None`` matches every engine column."""
     eligible = [
         cell["speedup"] for cell in report["cells"]
         if cell["order"] >= min_order and cell["batch_size"] >= min_batch
         and (parallel is None
              or bool(cell.get("parallel", False)) == parallel)
+        and (engine is None or cell.get("engine") == engine)
     ]
     return max(eligible) if eligible else None

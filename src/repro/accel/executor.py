@@ -96,39 +96,42 @@ _POOL_LOCK = threading.Lock()
 def _task_self_route(payload):
     from .batch import batch_self_route
 
-    tags, omega_mode, stage_data, stuck_switches, stage_states = payload
+    (tags, omega_mode, stage_data, stuck_switches, stage_states,
+     engine) = payload
     return batch_self_route(tags, omega_mode=omega_mode,
                             stage_data=stage_data,
                             stuck_switches=stuck_switches,
-                            stage_states=stage_states)
+                            stage_states=stage_states, engine=engine)
 
 
 def _task_in_class_f(payload):
     from .batch import batch_in_class_f
 
-    (perms,) = payload
-    return batch_in_class_f(perms)
+    perms = payload[0]
+    engine = payload[1] if len(payload) > 1 else None
+    return batch_in_class_f(perms, engine=engine)
 
 
 def _task_route_with_states(payload):
     from .batch import batch_route_with_states
 
-    states, order, stage_data = payload
-    return batch_route_with_states(states, order, stage_data=stage_data)
+    states, order, stage_data, engine = payload
+    return batch_route_with_states(states, order, stage_data=stage_data,
+                                   engine=engine)
 
 
 def _task_setup_states(payload):
     from .setup import batch_setup_states
 
-    perms, order = payload
-    return batch_setup_states(order, perms)
+    perms, order, engine = payload
+    return batch_setup_states(order, perms, engine=engine)
 
 
 def _task_two_pass(payload):
     from .setup import batch_two_pass
 
-    perms, order = payload
-    return batch_two_pass(order, perms)
+    perms, order, engine = payload
+    return batch_two_pass(order, perms, engine=engine)
 
 
 _TASKS: Dict[str, Callable[[tuple], Any]] = {

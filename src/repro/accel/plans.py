@@ -30,6 +30,7 @@ from .lru import LRUCache
 
 __all__ = [
     "StagePlan",
+    "bitslice_plan_cache",
     "cache_clear",
     "cache_stats",
     "cached_topology",
@@ -47,6 +48,11 @@ _PLAN_CACHE: "LRUCache[int, StagePlan]" = LRUCache(maxsize=32)
 # objects of repro.accel.setup); held here so all three accel LRUs are
 # exposed through one cache_stats()/cache_clear() surface.
 _SETUP_CACHE: "LRUCache[int, object]" = LRUCache(maxsize=32)
+# Lane-packing constants of the bit-sliced big-int engine (the
+# BitslicePlan objects of repro.accel.bitslice), keyed by
+# (order, lanes, value_bits) — masks depend on the batch width, so this
+# cache sees more distinct keys than the per-order ones.
+_BITSLICE_CACHE: "LRUCache[tuple, object]" = LRUCache(maxsize=64)
 
 
 def topology_cache() -> "LRUCache[int, BenesTopology]":
@@ -65,6 +71,13 @@ def setup_plan_cache() -> "LRUCache[int, object]":
     return _SETUP_CACHE
 
 
+def bitslice_plan_cache() -> "LRUCache[tuple, object]":
+    """The process-wide bitslice-plan cache backing
+    :func:`repro.accel.bitslice.bitslice_plan` (exposed for
+    tests/metrics)."""
+    return _BITSLICE_CACHE
+
+
 def cache_stats() -> Dict[str, Dict[str, int]]:
     """Hit/miss/size/capacity counters of the process-wide plan,
     topology and setup-plan LRUs — the public face of their internal
@@ -75,22 +88,24 @@ def cache_stats() -> Dict[str, Dict[str, int]]:
     :meth:`~repro.accel.lru.LRUCache.stats`): ``hits + misses`` counts
     completed lookups and ``building`` the in-flight factory builds, so
     a read taken while an executor thread-shard warms a cache is
-    internally consistent.  The three caches are snapshotted in
+    internally consistent.  The four caches are snapshotted in
     sequence — values may straddle an update *between* caches, but
     never within one."""
     return {
         "plan": _PLAN_CACHE.stats(),
         "topology": _TOPOLOGY_CACHE.stats(),
         "setup": _SETUP_CACHE.stats(),
+        "bitslice": _BITSLICE_CACHE.stats(),
     }
 
 
 def cache_clear() -> None:
-    """Empty all three caches and zero their hit/miss counters (tests,
+    """Empty all four caches and zero their hit/miss counters (tests,
     memory pressure)."""
     _PLAN_CACHE.clear()
     _TOPOLOGY_CACHE.clear()
     _SETUP_CACHE.clear()
+    _BITSLICE_CACHE.clear()
 
 
 # Pull-style metrics: snapshots read the LRU counters on demand rather

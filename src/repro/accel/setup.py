@@ -65,6 +65,7 @@ from ._np import numpy_or_none
 from .batch import (
     _as_tag_array,
     _metric_scope,
+    _resolve,
     _swap_stage,
     batch_self_route,
 )
@@ -237,7 +238,8 @@ def _setup_levels(np, plan: SetupPlan, arr):
 
 
 @_spanned("batch.setup")
-def batch_setup_states(order: int, perms, *, parallel=False):
+def batch_setup_states(order: int, perms, *, parallel=False,
+                       engine=None):
     """Switch states realizing a whole batch of **arbitrary**
     permutations on ``B(order)`` — the vectorized equivalent of
     ``[setup_states(p) for p in perms]``, byte-identical to the serial
@@ -248,32 +250,51 @@ def batch_setup_states(order: int, perms, *, parallel=False):
         parallel: shard the batch across worker processes above the
             executor threshold (``True`` for ``os.cpu_count()`` workers,
             an int for an explicit worker count).
+        engine: execution engine as in
+            :func:`repro.accel.batch_self_route`.  The looping side
+            assignment has no bit-sliced formulation, so
+            ``"bitslice"`` here runs the scalar algorithm per instance
+            (see :func:`repro.accel.bitslice.bitslice_setup_states`)
+            and ``auto`` resolves to numpy-or-scalar.
 
     Returns:
         a ``(B, 2*order - 1, N/2)`` int8 array (a list of per-instance
-        nested state lists on the no-NumPy fallback path) that plugs
+        nested state lists on the pure-Python engines) that plugs
         straight into :func:`repro.accel.batch_route_with_states`.
     """
     np = numpy_or_none()
     enabled = _obs.enabled()
     t0 = _perf_counter() if enabled else 0.0
-    if np is None:
-        from ..core.waksman import setup_states
-
+    try:
+        b_hint = len(perms)
+    except TypeError:
+        b_hint = None
+    engine = _resolve(engine, order=order, batch_size=b_hint,
+                      kind="setup")
+    if engine != "numpy":
         rows = perms if isinstance(perms, list) else list(perms)
         if _executor.wants_shards(parallel, len(rows)):
             result = _executor.dispatch(
-                "setup_states", rows, extra=(order,), parallel=parallel
+                "setup_states", rows, extra=(order, engine),
+                parallel=parallel
             )
             if enabled:
-                _obs.inc("accel.fallback.calls")
+                if np is None:
+                    _obs.inc("accel.fallback.calls")
                 _record_setup_metrics("setup", len(rows),
                                       _perf_counter() - t0, scope="call")
             return result
         scope = _metric_scope()
-        result = [setup_states(p) for p in rows]
+        if engine == "bitslice":
+            from .bitslice import bitslice_setup_states
+
+            result = bitslice_setup_states(order, rows)
+        else:
+            from ..core.waksman import setup_states
+
+            result = [setup_states(p) for p in rows]
         if enabled:
-            if scope == "full":
+            if np is None and scope == "full":
                 _obs.inc("accel.fallback.calls")
             _record_setup_metrics("setup", len(result),
                                   _perf_counter() - t0, scope=scope)
@@ -281,7 +302,8 @@ def batch_setup_states(order: int, perms, *, parallel=False):
     arr = _as_perm_array(np, order, perms)
     if _executor.wants_shards(parallel, arr.shape[0]):
         result = _executor.dispatch(
-            "setup_states", arr, extra=(order,), parallel=parallel
+            "setup_states", arr, extra=(order, "numpy"),
+            parallel=parallel
         )
         if enabled:
             _record_setup_metrics("setup", int(arr.shape[0]),
@@ -323,7 +345,7 @@ def _first_half_maps(np, order: int, states):
 
 
 @_spanned("batch.two_pass")
-def batch_two_pass(order: int, perms, *, parallel=False):
+def batch_two_pass(order: int, perms, *, parallel=False, engine=None):
     """Factor a whole batch of arbitrary permutations for two-pass
     universal routing: returns ``(omega_1, omega_2)`` as ``(B, N)``
     arrays with ``omega_2[omega_1] == perms`` row-wise, ``omega_1``
@@ -331,32 +353,48 @@ def batch_two_pass(order: int, perms, *, parallel=False):
     the omega bit set) — the vectorized equivalent of
     ``[two_pass_decomposition(p) for p in perms]``, identical factors.
 
-    On the no-NumPy fallback path both factors are lists of tuples.
+    On the pure-Python engines both factors are lists of tuples;
+    ``engine="bitslice"`` pushes the first-half map through the switch
+    columns lane-parallel (scalar side assignment, bit-sliced transit
+    — see :func:`repro.accel.bitslice.bitslice_two_pass`).
     """
     np = numpy_or_none()
     enabled = _obs.enabled()
     t0 = _perf_counter() if enabled else 0.0
-    if np is None:
-        from ..core.twopass import two_pass_decomposition
-
+    try:
+        b_hint = len(perms)
+    except TypeError:
+        b_hint = None
+    engine = _resolve(engine, order=order, batch_size=b_hint,
+                      kind="setup")
+    if engine != "numpy":
         rows = perms if isinstance(perms, list) else list(perms)
         if _executor.wants_shards(parallel, len(rows)):
             result = _executor.dispatch(
-                "two_pass", rows, extra=(order,), parallel=parallel
+                "two_pass", rows, extra=(order, engine),
+                parallel=parallel
             )
             if enabled:
-                _obs.inc("accel.fallback.calls")
+                if np is None:
+                    _obs.inc("accel.fallback.calls")
                 _record_setup_metrics("two_pass", len(rows),
                                       _perf_counter() - t0, scope="call")
             return result
         scope = _metric_scope()
-        firsts, seconds = [], []
-        for p in rows:
-            first, second = two_pass_decomposition(p)
-            firsts.append(first.as_tuple())
-            seconds.append(second.as_tuple())
+        if engine == "bitslice":
+            from .bitslice import bitslice_two_pass
+
+            firsts, seconds = bitslice_two_pass(order, rows)
+        else:
+            from ..core.twopass import two_pass_decomposition
+
+            firsts, seconds = [], []
+            for p in rows:
+                first, second = two_pass_decomposition(p)
+                firsts.append(first.as_tuple())
+                seconds.append(second.as_tuple())
         if enabled:
-            if scope == "full":
+            if np is None and scope == "full":
                 _obs.inc("accel.fallback.calls")
             _record_setup_metrics("two_pass", len(firsts),
                                   _perf_counter() - t0, scope=scope)
@@ -364,7 +402,7 @@ def batch_two_pass(order: int, perms, *, parallel=False):
     arr = _as_perm_array(np, order, perms)
     if _executor.wants_shards(parallel, arr.shape[0]):
         result = _executor.dispatch(
-            "two_pass", arr, extra=(order,), parallel=parallel
+            "two_pass", arr, extra=(order, "numpy"), parallel=parallel
         )
         if enabled:
             _record_setup_metrics("two_pass", int(arr.shape[0]),
@@ -386,12 +424,13 @@ def batch_two_pass(order: int, perms, *, parallel=False):
 
 
 @_spanned("batch.route_two_pass")
-def batch_route_two_pass(order: int, perms, *,
-                         parallel=False) -> BatchRouteResult:
+def batch_route_two_pass(order: int, perms, *, parallel=False,
+                         engine=None) -> BatchRouteResult:
     """Route a batch of arbitrary permutations by two self-routed
     transits each — factor with :func:`batch_two_pass`, route pass 1
     through the ordinary vectorized engine and pass 2 with the omega
-    bit set, and compose the delivered mappings.
+    bit set, and compose the delivered mappings.  ``engine`` forwards
+    to both the factorization and the two transits.
 
     Returns a :class:`~repro.core.routing.BatchRouteResult` whose
     ``mappings`` row ``b`` is the composed input -> position-of-signal
@@ -399,11 +438,15 @@ def batch_route_two_pass(order: int, perms, *,
     after both transits); ``success_mask`` is all-True for genuine
     permutations (two-pass universality, Section II).
     """
-    np = numpy_or_none()
-    first, second = batch_two_pass(order, perms, parallel=parallel)
-    pass1 = batch_self_route(first, parallel=parallel)
-    pass2 = batch_self_route(second, omega_mode=True, parallel=parallel)
-    if np is None:
+    first, second = batch_two_pass(order, perms, parallel=parallel,
+                                   engine=engine)
+    pass1 = batch_self_route(first, parallel=parallel, engine=engine)
+    pass2 = batch_self_route(second, omega_mode=True, parallel=parallel,
+                             engine=engine)
+    # Compose by result *type*, not NumPy availability: a forced
+    # pure-Python engine returns lists even with the accel extra
+    # installed.
+    if isinstance(pass1.mappings, list):
         success = [a and b for a, b in zip(pass1.success_mask,
                                            pass2.success_mask)]
         mappings = [
@@ -411,6 +454,7 @@ def batch_route_two_pass(order: int, perms, *,
             for m1, m2 in zip(pass1.mappings, pass2.mappings)
         ]
         return BatchRouteResult(success_mask=success, mappings=mappings)
+    np = numpy_or_none()
     mappings = np.take_along_axis(
         np.asarray(pass1.mappings), np.asarray(pass2.mappings), axis=1
     )

@@ -220,6 +220,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             seed=args.seed,
             repeats=args.repeats,
             include_parallel=args.parallel,
+            engine=args.engine,
         )
         print(format_setup_table(report))
     else:
@@ -229,6 +230,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             seed=args.seed,
             repeats=args.repeats,
             include_parallel=args.parallel,
+            engine=args.engine,
         )
         print(format_table(report))
     if args.json:
@@ -483,6 +485,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated batch sizes")
     p_bench.add_argument("--repeats", type=int, default=3,
                          help="timing repetitions (best is kept)")
+    p_bench.add_argument("--engine", default="auto",
+                         choices=("scalar", "numpy", "bitslice",
+                                  "auto"),
+                         help="pin every cell to one batch engine; "
+                              "'auto' resolves per cell (and, for the "
+                              "route suite, also times the bitslice "
+                              "column)")
     p_bench.add_argument("--seed", type=int, default=1980)
     p_bench.add_argument("--json", default=None, metavar="PATH",
                          help="also write the machine-readable report "

@@ -102,12 +102,14 @@ def plan(perm: PermutationLike) -> RoutingPlan:
 
 @_spanned("plan.batch")
 def plan_batch(perms: Sequence[PermutationLike],
-               *, parallel=False) -> "list[RoutingPlan]":
+               *, parallel=False, engine=None) -> "list[RoutingPlan]":
     """:func:`plan` for a whole batch, with the F-membership test — the
     planner's dominant cost — pushed through the vectorized engine
     (:func:`repro.accel.batch_in_class_f`); ``parallel`` forwards to
-    the shard executor.  Plans are identical to ``[plan(p) for p in
-    perms]``, order preserved.
+    the shard executor and ``engine`` to the engine seam (``None`` =
+    auto-pick among scalar / NumPy / bitslice from measured per-order
+    crossover data, overridable via ``BENES_ENGINE``).  Plans are
+    identical to ``[plan(p) for p in perms]``, order preserved.
     """
     from .accel.batch import batch_in_class_f
 
@@ -127,6 +129,7 @@ def plan_batch(perms: Sequence[PermutationLike],
         verdicts = batch_in_class_f(
             [normalized[i].as_tuple() for i in indices],
             parallel=parallel,
+            engine=engine,
         )
         for i, verdict in zip(indices, verdicts):
             members[i] = bool(verdict)

@@ -1,9 +1,10 @@
 """Engine adapters: every routing implementation behind one interface.
 
-Four generations of engines implement the paper's Theorem-1 self-routing
+Six engine generations implement the paper's Theorem-1 self-routing
 semantics — the structural :class:`~repro.core.benes.BenesNetwork`, the
 integer :mod:`~repro.core.fastpath`, the vectorized
-:mod:`repro.accel.batch` kernel (with and without NumPy), and the
+:mod:`repro.accel.batch` kernel (with and without NumPy), the
+bit-sliced big-int kernel of :mod:`repro.accel.bitslice`, and the
 sharded :mod:`repro.accel.executor` path.  Differential verification
 needs them side by side under *identical* workloads, so this module
 normalizes each into an :class:`EngineRun`: plain-Python success
@@ -13,8 +14,9 @@ full per-stage switch states, ready for byte-level comparison.
 The adapters deliberately go through the same public entry points users
 call — a verifier that routes around the production surface verifies
 nothing.  Environment toggles (:func:`force_fallback`,
-:func:`low_shard_threshold`) flip the NumPy seam and the executor
-threshold so one process can drive every engine variant.
+:func:`force_engine`, :func:`low_shard_threshold`) flip the NumPy
+seam, the engine-resolution seam, and the executor threshold so one
+process can drive every engine variant.
 
 :func:`mutant_self_route_engine` builds a deliberately broken engine —
 a fastpath clone whose control logic reads the *wrong* tag bit in one
@@ -50,6 +52,7 @@ __all__ = [
     "MEMBERSHIP_ENGINES",
     "SELF_ROUTE_ENGINES",
     "STATES_ENGINES",
+    "force_engine",
     "force_fallback",
     "low_shard_threshold",
     "mutant_self_route_engine",
@@ -121,6 +124,19 @@ def force_fallback():
 
 
 @contextmanager
+def force_engine(name: Optional[str]):
+    """Steer every engine resolution inside the body to ``name``
+    (flips the :data:`repro.accel._np.FORCE_ENGINE` seam — the
+    monkeypatch equivalent of exporting ``BENES_ENGINE``)."""
+    previous = _np_seam.FORCE_ENGINE
+    _np_seam.FORCE_ENGINE = name
+    try:
+        yield
+    finally:
+        _np_seam.FORCE_ENGINE = previous
+
+
+@contextmanager
 def low_shard_threshold(threshold: int = 2):
     """Temporarily lower the executor's sharding threshold so small
     verification batches exercise the dispatch/merge path."""
@@ -177,11 +193,22 @@ def _batch_engine(rows, order, *, omega_mode=False,
 
 def _batch_fallback_engine(rows, order, *, omega_mode=False,
                            stuck_switches=None) -> EngineRun:
+    # engine="scalar" pins the scalar per-instance loop: under
+    # force_fallback an unqualified auto could resolve to bitslice,
+    # and this adapter exists to keep the loop leg under test.
     with force_fallback():
         result = batch_self_route(list(rows), omega_mode=omega_mode,
                                   stuck_switches=stuck_switches,
-                                  stage_states=True)
+                                  stage_states=True, engine="scalar")
     return _from_batch_result("batch-fallback", result)
+
+
+def _bitslice_engine(rows, order, *, omega_mode=False,
+                     stuck_switches=None) -> EngineRun:
+    result = batch_self_route(list(rows), omega_mode=omega_mode,
+                              stuck_switches=stuck_switches,
+                              stage_states=True, engine="bitslice")
+    return _from_batch_result("bitslice", result)
 
 
 def _sharded_engine(rows, order, *, omega_mode=False,
@@ -202,6 +229,7 @@ SELF_ROUTE_ENGINES: Dict[str, Callable[..., EngineRun]] = {
     "fastpath": _fastpath_engine,
     "batch": _batch_engine,
     "batch-fallback": _batch_fallback_engine,
+    "bitslice": _bitslice_engine,
     "sharded": _sharded_engine,
 }
 
@@ -236,7 +264,12 @@ def _membership_batch(rows, order) -> Tuple[bool, ...]:
 
 def _membership_batch_fallback(rows, order) -> Tuple[bool, ...]:
     with force_fallback():
-        mask = batch_in_class_f(list(rows))
+        mask = batch_in_class_f(list(rows), engine="scalar")
+    return tuple(bool(ok) for ok in mask)
+
+
+def _membership_bitslice(rows, order) -> Tuple[bool, ...]:
+    mask = batch_in_class_f(list(rows), engine="bitslice")
     return tuple(bool(ok) for ok in mask)
 
 
@@ -253,6 +286,7 @@ MEMBERSHIP_ENGINES: Dict[str, Callable[..., Tuple[bool, ...]]] = {
     "theorem1": _membership_theorem1,
     "membership-batch": _membership_batch,
     "membership-batch-fallback": _membership_batch_fallback,
+    "membership-bitslice": _membership_bitslice,
     "route-success": _membership_route_success,
 }
 
@@ -298,7 +332,15 @@ def _states_batch(states_batch, order) -> Tuple[Row, ...]:
 
 def _states_batch_fallback(states_batch, order) -> Tuple[Row, ...]:
     with force_fallback():
-        return _states_batch(states_batch, order)
+        result = batch_route_with_states(list(states_batch), order,
+                                         engine="scalar")
+    return tuple(tuple(int(v) for v in row) for row in result.mappings)
+
+
+def _states_bitslice(states_batch, order) -> Tuple[Row, ...]:
+    result = batch_route_with_states(list(states_batch), order,
+                                     engine="bitslice")
+    return tuple(tuple(int(v) for v in row) for row in result.mappings)
 
 
 STATES_ENGINES: Dict[str, Callable[..., Tuple[Row, ...]]] = {
@@ -306,6 +348,7 @@ STATES_ENGINES: Dict[str, Callable[..., Tuple[Row, ...]]] = {
     "states-fastpath": _states_fastpath,
     "states-batch": _states_batch,
     "states-batch-fallback": _states_batch_fallback,
+    "states-bitslice": _states_bitslice,
 }
 
 

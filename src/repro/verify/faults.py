@@ -126,7 +126,8 @@ def _scalar_oracle(net: BenesNetwork, rows: Sequence[Row],
 
 def run_campaign(order: int, *, rng: random.Random,
                  n_perms: int = 12,
-                 engines: Sequence[str] = ("fastpath", "batch"),
+                 engines: Sequence[str] = ("fastpath", "batch",
+                                           "bitslice"),
                  ) -> FaultCampaignReport:
     """Exhaustive single-fault sweep at ``order``: every
     ``(stage, switch, stuck_state)`` triple, the same ``n_perms``-row

@@ -1,0 +1,283 @@
+"""The ``_np.py`` engine seam: every accel entry point must dispatch
+to the engine the caller (or the environment) picked, and every engine
+must return value-identical ``BatchRouteResult``s.
+
+Covers the resolution precedence (explicit ``engine=`` keyword >
+``FORCE_ENGINE`` monkeypatch seam > ``BENES_ENGINE`` environment
+variable > auto), cross-engine value parity for all six public entry
+points (exhaustive orders <= 3, hypothesis 4-6), the
+``accel.engine_selected`` counter, the measured-crossover auto policy,
+and the error contract (unknown names, ``engine="numpy"`` without
+NumPy).
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import permutations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.accel._np as _np_mod
+from repro import obs
+from repro.accel import (
+    ENGINES,
+    autotune_clear,
+    batch_in_class_f,
+    batch_route_two_pass,
+    batch_route_with_states,
+    batch_self_route,
+    batch_setup_states,
+    batch_two_pass,
+    crossover_table,
+    have_numpy,
+    resolve_engine,
+)
+from repro.core import random_permutation
+from repro.errors import InvalidParameterError, MissingDependencyError
+from repro.planner import plan_batch
+
+needs_numpy = pytest.mark.skipif(not have_numpy(),
+                                 reason="NumPy not installed")
+
+PURE_ENGINES = ("scalar", "bitslice")
+ALL_ENGINES = tuple(e for e in ENGINES if e != "numpy" or have_numpy())
+
+
+@pytest.fixture(autouse=True)
+def _clean_seams(monkeypatch):
+    """No ambient engine steering: tests set FORCE_ENGINE/BENES_ENGINE
+    explicitly."""
+    monkeypatch.setattr(_np_mod, "FORCE_ENGINE", None)
+    monkeypatch.delenv("BENES_ENGINE", raising=False)
+    yield
+
+
+def _norm(result):
+    """A BatchRouteResult (any engine) to comparable plain values."""
+    out = {
+        "success": [bool(v) for v in result.success_mask],
+        "mappings": [tuple(int(v) for v in row)
+                     for row in result.mappings],
+    }
+    if result.stage_states is not None:
+        out["states"] = [
+            tuple(tuple(int(s) for s in col) for col in per_instance)
+            for per_instance in result.stage_states
+        ]
+    if result.per_stage is not None:
+        out["per_stage"] = [[int(v) for v in stage]
+                            for stage in result.per_stage]
+    return out
+
+
+def _random_states(order, rng, batch):
+    n = 1 << order
+    return [
+        [[rng.randint(0, 1) for _ in range(n // 2)]
+         for _ in range(2 * order - 1)]
+        for _ in range(batch)
+    ]
+
+
+class TestResolutionPrecedence:
+    def test_explicit_keyword_wins(self, monkeypatch):
+        monkeypatch.setattr(_np_mod, "FORCE_ENGINE", "scalar")
+        monkeypatch.setenv("BENES_ENGINE", "scalar")
+        assert resolve_engine("bitslice") == "bitslice"
+
+    def test_force_engine_beats_env(self, monkeypatch):
+        monkeypatch.setenv("BENES_ENGINE", "scalar")
+        monkeypatch.setattr(_np_mod, "FORCE_ENGINE", "bitslice")
+        assert resolve_engine(None) == "bitslice"
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv("BENES_ENGINE", "bitslice")
+        assert resolve_engine(None) == "bitslice"
+        assert resolve_engine(None, order=8, batch_size=1) == "bitslice"
+
+    def test_auto_prefers_numpy_when_available(self):
+        resolved = resolve_engine(None, order=4, batch_size=64)
+        if have_numpy():
+            assert resolved == "numpy"
+        else:
+            assert resolved in PURE_ENGINES
+
+    def test_auto_without_numpy_uses_crossover(self, monkeypatch):
+        monkeypatch.setattr(_np_mod, "FORCE_FALLBACK", True)
+        autotune_clear()
+        # tiny batches stay scalar; the probe table drives the rest
+        assert resolve_engine(None, order=4, batch_size=1) == "scalar"
+        resolved = resolve_engine(None, order=4, batch_size=4096)
+        assert resolved in PURE_ENGINES
+        table = crossover_table()
+        assert 4 in table and "crossover" in table[4]
+
+    def test_setup_kind_never_auto_bitslice(self, monkeypatch):
+        monkeypatch.setattr(_np_mod, "FORCE_FALLBACK", True)
+        assert resolve_engine(None, order=8, batch_size=4096,
+                              kind="setup") == "scalar"
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_engine("fortran")
+        with pytest.raises(InvalidParameterError):
+            batch_self_route([[0, 1]], engine="fortran")
+
+    def test_unknown_env_engine_raises(self, monkeypatch):
+        monkeypatch.setenv("BENES_ENGINE", "fortran")
+        with pytest.raises(InvalidParameterError):
+            batch_self_route([[0, 1]])
+
+    def test_numpy_engine_without_numpy_raises(self, monkeypatch):
+        monkeypatch.setattr(_np_mod, "FORCE_FALLBACK", True)
+        with pytest.raises(MissingDependencyError):
+            resolve_engine("numpy")
+        with pytest.raises(MissingDependencyError):
+            batch_self_route([[0, 1]], engine="numpy")
+
+
+class TestEntryPointParity:
+    """Every public accel entry point, every engine, identical values."""
+
+    @pytest.mark.parametrize("order", [1, 2])
+    def test_self_route_exhaustive(self, order):
+        perms = list(permutations(range(1 << order)))
+        results = {
+            engine: _norm(batch_self_route(perms, stage_states=True,
+                                           engine=engine))
+            for engine in ALL_ENGINES
+        }
+        reference = results["scalar"]
+        for engine, result in results.items():
+            assert result == reference, engine
+
+    @needs_numpy
+    @pytest.mark.parametrize("order", [2, 3])
+    def test_stage_data_numpy_vs_bitslice(self, order, rng):
+        # the scalar loop doesn't produce per-stage cross counts; the
+        # two engines that do must agree
+        n = 1 << order
+        perms = [random_permutation(n, rng).as_tuple()
+                 for _ in range(13)]
+        numpy_result = batch_self_route(perms, stage_data=True,
+                                        engine="numpy")
+        bits_result = batch_self_route(perms, stage_data=True,
+                                       engine="bitslice")
+        assert [[int(v) for v in stage]
+                for stage in numpy_result.per_stage] == \
+            [[int(v) for v in stage]
+             for stage in bits_result.per_stage]
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_all_entry_points(self, order, rng):
+        n = 1 << order
+        perms = [random_permutation(n, rng).as_tuple()
+                 for _ in range(19)]
+        states = _random_states(order, rng, 11)
+        reference = None
+        for engine in ALL_ENGINES:
+            bundle = {
+                "route": _norm(batch_self_route(
+                    perms, stage_states=True, engine=engine)),
+                "omega": _norm(batch_self_route(
+                    perms, omega_mode=True, engine=engine)),
+                "stuck": _norm(batch_self_route(
+                    perms, stuck_switches={(order - 1, 0): 1},
+                    engine=engine)),
+                "membership": [bool(v) for v in
+                               batch_in_class_f(perms, engine=engine)],
+                "with_states": _norm(batch_route_with_states(
+                    states, order, engine=engine)),
+                "setup": [
+                    [[int(s) for s in col] for col in instance]
+                    for instance in batch_setup_states(order, perms,
+                                                       engine=engine)
+                ],
+                "two_pass": [
+                    [tuple(int(v) for v in row) for row in half]
+                    for half in batch_two_pass(order, perms,
+                                               engine=engine)
+                ],
+                "route_two_pass": _norm(batch_route_two_pass(
+                    order, perms, engine=engine)),
+            }
+            if reference is None:
+                reference = bundle
+            else:
+                for key, value in bundle.items():
+                    assert value == reference[key], (engine, key)
+
+    @settings(max_examples=15, deadline=None)
+    @given(order=st.integers(min_value=4, max_value=6), data=st.data())
+    def test_self_route_hypothesis(self, order, data):
+        n = 1 << order
+        rows = data.draw(st.lists(st.permutations(range(n)),
+                                  min_size=1, max_size=4))
+        results = {
+            engine: _norm(batch_self_route(rows, stage_states=True,
+                                           engine=engine))
+            for engine in ALL_ENGINES
+        }
+        reference = results["scalar"]
+        for engine, result in results.items():
+            assert result == reference, engine
+
+    def test_result_types_follow_engine(self):
+        perms = [(0, 1, 2, 3), (1, 3, 2, 0)]
+        for engine in PURE_ENGINES:
+            result = batch_self_route(perms, engine=engine)
+            assert isinstance(result.success_mask, list)
+            assert isinstance(result.mappings, list)
+        if have_numpy():
+            import numpy as np
+
+            result = batch_self_route(perms, engine="numpy")
+            assert isinstance(result.success_mask, np.ndarray)
+
+    def test_env_var_steers_entry_points(self, monkeypatch):
+        perms = [(1, 3, 2, 0)]
+        monkeypatch.setenv("BENES_ENGINE", "bitslice")
+        result = batch_self_route(perms)
+        assert isinstance(result.success_mask, list)
+        assert result.success_mask == [False]
+
+    def test_plan_batch_engine_kwarg(self, rng):
+        perms = [random_permutation(8, rng).as_tuple()
+                 for _ in range(9)]
+        plans = {
+            engine: plan_batch(perms, engine=engine)
+            for engine in ALL_ENGINES
+        }
+        reference = plans["scalar"]
+        for engine, batch in plans.items():
+            assert [p.in_f for p in batch] == \
+                [p.in_f for p in reference], engine
+            assert [p.network_strategy for p in batch] == \
+                [p.network_strategy for p in reference], engine
+
+
+class TestEngineSelectedCounter:
+    @pytest.fixture(autouse=True)
+    def _clean_obs(self):
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    def test_counter_labels(self):
+        obs.enable()
+        perms = [(0, 1, 2, 3), (1, 3, 2, 0)]
+        batch_self_route(perms, engine="scalar")
+        batch_self_route(perms, engine="bitslice")
+        batch_in_class_f(perms, engine="bitslice")
+        counters = obs.snapshot()["counters"]
+        assert counters["accel.engine_selected.scalar"] == 1
+        assert counters["accel.engine_selected.bitslice"] == 2
+        if have_numpy():
+            batch_self_route(perms, engine="numpy")
+            counters = obs.snapshot()["counters"]
+            assert counters["accel.engine_selected.numpy"] == 1

@@ -11,12 +11,15 @@ compact JSON line::
     {"ts": 1754438400, "source": "BENCH_accel.json",
      "benchmark": "...", "numpy": true, "cpu_count": 8,
      "cells": [{"kind": "route", "order": 8, "batch_size": 256,
-                "parallel": false, "speedup": 24.1}, ...]}
+                "parallel": false, "engine": "numpy",
+                "speedup": 24.1}, ...]}
 
 Only the identifying keys and the speedup of each cell are kept — the
 raw items/second are machine-dependent noise for trend purposes.  Cells
 from route reports (no ``kind`` field) are recorded as
-``kind = "route"``.  Usage::
+``kind = "route"``; cells from pre-engine reports get the engine their
+report could have used (``numpy`` when it was produced with NumPy,
+``scalar`` otherwise).  Usage::
 
     python tools/bench_history.py BENCH_accel.json BENCH_setup.json \\
         [--history BENCH_history.jsonl]
@@ -33,11 +36,13 @@ import time
 
 def summarize(report: dict, source: str, ts: int) -> dict:
     """The one-line trajectory record for a bench report."""
+    report_numpy = bool(report.get("numpy", False))
+    default_engine = "numpy" if report_numpy else "scalar"
     return {
         "ts": ts,
         "source": source,
         "benchmark": report.get("benchmark", "?"),
-        "numpy": bool(report.get("numpy", False)),
+        "numpy": report_numpy,
         "cpu_count": report.get("cpu_count"),
         "cells": [
             {
@@ -45,6 +50,7 @@ def summarize(report: dict, source: str, ts: int) -> dict:
                 "order": cell.get("order"),
                 "batch_size": cell.get("batch_size"),
                 "parallel": bool(cell.get("parallel", False)),
+                "engine": cell.get("engine") or default_engine,
                 "speedup": cell.get("speedup"),
             }
             for cell in report.get("cells", [])

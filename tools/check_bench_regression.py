@@ -10,15 +10,22 @@ same process on the same machine — which tracks engine regressions
 (a dropped vectorized path, an accidental per-item Python loop) while
 shrugging off slow CI runners.
 
+Cells carry an ``engine`` column since the bit-sliced big-int engine
+joined; legacy baselines without it are read as ``numpy`` when their
+report was produced with NumPy and ``scalar`` otherwise.  Two route
+guards run: the NumPy cell (floor 10x, skipped when NumPy is absent)
+and the bitslice cell (floor 5x, runs on **both** CI legs — the
+no-NumPy fast path is exactly what it guards).
+
 Verdict per cell:
 
 - **fail** when the measured speedup drops more than ``--tolerance``
-  (default 30%) below the baseline *and* falls under the acceptance
-  floor (10x); a run that still clears the floor passes with a warning
-  unless ``--strict`` is given (CI boxes are noisy — a 30% swing above
-  the floor is weather, not climate);
-- **skip** cleanly (exit 0) when NumPy is absent (fallback mode has no
-  speedup to guard) or a baseline file is missing.
+  (default 30%) below the baseline *and* falls under the engine's
+  acceptance floor; a run that still clears the floor passes with a
+  warning unless ``--strict`` is given (CI boxes are noisy — a 30%
+  swing above the floor is weather, not climate);
+- **skip** cleanly (exit 0) for guards whose engine is unavailable
+  (NumPy absent) or whose baseline file has no matching cell.
 
 When a ``BENCH_history.jsonl`` trajectory exists (appended by
 ``tools/bench_history.py``), the baseline for each cell is the
@@ -27,7 +34,7 @@ When a ``BENCH_history.jsonl`` trajectory exists (appended by
 slow, no longer moves the goalposts.  The committed ``BENCH_*.json``
 remains the fallback when the trajectory has no matching cell.
 
-Run from the repository root (CI does, on the numpy matrix leg)::
+Run from the repository root (CI does, on both matrix legs)::
 
     PYTHONPATH=src python tools/check_bench_regression.py
 """
@@ -43,7 +50,17 @@ import sys
 
 GUARD_ORDER = 8
 GUARD_BATCH = 256
-FLOOR = 10.0
+FLOOR = 10.0           # NumPy engine acceptance floor
+BITSLICE_FLOOR = 5.0   # bit-sliced big-int engine acceptance floor
+
+
+def _cell_engine(cell, report_numpy: bool) -> str:
+    """A cell's engine column, defaulting legacy (pre-engine) cells to
+    the engine their report could have used."""
+    engine = cell.get("engine")
+    if engine is not None:
+        return engine
+    return "numpy" if report_numpy else "scalar"
 
 
 def _load_report(path: pathlib.Path):
@@ -66,17 +83,20 @@ def _load_report(path: pathlib.Path):
     return report
 
 
-def _baseline_speedup(path: pathlib.Path, kind=None):
+def _baseline_speedup(path: pathlib.Path, kind=None,
+                      engine: str = "numpy"):
     """The guarded cell's speedup in a committed report, or None."""
     report = _load_report(path)
-    if report is None or not report.get("numpy", False):
+    if report is None:
         return None
+    report_numpy = bool(report.get("numpy", False))
     for cell in report.get("cells", []):
         if (isinstance(cell, dict)
                 and cell.get("order") == GUARD_ORDER
                 and cell.get("batch_size") == GUARD_BATCH
                 and not cell.get("parallel", False)
-                and (kind is None or cell.get("kind") == kind)):
+                and (kind is None or cell.get("kind") == kind)
+                and _cell_engine(cell, report_numpy) == engine):
             if cell.get("speedup") is None:
                 # pre-verify benchmark cells carried no normalized
                 # speedup; nothing comparable to guard against
@@ -88,7 +108,7 @@ def _baseline_speedup(path: pathlib.Path, kind=None):
 
 
 def _trajectory_speedup(history: pathlib.Path, kind: str,
-                        window: int) -> tuple:
+                        window: int, engine: str = "numpy") -> tuple:
     """Median guarded-cell speedup over the last ``window`` matching
     trajectory records, as ``(median, n_points)`` — ``(None, 0)``
     when the history has nothing usable."""
@@ -103,14 +123,14 @@ def _trajectory_speedup(history: pathlib.Path, kind: str,
             record = json.loads(line)
         except json.JSONDecodeError:
             continue  # a torn/hand-edited line must not kill the guard
-        if not record.get("numpy", False):
-            continue
+        record_numpy = bool(record.get("numpy", False))
         for cell in record.get("cells", []):
             if (cell.get("kind", "route") == kind
                     and cell.get("order") == GUARD_ORDER
                     and cell.get("batch_size") == GUARD_BATCH
                     and not cell.get("parallel", False)
-                    and cell.get("speedup") is not None):
+                    and cell.get("speedup") is not None
+                    and _cell_engine(cell, record_numpy) == engine):
                 points.append(float(cell["speedup"]))
     if not points:
         return None, 0
@@ -119,13 +139,14 @@ def _trajectory_speedup(history: pathlib.Path, kind: str,
 
 
 def _check(name: str, baseline: float, current: float,
-           tolerance: float, strict: bool) -> bool:
+           tolerance: float, strict: bool,
+           floor: float = FLOOR) -> bool:
     """Print one verdict line; return False on a hard failure."""
     drop = 1.0 - current / baseline if baseline > 0 else 0.0
     status = "ok"
     failed = False
     if drop > tolerance:
-        if current < FLOOR or strict:
+        if current < floor or strict:
             status, failed = "FAIL", True
         else:
             status = "warn (above floor)"
@@ -160,48 +181,72 @@ def main(argv=None) -> int:
 
     from repro.accel import have_numpy
 
-    if not have_numpy():
-        print("bench guard: NumPy absent, nothing to guard (skip)")
-        return 0
-
+    np_available = have_numpy()
     root = pathlib.Path(args.root)
     from repro.accel.benchmark import measure_cell, measure_setup_cell
 
     ok = True
     print(f"bench guard: order {GUARD_ORDER}, batch {GUARD_BATCH}, "
-          f"tolerance {args.tolerance:.0%}")
+          f"tolerance {args.tolerance:.0%}"
+          + ("" if np_available else " (NumPy absent)"))
     history = root / args.history
 
-    def _resolve_baseline(kind: str, committed):
+    def _resolve_baseline(kind: str, committed, engine: str):
         """Trajectory median when available, else the committed
         report's cell; the source is named in the verdict line."""
         median, n_points = _trajectory_speedup(history, kind,
-                                               args.window)
+                                               args.window, engine)
         if median is not None:
-            return median, f"{kind} (median of {n_points})"
-        return committed, kind
+            return median, f"{kind}/{engine} (median of {n_points})"
+        return committed, f"{kind}/{engine}"
 
+    if np_available:
+        baseline, label = _resolve_baseline(
+            "route",
+            _baseline_speedup(root / "BENCH_accel.json"), "numpy")
+        if baseline is None:
+            print("  route/numpy: no baseline (skip)")
+        else:
+            cell = measure_cell(GUARD_ORDER, GUARD_BATCH,
+                                random.Random(1980),
+                                repeats=args.repeats, engine="numpy")
+            ok &= _check(label, baseline, cell["speedup"],
+                         args.tolerance, args.strict)
+    else:
+        print("  route/numpy: NumPy absent (skip)")
+
+    # The bitslice guard runs on both CI legs: the engine needs
+    # nothing beyond the stdlib, and the no-NumPy fast path is
+    # exactly what it protects.
     baseline, label = _resolve_baseline(
-        "route", _baseline_speedup(root / "BENCH_accel.json"))
+        "route",
+        _baseline_speedup(root / "BENCH_accel.json",
+                          engine="bitslice"), "bitslice")
     if baseline is None:
-        print("  route: no baseline (skip)")
+        print("  route/bitslice: no baseline (skip)")
     else:
         cell = measure_cell(GUARD_ORDER, GUARD_BATCH,
-                            random.Random(1980), repeats=args.repeats)
+                            random.Random(1980), repeats=args.repeats,
+                            engine="bitslice")
         ok &= _check(label, baseline, cell["speedup"],
-                     args.tolerance, args.strict)
+                     args.tolerance, args.strict,
+                     floor=BITSLICE_FLOOR)
 
-    for kind in ("setup", "two_pass"):
-        baseline, label = _resolve_baseline(
-            kind, _baseline_speedup(root / "BENCH_setup.json", kind))
-        if baseline is None:
-            print(f"  {kind}: no baseline (skip)")
-            continue
-        cell = measure_setup_cell(GUARD_ORDER, GUARD_BATCH,
-                                  random.Random(1968), kind=kind,
-                                  repeats=args.repeats)
-        ok &= _check(label, baseline, cell["speedup"],
-                     args.tolerance, args.strict)
+    if np_available:
+        for kind in ("setup", "two_pass"):
+            baseline, label = _resolve_baseline(
+                kind,
+                _baseline_speedup(root / "BENCH_setup.json", kind),
+                "numpy")
+            if baseline is None:
+                print(f"  {kind}/numpy: no baseline (skip)")
+                continue
+            cell = measure_setup_cell(GUARD_ORDER, GUARD_BATCH,
+                                      random.Random(1968), kind=kind,
+                                      repeats=args.repeats,
+                                      engine="numpy")
+            ok &= _check(label, baseline, cell["speedup"],
+                         args.tolerance, args.strict)
 
     return 0 if ok else 1
 
