@@ -1,0 +1,396 @@
+"""SERVE — routing-as-a-service throughput under concurrent load.
+
+Not a paper claim: the service-level perf budget for the ``benes
+serve`` daemon.  A closed-loop load generator runs C concurrent client
+threads against a daemon started in-process; each client opens its own
+TCP connection and issues route requests one at a time (send, wait,
+repeat), so the only batching is what the daemon's **coalescing
+queue** builds by overlapping requests from different connections.
+
+Two modes per client count:
+
+- ``coalesced``  — the production configuration (``--max-batch 64``):
+  concurrent requests from many connections merge into wide ``(B, N)``
+  engine batches;
+- ``per-request`` — the coalescer is neutered (``max_batch=1``): every
+  request becomes its own single-row engine call, which is what a
+  naive one-request-one-batch server would do.
+
+The headline cell is ``coalesced`` at the highest client count; its
+``speedup`` column is coalesced requests/second over per-request
+requests/second at the same concurrency.  The acceptance floor
+(>= 3x at >= 256 clients) is asserted by
+``tools/check_bench_regression.py`` against the committed
+``BENCH_serve.json``.
+
+Run as a script to (re)generate the machine-readable report::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --json BENCH_serve.json
+
+or under pytest (``pytest benchmarks -k serve``) for reduced-scale
+smoke assertions: response correctness under concurrency, both modes
+measurable, and a sane latency distribution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import threading
+import time
+
+import pytest
+from conftest import emit
+
+from repro.accel import have_numpy
+from repro.accel._np import resolve_engine
+from repro.core import random_permutation
+from repro.core.fastpath import fast_self_route
+from repro.serve import ServeConfig, ServeClient, start_in_thread
+
+import random
+
+DEFAULT_CLIENTS = (8, 64, 256)
+DEFAULT_ORDER = 5
+DEFAULT_REQUESTS = 16  # per client, per mode
+DEFAULT_BURST = 8
+DEFAULT_MAX_BATCH = 256
+DEFAULT_MAX_WAIT_US = 2000.0
+
+
+def _percentile(sorted_values, fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1,
+               max(0, int(fraction * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+_OK_MARK = b'"status":"ok"'  # canonical encoding is sorted + compact
+
+
+async def _async_load(host, port, clients, rows, burst):
+    """The closed-loop client swarm: ``clients`` concurrent
+    connections in one event loop (one OS thread can hold hundreds of
+    idle sockets, where a thread per client would spend the run
+    fighting the daemon for the GIL).  Every client pre-encodes and
+    pre-connects, a shared event releases them together, and each then
+    issues its rows in pipelined bursts of ``burst`` — the shape
+    :meth:`repro.serve.client.ServeClient.request_many` sends — waiting
+    for every response of a burst before sending the next.  Both modes
+    see the identical client behavior; the only difference under test
+    is whether the daemon coalesces what arrives."""
+    import asyncio
+
+    from repro.serve import protocol
+
+    latencies: list = []
+    errors: list = []
+    go = asyncio.Event()
+    ready = asyncio.Semaphore(0)
+
+    def pre_encode():
+        """Per-client payloads, one bytes blob per burst (encoding is
+        client-side work the benchmark should not time)."""
+        bursts = []
+        for first in range(0, len(rows), burst):
+            chunk = rows[first:first + burst]
+            lines = "".join(
+                protocol.encode_request(protocol.RouteRequest(
+                    op="route", tags=row, id=first + offset + 1)) + "\n"
+                for offset, row in enumerate(chunk))
+            bursts.append((lines.encode("utf-8"), len(chunk)))
+        return bursts
+
+    async def one_client():
+        bursts = pre_encode()
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError as exc:
+            ready.release()
+            errors.append(f"connect: {exc}")
+            return
+        try:
+            ready.release()
+            await go.wait()
+            for payload, count in bursts:
+                t0 = time.perf_counter()
+                writer.write(payload)
+                await writer.drain()
+                for _ in range(count):
+                    line = await reader.readline()
+                    if not line:
+                        errors.append("connection closed mid-run")
+                        return
+                    if _OK_MARK not in line:
+                        response = protocol.decode_response(line)
+                        errors.append(response.error
+                                      or response.status)
+                elapsed = time.perf_counter() - t0
+                latencies.extend([elapsed / count] * count)
+        except Exception as exc:  # collected, not raised
+            errors.append(f"{exc.__class__.__name__}: {exc}")
+        finally:
+            writer.close()
+
+    tasks = [asyncio.ensure_future(one_client())
+             for _ in range(clients)]
+    for _ in range(clients):
+        await ready.acquire()
+    t0 = time.perf_counter()
+    go.set()
+    await asyncio.gather(*tasks)
+    wall = time.perf_counter() - t0
+    return latencies, errors, wall
+
+
+def run_load(config: ServeConfig, clients: int, requests: int,
+             order: int, seed: int, burst: int = 4) -> dict:
+    """Start a daemon with ``config``, drive it with ``clients``
+    concurrent closed-loop connections of ``requests`` routes each
+    (pipelined ``burst`` at a time), return the measured cell
+    (rps / p50_us / p99_us / errors)."""
+    import asyncio
+
+    n = 1 << order
+    rng = random.Random(seed)
+    rows = [random_permutation(n, rng).as_tuple()
+            for _ in range(requests)]
+    with start_in_thread(config) as handle:
+        host, port = handle.address
+        latencies, errors, wall = asyncio.run(
+            _async_load(host, port, clients, rows, burst))
+    total = clients * requests
+    ordered = sorted(latencies)
+    return {
+        "requests": total,
+        "completed": len(latencies),
+        "errors": len(errors),
+        "error_samples": errors[:3],
+        "wall_s": wall,
+        "rps": total / wall if wall > 0 else 0.0,
+        "p50_us": _percentile(ordered, 0.50) * 1e6,
+        "p99_us": _percentile(ordered, 0.99) * 1e6,
+    }
+
+
+def _mode_config(mode: str, *, max_batch: int, max_wait_us: float,
+                 order: int) -> ServeConfig:
+    if mode == "coalesced":
+        return ServeConfig(port=0, max_batch=max_batch,
+                           max_wait_us=max_wait_us,
+                           warm_orders=(order,))
+    if mode == "per-request":
+        # Size cutoff 1: every request flushes alone — the
+        # one-request-one-batch strawman the coalescer is measured
+        # against.
+        return ServeConfig(port=0, max_batch=1, max_wait_us=0.0,
+                           warm_orders=(order,))
+    raise SystemExit(f"unknown mode {mode!r}")
+
+
+def run_serve_benchmark(clients_sweep=DEFAULT_CLIENTS,
+                        requests: int = DEFAULT_REQUESTS,
+                        order: int = DEFAULT_ORDER,
+                        max_batch: int = DEFAULT_MAX_BATCH,
+                        max_wait_us: float = DEFAULT_MAX_WAIT_US,
+                        seed: int = 1980,
+                        burst: int = DEFAULT_BURST,
+                        modes=("per-request", "coalesced")) -> dict:
+    """The full sweep: every mode at every client count; coalesced
+    cells carry ``speedup`` = coalesced rps / per-request rps at the
+    same concurrency."""
+    engine = resolve_engine(order=order, batch_size=max_batch,
+                            kind="route")
+    cells = []
+    per_request_rps: dict = {}
+    for clients in clients_sweep:
+        for mode in modes:
+            config = _mode_config(mode, max_batch=max_batch,
+                                  max_wait_us=max_wait_us, order=order)
+            measured = run_load(config, clients, requests, order,
+                                seed, burst=burst)
+            cell = {
+                "kind": "serve",
+                "order": order,
+                "batch_size": max_batch if mode == "coalesced" else 1,
+                "parallel": False,
+                "engine": engine,
+                "clients": clients,
+                "mode": mode,
+                "speedup": None,
+                **measured,
+            }
+            if mode == "per-request":
+                per_request_rps[clients] = measured["rps"]
+            elif per_request_rps.get(clients):
+                cell["speedup"] = (measured["rps"]
+                                   / per_request_rps[clients])
+            cells.append(cell)
+    return {
+        "benchmark": "serve",
+        "numpy": have_numpy(),
+        "cpu_count": os.cpu_count(),
+        "order": order,
+        "max_batch": max_batch,
+        "max_wait_us": max_wait_us,
+        "requests_per_client": requests,
+        "burst": burst,
+        "cells": cells,
+    }
+
+
+def format_serve_table(report: dict) -> str:
+    header = (f"{'clients':>7}  {'mode':<11} {'engine':>8} "
+              f"{'rps':>9} {'p50_us':>9} {'p99_us':>10} "
+              f"{'speedup':>8}")
+    lines = [header]
+    for cell in report["cells"]:
+        speedup = (f"{cell['speedup']:.1f}x"
+                   if cell.get("speedup") else "-")
+        lines.append(
+            f"{cell['clients']:>7}  {cell['mode']:<11} "
+            f"{cell['engine']:>8} {cell['rps']:>9.0f} "
+            f"{cell['p50_us']:>9.0f} {cell['p99_us']:>10.0f} "
+            f"{speedup:>8}")
+    return "\n".join(lines)
+
+
+# -- pytest smoke -------------------------------------------------------
+
+SMOKE_CLIENTS = 8
+SMOKE_REQUESTS = 4
+SMOKE_ORDER = 4
+
+
+def test_serve_load_responses_correct(rng):
+    """Under concurrent load every response must match the scalar
+    fast path for its own request row (no cross-lane mixups in the
+    coalescer)."""
+    n = 1 << SMOKE_ORDER
+    rows = [random_permutation(n, rng).as_tuple() for _ in range(12)]
+    expected = [fast_self_route(row) for row in rows]
+    config = _mode_config("coalesced", max_batch=8, max_wait_us=500.0,
+                          order=SMOKE_ORDER)
+    per_thread: dict = {}
+    with start_in_thread(config) as handle:
+        host, port = handle.address
+
+        def worker(index):
+            with ServeClient(host, port) as client:
+                per_thread[index] = client.route_many(rows)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+    assert len(per_thread) == 4
+    for responses in per_thread.values():
+        assert len(responses) == len(rows)
+        for response, (ok, dst) in zip(responses, expected):
+            assert response.status == "ok"
+            assert response.success == ok
+            assert tuple(response.mapping) == dst
+
+
+def test_serve_benchmark_smoke():
+    """Both modes measure at reduced scale; the report has the schema
+    the trajectory tools consume."""
+    report = run_serve_benchmark(clients_sweep=(SMOKE_CLIENTS,),
+                                 requests=SMOKE_REQUESTS,
+                                 order=SMOKE_ORDER,
+                                 max_batch=8, max_wait_us=500.0)
+    emit("SERVE throughput (smoke scale)", format_serve_table(report))
+    assert {cell["mode"] for cell in report["cells"]} == {
+        "per-request", "coalesced"}
+    for cell in report["cells"]:
+        assert cell["kind"] == "serve"
+        assert cell["errors"] == 0, cell["error_samples"]
+        assert cell["completed"] == cell["requests"]
+        assert cell["rps"] > 0
+        assert cell["p99_us"] >= cell["p50_us"] > 0
+        assert cell["engine"]
+    coalesced = [cell for cell in report["cells"]
+                 if cell["mode"] == "coalesced"]
+    assert coalesced[0]["speedup"] is not None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark the benes serve daemon under "
+                    "concurrent closed-loop load")
+    parser.add_argument("--clients", default="8,64,256",
+                        help="comma-separated concurrent client counts")
+    parser.add_argument("--requests", type=int,
+                        default=DEFAULT_REQUESTS,
+                        help="requests per client per mode")
+    parser.add_argument("--order", type=int, default=DEFAULT_ORDER)
+    parser.add_argument("--burst", type=int, default=DEFAULT_BURST,
+                        help="pipelined requests per client round "
+                             "trip (identical in both modes)")
+    parser.add_argument("--max-batch", type=int,
+                        default=DEFAULT_MAX_BATCH)
+    parser.add_argument("--max-wait-us", type=float,
+                        default=DEFAULT_MAX_WAIT_US)
+    parser.add_argument("--seed", type=int, default=1980)
+    parser.add_argument("--modes", default="per-request,coalesced")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write BENCH_serve.json")
+    parser.add_argument("--assert-p99-ms", type=float, default=None,
+                        help="fail unless every coalesced cell's p99 "
+                             "is under this many milliseconds")
+    parser.add_argument("--assert-speedup", type=float, default=None,
+                        help="fail unless the highest-concurrency "
+                             "coalesced cell clears this speedup")
+    args = parser.parse_args(argv)
+
+    clients_sweep = tuple(
+        int(tok) for tok in args.clients.replace(" ", "").split(","))
+    modes = tuple(args.modes.replace(" ", "").split(","))
+    report = run_serve_benchmark(
+        clients_sweep=clients_sweep, requests=args.requests,
+        order=args.order, max_batch=args.max_batch,
+        max_wait_us=args.max_wait_us, seed=args.seed,
+        burst=args.burst, modes=modes)
+    print(format_serve_table(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {args.json}")
+
+    failures = []
+    coalesced = [cell for cell in report["cells"]
+                 if cell["mode"] == "coalesced"]
+    for cell in report["cells"]:
+        if cell["errors"]:
+            failures.append(
+                f"{cell['mode']}@{cell['clients']}: "
+                f"{cell['errors']} errors "
+                f"(e.g. {cell['error_samples']})")
+    if args.assert_p99_ms is not None:
+        for cell in coalesced:
+            if cell["p99_us"] > args.assert_p99_ms * 1000.0:
+                failures.append(
+                    f"coalesced@{cell['clients']}: p99 "
+                    f"{cell['p99_us'] / 1000.0:.1f}ms > "
+                    f"{args.assert_p99_ms:.1f}ms bound")
+    if args.assert_speedup is not None and coalesced:
+        top = max(coalesced, key=lambda cell: cell["clients"])
+        if not top["speedup"] or top["speedup"] < args.assert_speedup:
+            failures.append(
+                f"coalesced@{top['clients']}: speedup "
+                f"{top['speedup'] or 0.0:.2f}x < "
+                f"{args.assert_speedup:.1f}x floor")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

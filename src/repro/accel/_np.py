@@ -108,21 +108,37 @@ def resolve_engine(engine=None, *, order=None, batch_size=None,
     Requesting ``"numpy"`` without NumPy raises
     :class:`~repro.errors.MissingDependencyError`; an unknown name
     raises :class:`~repro.errors.InvalidParameterError`.
+
+    Validation is delegated to the first-class registry
+    (:func:`repro.engines.require_exec`): the accepted names are the
+    registered exec-seam engines, so registering a new engine extends
+    this seam without touching it.  :data:`ENGINES` stays as the
+    built-in tuple for documentation and the registry bootstrap.
     """
     requested = engine
     if requested is None:
         requested = FORCE_ENGINE or os.environ.get("BENES_ENGINE") \
             or "auto"
-    if requested not in ENGINES and requested != "auto":
-        raise InvalidParameterError(
-            f"unknown accel engine {requested!r}; choose one of "
-            f"{', '.join(ENGINES)} or 'auto' (also settable via the "
-            "BENES_ENGINE environment variable)"
-        )
-    if requested == "numpy":
-        require_numpy("engine='numpy'")
-        return "numpy"
     if requested != "auto":
+        # Imported lazily: repro.engines builds its built-in specs on
+        # top of this module, so the dependency must point one way at
+        # import time.  The fallback keeps bootstrap uses (the
+        # registry's own adapters) working before registration ends.
+        try:
+            from ..engines import require_exec
+        except ImportError:
+            require_exec = None
+        if require_exec is not None:
+            require_exec(requested)
+            return requested
+        if requested not in ENGINES:
+            raise InvalidParameterError(
+                f"unknown accel engine {requested!r}; choose one of "
+                f"{', '.join(ENGINES)} or 'auto' (also settable via "
+                "the BENES_ENGINE environment variable)"
+            )
+        if requested == "numpy":
+            require_numpy("engine='numpy'")
         return requested
     if have_numpy():
         return "numpy"

@@ -21,8 +21,18 @@ Subcommands::
     benes verify [--seed S]           differential cross-engine fuzzing,
                 [--budget 30s]        fault-injection parity, and the
                 [--json PATH]         planted-mutant self-test
+    benes serve --port P              routing-as-a-service daemon:
+                [--max-batch B]       coalesce concurrent JSON-line
+                [--max-wait-us U]     requests into (B, N) engine
+                [--metrics-port M]    batches (see repro.serve)
 
 Permutations are comma-separated destination-tag lists.
+
+``benes route|bench|verify|serve`` share one option block —
+``--engine/--parallel/--seed/--profile`` — defined once in
+:func:`_shared_engine_parent`; its ``--engine`` choices come from the
+:mod:`repro.engines` registry, and the resolution precedence is
+documented there (and only there).
 
 ``benes route D --profile`` emits a JSON-lines event trace on stderr
 while routing; ``benes bench --profile`` runs the sweep with metrics
@@ -87,6 +97,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_route(args: argparse.Namespace) -> int:
+    if args.engine not in (None, "auto"):
+        # Cross-check the name against the registry even though the
+        # structural trace route is engine-independent — a typo should
+        # fail identically across every subcommand.
+        from .engines import require_exec
+
+        require_exec(args.engine)
     perm = _parse_permutation(args.permutation)
     order = perm.order
     net = BenesNetwork(order)
@@ -220,7 +237,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             seed=args.seed,
             repeats=args.repeats,
             include_parallel=args.parallel,
-            engine=args.engine,
+            engine=args.engine or "auto",
         )
         print(format_setup_table(report))
     else:
@@ -230,7 +247,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             seed=args.seed,
             repeats=args.repeats,
             include_parallel=args.parallel,
-            engine=args.engine,
+            engine=args.engine or "auto",
         )
         print(format_table(report))
     if args.json:
@@ -328,8 +345,10 @@ def _parse_budget(text: str) -> float:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
+    from .engines import ALL_SELF_ROUTE_ENGINES, force_engine
     from .verify import VerifyConfig, run_verify
-    from .verify.engines import SELF_ROUTE_ENGINES
 
     if args.profile:
         _obs.enable()
@@ -337,11 +356,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     engines = None
     if args.engines:
         engines = tuple(args.engines.replace(" ", "").split(","))
-        unknown = [e for e in engines if e not in SELF_ROUTE_ENGINES]
+        # Validated against the FULL registry view: opt-in engines
+        # (e.g. the live-daemon "serve" adapter) are reachable by
+        # explicit name even though default sweeps exclude them.
+        unknown = [e for e in engines
+                   if e not in ALL_SELF_ROUTE_ENGINES]
         if unknown:
             raise SystemExit(
                 f"unknown --engines {', '.join(unknown)}; known: "
-                f"{', '.join(SELF_ROUTE_ENGINES)}"
+                f"{', '.join(ALL_SELF_ROUTE_ENGINES)}"
             )
     families = tuple(args.families.replace(" ", "").split(","))
     known_families = VerifyConfig().families
@@ -363,7 +386,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         engines=engines,
         self_test=not args.no_self_test,
     )
-    report = run_verify(config)
+    # The shared --engine flag steers the engine-resolution seam for
+    # the whole campaign — the in-process form of BENES_ENGINE.
+    steer = force_engine(args.engine) \
+        if args.engine not in (None, "auto") else nullcontext()
+    with steer:
+        report = run_verify(config)
 
     d = report.to_dict()
     print(f"verify: seed={config.seed} budget={config.budget_seconds}s "
@@ -410,6 +438,128 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from .serve import ServeConfig
+    from .serve import daemon as serve_daemon
+
+    if args.profile or args.metrics_port is not None:
+        _obs.enable()
+        # main() bumped this before collection was on; count ourselves.
+        _obs.inc("cli.command.serve")
+    if args.metrics_port is not None:
+        from .obs import export
+
+        scrape = export.build_server(args.metrics_port, args.host)
+        threading.Thread(target=scrape.serve_forever,
+                         name="benes-metrics", daemon=True).start()
+        print(f"benes serve: scrape endpoint on "
+              f"http://{args.host}:{args.metrics_port}/metrics",
+              file=sys.stderr)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        queue_limit=args.queue_limit,
+        engine=None if args.engine in (None, "auto") else args.engine,
+        parallel=args.parallel,
+        warm_orders=tuple(_parse_int_list(args.warm_orders,
+                                          "--warm-orders")),
+    )
+    if args.smoke_requests is not None:
+        return _serve_smoke(config, args.smoke_requests,
+                            seed=args.seed if args.seed is not None
+                            else 1981)
+    serve_daemon.serve(config)
+    return 0
+
+
+def _serve_smoke(config, count: int, *, seed: int) -> int:
+    """Self-test mode for ``benes serve``: start the daemon, route
+    ``count`` random permutations through a real socket client, check
+    every response against the direct engine answer, and shut down.
+    Gives CI a deterministic one-shot serving session (one trace tree,
+    no backgrounded process to babysit)."""
+    import random
+
+    from .core.fastpath import fast_self_route
+    from .errors import InvalidParameterError
+    from .serve import ServeClient
+    from .serve import daemon as serve_daemon
+
+    if count < 1:
+        raise InvalidParameterError("--smoke-requests must be >= 1")
+    order = max(config.warm_orders) if config.warm_orders else 3
+    size = 2 ** order
+    rng = random.Random(seed)
+    rows = []
+    for _ in range(count):
+        perm = list(range(size))
+        rng.shuffle(perm)
+        rows.append(perm)
+
+    handle = serve_daemon.start_in_thread(config)
+    try:
+        host, port = handle.address
+        with ServeClient(host, port) as client:
+            responses = client.route_many(rows)
+    finally:
+        handle.stop()
+
+    bad = 0
+    for perm, response in zip(rows, responses):
+        success, delivered = fast_self_route(perm)
+        if (response.status != "ok"
+                or bool(response.success) != success
+                or (success
+                    and tuple(response.mapping) != tuple(delivered))):
+            bad += 1
+    verdict = "OK" if bad == 0 else "MISMATCH"
+    print(f"benes serve --smoke-requests: {count - bad}/{count} "
+          f"responses matched the direct engine (order {order}) "
+          f"-> {verdict}")
+    return 0 if bad == 0 else 1
+
+
+def _shared_engine_parent() -> argparse.ArgumentParser:
+    """The option block ``route``/``bench``/``verify``/``serve``
+    share: ``--engine/--parallel/--seed/--profile``, defined exactly
+    once.  The ``--engine`` choices come from the
+    :mod:`repro.engines` registry (registering an engine extends every
+    subcommand at once); per-command seed defaults are installed with
+    ``set_defaults`` on each subparser."""
+    from .engines import exec_engine_names
+
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group(
+        "shared engine options (route/bench/verify/serve)")
+    group.add_argument(
+        "--engine", default=None,
+        choices=tuple(exec_engine_names()) + ("auto",),
+        help="execution engine for batched work; resolution "
+             "precedence (enforced by the repro.engines registry): "
+             "explicit --engine > the FORCE_ENGINE test hook > the "
+             "BENES_ENGINE environment variable > 'auto' policy "
+             "(NumPy when available, else the measured "
+             "scalar/bitslice crossover)")
+    group.add_argument(
+        "--parallel", action="store_true",
+        help="shard batches above the executor threshold across "
+             "worker processes (commands without batched work accept "
+             "and ignore this)")
+    group.add_argument(
+        "--seed", type=int, default=None,
+        help="deterministic workload seed (each command supplies its "
+             "own default)")
+    group.add_argument(
+        "--profile", action="store_true",
+        help="collect obs metrics during the command (benes route: "
+             "stream a JSON-lines event trace on stderr instead)")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the `benes` argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -418,6 +568,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "(Nassimi & Sahni, 1981)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    shared = _shared_engine_parent()
 
     p_info = sub.add_parser("info", help="structural summary of B(n)")
     p_info.add_argument("size", type=int, help="N (power of two)")
@@ -427,14 +578,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("permutation", help="e.g. 3,1,2,0")
     p_check.set_defaults(func=_cmd_check)
 
-    p_route = sub.add_parser("route",
+    p_route = sub.add_parser("route", parents=[shared],
                              help="self-route a permutation with trace")
     p_route.add_argument("permutation", help="e.g. 3,1,2,0")
     p_route.add_argument("--omega", action="store_true",
                          help="force the first n-1 stages straight")
-    p_route.add_argument("--profile", action="store_true",
-                         help="emit a JSON-lines event trace on stderr "
-                              "while routing")
     p_route.set_defaults(func=_cmd_route)
 
     for fig, fn in (("fig4", _cmd_fig4), ("fig5", _cmd_fig5),
@@ -467,7 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_census.set_defaults(func=_cmd_census)
 
     p_bench = sub.add_parser(
-        "bench",
+        "bench", parents=[shared],
         help="benchmark the vectorized batch engine vs the scalar "
              "fast path",
     )
@@ -476,30 +624,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="'route' times batch self-routing; "
                               "'setup' times the batched universal "
                               "setup and two-pass factorization")
-    p_bench.add_argument("--parallel", action="store_true",
-                         help="also time shard-executor cells at the "
-                              "largest (order, batch) of the grid")
     p_bench.add_argument("--orders", default="4,6,8",
                          help="comma-separated network orders")
     p_bench.add_argument("--batches", default="64,256,1024",
                          help="comma-separated batch sizes")
     p_bench.add_argument("--repeats", type=int, default=3,
                          help="timing repetitions (best is kept)")
-    p_bench.add_argument("--engine", default="auto",
-                         choices=("scalar", "numpy", "bitslice",
-                                  "auto"),
-                         help="pin every cell to one batch engine; "
-                              "'auto' resolves per cell (and, for the "
-                              "route suite, also times the bitslice "
-                              "column)")
-    p_bench.add_argument("--seed", type=int, default=1980)
     p_bench.add_argument("--json", default=None, metavar="PATH",
                          help="also write the machine-readable report "
                               "(e.g. BENCH_accel.json)")
-    p_bench.add_argument("--profile", action="store_true",
-                         help="collect metrics during the sweep and "
-                              "embed the snapshot in the report")
-    p_bench.set_defaults(func=_cmd_bench)
+    p_bench.set_defaults(func=_cmd_bench, engine="auto", seed=1980)
 
     p_metrics = sub.add_parser(
         "metrics",
@@ -540,14 +674,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.set_defaults(func=_cmd_metrics_serve)
 
     p_verify = sub.add_parser(
-        "verify",
+        "verify", parents=[shared],
         help="differential verification: fuzz every engine pair, "
              "run the exhaustive fault-parity campaign, and prove "
              "the pipeline catches a planted mutant",
     )
-    p_verify.add_argument("--seed", type=int, default=0,
-                          help="campaign seed (fully determines the "
-                               "workloads)")
     p_verify.add_argument("--budget", default="30s",
                           help="time budget like '30s', '500ms', or "
                                "'2m'; the first full sweep always "
@@ -575,11 +706,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--json", default=None, metavar="PATH",
                           help="also write the machine-readable report "
                                "(e.g. VERIFY.json)")
-    p_verify.add_argument("--profile", action="store_true",
-                          help="collect verify.* metrics during the "
-                               "campaign and embed the snapshot in the "
-                               "JSON report")
-    p_verify.set_defaults(func=_cmd_verify)
+    p_verify.set_defaults(func=_cmd_verify, seed=0)
+
+    p_daemon = sub.add_parser(
+        "serve", parents=[shared],
+        help="long-lived routing daemon: newline-delimited JSON "
+             "requests, micro-batched across connections into accel "
+             "batches",
+    )
+    p_daemon.add_argument("--port", type=int, default=9463,
+                          help="TCP port to listen on (0 = ephemeral)")
+    p_daemon.add_argument("--host", default="127.0.0.1")
+    p_daemon.add_argument("--max-batch", type=int, default=64,
+                          help="coalescer size cutoff: flush a bucket "
+                               "the moment it holds this many requests")
+    p_daemon.add_argument("--max-wait-us", type=float, default=500.0,
+                          help="coalescer latency cutoff in "
+                               "microseconds: flush a bucket this long "
+                               "after its first request arrived")
+    p_daemon.add_argument("--queue-limit", type=int, default=4096,
+                          help="backpressure bound: requests queued "
+                               "beyond this are rejected with status "
+                               "'rejected'")
+    p_daemon.add_argument("--warm-orders", default="2,3,4,5,6",
+                          help="comma-separated network orders whose "
+                               "plan caches are warmed at startup")
+    p_daemon.add_argument("--metrics-port", type=int, default=None,
+                          metavar="PORT",
+                          help="also expose GET /metrics (OpenMetrics) "
+                               "on this port, with serve.* counters")
+    p_daemon.add_argument("--smoke-requests", type=int, default=None,
+                          metavar="N",
+                          help="self-test mode: start the daemon, "
+                               "route N random permutations through a "
+                               "socket client, check each answer "
+                               "against the direct engine, and exit "
+                               "(for CI smoke — no backgrounding)")
+    p_daemon.set_defaults(func=_cmd_serve)
 
     p_report = sub.add_parser(
         "report", help="regenerate the reproduction report"

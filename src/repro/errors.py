@@ -19,6 +19,8 @@ __all__ = [
     "MachineError",
     "MaskError",
     "MissingDependencyError",
+    "ProtocolError",
+    "ServerBusyError",
 ]
 
 
@@ -72,3 +74,15 @@ class MaskError(ReproError, ValueError):
 class MissingDependencyError(ReproError, ImportError):
     """An optional dependency (e.g. the ``accel`` extra's NumPy) is
     required for the requested feature but is not installed."""
+
+
+class ProtocolError(ReproError, ValueError):
+    """A ``benes serve`` wire message is malformed: not a JSON object,
+    an unknown operation, a bad schema version, or a field outside its
+    domain."""
+
+
+class ServerBusyError(ReproError, RuntimeError):
+    """The routing daemon shed load: its coalescing queue was full and
+    the request was rejected rather than queued (the wire-level
+    ``rejected`` status, surfaced by the in-process client)."""

@@ -146,6 +146,12 @@ def build_server(port: int, host: str = "127.0.0.1"):
     on it and ``server_close()`` when done."""
     from http.server import BaseHTTPRequestHandler, HTTPServer
 
+    class ReusableHTTPServer(HTTPServer):
+        # One lifecycle contract across endpoints: SO_REUSEADDR so a
+        # restart never trades TIME_WAIT for EADDRINUSE (see
+        # repro.serve.lifecycle).
+        allow_reuse_address = True
+
     class MetricsHandler(BaseHTTPRequestHandler):
         def do_GET(self):  # noqa: N802 - http.server API
             if self.path.split("?", 1)[0] != "/metrics":
@@ -161,16 +167,15 @@ def build_server(port: int, host: str = "127.0.0.1"):
         def log_message(self, format, *args):  # noqa: A002
             pass  # scrapes should not spam stderr
 
-    return HTTPServer((host, port), MetricsHandler)
+    return ReusableHTTPServer((host, port), MetricsHandler)
 
 
 def serve(port: int, host: str = "127.0.0.1") -> None:
     """Serve ``/metrics`` until interrupted (the ``benes metrics
-    serve`` entry point)."""
-    server = build_server(port, host)
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        server.server_close()
+    serve`` entry point).  Runs under the package-wide server
+    lifecycle (:mod:`repro.serve.lifecycle`): ``SO_REUSEADDR`` on the
+    socket, and a KeyboardInterrupt closes the socket and flushes the
+    trace sink instead of printing a traceback."""
+    from ..serve.lifecycle import run_http_server
+
+    run_http_server(build_server(port, host))

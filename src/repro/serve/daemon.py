@@ -1,0 +1,569 @@
+"""The ``benes serve`` routing daemon: asyncio front, accel-batch back.
+
+One stdlib-asyncio TCP server accepts newline-delimited JSON requests
+(:mod:`repro.serve.protocol`) from many concurrent clients and feeds
+them through the :class:`~repro.serve.coalescer.CoalescingQueue`:
+compatible requests arriving within the latency window — across
+connections — are dispatched as **one** ``(B, N)`` accel batch, so
+per-call Python overhead is paid once per batch instead of once per
+request (the same amortization :mod:`repro.accel` performs across
+batch lanes, lifted to the network edge).
+
+Dataflow per request::
+
+    accept ── readline ── decode ── offer ─┬─ FLUSH  ─┐
+                                           ├─ QUEUED ─┤ (timer fires)
+                                           │          ├─ to_thread ──
+                                           │          │  engine batch
+                                           │          └─ fan responses
+                                           └─ REJECT ── "rejected"
+
+Engine dispatch goes through the first-class registry seam
+(:func:`repro.accel.resolve_engine` — explicit config engine >
+``BENES_ENGINE`` > auto) once per batch, and the resolved name is
+stamped on every response.  The blocking engine call runs in a worker
+thread (``asyncio.to_thread``) so the event loop keeps accepting while
+an engine routes.
+
+Observability: when a trace sink is active the daemon opens one root
+``serve.daemon`` span; every connection (``serve.connection``), request
+(``serve.request``) and dispatched batch (``serve.batch``) span adopts
+it, so an entire serving session — socket accept through executor
+shard — reassembles into **one** trace tree
+(``tools/trace_tree.py --max-trees 1``).  Counters: ``serve.requests.
+<op>``, ``serve.batches``, ``serve.rejected``, ``serve.errors``,
+``serve.connections.opened/closed``; histogram ``serve.batch_size``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .. import obs as _obs
+from ..accel.batch import (
+    batch_in_class_f,
+    batch_self_route,
+)
+from ..accel.plans import cached_topology, stage_plan
+from ..accel.setup import batch_setup_states, setup_plan
+from ..accel._np import resolve_engine
+from ..core.bits import log2_exact
+from ..errors import ProtocolError, ReproError
+from ..obs import spans as _spans
+from . import protocol
+from .coalescer import FLUSH, REJECT, CoalescingQueue
+from .lifecycle import flush_observability
+
+__all__ = [
+    "DaemonHandle",
+    "RoutingDaemon",
+    "ServeConfig",
+    "serve",
+    "start_in_thread",
+]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a routing daemon needs to run.
+
+    Attributes:
+        host / port: bind address; port 0 lets the OS pick (tests and
+            the in-thread verification daemon use this).
+        max_batch: coalescer size cutoff — also the widest batch an
+            engine sees.
+        max_wait_us: coalescer latency cutoff in microseconds: the
+            most extra latency a lone request pays waiting for
+            companions.
+        queue_limit: total queued requests before backpressure
+            rejects.
+        engine: fixed execution engine for every batch, or ``None``
+            for per-batch auto resolution (registry precedence:
+            explicit > ``BENES_ENGINE`` > auto).
+        parallel: passed through to the accel entry points — batches
+            above the executor threshold shard across worker
+            processes.
+        warm_orders: stage/setup plan caches to populate before
+            accepting traffic, so first requests do not pay the
+            plan-build latency.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_batch: int = 64
+    max_wait_us: float = 500.0
+    queue_limit: int = 4096
+    engine: Optional[str] = None
+    parallel: object = False
+    warm_orders: Tuple[int, ...] = (2, 3, 4, 5, 6)
+
+
+class RoutingDaemon:
+    """The asyncio routing daemon; one instance per listening socket.
+
+    Use :func:`start_in_thread` (tests, benches, the verify adapter)
+    or :func:`serve` (the CLI) rather than driving this directly.
+    """
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self._coalescer = CoalescingQueue(
+            max_batch=config.max_batch,
+            max_wait=config.max_wait_us * 1e-6,
+            queue_limit=config.queue_limit,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._root: Optional[_spans.Span] = None
+        self._root_ids: Optional[Tuple[str, str]] = None
+        self._timer: Optional[asyncio.Task] = None
+        self._dispatches: set = set()
+        self._request_tasks: set = set()
+        self._conn_tasks: set = set()
+        self._writers: set = set()
+        self._stopping = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Warm caches, validate the configured engine, open the root
+        span, bind and start accepting."""
+        for order in self.config.warm_orders:
+            cached_topology(order)
+            stage_plan(order)
+            setup_plan(order)
+        if self.config.engine is not None:
+            # Fail at startup, not on the first request: an unknown or
+            # unavailable engine is a configuration error.
+            resolve_engine(self.config.engine,
+                           order=max(self.config.warm_orders or (3,)),
+                           batch_size=self.config.max_batch)
+        self._root = _spans.start_span(
+            "serve.daemon", host=self.config.host,
+            max_batch=self.config.max_batch,
+            max_wait_us=self.config.max_wait_us,
+        )
+        if self._root is not None:
+            self._root_ids = (self._root.context.trace_id,
+                              self._root.context.span_id)
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port,
+            reuse_address=True,
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — resolves port 0 binds."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("daemon is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, flush every queued
+        request through the engines, let in-flight responses reach
+        their sockets, close connections, finish the root span."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for _key, items in self._coalescer.drain():
+            self._spawn_dispatch(items)
+        while self._dispatches:
+            await asyncio.gather(*list(self._dispatches),
+                                 return_exceptions=True)
+        # Fast-path response callbacks were scheduled by the batch
+        # futures resolving above; give the loop one pass to run them
+        # before the writers close.
+        await asyncio.sleep(0)
+        while self._request_tasks:
+            await asyncio.gather(*list(self._request_tasks),
+                                 return_exceptions=True)
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        while self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks),
+                                 return_exceptions=True)
+        if self._root is not None:
+            try:
+                self._root.finish()
+            except ValueError:
+                # Finished from a different context than it was opened
+                # in; the span event is still emitted by finish().
+                pass
+            self._root = None
+            self._root_ids = None
+
+    async def run_until(self, stop_event: "asyncio.Event") -> None:
+        """Serve until ``stop_event`` is set (or cancellation), then
+        shut down cleanly — the shared driver under both the CLI
+        foreground path and :func:`start_in_thread`."""
+        try:
+            await stop_event.wait()
+        finally:
+            await self.stop()
+
+    # -- connection handling -------------------------------------------
+
+    def _adopt_root(self):
+        if self._root_ids is None:
+            return nullcontext()
+        return _spans.adopt(*self._root_ids)
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        _obs.inc("serve.connections.opened")
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        line_tasks: set = set()
+        pending: set = set()
+        with self._adopt_root():
+            conn_span = _spans.start_span("serve.connection")
+            try:
+                while True:
+                    try:
+                        line = await reader.readline()
+                    except (ConnectionError, asyncio.IncompleteReadError):
+                        break
+                    if not line:
+                        break
+                    if not line.strip():
+                        continue
+                    if conn_span is not None:
+                        # Traced path: one task per request so each
+                        # gets its own serve.request span, written as
+                        # its batch completes.
+                        line_task = asyncio.create_task(
+                            self._handle_line(line, writer, write_lock))
+                        line_tasks.add(line_task)
+                        self._request_tasks.add(line_task)
+                        line_task.add_done_callback(line_tasks.discard)
+                        line_task.add_done_callback(
+                            self._request_tasks.discard)
+                    else:
+                        # Hot path: decode and enqueue inline, deliver
+                        # via a future callback — no task, no lock, no
+                        # per-response drain (response writes happen on
+                        # the loop thread, where write() only buffers;
+                        # the transport flushes on close).
+                        self._handle_line_fast(line, writer, pending)
+            finally:
+                if line_tasks:
+                    await asyncio.gather(*list(line_tasks),
+                                         return_exceptions=True)
+                if pending:
+                    # Batches still in flight for this connection:
+                    # their response callbacks must run before the
+                    # writer closes.
+                    await asyncio.gather(*list(pending),
+                                         return_exceptions=True)
+                    await asyncio.sleep(0)
+                if conn_span is not None:
+                    conn_span.finish()
+                self._writers.discard(writer)
+                try:
+                    writer.close()
+                    await writer.wait_closed()
+                except Exception:
+                    pass
+                if task is not None:
+                    self._conn_tasks.discard(task)
+                _obs.inc("serve.connections.closed")
+
+    async def _handle_line(self, line: bytes,
+                           writer: asyncio.StreamWriter,
+                           write_lock: asyncio.Lock) -> None:
+        try:
+            request = protocol.decode_request(line)
+        except ProtocolError as exc:
+            _obs.inc("serve.errors")
+            await self._send(writer, write_lock,
+                             protocol.error_response("route", -1,
+                                                     str(exc)))
+            return
+        _obs.inc(f"serve.requests.{request.op}")
+        opened = _spans.start_span("serve.request", op=request.op,
+                                   n=len(request.tags))
+        status = "error"
+        try:
+            try:
+                response = await self._submit(request)
+            except ReproError as exc:
+                _obs.inc("serve.errors")
+                response = protocol.error_response(
+                    request.op, request.id,
+                    f"{type(exc).__name__}: {exc}")
+            status = response.status
+            await self._send(writer, write_lock, response)
+        finally:
+            if opened is not None:
+                opened.finish(status=status)
+
+    def _handle_line_fast(self, line: bytes,
+                          writer: asyncio.StreamWriter,
+                          pending: set) -> None:
+        """The untraced request path, run inline in the reader loop:
+        decode, enqueue, and hook the response write onto the batch
+        future — per-request work the event loop cannot avoid, and
+        nothing else."""
+        try:
+            request = protocol.decode_request(line)
+        except ProtocolError as exc:
+            _obs.inc("serve.errors")
+            self._write_response(
+                writer, protocol.error_response("route", -1, str(exc)))
+            return
+        _obs.inc(f"serve.requests.{request.op}")
+        outcome = self._submit_nowait(request)
+        if isinstance(outcome, protocol.RouteResponse):
+            self._write_response(writer, outcome)
+            return
+        pending.add(outcome)
+
+        def deliver(future: "asyncio.Future") -> None:
+            pending.discard(future)
+            self._write_response(writer, future.result())
+
+        outcome.add_done_callback(deliver)
+
+    def _write_response(self, writer: asyncio.StreamWriter,
+                        response: protocol.RouteResponse) -> None:
+        payload = (protocol.encode_response(response) + "\n") \
+            .encode("utf-8")
+        try:
+            writer.write(payload)
+        except (ConnectionError, RuntimeError):
+            pass  # client went away; nothing to tell it
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    write_lock: asyncio.Lock,
+                    response: protocol.RouteResponse) -> None:
+        payload = (protocol.encode_response(response) + "\n") \
+            .encode("utf-8")
+        try:
+            async with write_lock:
+                writer.write(payload)
+                await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass  # client went away; nothing to tell it
+
+    # -- coalescing ----------------------------------------------------
+
+    def _submit_nowait(self, request: protocol.RouteRequest):
+        """Offer a request to the coalescer; an immediate
+        :class:`~repro.serve.protocol.RouteResponse` (rejection) or the
+        future its batch will resolve."""
+        loop = asyncio.get_running_loop()
+        if self._stopping:
+            _obs.inc("serve.rejected")
+            return protocol.rejected_response(request)
+        future: "asyncio.Future" = loop.create_future()
+        verdict, batch = self._coalescer.offer(
+            request.coalesce_key(), (request, future), loop.time())
+        if verdict == REJECT:
+            _obs.inc("serve.rejected")
+            return protocol.rejected_response(request)
+        if verdict == FLUSH:
+            self._spawn_dispatch(batch)
+        else:
+            self._arm_timer()
+        return future
+
+    async def _submit(self, request: protocol.RouteRequest
+                      ) -> protocol.RouteResponse:
+        outcome = self._submit_nowait(request)
+        if isinstance(outcome, protocol.RouteResponse):
+            return outcome
+        return await outcome
+
+    def _arm_timer(self) -> None:
+        if self._timer is None or self._timer.done():
+            self._timer = asyncio.create_task(self._timer_loop())
+
+    async def _timer_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            deadline = self._coalescer.next_deadline()
+            if deadline is None:
+                return
+            delay = deadline - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            for _key, items in self._coalescer.due(loop.time()):
+                self._spawn_dispatch(items)
+
+    def _spawn_dispatch(self, items) -> None:
+        task = asyncio.create_task(self._dispatch(items))
+        self._dispatches.add(task)
+        task.add_done_callback(self._dispatches.discard)
+
+    async def _dispatch(self, items) -> None:
+        requests = [request for request, _future in items]
+        try:
+            responses = await asyncio.to_thread(self._run_batch,
+                                                requests)
+        except Exception as exc:  # noqa: BLE001 - every lane must answer
+            _obs.inc("serve.errors")
+            message = f"{type(exc).__name__}: {exc}"
+            responses = [
+                protocol.error_response(request.op, request.id, message)
+                for request in requests
+            ]
+        for (_request, future), response in zip(items, responses):
+            if not future.done():
+                future.set_result(response)
+
+    # -- engine dispatch (worker thread) -------------------------------
+
+    def _run_batch(self, requests) -> list:
+        head = requests[0]
+        rows = [request.tags for request in requests]
+        order = log2_exact(len(head.tags))
+        kind = "setup" if head.op == "setup" else "route"
+        engine = resolve_engine(self.config.engine, order=order,
+                                batch_size=len(rows), kind=kind)
+        with self._adopt_root(), \
+                _spans.span("serve.batch", op=head.op,
+                            batch_size=len(rows), engine=engine):
+            if head.op == "route":
+                result = batch_self_route(
+                    rows, omega_mode=head.omega_mode,
+                    stuck_switches=head.stuck_switches,
+                    stage_states=head.stage_states,
+                    parallel=self.config.parallel, engine=engine)
+                responses = [
+                    protocol.from_batch_result(request, result, index,
+                                               engine)
+                    for index, request in enumerate(requests)
+                ]
+            elif head.op == "membership":
+                mask = batch_in_class_f(
+                    rows, parallel=self.config.parallel, engine=engine)
+                responses = [
+                    protocol.from_membership_mask(request, mask, index,
+                                                  engine)
+                    for index, request in enumerate(requests)
+                ]
+            else:
+                states = batch_setup_states(
+                    order, rows, parallel=self.config.parallel,
+                    engine=engine)
+                responses = [
+                    protocol.from_setup_states(request, states, index,
+                                               engine)
+                    for index, request in enumerate(requests)
+                ]
+        _obs.inc("serve.batches")
+        _obs.observe("serve.batch_size", len(rows))
+        return responses
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+
+class DaemonHandle:
+    """A daemon running in a background thread: ``address`` to connect,
+    ``stop()`` to shut it down (idempotent)."""
+
+    def __init__(self, holder: dict, thread: threading.Thread):
+        self._holder = holder
+        self._thread = thread
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._holder["address"]
+
+    def stop(self, timeout: float = 15.0) -> None:
+        loop = self._holder.get("loop")
+        stop_event = self._holder.get("stop_event")
+        if loop is not None and stop_event is not None \
+                and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(stop_event.set)
+            except RuntimeError:
+                pass  # loop already closing
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "DaemonHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_in_thread(config: ServeConfig) -> DaemonHandle:
+    """Run a daemon on a dedicated event-loop thread and block until it
+    accepts connections — the harness tests, benches and the verify
+    fuzzer's ``serve`` adapter use.  Raises whatever :meth:`start`
+    raised (bad engine, unbindable port) instead of returning a dead
+    handle."""
+    holder: dict = {}
+    started = threading.Event()
+
+    def runner() -> None:
+        async def main() -> None:
+            daemon = RoutingDaemon(config)
+            try:
+                await daemon.start()
+            except BaseException as exc:
+                holder["error"] = exc
+                started.set()
+                return
+            holder["loop"] = asyncio.get_running_loop()
+            holder["stop_event"] = asyncio.Event()
+            holder["address"] = daemon.address
+            started.set()
+            await daemon.run_until(holder["stop_event"])
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # pragma: no cover - defensive
+            holder.setdefault("error", exc)
+            started.set()
+
+    thread = threading.Thread(target=runner, name="benes-serve",
+                              daemon=True)
+    thread.start()
+    if not started.wait(timeout=30.0):
+        raise RuntimeError("benes serve daemon failed to start "
+                           "within 30s")
+    if "error" in holder:
+        raise holder["error"]
+    return DaemonHandle(holder, thread)
+
+
+def serve(config: ServeConfig) -> Tuple[str, int]:
+    """The blocking CLI entry: run the daemon in the foreground until
+    KeyboardInterrupt, then shut down cleanly and flush observability
+    (the one lifecycle contract shared with ``benes metrics serve``)."""
+    address: dict = {}
+
+    async def main() -> None:
+        daemon = RoutingDaemon(config)
+        await daemon.start()
+        address["address"] = daemon.address
+        host, port = daemon.address
+        print(f"benes serve: listening on {host}:{port} "
+              f"(max_batch={config.max_batch}, "
+              f"max_wait_us={config.max_wait_us:g})", flush=True)
+        await daemon.run_until(asyncio.Event())
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        flush_observability()
+    return address.get("address", (config.host, config.port))

@@ -1,0 +1,66 @@
+"""One server-lifecycle implementation for every ``benes`` endpoint.
+
+Both long-lived servers in this package — the ``benes metrics serve``
+scrape endpoint (:mod:`http.server`) and the ``benes serve`` routing
+daemon (asyncio) — share the same operational contract, implemented
+here exactly once:
+
+- the listening socket is created with ``SO_REUSEADDR`` so an
+  operator's restart does not trade a ``TIME_WAIT`` interval for an
+  ``EADDRINUSE`` crash;
+- ``KeyboardInterrupt`` is a *clean* shutdown: the socket closes and
+  the observability state flushes (trace sink closed so every buffered
+  span line reaches disk, metrics left intact for a final scrape or
+  dump) — never a traceback to stderr.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional
+
+__all__ = [
+    "enable_reuseaddr",
+    "flush_observability",
+    "run_http_server",
+]
+
+
+def enable_reuseaddr(sock: Optional[socket.socket]) -> None:
+    """Set ``SO_REUSEADDR`` on ``sock`` (ignoring platforms/sockets
+    that refuse — a scrape endpoint must not die over a socket
+    option)."""
+    if sock is None:
+        return
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    except OSError:
+        pass
+
+
+def flush_observability(*, close_trace: bool = True) -> None:
+    """Flush observability state on server shutdown: detach (and
+    thereby close/flush) the trace sink so spans emitted by the dying
+    server are durable.  Metrics registries are process-global and
+    need no flushing — they survive for a final ``benes metrics``
+    dump."""
+    from .. import obs as _obs
+
+    if close_trace and _obs.trace_active():
+        _obs.trace_off()
+
+
+def run_http_server(server, *, flush: bool = True) -> None:
+    """Drive an :class:`http.server.HTTPServer` until interrupted,
+    with the package-wide lifecycle contract (``SO_REUSEADDR`` is set
+    at bind time by ``allow_reuse_address``; this adds the clean
+    KeyboardInterrupt path and the shutdown flush)."""
+    enable_reuseaddr(server.socket)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        if flush:
+            flush_observability()

@@ -1,23 +1,16 @@
-"""Engine adapters: every routing implementation behind one interface.
+"""Back-compat shim: the engine adapters now live in the first-class
+registry :mod:`repro.engines`.
 
-Six engine generations implement the paper's Theorem-1 self-routing
-semantics — the structural :class:`~repro.core.benes.BenesNetwork`, the
-integer :mod:`~repro.core.fastpath`, the vectorized
-:mod:`repro.accel.batch` kernel (with and without NumPy), the
-bit-sliced big-int kernel of :mod:`repro.accel.bitslice`, and the
-sharded :mod:`repro.accel.executor` path.  Differential verification
-needs them side by side under *identical* workloads, so this module
-normalizes each into an :class:`EngineRun`: plain-Python success
-flags, delivered mappings, and (where the engine can produce them)
-full per-stage switch states, ready for byte-level comparison.
+Historically this module owned the normalized :class:`EngineRun`
+adapters the differential verifier fuzzes over.  PR 7 promoted them
+into :mod:`repro.engines` so the accel seam, the verifier, the bench
+CLI, and the ``benes serve`` daemon all resolve engines through one
+registry — adding an engine is one :func:`repro.engines.register`
+call, not five call sites.  Every public name this module used to
+define is re-exported unchanged (the ``*_ENGINES`` tables are live
+views of the registry, so late registrations appear here too).
 
-The adapters deliberately go through the same public entry points users
-call — a verifier that routes around the production surface verifies
-nothing.  Environment toggles (:func:`force_fallback`,
-:func:`force_engine`, :func:`low_shard_threshold`) flip the NumPy
-seam, the engine-resolution seam, and the executor threshold so one
-process can drive every engine variant.
-
+What still lives here is the one verify-only construct:
 :func:`mutant_self_route_engine` builds a deliberately broken engine —
 a fastpath clone whose control logic reads the *wrong* tag bit in one
 chosen stage — used by the self-test harness to prove the fuzzer and
@@ -26,26 +19,22 @@ shrinker actually catch control-bit bugs.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Tuple
 
-from ..accel import executor as _executor
-from ..accel import _np as _np_seam
-from ..accel.batch import (
-    batch_in_class_f,
-    batch_route_with_states,
-    batch_self_route,
-)
 from ..accel.plans import cached_topology
-from ..core.benes import BenesNetwork
 from ..core.bits import log2_exact
-from ..core.fastpath import (
-    fast_route_with_states,
-    fast_self_route_states,
+from ..engines import (  # noqa: F401  (re-exported API)
+    EngineRun,
+    MEMBERSHIP_ENGINES,
+    SELF_ROUTE_ENGINES,
+    STATES_ENGINES,
+    force_engine,
+    force_fallback,
+    low_shard_threshold,
+    run_engine,
+    run_membership_engine,
+    run_states_engine,
 )
-from ..core.membership import in_class_f
-from ..errors import InvalidParameterError
 
 __all__ = [
     "EngineRun",
@@ -60,310 +49,6 @@ __all__ = [
     "run_membership_engine",
     "run_states_engine",
 ]
-
-Row = Tuple[int, ...]
-States = Tuple[Tuple[int, ...], ...]
-
-
-@dataclass(frozen=True)
-class EngineRun:
-    """One engine's normalized answer for a batch of tag vectors.
-
-    Attributes:
-        engine: adapter name.
-        success: per-instance routing success.
-        mappings: per-instance delivered mapping — ``mappings[b][o]``
-            is the input whose signal arrived at output ``o``.
-        states: per-instance ``(2n-1, N/2)`` switch states as nested
-            tuples, or ``None`` when the engine cannot expose them.
-    """
-
-    engine: str
-    success: Tuple[bool, ...]
-    mappings: Tuple[Row, ...]
-    states: Optional[Tuple[States, ...]] = None
-
-
-def _as_rows(rows: Sequence[Sequence[int]]) -> List[Row]:
-    return [tuple(int(v) for v in row) for row in rows]
-
-
-def _normalize_states(states) -> Optional[Tuple[States, ...]]:
-    if states is None:
-        return None
-    return tuple(
-        tuple(tuple(int(s) for s in column) for column in per_instance)
-        for per_instance in states
-    )
-
-
-def _from_batch_result(engine: str, result) -> EngineRun:
-    return EngineRun(
-        engine=engine,
-        success=tuple(bool(ok) for ok in result.success_mask),
-        mappings=tuple(tuple(int(v) for v in row)
-                       for row in result.mappings),
-        states=_normalize_states(result.stage_states),
-    )
-
-
-# ----------------------------------------------------------------------
-# Environment toggles
-# ----------------------------------------------------------------------
-
-@contextmanager
-def force_fallback():
-    """Run the body as if NumPy were not installed (flips the
-    :data:`repro.accel._np.FORCE_FALLBACK` seam)."""
-    previous = _np_seam.FORCE_FALLBACK
-    _np_seam.FORCE_FALLBACK = True
-    try:
-        yield
-    finally:
-        _np_seam.FORCE_FALLBACK = previous
-
-
-@contextmanager
-def force_engine(name: Optional[str]):
-    """Steer every engine resolution inside the body to ``name``
-    (flips the :data:`repro.accel._np.FORCE_ENGINE` seam — the
-    monkeypatch equivalent of exporting ``BENES_ENGINE``)."""
-    previous = _np_seam.FORCE_ENGINE
-    _np_seam.FORCE_ENGINE = name
-    try:
-        yield
-    finally:
-        _np_seam.FORCE_ENGINE = previous
-
-
-@contextmanager
-def low_shard_threshold(threshold: int = 2):
-    """Temporarily lower the executor's sharding threshold so small
-    verification batches exercise the dispatch/merge path."""
-    previous = _executor.SHARD_THRESHOLD
-    _executor.SHARD_THRESHOLD = threshold
-    try:
-        yield
-    finally:
-        _executor.SHARD_THRESHOLD = previous
-
-
-# ----------------------------------------------------------------------
-# Self-routing engines
-# ----------------------------------------------------------------------
-
-def _scalar_engine(rows, order, *, omega_mode=False,
-                   stuck_switches=None) -> EngineRun:
-    net = BenesNetwork(order)
-    success, mappings, states = [], [], []
-    for row in rows:
-        result = net.route(row, omega_mode=omega_mode, trace=True,
-                           stuck_switches=stuck_switches)
-        success.append(result.success)
-        mappings.append(tuple(int(v) for v in result.delivered))
-        states.append(tuple(
-            tuple(int(s) for s in trace.states)
-            for trace in result.stages
-        ))
-    return EngineRun("scalar", tuple(success), tuple(mappings),
-                     tuple(states))
-
-
-def _fastpath_engine(rows, order, *, omega_mode=False,
-                     stuck_switches=None) -> EngineRun:
-    success, mappings, states = [], [], []
-    for row in rows:
-        ok, delivered, st = fast_self_route_states(
-            row, omega_mode=omega_mode, stuck_switches=stuck_switches
-        )
-        success.append(ok)
-        mappings.append(delivered)
-        states.append(st)
-    return EngineRun("fastpath", tuple(success), tuple(mappings),
-                     tuple(states))
-
-
-def _batch_engine(rows, order, *, omega_mode=False,
-                  stuck_switches=None) -> EngineRun:
-    result = batch_self_route(list(rows), omega_mode=omega_mode,
-                              stuck_switches=stuck_switches,
-                              stage_states=True)
-    return _from_batch_result("batch", result)
-
-
-def _batch_fallback_engine(rows, order, *, omega_mode=False,
-                           stuck_switches=None) -> EngineRun:
-    # engine="scalar" pins the scalar per-instance loop: under
-    # force_fallback an unqualified auto could resolve to bitslice,
-    # and this adapter exists to keep the loop leg under test.
-    with force_fallback():
-        result = batch_self_route(list(rows), omega_mode=omega_mode,
-                                  stuck_switches=stuck_switches,
-                                  stage_states=True, engine="scalar")
-    return _from_batch_result("batch-fallback", result)
-
-
-def _bitslice_engine(rows, order, *, omega_mode=False,
-                     stuck_switches=None) -> EngineRun:
-    result = batch_self_route(list(rows), omega_mode=omega_mode,
-                              stuck_switches=stuck_switches,
-                              stage_states=True, engine="bitslice")
-    return _from_batch_result("bitslice", result)
-
-
-def _sharded_engine(rows, order, *, omega_mode=False,
-                    stuck_switches=None) -> EngineRun:
-    with low_shard_threshold(2):
-        result = batch_self_route(list(rows), omega_mode=omega_mode,
-                                  stuck_switches=stuck_switches,
-                                  stage_states=True, parallel=2)
-    return _from_batch_result("sharded", result)
-
-
-#: The self-routing engine matrix: every entry answers
-#: ``(rows, order, omega_mode=..., stuck_switches=...)`` with a fully
-#: populated :class:`EngineRun` (states included), so any pair can be
-#: compared field-for-field.  ``scalar`` is the oracle.
-SELF_ROUTE_ENGINES: Dict[str, Callable[..., EngineRun]] = {
-    "scalar": _scalar_engine,
-    "fastpath": _fastpath_engine,
-    "batch": _batch_engine,
-    "batch-fallback": _batch_fallback_engine,
-    "bitslice": _bitslice_engine,
-    "sharded": _sharded_engine,
-}
-
-
-def run_engine(name: str, rows: Sequence[Sequence[int]], order: int, *,
-               omega_mode: bool = False,
-               stuck_switches: Optional[dict] = None) -> EngineRun:
-    """Run one named self-routing engine over ``rows`` — the public
-    entry the shrinker's generated regression tests call."""
-    try:
-        engine = SELF_ROUTE_ENGINES[name]
-    except KeyError:
-        raise InvalidParameterError(
-            f"unknown verify engine {name!r}; known: "
-            f"{sorted(SELF_ROUTE_ENGINES)}"
-        )
-    return engine(_as_rows(rows), order, omega_mode=omega_mode,
-                  stuck_switches=stuck_switches)
-
-
-# ----------------------------------------------------------------------
-# Membership engines — (B,) F(n) verdict masks over genuine permutations
-# ----------------------------------------------------------------------
-
-def _membership_theorem1(rows, order) -> Tuple[bool, ...]:
-    return tuple(bool(in_class_f(row)) for row in rows)
-
-
-def _membership_batch(rows, order) -> Tuple[bool, ...]:
-    return tuple(bool(ok) for ok in batch_in_class_f(list(rows)))
-
-
-def _membership_batch_fallback(rows, order) -> Tuple[bool, ...]:
-    with force_fallback():
-        mask = batch_in_class_f(list(rows), engine="scalar")
-    return tuple(bool(ok) for ok in mask)
-
-
-def _membership_bitslice(rows, order) -> Tuple[bool, ...]:
-    mask = batch_in_class_f(list(rows), engine="bitslice")
-    return tuple(bool(ok) for ok in mask)
-
-
-def _membership_route_success(rows, order) -> Tuple[bool, ...]:
-    # Theorem 1 states membership == routing success; feeding the
-    # routed verdict into the same comparison pins that equivalence
-    # across engine generations.
-    return tuple(
-        fast_self_route_states(row)[0] for row in rows
-    )
-
-
-MEMBERSHIP_ENGINES: Dict[str, Callable[..., Tuple[bool, ...]]] = {
-    "theorem1": _membership_theorem1,
-    "membership-batch": _membership_batch,
-    "membership-batch-fallback": _membership_batch_fallback,
-    "membership-bitslice": _membership_bitslice,
-    "route-success": _membership_route_success,
-}
-
-
-def run_membership_engine(name: str, rows: Sequence[Sequence[int]],
-                          order: int) -> Tuple[bool, ...]:
-    """Run one named F(n)-membership engine over permutation ``rows``."""
-    try:
-        engine = MEMBERSHIP_ENGINES[name]
-    except KeyError:
-        raise InvalidParameterError(
-            f"unknown membership engine {name!r}; known: "
-            f"{sorted(MEMBERSHIP_ENGINES)}"
-        )
-    return engine(_as_rows(rows), order)
-
-
-# ----------------------------------------------------------------------
-# External-state engines — realized permutation under given switch states
-# ----------------------------------------------------------------------
-
-def _states_scalar(states_batch, order) -> Tuple[Row, ...]:
-    net = BenesNetwork(order)
-    return tuple(
-        tuple(int(v) for v in net.route_with_states(states).realized)
-        for states in states_batch
-    )
-
-
-def _states_fastpath(states_batch, order) -> Tuple[Row, ...]:
-    return tuple(
-        tuple(int(v) for v in fast_route_with_states(states, order))
-        for states in states_batch
-    )
-
-
-def _states_batch(states_batch, order) -> Tuple[Row, ...]:
-    # mappings rows are already the realized input -> output view, the
-    # same convention as fast_route_with_states.
-    result = batch_route_with_states(list(states_batch), order)
-    return tuple(tuple(int(v) for v in row) for row in result.mappings)
-
-
-def _states_batch_fallback(states_batch, order) -> Tuple[Row, ...]:
-    with force_fallback():
-        result = batch_route_with_states(list(states_batch), order,
-                                         engine="scalar")
-    return tuple(tuple(int(v) for v in row) for row in result.mappings)
-
-
-def _states_bitslice(states_batch, order) -> Tuple[Row, ...]:
-    result = batch_route_with_states(list(states_batch), order,
-                                     engine="bitslice")
-    return tuple(tuple(int(v) for v in row) for row in result.mappings)
-
-
-STATES_ENGINES: Dict[str, Callable[..., Tuple[Row, ...]]] = {
-    "states-scalar": _states_scalar,
-    "states-fastpath": _states_fastpath,
-    "states-batch": _states_batch,
-    "states-batch-fallback": _states_batch_fallback,
-    "states-bitslice": _states_bitslice,
-}
-
-
-def run_states_engine(name: str, states_batch, order: int
-                      ) -> Tuple[Row, ...]:
-    """Realized permutations of ``B(order)`` under each instance of
-    ``states_batch``, per the named external-state engine."""
-    try:
-        engine = STATES_ENGINES[name]
-    except KeyError:
-        raise InvalidParameterError(
-            f"unknown states engine {name!r}; known: "
-            f"{sorted(STATES_ENGINES)}"
-        )
-    return engine(states_batch, order)
 
 
 # ----------------------------------------------------------------------
@@ -425,7 +110,7 @@ def mutant_self_route_engine(mutate_stage: int
             mappings.append(tuple(rows_src))
             states_out.append(tuple(per_stage))
         return EngineRun(f"mutant(stage={mutate_stage})",
-                         tuple(success_out), tuple(mappings),
-                         tuple(states_out))
+                        tuple(success_out), tuple(mappings),
+                        tuple(states_out))
 
     return _engine

@@ -232,8 +232,15 @@ def run_verify(config: VerifyConfig) -> VerifyReport:
     if config.engines is None:
         selfroute_engines = dict(SELF_ROUTE_ENGINES)
     else:
+        # Explicit subsets resolve through the FULL registry view so
+        # opt-in engines (e.g. the live `serve` daemon adapter) can be
+        # pulled into a campaign by name without joining the default
+        # sweep.
+        from ..engines import ALL_SELF_ROUTE_ENGINES
+
         selfroute_engines = {
-            name: SELF_ROUTE_ENGINES[name] for name in config.engines
+            name: ALL_SELF_ROUTE_ENGINES[name]
+            for name in config.engines
         }
     report = VerifyReport(
         config=config,

@@ -38,23 +38,31 @@ def summarize(report: dict, source: str, ts: int) -> dict:
     """The one-line trajectory record for a bench report."""
     report_numpy = bool(report.get("numpy", False))
     default_engine = "numpy" if report_numpy else "scalar"
+
+    def trim(cell: dict) -> dict:
+        kept = {
+            "kind": cell.get("kind", "route"),
+            "order": cell.get("order"),
+            "batch_size": cell.get("batch_size"),
+            "parallel": bool(cell.get("parallel", False)),
+            "engine": cell.get("engine") or default_engine,
+            "speedup": cell.get("speedup"),
+        }
+        # serve cells are identified by concurrency and mode, not just
+        # (order, batch): keep both so the serve guard can find its
+        # headline cell in the trajectory.
+        for key in ("clients", "mode"):
+            if key in cell:
+                kept[key] = cell[key]
+        return kept
+
     return {
         "ts": ts,
         "source": source,
         "benchmark": report.get("benchmark", "?"),
         "numpy": report_numpy,
         "cpu_count": report.get("cpu_count"),
-        "cells": [
-            {
-                "kind": cell.get("kind", "route"),
-                "order": cell.get("order"),
-                "batch_size": cell.get("batch_size"),
-                "parallel": bool(cell.get("parallel", False)),
-                "engine": cell.get("engine") or default_engine,
-                "speedup": cell.get("speedup"),
-            }
-            for cell in report.get("cells", [])
-        ],
+        "cells": [trim(cell) for cell in report.get("cells", [])],
     }
 
 

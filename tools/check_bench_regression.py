@@ -27,6 +27,12 @@ Verdict per cell:
 - **skip** cleanly (exit 0) for guards whose engine is unavailable
   (NumPy absent) or whose baseline file has no matching cell.
 
+The serve daemon's coalescing win is guarded differently: a daemon
+load test is too heavy to re-measure here, so the guard is read-only —
+the **committed** ``BENCH_serve.json`` must show coalesced throughput
+at least 3x the per-request rate at 256+ concurrent clients (skipped
+cleanly when no serve report is committed).
+
 When a ``BENCH_history.jsonl`` trajectory exists (appended by
 ``tools/bench_history.py``), the baseline for each cell is the
 **median of its recent history** (last ``--window`` records, default
@@ -52,6 +58,8 @@ GUARD_ORDER = 8
 GUARD_BATCH = 256
 FLOOR = 10.0           # NumPy engine acceptance floor
 BITSLICE_FLOOR = 5.0   # bit-sliced big-int engine acceptance floor
+SERVE_FLOOR = 3.0      # coalesced vs per-request rps, >= 256 clients
+SERVE_CLIENTS = 256    # concurrency the serve floor is asserted at
 
 
 def _cell_engine(cell, report_numpy: bool) -> str:
@@ -155,6 +163,38 @@ def _check(name: str, baseline: float, current: float,
     return not failed
 
 
+def _check_serve_baseline(path: pathlib.Path) -> bool:
+    """The serve acceptance floor, checked against the **committed**
+    ``BENCH_serve.json`` (read-only — a daemon load test is too heavy
+    to re-measure inside the guard): the coalescing daemon must serve
+    at least ``SERVE_FLOOR``x the per-request rate at
+    ``SERVE_CLIENTS``+ concurrent clients.  Skips cleanly when no
+    serve report is committed."""
+    report = _load_report(path)
+    if report is None:
+        print("  serve/coalesce: no baseline (skip)")
+        return True
+    cells = [
+        cell for cell in report.get("cells", [])
+        if isinstance(cell, dict)
+        and cell.get("kind") == "serve"
+        and cell.get("mode") == "coalesced"
+        and (cell.get("clients") or 0) >= SERVE_CLIENTS
+        and cell.get("speedup") is not None
+    ]
+    if not cells:
+        print(f"  serve/coalesce: no coalesced cell at >= "
+              f"{SERVE_CLIENTS} clients (skip)")
+        return True
+    best = max(cells, key=lambda cell: cell["speedup"])
+    speedup = float(best["speedup"])
+    status = "ok" if speedup >= SERVE_FLOOR else "FAIL"
+    print(f"  serve/coalesce ({best.get('engine', '?')}, "
+          f"{best.get('clients')} clients): committed "
+          f"{speedup:.1f}x vs floor {SERVE_FLOOR:.1f}x -> {status}")
+    return speedup >= SERVE_FLOOR
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="guard the batch engine's headline speedup against "
@@ -247,6 +287,10 @@ def main(argv=None) -> int:
                                       engine="numpy")
             ok &= _check(label, baseline, cell["speedup"],
                          args.tolerance, args.strict)
+
+    # The serve guard is read-only: it asserts the committed
+    # BENCH_serve.json still clears the coalescing acceptance floor.
+    ok &= _check_serve_baseline(root / "BENCH_serve.json")
 
     return 0 if ok else 1
 

@@ -141,6 +141,11 @@ def main(argv=None) -> int:
     parser.add_argument("--min-spans", type=int, default=0,
                         help="fail unless at least this many span "
                              "events are present")
+    parser.add_argument("--max-trees", type=int, default=None,
+                        help="fail when the file holds more than this "
+                             "many distinct trace ids (e.g. 1 to "
+                             "assert a serving session reassembles "
+                             "into one tree)")
     parser.add_argument("--quiet", action="store_true",
                         help="validate only, print nothing but errors")
     args = parser.parse_args(argv)
@@ -150,6 +155,13 @@ def main(argv=None) -> int:
     if len(spans) < args.min_spans:
         errors.append(f"expected >= {args.min_spans} spans, "
                       f"found {len(spans)}")
+    if args.max_trees is not None:
+        trace_ids = {span.get("trace_id") for span in spans}
+        if len(trace_ids) > args.max_trees:
+            errors.append(
+                f"expected <= {args.max_trees} trace tree(s), found "
+                f"{len(trace_ids)}: {', '.join(sorted(map(str, trace_ids)))}"
+            )
 
     if not args.quiet:
         print_trees(spans, others)
