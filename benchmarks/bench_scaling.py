@@ -1,11 +1,38 @@
-"""ABL-SCALE — simulator scaling sweep.
+"""ABL-SCALE — simulator scaling sweep and ``BENCH_scaling.json``.
 
-Not a paper claim, but an adoption requirement: the structural
-simulator and the SIMD simulations stay usable at thousands of
-terminals.  Measured: one self-routed pass through B(12) (4096 lines,
-23 stages, 47104 switches), Waksman setup at the same size, and the
-SIMD routers at N = 1024.
+Two roles in one file:
+
+- **pytest benchmarks** (collected by the benchmark suite): one
+  self-routed pass through B(12), Waksman setup at the same size, the
+  SIMD routers at N = 1024, and a composed-engine setup cell — the
+  quick in-process legs CI exercises on every run.
+- **report producer** (``python benchmarks/bench_scaling.py``): the
+  canonical sweep behind the committed ``BENCH_scaling.json``.  Every
+  cell (serial Waksman / monolithic batch / composed-sharded) runs in
+  a **fresh subprocess** so ``peak_rss_kb`` (``ru_maxrss``) is a true
+  per-cell peak rather than the monotonic high-water mark of one long
+  process; the report carries ``rss_isolated: true`` to say so.  The
+  serial baseline is capped (default order 14) — the pure-Python
+  recursion only proves the point more slowly beyond that — while
+  batch and composed continue to the top order.
+
+The committed report is guarded by
+``tools/check_bench_regression.py``: composed must beat serial by the
+acceptance floor at order >= 14, and composed peak RSS must stay
+sub-linear in N (top order vs order 14).
+
+Regenerate from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_scaling.py \
+        --orders 10,12,14,16,18 --output BENCH_scaling.json
 """
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
 
 import pytest
 from conftest import emit
@@ -42,6 +69,22 @@ def test_accel_batch_scaling(benchmark, order, rng):
     tags = [random_permutation(n, rng).as_tuple() for _ in range(256)]
     result = benchmark(batch_self_route, tags)
     assert result.batch_size == 256 and len(result.mappings[0]) == n
+
+
+@pytest.mark.parametrize("order", [12])
+def test_accel_composed_scaling(benchmark, order, rng):
+    """Composed-engine leg: one universal setup through the
+    block-composed path, with byte parity against the serial Waksman
+    oracle asserted once outside the timed region."""
+    from repro.accel import batch_setup_states
+
+    perm = random_permutation(1 << order, rng).as_tuple()
+    composed = batch_setup_states(order, [perm], engine="composed")[0]
+    assert [[int(v) for v in col] for col in composed] == \
+        setup_states(perm)
+    result = benchmark(batch_setup_states, order, [perm],
+                       engine="composed")
+    assert len(result[0]) == 2 * order - 1
 
 
 def test_simd_scaling(benchmark, rng):
@@ -82,3 +125,118 @@ def test_scaling_summary(benchmark, rng):
 
     body = benchmark.pedantic(table, rounds=1, iterations=1)
     emit("ABL-SCALE: simulator scaling", body)
+
+
+# ---------------------------------------------------------------------------
+# BENCH_scaling.json producer (subprocess-isolated RSS)
+# ---------------------------------------------------------------------------
+
+def _run_cell_subprocess(mode: str, order: int, seed: int,
+                         repeats: int) -> dict:
+    """One scaling cell in a fresh interpreter: the child's
+    ``ru_maxrss`` then *is* the cell's peak, untainted by sibling
+    cells' allocations."""
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__),
+         "--cell", mode, "--order", str(order),
+         "--seed", str(seed), "--repeats", str(repeats)],
+        env=env, capture_output=True, text=True, check=False,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"scaling cell {mode}/order {order} failed "
+            f"(exit {proc.returncode}):\n{proc.stderr.strip()}")
+    return json.loads(proc.stdout)
+
+
+def _emit_cell(mode: str, order: int, seed: int, repeats: int) -> int:
+    """Worker mode: measure one cell in this process and print it as
+    JSON on stdout (the parent sweep collects it)."""
+    from repro.accel.benchmark import measure_scaling_cell
+
+    json.dump(measure_scaling_cell(order, mode, seed=seed,
+                                   repeats=repeats), sys.stdout)
+    return 0
+
+
+def run_isolated_sweep(orders, *, seed: int = 2026, repeats: int = 2,
+                       serial_max_order: int = 14) -> dict:
+    """The full sweep with every cell in its own subprocess — same
+    report schema as :func:`repro.accel.benchmark.run_scaling_benchmark`
+    but with honest per-cell RSS (``rss_isolated: true``)."""
+    from repro.accel.benchmark import (
+        SCALING_MODES,
+        _annotate_scaling_speedups,
+    )
+
+    cells = []
+    for order in orders:
+        for mode in SCALING_MODES:
+            if mode == "serial" and order > serial_max_order:
+                continue
+            print(f"  measuring {mode:>9} at order {order} ...",
+                  file=sys.stderr)
+            cells.append(_run_cell_subprocess(mode, order, seed,
+                                              repeats))
+    _annotate_scaling_speedups(cells)
+    return {
+        "benchmark": "scaling: serial Waksman vs batch vs composed "
+                     "universal setup",
+        "numpy": have_numpy(),
+        "cpu_count": os.cpu_count(),
+        "seed": seed,
+        "repeats": repeats,
+        "serial_max_order": serial_max_order,
+        "rss_isolated": True,
+        "cells": cells,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="produce BENCH_scaling.json with "
+                    "subprocess-isolated per-cell RSS")
+    parser.add_argument("--orders", default="10,12,14,16,18",
+                        help="comma-separated orders to sweep")
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--serial-max-order", type=int, default=14,
+                        help="highest order the serial baseline runs "
+                             "at (default 14)")
+    parser.add_argument("--output", default="BENCH_scaling.json",
+                        help="report path ('-' for stdout)")
+    parser.add_argument("--cell", choices=("serial", "batch",
+                                           "composed"),
+                        help="internal: measure one cell in this "
+                             "process and print its JSON")
+    parser.add_argument("--order", type=int,
+                        help="internal: the --cell order")
+    args = parser.parse_args(argv)
+
+    if args.cell:
+        if args.order is None:
+            parser.error("--cell requires --order")
+        return _emit_cell(args.cell, args.order, args.seed,
+                          args.repeats)
+
+    orders = tuple(int(tok) for tok in args.orders.split(",") if tok)
+    report = run_isolated_sweep(orders, seed=args.seed,
+                                repeats=args.repeats,
+                                serial_max_order=args.serial_max_order)
+    body = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.output == "-":
+        sys.stdout.write(body)
+    else:
+        pathlib.Path(args.output).write_text(body, encoding="utf-8")
+        print(f"wrote {args.output}", file=sys.stderr)
+    from repro.accel.benchmark import format_scaling_table
+    print(format_scaling_table(report), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,10 +25,13 @@ from __future__ import annotations
 __all__ = [
     "BatchRouteResult",
     "BitslicePlan",
+    "ComposedPlan",
     "ENGINES",
     "LRUCache",
     "SetupPlan",
     "StagePlan",
+    "StateChunk",
+    "autotune_cache_path",
     "autotune_clear",
     "batch_in_class_f",
     "batch_route_two_pass",
@@ -47,10 +50,21 @@ __all__ = [
     "cache_stats",
     "cached_topology",
     "choose_engine",
+    "composed_in_class_f",
+    "composed_order_threshold",
+    "composed_plan",
+    "composed_plan_cache",
+    "composed_route_with_states",
+    "composed_self_route",
+    "composed_setup_states",
+    "composed_stats",
+    "composed_stats_clear",
     "crossover_table",
     "executor_shutdown",
     "have_numpy",
+    "iter_composed_states",
     "numpy_or_none",
+    "peel_level_stream",
     "plan_cache",
     "require_numpy",
     "resolve_engine",
@@ -65,10 +79,13 @@ __all__ = [
 _EXPORTS = {
     "BatchRouteResult": "batch",
     "BitslicePlan": "bitslice",
+    "ComposedPlan": "composed",
     "ENGINES": "_np",
     "LRUCache": "lru",
     "SetupPlan": "setup",
     "StagePlan": "plans",
+    "StateChunk": "composed",
+    "autotune_cache_path": "autotune",
     "autotune_clear": "autotune",
     "batch_in_class_f": "batch",
     "batch_route_two_pass": "setup",
@@ -87,10 +104,21 @@ _EXPORTS = {
     "cache_stats": "plans",
     "cached_topology": "plans",
     "choose_engine": "autotune",
+    "composed_in_class_f": "composed",
+    "composed_order_threshold": "_np",
+    "composed_plan": "composed",
+    "composed_plan_cache": "plans",
+    "composed_route_with_states": "composed",
+    "composed_self_route": "composed",
+    "composed_setup_states": "composed",
+    "composed_stats": "composed",
+    "composed_stats_clear": "composed",
     "crossover_table": "autotune",
     "executor_shutdown": "executor",
     "have_numpy": "_np",
+    "iter_composed_states": "composed",
     "numpy_or_none": "_np",
+    "peel_level_stream": "setup",
     "plan_cache": "plans",
     "require_numpy": "_np",
     "resolve_engine": "_np",

@@ -32,8 +32,8 @@ import os
 from ..errors import InvalidParameterError, MissingDependencyError
 
 __all__ = ["numpy_or_none", "require_numpy", "have_numpy",
-           "resolve_engine", "ENGINES", "FORCE_FALLBACK",
-           "FORCE_ENGINE"]
+           "resolve_engine", "composed_order_threshold", "ENGINES",
+           "DEFAULT_COMPOSED_ORDER", "FORCE_FALLBACK", "FORCE_ENGINE"]
 
 #: Test hook: set to True (e.g. via monkeypatch) to behave as if NumPy
 #: were not installed, exercising every pure-Python fallback path.
@@ -46,6 +46,26 @@ ENGINES = ("scalar", "numpy", "bitslice")
 #: resolution that was not given an explicit ``engine=`` keyword —
 #: the monkeypatch equivalent of exporting ``BENES_ENGINE``.
 FORCE_ENGINE = None
+
+#: Order at and above which ``auto`` resolution hands batches to the
+#: block-composed engine (override: ``BENES_COMPOSED_ORDER``).  Below
+#: this, one monolithic state tensor is cheap; at order 14+
+#: (N >= 16,384) the O(N/blocks · log N) chunked form wins on both
+#: memory and wall time.
+DEFAULT_COMPOSED_ORDER = 14
+
+
+def composed_order_threshold() -> int:
+    """The auto-pick threshold for the composed engine — the
+    ``BENES_COMPOSED_ORDER`` environment variable when set to a valid
+    integer, else :data:`DEFAULT_COMPOSED_ORDER`."""
+    raw = os.environ.get("BENES_COMPOSED_ORDER")
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            pass
+    return DEFAULT_COMPOSED_ORDER
 
 _UNRESOLVED = object()
 _numpy = _UNRESOLVED
@@ -96,6 +116,10 @@ def resolve_engine(engine=None, *, order=None, batch_size=None,
     environment variable fill in for an unspecified engine, and
     ``"auto"`` (the default default) picks by policy:
 
+    - at or above :func:`composed_order_threshold` (default order 14,
+      env ``BENES_COMPOSED_ORDER``): the block-composed engine, which
+      bounds peak state memory by chunking — the only engine sized for
+      orders 16–20;
     - ``kind="route"`` (self-routing, membership, external-state
       routing): NumPy when available, else the measured per-order
       scalar/bitslice crossover of :mod:`repro.accel.autotune` at the
@@ -140,6 +164,8 @@ def resolve_engine(engine=None, *, order=None, batch_size=None,
         if requested == "numpy":
             require_numpy("engine='numpy'")
         return requested
+    if order is not None and order >= composed_order_threshold():
+        return "composed"
     if have_numpy():
         return "numpy"
     if kind != "route":

@@ -19,9 +19,21 @@ lock.  Probes call the engines' *internal* kernels directly
 (:func:`repro.core.fastpath._self_route_pass`,
 :func:`repro.accel.bitslice.bitslice_self_route`), so they record no
 metrics and perturb no counters a parity test might pin.  Everything
-is process-local and costs a few milliseconds once per order; orders
-above :data:`MAX_PROBE_ORDER` skip probing for a batch-width
-heuristic.
+costs a few milliseconds once per order; orders above
+:data:`MAX_PROBE_ORDER` skip probing for a batch-width heuristic.
+
+Probe results additionally **persist across processes** in a per-host
+cache file keyed by interpreter version and CPU count (the two
+machine facts the timings depend on) — by default
+``~/.cache/benes/autotune-py{major}.{minor}-cpu{count}.json``
+(honoring ``XDG_CACHE_HOME``).  Spawn-pool workers re-import this
+module on every pool warmup; without the file each worker would
+re-time the probes from scratch, so the first process pays once and
+every later worker loads the table in one read.  ``BENES_AUTOTUNE_CACHE``
+overrides the path, and the value ``off`` disables persistence
+entirely (tests, read-only homes).  Writes are atomic
+(tmp + ``os.replace``) and best-effort: an unwritable or corrupt cache
+degrades to the process-local behavior, never to an error.
 
 ``BENES_ENGINE`` (or an explicit ``engine=`` keyword) overrides the
 whole mechanism — see :func:`repro.accel._np.resolve_engine`.
@@ -29,7 +41,11 @@ whole mechanism — see :func:`repro.accel._np.resolve_engine`.
 
 from __future__ import annotations
 
+import json
+import os
+import pathlib
 import random
+import sys
 import threading
 from time import perf_counter as _perf_counter
 from typing import Dict, Optional
@@ -37,7 +53,7 @@ from typing import Dict, Optional
 from ._np import have_numpy
 
 __all__ = ["choose_engine", "crossover_table", "autotune_clear",
-           "MAX_PROBE_ORDER"]
+           "autotune_cache_path", "MAX_PROBE_ORDER"]
 
 #: Probe batch widths for the bitslice linear cost model.
 PROBE_BATCHES = (4, 64)
@@ -51,8 +67,98 @@ MAX_PROBE_ORDER = 10
 #: bitslice overhead is one pack/unpack), so a small constant is safe.
 HEURISTIC_CROSSOVER = 8
 
+#: Persisted-cache schema version (bump on incompatible change).
+CACHE_VERSION = 1
+
 _LOCK = threading.Lock()
 _TABLE: Dict[int, Dict[str, float]] = {}
+_DISK_LOADED = False
+
+
+def autotune_cache_path() -> Optional[pathlib.Path]:
+    """Where this host persists probe results, or ``None`` when
+    persistence is disabled (``BENES_AUTOTUNE_CACHE=off``).  The
+    default name carries the interpreter version and CPU count — the
+    machine facts the timings depend on — so an upgrade or a container
+    with a different CPU budget gets a fresh file instead of stale
+    numbers."""
+    override = os.environ.get("BENES_AUTOTUNE_CACHE")
+    if override:
+        if override.strip().lower() == "off":
+            return None
+        return pathlib.Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    root = pathlib.Path(xdg) if xdg else \
+        pathlib.Path.home() / ".cache"
+    name = (f"autotune-py{sys.version_info[0]}."
+            f"{sys.version_info[1]}-cpu{os.cpu_count() or 1}.json")
+    return root / "benes" / name
+
+
+def _load_disk_locked() -> None:
+    """Merge the per-host cache file into the in-process table (once
+    per process; caller holds ``_LOCK``).  A missing, corrupt, or
+    wrong-version file is silently ignored — the cache is an
+    optimization, not a source of truth."""
+    global _DISK_LOADED
+    if _DISK_LOADED:
+        return
+    _DISK_LOADED = True
+    path = autotune_cache_path()
+    if path is None:
+        return
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return
+    if not isinstance(raw, dict) or \
+            raw.get("version") != CACHE_VERSION:
+        return
+    orders = raw.get("orders")
+    if not isinstance(orders, dict):
+        return
+    for key, entry in orders.items():
+        try:
+            order = int(key)
+        except (TypeError, ValueError):
+            continue
+        if not isinstance(entry, dict) or \
+                "crossover" not in entry:
+            continue
+        entry = dict(entry)
+        if entry["crossover"] is None:
+            # JSON has no Infinity; None round-trips the
+            # bitslice-never-wins verdict
+            entry["crossover"] = float("inf")
+        _TABLE.setdefault(order, entry)
+
+
+def _persist_locked() -> None:
+    """Write the current table to the per-host cache file atomically
+    (tmp + rename; caller holds ``_LOCK``).  Best-effort: a read-only
+    cache directory must never break engine resolution."""
+    path = autotune_cache_path()
+    if path is None:
+        return
+    orders = {}
+    for order, entry in _TABLE.items():
+        out = dict(entry)
+        if out.get("crossover") == float("inf"):
+            out["crossover"] = None
+        orders[str(order)] = out
+    body = json.dumps({
+        "version": CACHE_VERSION,
+        "python": f"{sys.version_info[0]}.{sys.version_info[1]}",
+        "cpu_count": os.cpu_count() or 1,
+        "orders": orders,
+    }, indent=2, sort_keys=True)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(body + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+    except OSError:
+        pass
 
 
 def _probe_rows(order: int, count: int) -> list:
@@ -110,10 +216,12 @@ def _measure(order: int) -> Dict[str, float]:
 
 def _table_entry(order: int) -> Dict[str, float]:
     with _LOCK:
+        _load_disk_locked()
         entry = _TABLE.get(order)
         if entry is None:
             entry = _measure(order)
             _TABLE[order] = entry
+            _persist_locked()
         return entry
 
 
@@ -140,7 +248,19 @@ def crossover_table() -> Dict[int, Dict[str, float]]:
         return {order: dict(entry) for order, entry in _TABLE.items()}
 
 
-def autotune_clear() -> None:
-    """Drop all cached probe data (tests, CPU migration)."""
+def autotune_clear(*, persistent: bool = False) -> None:
+    """Drop all in-process probe data (tests, CPU migration); the next
+    lookup reloads from the per-host cache file when one exists.  With
+    ``persistent=True`` the cache file itself is removed too, forcing
+    a genuine re-probe."""
+    global _DISK_LOADED
     with _LOCK:
         _TABLE.clear()
+        _DISK_LOADED = False
+        if persistent:
+            path = autotune_cache_path()
+            if path is not None:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass

@@ -343,6 +343,22 @@ def batch_self_route(tags_batch, *, omega_mode=False, stage_data=False,
     b_hint, n_hint = _batch_dims(tags_batch)
     engine = _resolve(engine, order=_order_hint(n_hint),
                       batch_size=b_hint)
+    if engine == "composed":
+        from .composed import composed_self_route
+
+        result = composed_self_route(
+            tags_batch, omega_mode=omega_mode, stage_data=stage_data,
+            stage_states=stage_states, stuck_switches=stuck_switches,
+            parallel=parallel,
+        )
+        if enabled:
+            _record_batch_metrics(
+                "batch", len(result.success_mask),
+                _perf_counter() - t0,
+                n_success=sum(bool(ok) for ok in result.success_mask),
+                scope=_metric_scope(),
+            )
+        return result
     extra = (omega_mode, stage_data, stuck_switches, stage_states,
              engine)
     if engine != "numpy":
@@ -471,6 +487,17 @@ def batch_in_class_f(perms_batch, *, parallel=False, engine=None,
     b_hint, n_hint = _batch_dims(perms_batch)
     engine = _resolve(engine, order=_order_hint(n_hint),
                       batch_size=b_hint)
+    if engine == "composed":
+        from .composed import composed_in_class_f
+
+        mask = composed_in_class_f(perms_batch, parallel=parallel)
+        if enabled:
+            _record_batch_metrics(
+                "membership", len(mask), _perf_counter() - t0,
+                n_success=sum(bool(ok) for ok in mask),
+                scope=_metric_scope(),
+            )
+        return mask
     if engine != "numpy":
         rows_in = perms_batch if isinstance(perms_batch, list) \
             else list(perms_batch)
@@ -563,6 +590,18 @@ def batch_route_with_states(states_batch, order: int, *,
     except TypeError:
         b_hint = None
     engine = _resolve(engine, order=order, batch_size=b_hint)
+    if engine == "composed":
+        from .composed import composed_route_with_states
+
+        result = composed_route_with_states(
+            states_batch, order, stage_data=stage_data,
+            parallel=parallel,
+        )
+        if enabled:
+            _record_batch_metrics("states", len(result.success_mask),
+                                  _perf_counter() - t0,
+                                  scope=_metric_scope())
+        return result
     if engine != "numpy":
         rows_in = states_batch if isinstance(states_batch, list) \
             else list(states_batch)

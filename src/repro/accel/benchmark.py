@@ -35,12 +35,16 @@ from .batch import batch_self_route
 __all__ = ["measure_cell", "run_benchmark", "format_table",
            "write_json", "best_speedup", "measure_setup_cell",
            "run_setup_benchmark", "format_setup_table",
-           "best_setup_speedup"]
+           "best_setup_speedup", "measure_scaling_cell",
+           "run_scaling_benchmark", "format_scaling_table",
+           "scaling_speedup"]
 
 DEFAULT_ORDERS = (4, 6, 8)
 DEFAULT_BATCH_SIZES = (64, 256, 1024)
 DEFAULT_SETUP_ORDERS = (3, 4, 5, 6, 7, 8)
 DEFAULT_SETUP_BATCH_SIZES = (64, 256)
+DEFAULT_SCALING_ORDERS = (10, 12, 14)
+SCALING_MODES = ("serial", "batch", "composed")
 
 
 def _random_tag_batch(order: int, batch_size: int,
@@ -291,6 +295,165 @@ def best_setup_speedup(report: Dict, kind: str = "setup",
         and cell["batch_size"] >= min_batch
         and (parallel is None or cell["parallel"] == parallel)
         and (engine is None or cell.get("engine") == engine)
+    ]
+    return max(eligible) if eligible else None
+
+
+def measure_scaling_cell(order: int, mode: str, *, seed: int = 2026,
+                         repeats: int = 2) -> Dict:
+    """Time one universal setup of a single random permutation of
+    ``2^order`` terminals under one execution ``mode`` — the cell shape
+    of the scaling benchmark (``BENCH_scaling.json``):
+
+    - ``"serial"`` — the scalar Waksman looping recursion
+      (:func:`repro.core.waksman.setup_states`), the paper's baseline;
+    - ``"batch"`` — the monolithic batch engine (one ``(1, N)`` call,
+      full state tensor in memory);
+    - ``"composed"`` — the block-composed engine with chunked per-block
+      dispatch (``parallel=True``, so multicore hosts also shard).
+
+    The record carries the wall time, the process's ``ru_maxrss``
+    *after* the cell (honest peak only when the cell runs in a fresh
+    subprocess — ``benchmarks/bench_scaling.py`` isolates each cell
+    that way; in-process sweeps mark ``rss_isolated`` false in the
+    report), and for composed cells the peak chunk payload from
+    :func:`repro.accel.composed_stats`.
+    """
+    import resource
+
+    from ..core.waksman import setup_states
+    from .composed import composed_stats, composed_stats_clear
+    from .setup import batch_setup_states
+
+    if mode not in SCALING_MODES:
+        raise InvalidParameterError(
+            f"unknown scaling mode {mode!r}; choose one of "
+            f"{', '.join(SCALING_MODES)}"
+        )
+    rng = random.Random(seed + order)
+    perm = random_permutation(1 << order, rng).as_tuple()
+    peak_chunk = None
+    if mode == "serial":
+        def run():
+            setup_states(perm)
+    elif mode == "batch":
+        engine = "numpy" if have_numpy() else "scalar"
+
+        def run():
+            batch_setup_states(order, [perm], engine=engine)
+    else:
+        composed_stats_clear()
+
+        def run():
+            batch_setup_states(order, [perm], engine="composed",
+                               parallel=True)
+    run()  # warm plan caches (and the pool in composed mode) untimed
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - t0)
+    if mode == "composed":
+        peak_chunk = composed_stats()["peak_chunk_bytes"]
+    cell = {
+        "order": order,
+        "n_terminals": 1 << order,
+        "mode": mode,
+        "engine": mode,
+        "seconds": best,
+        "peak_rss_kb": resource.getrusage(
+            resource.RUSAGE_SELF).ru_maxrss,
+    }
+    if peak_chunk is not None:
+        cell["peak_chunk_bytes"] = peak_chunk
+    return cell
+
+
+def run_scaling_benchmark(orders: Sequence[int] =
+                          DEFAULT_SCALING_ORDERS,
+                          seed: int = 2026, repeats: int = 2,
+                          serial_max_order: int = 14,
+                          modes: Sequence[str] = SCALING_MODES) -> Dict:
+    """Sweep setup time (and best-effort RSS) across ``orders`` for
+    every mode in ``modes`` — the in-process form behind ``benes bench
+    --suite scaling``.  The serial baseline is capped at
+    ``serial_max_order`` (the recursion is O(N log N) pure Python;
+    beyond ~N=16k it only proves the point more slowly); each
+    batch/composed cell at a serial-covered order gets a
+    ``speedup_vs_serial`` column.
+
+    For the *committed* ``BENCH_scaling.json`` use
+    ``benchmarks/bench_scaling.py``, which runs every cell in a fresh
+    subprocess so ``peak_rss_kb`` is a true per-cell peak
+    (``rss_isolated: true``)."""
+    import os
+
+    cells = []
+    for order in orders:
+        for mode in modes:
+            if mode == "serial" and order > serial_max_order:
+                continue
+            cells.append(measure_scaling_cell(order, mode, seed=seed,
+                                              repeats=repeats))
+    _annotate_scaling_speedups(cells)
+    report = {
+        "benchmark": "scaling: serial Waksman vs batch vs composed "
+                     "universal setup",
+        "numpy": have_numpy(),
+        "cpu_count": os.cpu_count(),
+        "seed": seed,
+        "repeats": repeats,
+        "serial_max_order": serial_max_order,
+        "rss_isolated": False,
+        "cells": cells,
+    }
+    if _obs.enabled():
+        report["metrics"] = _obs.snapshot()
+    return report
+
+
+def _annotate_scaling_speedups(cells: List[Dict]) -> None:
+    """Attach ``speedup_vs_serial`` to every non-serial cell whose
+    order also has a serial baseline cell."""
+    serial = {cell["order"]: cell["seconds"] for cell in cells
+              if cell["mode"] == "serial"}
+    for cell in cells:
+        if cell["mode"] != "serial" and cell["order"] in serial:
+            base, mine = serial[cell["order"]], cell["seconds"]
+            cell["speedup_vs_serial"] = base / mine if mine > 0 else 0.0
+
+
+def format_scaling_table(report: Dict) -> str:
+    """Human-readable view of :func:`run_scaling_benchmark`'s report."""
+    mode = "NumPy available" if report["numpy"] else "no NumPy"
+    rss = "per-cell subprocess" if report.get("rss_isolated") \
+        else "in-process (monotonic)"
+    lines = [
+        f"scaling sweep: {mode}; RSS {rss}",
+        f"{'n':>3} {'N':>8} {'mode':>9} {'seconds':>10} "
+        f"{'rss kB':>10} {'chunk B':>10} {'vs serial':>10}",
+    ]
+    for cell in report["cells"]:
+        speedup = cell.get("speedup_vs_serial")
+        chunk = cell.get("peak_chunk_bytes")
+        lines.append(
+            f"{cell['order']:>3} {cell['n_terminals']:>8} "
+            f"{cell['mode']:>9} {cell['seconds']:>10.4f} "
+            f"{cell['peak_rss_kb']:>10} "
+            f"{chunk if chunk is not None else '-':>10} "
+            f"{f'{speedup:.1f}x' if speedup is not None else '-':>10}"
+        )
+    return "\n".join(lines)
+
+
+def scaling_speedup(report: Dict, mode: str = "composed",
+                    min_order: int = 0) -> Optional[float]:
+    """Largest ``speedup_vs_serial`` among ``mode`` cells at or above
+    ``min_order`` (the benchmark assertion / regression-guard hook)."""
+    eligible = [
+        cell["speedup_vs_serial"] for cell in report["cells"]
+        if cell["mode"] == mode and cell["order"] >= min_order
+        and "speedup_vs_serial" in cell
     ]
     return max(eligible) if eligible else None
 

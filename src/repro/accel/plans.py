@@ -34,6 +34,7 @@ __all__ = [
     "cache_clear",
     "cache_stats",
     "cached_topology",
+    "composed_plan_cache",
     "setup_plan_cache",
     "stage_plan",
     "topology_cache",
@@ -53,6 +54,11 @@ _SETUP_CACHE: "LRUCache[int, object]" = LRUCache(maxsize=32)
 # (order, lanes, value_bits) — masks depend on the batch width, so this
 # cache sees more distinct keys than the per-order ones.
 _BITSLICE_CACHE: "LRUCache[tuple, object]" = LRUCache(maxsize=64)
+# Block-decomposition constants of the composed engine (the
+# ComposedPlan objects of repro.accel.composed), keyed by
+# (order, sub_order) — the peel depth is a tunable, so one order can
+# legitimately hold several plans.
+_COMPOSED_CACHE: "LRUCache[tuple, object]" = LRUCache(maxsize=32)
 
 
 def topology_cache() -> "LRUCache[int, BenesTopology]":
@@ -78,6 +84,13 @@ def bitslice_plan_cache() -> "LRUCache[tuple, object]":
     return _BITSLICE_CACHE
 
 
+def composed_plan_cache() -> "LRUCache[tuple, object]":
+    """The process-wide composed-plan cache backing
+    :func:`repro.accel.composed.composed_plan` (exposed for
+    tests/metrics)."""
+    return _COMPOSED_CACHE
+
+
 def cache_stats() -> Dict[str, Dict[str, int]]:
     """Hit/miss/size/capacity counters of the process-wide plan,
     topology and setup-plan LRUs — the public face of their internal
@@ -88,7 +101,7 @@ def cache_stats() -> Dict[str, Dict[str, int]]:
     :meth:`~repro.accel.lru.LRUCache.stats`): ``hits + misses`` counts
     completed lookups and ``building`` the in-flight factory builds, so
     a read taken while an executor thread-shard warms a cache is
-    internally consistent.  The four caches are snapshotted in
+    internally consistent.  The five caches are snapshotted in
     sequence — values may straddle an update *between* caches, but
     never within one."""
     return {
@@ -96,16 +109,18 @@ def cache_stats() -> Dict[str, Dict[str, int]]:
         "topology": _TOPOLOGY_CACHE.stats(),
         "setup": _SETUP_CACHE.stats(),
         "bitslice": _BITSLICE_CACHE.stats(),
+        "composed": _COMPOSED_CACHE.stats(),
     }
 
 
 def cache_clear() -> None:
-    """Empty all four caches and zero their hit/miss counters (tests,
+    """Empty all five caches and zero their hit/miss counters (tests,
     memory pressure)."""
     _PLAN_CACHE.clear()
     _TOPOLOGY_CACHE.clear()
     _SETUP_CACHE.clear()
     _BITSLICE_CACHE.clear()
+    _COMPOSED_CACHE.clear()
 
 
 # Pull-style metrics: snapshots read the LRU counters on demand rather

@@ -58,7 +58,11 @@ from .. import obs as _obs
 from ..core.bits import log2_exact
 from ..core.permutation import Permutation
 from ..core.routing import BatchRouteResult
-from ..errors import InvalidPermutationError, SizeMismatchError
+from ..errors import (
+    InvalidParameterError,
+    InvalidPermutationError,
+    SizeMismatchError,
+)
 from ..obs.spans import spanned as _spanned
 from . import executor as _executor
 from ._np import numpy_or_none
@@ -76,6 +80,7 @@ __all__ = [
     "batch_setup_states",
     "batch_two_pass",
     "batch_route_two_pass",
+    "peel_level_stream",
     "setup_plan",
 ]
 
@@ -237,6 +242,63 @@ def _setup_levels(np, plan: SetupPlan, arr):
     return states
 
 
+def peel_level_stream(np, order: int, arr, levels: int):
+    """Generator core of the composed-block engine's **peel**: run the
+    first ``levels`` levels of the batched looping algorithm
+    (:func:`_setup_levels`, truncated) breadth-first, streaming each
+    level's two finished switch columns out the moment they exist.
+
+    Yields ``("entry", level, col)`` then ``("exit", level, col)`` per
+    level — ``col`` a ``(B, N/2)`` int8 array holding global switch
+    column ``level`` resp. ``2*order - 2 - level`` — and finally one
+    ``("subs", -1, subs)`` item with the ``(B << levels, N >> levels)``
+    array of sub-network permutations in recursion (block-major)
+    order: row ``b * 2**levels + k`` is the local permutation of middle
+    block ``k`` of instance ``b``, whose switch columns occupy slice
+    ``[k*w, (k+1)*w)`` (``w = N >> (levels + 1)``) of the global
+    columns ``levels .. 2*order-2-levels``.  Assembling the yielded
+    pieces reproduces :func:`_setup_levels` byte for byte (pinned by
+    ``tests/test_composed.py``).
+
+    Peak working memory is ``O(B * N)`` machine words — never the
+    ``O(B * N * order)`` full state tensor, which is the point: the
+    composed engine forwards the columns/blocks downstream as chunks.
+    """
+    if not 1 <= levels <= order - 1:
+        raise InvalidParameterError(
+            f"peel depth must satisfy 1 <= levels <= order - 1; got "
+            f"levels={levels} for order {order}"
+        )
+    n = 1 << order
+    batch = arr.shape[0]
+    half = n // 2
+    total = batch * n
+    tags = arr.astype(np.intp).ravel()
+    base = np.arange(total, dtype=np.intp)
+    inv = np.empty(total, dtype=np.intp)
+    for level in range(levels):
+        m = n >> level
+        offs = base & ~(m - 1)
+        inv[tags + offs] = base
+        partner_tags = tags.reshape(-1, 2)[:, ::-1].ravel()
+        succ = inv.take((partner_tags ^ 1) + offs)
+        leader = _leaders(np, succ, base,
+                          steps=max(1, order - level - 1))
+        pairs = leader.reshape(-1, 2)
+        side_even = pairs[:, 0] >= pairs[:, 1]
+        yield ("entry", level,
+               side_even.reshape(batch, half).astype(np.int8))
+        sources = inv[0::2]
+        yield ("exit", level,
+               (side_even.take(sources >> 1) ^ (sources & 1))
+               .reshape(batch, half).astype(np.int8))
+        even, odd = tags[0::2], tags[1::2]
+        upper = (np.where(side_even, odd, even) >> 1).reshape(-1, m // 2)
+        lower = (np.where(side_even, even, odd) >> 1).reshape(-1, m // 2)
+        tags = np.stack((upper, lower), axis=1).ravel()
+    yield ("subs", -1, tags.reshape(batch << levels, n >> levels))
+
+
 @_spanned("batch.setup")
 def batch_setup_states(order: int, perms, *, parallel=False,
                        engine=None):
@@ -271,6 +333,15 @@ def batch_setup_states(order: int, perms, *, parallel=False,
         b_hint = None
     engine = _resolve(engine, order=order, batch_size=b_hint,
                       kind="setup")
+    if engine == "composed":
+        from .composed import composed_setup_states
+
+        result = composed_setup_states(order, perms, parallel=parallel)
+        if enabled:
+            _record_setup_metrics("setup", len(result),
+                                  _perf_counter() - t0,
+                                  scope=_metric_scope())
+        return result
     if engine != "numpy":
         rows = perms if isinstance(perms, list) else list(perms)
         if _executor.wants_shards(parallel, len(rows)):
@@ -367,6 +438,12 @@ def batch_two_pass(order: int, perms, *, parallel=False, engine=None):
         b_hint = None
     engine = _resolve(engine, order=order, batch_size=b_hint,
                       kind="setup")
+    if engine == "composed":
+        # The two-pass factorization reads the *global* first-half map —
+        # it does not block-decompose — so a composed request delegates
+        # to the composed engine's own inner engine; the factors are
+        # identical either way.
+        engine = "numpy" if np is not None else "scalar"
     if engine != "numpy":
         rows = perms if isinstance(perms, list) else list(perms)
         if _executor.wants_shards(parallel, len(rows)):

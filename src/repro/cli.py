@@ -6,6 +6,12 @@ Subcommands::
     benes check 3,1,2,0               class membership of a permutation
     benes plan 1,3,2,0                routing-strategy recommendation
     benes route 3,1,2,0 [--omega]     route with a stage-by-stage trace
+    benes route --order 18            million-port mode: realize a
+                [--engine composed]   seeded random permutation through
+                [--check-blocks K]    the streaming composed engine,
+                                      spot-checking K sub-blocks
+                                      byte-for-byte against the scalar
+                                      oracle
     benes fig4 / fig5 / fig6          reproduce the paper's figures
     benes table1 N                    Table I at a given size
     benes sample N [--count k]        random self-routable permutations
@@ -13,6 +19,10 @@ Subcommands::
     benes report [--sections ...]     regenerate the evaluation report
     benes bench [--json PATH]         scalar vs batch-engine throughput
                 [--suite setup]       ... of the universal setup instead
+                [--suite scaling]     ... serial vs batch vs composed
+                                      across orders (the BENCH_scaling
+                                      producer lives in
+                                      benchmarks/bench_scaling.py)
                 [--parallel]          ... plus shard-executor cells
     benes metrics                     run a demo workload, dump metrics
     benes metrics dump                render OpenMetrics / JSON once
@@ -96,7 +106,97 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_route_large(args: argparse.Namespace) -> int:
+    """``benes route --order N``: realize one seeded random permutation
+    of ``N = 2^order`` terminals through the streaming composed engine
+    (:func:`repro.accel.iter_composed_states`) — the million-port mode.
+    The full switch-state tensor is never held; finished columns and
+    per-block chunks stream past, and up to ``--check-blocks`` sampled
+    sub-blocks are re-derived with the scalar Waksman oracle on their
+    local permutations and compared byte for byte."""
+    import random
+    import resource
+    import time
+
+    from .accel import (
+        composed_plan,
+        composed_stats,
+        composed_stats_clear,
+        iter_composed_states,
+        numpy_or_none,
+    )
+
+    order = args.order
+    if order < 2:
+        raise SystemExit("--order must be >= 2 (use the positional "
+                         "permutation form for tiny networks)")
+    if args.omega:
+        raise SystemExit("--omega applies to the trace form; the "
+                         "--order mode realizes an arbitrary "
+                         "permutation via the universal setup")
+    seed = args.seed if args.seed is not None else 1980
+    n = 1 << order
+    np = numpy_or_none()
+    if np is not None:
+        perm = np.random.default_rng(seed).permutation(n)
+    else:
+        perm = list(range(n))
+        random.Random(seed).shuffle(perm)
+    # --engine composed is the default and the outer decomposition is
+    # always this engine; any other explicit name steers the *inner*
+    # per-block dispatch.
+    inner = None if args.engine in (None, "auto", "composed") \
+        else args.engine
+    if args.profile:
+        _obs.enable(trace=sys.stderr)
+    plan = composed_plan(order)
+    composed_stats_clear()
+    rng = random.Random(seed + 1)
+    columns = blocks = checked = bad = 0
+    t0 = time.perf_counter()
+    for chunk in iter_composed_states(order, perm, engine=inner):
+        if chunk.kind == "column":
+            columns += 1
+            continue
+        size = len(chunk.states)
+        blocks += size
+        if checked < args.check_blocks:
+            i = rng.randrange(size)
+            local = [int(v) for v in chunk.perms[i]]
+            oracle = setup_states(local)
+            got = [[int(v) for v in col] for col in chunk.states[i]]
+            if got != [list(col) for col in oracle]:
+                bad += 1
+            checked += 1
+    elapsed = time.perf_counter() - t0
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    stats = composed_stats()
+    print(f"benes route --order {order}: N = {n} terminals, "
+          f"{2 * order - 1} switch columns")
+    print(f"  engine         : composed "
+          f"(sub-order {plan.sub_order}, {plan.n_blocks} blocks of "
+          f"{plan.block_size})")
+    print(f"  streamed       : {columns} transit columns + "
+          f"{blocks} sub-blocks in {stats['chunks']} chunks")
+    print(f"  peak chunk     : {stats['peak_chunk_bytes']} bytes "
+          f"(vs {(2 * order - 1) * (n // 2)} for the full tensor)")
+    print(f"  elapsed        : {elapsed:.3f}s   peak RSS: {rss_kb} kB")
+    print(f"  oracle parity  : {checked - bad}/{checked} sampled "
+          f"blocks byte-identical to scalar Waksman "
+          f"-> {'OK' if bad == 0 else 'MISMATCH'}")
+    return 0 if bad == 0 else 1
+
+
 def _cmd_route(args: argparse.Namespace) -> int:
+    if args.order is not None:
+        if args.permutation is not None:
+            raise SystemExit("give either a permutation or --order N, "
+                             "not both")
+        return _cmd_route_large(args)
+    if args.permutation is None:
+        raise SystemExit("benes route needs a permutation like "
+                         "3,1,2,0, or --order N for the streaming "
+                         "million-port mode")
     if args.engine not in (None, "auto"):
         # Cross-check the name against the registry even though the
         # structural trace route is engine-independent — a typo should
@@ -221,16 +321,27 @@ def _parse_int_list(text: str, what: str) -> list:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .accel.benchmark import (
+        format_scaling_table,
         format_setup_table,
         format_table,
         run_benchmark,
+        run_scaling_benchmark,
         run_setup_benchmark,
         write_json,
     )
 
     if args.profile:
         _obs.enable()
-    if args.suite == "setup":
+    if args.suite == "scaling":
+        orders = (_parse_int_list(args.orders, "--orders")
+                  if args.orders != "4,6,8" else None)
+        report = run_scaling_benchmark(
+            orders=orders if orders is not None else (10, 12, 14),
+            seed=args.seed,
+            repeats=args.repeats,
+        )
+        print(format_scaling_table(report))
+    elif args.suite == "setup":
         report = run_setup_benchmark(
             orders=_parse_int_list(args.orders, "--orders"),
             batch_sizes=_parse_int_list(args.batches, "--batches"),
@@ -579,10 +690,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.set_defaults(func=_cmd_check)
 
     p_route = sub.add_parser("route", parents=[shared],
-                             help="self-route a permutation with trace")
-    p_route.add_argument("permutation", help="e.g. 3,1,2,0")
+                             help="self-route a permutation with trace "
+                                  "(or --order N for the streaming "
+                                  "million-port mode)")
+    p_route.add_argument("permutation", nargs="?", default=None,
+                         help="e.g. 3,1,2,0 (omit when using --order)")
     p_route.add_argument("--omega", action="store_true",
                          help="force the first n-1 stages straight")
+    p_route.add_argument("--order", type=int, default=None,
+                         metavar="N",
+                         help="million-port mode: realize a seeded "
+                              "random permutation of 2^N terminals "
+                              "through the streaming composed engine, "
+                              "never holding the full state tensor")
+    p_route.add_argument("--check-blocks", type=int, default=4,
+                         metavar="K",
+                         help="sampled sub-blocks checked byte-for-"
+                              "byte against the scalar Waksman oracle "
+                              "in --order mode (default 4)")
     p_route.set_defaults(func=_cmd_route)
 
     for fig, fn in (("fig4", _cmd_fig4), ("fig5", _cmd_fig5),
@@ -619,11 +744,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark the vectorized batch engine vs the scalar "
              "fast path",
     )
-    p_bench.add_argument("--suite", choices=("route", "setup"),
+    p_bench.add_argument("--suite", choices=("route", "setup",
+                                             "scaling"),
                          default="route",
                          help="'route' times batch self-routing; "
                               "'setup' times the batched universal "
-                              "setup and two-pass factorization")
+                              "setup and two-pass factorization; "
+                              "'scaling' times serial Waksman vs "
+                              "batch vs composed across orders")
     p_bench.add_argument("--orders", default="4,6,8",
                          help="comma-separated network orders")
     p_bench.add_argument("--batches", default="64,256,1024",
@@ -690,7 +818,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="workload rows per (order, family) case")
     p_verify.add_argument("--families",
                           default="selfroute,membership,universal,"
-                                  "twopass",
+                                  "twopass,composed",
                           help="comma-separated comparison families")
     p_verify.add_argument("--engines", default=None,
                           help="comma-separated self-route engine "

@@ -439,6 +439,14 @@ def _sharded_engine(rows, order, *, omega_mode=False,
     return _from_batch_result("sharded", result)
 
 
+def _composed_engine(rows, order, *, omega_mode=False,
+                     stuck_switches=None) -> EngineRun:
+    result = batch_self_route(list(rows), omega_mode=omega_mode,
+                              stuck_switches=stuck_switches,
+                              stage_states=True, engine="composed")
+    return _from_batch_result("composed", result)
+
+
 # --- the routing daemon, reached over its wire protocol ---------------
 
 _SERVE_HANDLE = None
@@ -525,6 +533,11 @@ def _membership_bitslice(rows, order) -> Tuple[bool, ...]:
     return tuple(bool(ok) for ok in mask)
 
 
+def _membership_composed(rows, order) -> Tuple[bool, ...]:
+    mask = batch_in_class_f(list(rows), engine="composed")
+    return tuple(bool(ok) for ok in mask)
+
+
 def _membership_route_success(rows, order) -> Tuple[bool, ...]:
     # Theorem 1 states membership == routing success; feeding the
     # routed verdict into the same comparison pins that equivalence
@@ -570,6 +583,12 @@ def _states_batch_fallback(states_batch, order) -> Tuple[Row, ...]:
 def _states_bitslice(states_batch, order) -> Tuple[Row, ...]:
     result = batch_route_with_states(list(states_batch), order,
                                      engine="bitslice")
+    return tuple(tuple(int(v) for v in row) for row in result.mappings)
+
+
+def _states_composed(states_batch, order) -> Tuple[Row, ...]:
+    result = batch_route_with_states(list(states_batch), order,
+                                     engine="composed")
     return tuple(tuple(int(v) for v in row) for row in result.mappings)
 
 
@@ -684,6 +703,17 @@ register(EngineSpec(
     name="sharded",
     selfroute=_sharded_engine,
     description="multicore shard executor over the batch engine",
+))
+register(EngineSpec(
+    name="composed",
+    selfroute=_composed_engine,
+    membership=_membership_composed,
+    membership_name="membership-composed",
+    states=_states_composed,
+    states_name="states-composed",
+    exec_seam=True,
+    description="block-composed sub-network engine: peel + per-block "
+                "dispatch with streaming state chunks",
 ))
 register(EngineSpec(
     name="serve",

@@ -18,6 +18,14 @@ Four comparison families mirror the repo's four public surfaces:
 - **twopass** — scalar vs batch two-pass factors, factor properties
   (``omega_2[omega_1] == p``), and the composed two-transit delivery
   realizing ``p`` exactly.
+- **composed** — the block-composed engine's decomposition itself:
+  assembled composed setup states vs the scalar looping oracle
+  byte-for-byte, and the *streamed* form
+  (:func:`repro.accel.iter_composed_states`) re-assembled chunk by
+  chunk with every sub-block independently checked against the scalar
+  oracle on its local permutation — the sub-block parity the
+  million-port path rests on, verified at an order where the full
+  tensor is still affordable.
 
 Every discrepancy becomes a :class:`Disagreement` carrying enough
 context (family, field, engine pair, batch index, row, options) for the
@@ -29,6 +37,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..accel.composed import (
+    composed_plan,
+    composed_setup_states,
+    iter_composed_states,
+)
 from ..accel.setup import (
     batch_route_two_pass,
     batch_setup_states,
@@ -45,6 +58,7 @@ from .engines import (
 
 __all__ = [
     "Disagreement",
+    "check_composed",
     "check_membership",
     "check_selfroute",
     "check_twopass",
@@ -230,6 +244,80 @@ def check_universal(rows: Sequence[Row], order: int, *,
                     detail=f"states realize {tuple(realized[b])}",
                 ))
                 break
+    return out
+
+
+def check_composed(rows: Sequence[Row], order: int, *,
+                   sub_order: Optional[int] = None,
+                   ) -> List[Disagreement]:
+    """The composed engine's block decomposition, differentially.
+
+    Two legs: the assembled form
+    (:func:`~repro.accel.composed_setup_states`) must equal the scalar
+    looping oracle byte-for-byte for every row, and the streamed form
+    (:func:`~repro.accel.iter_composed_states`) on the first row must
+    re-assemble to the same tensor with each sub-block's states
+    matching ``setup_states`` of its *local* permutation — the
+    chunk-level parity ``benes route --order N`` samples at orders
+    where the full oracle is unaffordable, verified here exhaustively
+    at an order where it is.
+    """
+    out: List[Disagreement] = []
+    if order < 2 or not rows:
+        return out
+    scalar_states = [setup_states(list(row)) for row in rows]
+    assembled = composed_setup_states(order, list(rows),
+                                      sub_order=sub_order)
+    i = _first_diff(_normalize_states_batch(scalar_states),
+                    _normalize_states_batch(assembled))
+    if i is not None:
+        out.append(Disagreement(
+            family="composed", field="setup_states", order=order,
+            engine_a="waksman-scalar", engine_b="waksman-composed",
+            index=i, row=tuple(rows[i]),
+            detail="composed block assembly diverges from scalar "
+                   "looping",
+        ))
+        return out  # the streamed form would only echo this
+    plan = composed_plan(order, sub_order)
+    row = rows[0]
+    half = plan.n_terminals // 2
+    streamed = [[0] * half for _ in range(plan.n_stages)]
+    w = plan.block_half
+    for chunk in iter_composed_states(order, row,
+                                      sub_order=plan.sub_order):
+        if chunk.kind == "column":
+            streamed[chunk.stage] = [int(v) for v in chunk.states]
+            continue
+        for i in range(len(chunk.states)):
+            k = chunk.block_start + i
+            states = chunk.states[i]
+            local = [int(v) for v in chunk.perms[i]]
+            if plan.sub_order > 1:
+                oracle = setup_states(local)
+                got = [[int(v) for v in col] for col in states]
+                if got != [list(col) for col in oracle]:
+                    out.append(Disagreement(
+                        family="composed", field="block_states",
+                        order=order, engine_a="waksman-scalar",
+                        engine_b="composed-chunk", index=0,
+                        row=tuple(row),
+                        detail=f"block {k} states diverge from the "
+                               f"scalar oracle on its local "
+                               f"permutation {tuple(local)}",
+                    ))
+                    return out
+            for s_local in range(plan.mid_stages):
+                streamed[plan.levels + s_local][k * w:(k + 1) * w] = [
+                    int(v) for v in states[s_local]
+                ]
+    if streamed != [[int(v) for v in col] for col in scalar_states[0]]:
+        out.append(Disagreement(
+            family="composed", field="streamed_states", order=order,
+            engine_a="waksman-scalar", engine_b="composed-stream",
+            index=0, row=tuple(row),
+            detail="re-assembled stream diverges from scalar looping",
+        ))
     return out
 
 

@@ -4,8 +4,8 @@ One :func:`run_verify` call is a seeded, time-budgeted bug hunt:
 
 - every round sweeps all configured orders and comparison families
   (self-routing with plain / omega / fault-injected options, F(n)
-  membership, Waksman universal setup, two-pass routing), drawing fresh
-  seeded workloads each time;
+  membership, Waksman universal setup, two-pass routing, composed
+  block decomposition), drawing fresh seeded workloads each time;
 - the first round always completes in full — the budget bounds *extra*
   rounds, so even ``--budget 0`` yields a complete sweep;
 - fault-injection campaigns (:func:`~repro.verify.faults.run_campaign`)
@@ -42,6 +42,7 @@ from .engines import (
 from .faults import run_campaign
 from .fuzzer import (
     Disagreement,
+    check_composed,
     check_membership,
     check_selfroute,
     check_twopass,
@@ -67,7 +68,7 @@ class VerifyConfig:
     orders: Tuple[int, ...] = (2, 3, 4, 5, 6)
     batch: int = 64
     families: Tuple[str, ...] = ("selfroute", "membership",
-                                 "universal", "twopass")
+                                 "universal", "twopass", "composed")
     fault_orders: Tuple[int, ...] = (2, 3, 4, 5)
     fault_perms: int = 8
     engines: Optional[Tuple[str, ...]] = None  # None = all self-route
@@ -157,6 +158,10 @@ def _family_check(family: str):
         return lambda order, rows, options: (
             lambda found: _signature(found[0]) if found else None
         )(check_twopass(rows, order))
+    if family == "composed":
+        return lambda order, rows, options: (
+            lambda found: _signature(found[0]) if found else None
+        )(check_composed(rows, order))
     raise AssertionError(family)
 
 
@@ -250,6 +255,8 @@ def run_verify(config: VerifyConfig) -> VerifyReport:
             "membership": list(MEMBERSHIP_ENGINES),
             "universal": list(STATES_ENGINES),
             "twopass": ["twopass-scalar", "twopass-batch"],
+            "composed": ["waksman-scalar", "waksman-composed",
+                         "composed-stream"],
         },
     )
     cases = report.cases
@@ -304,6 +311,8 @@ def run_verify(config: VerifyConfig) -> VerifyReport:
                 found = check_membership(rows, order)
             elif family == "universal":
                 found = check_universal(rows, order)
+            elif family == "composed":
+                found = check_composed(rows, order)
             else:
                 found = check_twopass(rows, order)
             check = _family_check(family)

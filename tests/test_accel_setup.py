@@ -288,7 +288,8 @@ class TestSetupPlanCache:
     def test_cache_stats_exposes_setup_plans(self):
         cache_clear()
         stats = cache_stats()
-        assert set(stats) == {"plan", "topology", "setup", "bitslice"}
+        assert set(stats) == {"plan", "topology", "setup", "bitslice",
+                              "composed"}
         assert stats["setup"]["size"] == 0
         setup_plan(3)
         setup_plan(3)

@@ -31,12 +31,12 @@ class TestRegistry:
         names = registry.names()
         for expected in ("scalar", "numpy", "fastpath", "batch",
                          "batch-fallback", "bitslice", "sharded",
-                         "serve"):
+                         "composed", "serve"):
             assert expected in names
 
     def test_exec_seam_names_in_registration_order(self):
         assert registry.exec_engine_names() == ("scalar", "numpy",
-                                                "bitslice")
+                                                "bitslice", "composed")
 
     def test_get_unknown_engine_raises(self):
         with pytest.raises(InvalidParameterError):

@@ -258,7 +258,8 @@ class TestHarness:
         assert payload["schema_version"] == 1
         assert payload["ok"] is True
         assert payload["cases"] == {"selfroute": 2, "membership": 2,
-                                    "universal": 2, "twopass": 2}
+                                    "universal": 2, "twopass": 2,
+                                    "composed": 2}
         assert payload["self_test"]["caught"] is True
 
     def test_self_test_shrinks_to_minimal(self):

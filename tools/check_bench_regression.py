@@ -33,6 +33,16 @@ the **committed** ``BENCH_serve.json`` must show coalesced throughput
 at least 3x the per-request rate at 256+ concurrent clients (skipped
 cleanly when no serve report is committed).
 
+``BENCH_scaling.json`` (the composed-engine sweep produced by
+``benchmarks/bench_scaling.py``) is likewise guarded read-only, on two
+axes: the composed engine must beat the serial Waksman baseline by at
+least 5x wall-time at order >= 14, and — when the report's cells were
+measured in isolated subprocesses (``rss_isolated: true``) — composed
+peak RSS at the top order must stay under 4x its order-14 peak (the
+streaming decomposition's memory claim).  A scaling cell without an
+``engine`` column is a schema error and fails with a clear message
+naming the cell, never a raw ``KeyError``.
+
 When a ``BENCH_history.jsonl`` trajectory exists (appended by
 ``tools/bench_history.py``), the baseline for each cell is the
 **median of its recent history** (last ``--window`` records, default
@@ -60,6 +70,10 @@ FLOOR = 10.0           # NumPy engine acceptance floor
 BITSLICE_FLOOR = 5.0   # bit-sliced big-int engine acceptance floor
 SERVE_FLOOR = 3.0      # coalesced vs per-request rps, >= 256 clients
 SERVE_CLIENTS = 256    # concurrency the serve floor is asserted at
+SCALING_FLOOR = 5.0    # composed vs serial Waksman, order >= 14
+SCALING_MIN_ORDER = 14     # order the composed floor is asserted at
+SCALING_RSS_BASE_ORDER = 14  # RSS-growth baseline order
+SCALING_RSS_CAP = 4.0  # composed peak-RSS ratio, top order vs base
 
 
 def _cell_engine(cell, report_numpy: bool) -> str:
@@ -69,6 +83,22 @@ def _cell_engine(cell, report_numpy: bool) -> str:
     if engine is not None:
         return engine
     return "numpy" if report_numpy else "scalar"
+
+
+def _require_engine(cell, name: str, index: int):
+    """The cell's engine column, or ``None`` after a clear schema
+    failure message — newer reports (the scaling sweep) have no legacy
+    era to default into, so a missing column is a bug in the producer,
+    not something to paper over with a guess (and never a raw
+    ``KeyError`` out of the guard)."""
+    engine = cell.get("engine")
+    if engine is None:
+        print(f"  {name}: cell #{index} "
+              f"(order {cell.get('order', '?')}, "
+              f"mode {cell.get('mode', '?')}) has no 'engine' column "
+              f"-> FAIL (regenerate the report with "
+              f"benchmarks/bench_scaling.py)")
+    return engine
 
 
 def _load_report(path: pathlib.Path):
@@ -195,6 +225,82 @@ def _check_serve_baseline(path: pathlib.Path) -> bool:
     return speedup >= SERVE_FLOOR
 
 
+def _check_scaling_baseline(path: pathlib.Path) -> bool:
+    """The composed-engine acceptance floors, checked against the
+    **committed** ``BENCH_scaling.json`` (read-only — a full scaling
+    sweep re-measures minutes of work):
+
+    - **speedup**: some composed cell at order >= ``SCALING_MIN_ORDER``
+      must carry ``speedup_vs_serial`` >= ``SCALING_FLOOR``;
+    - **memory**: when the report is subprocess-isolated
+      (``rss_isolated: true``), composed ``peak_rss_kb`` at the top
+      measured order must stay under ``SCALING_RSS_CAP`` times the
+      order-``SCALING_RSS_BASE_ORDER`` composed peak — the streaming
+      decomposition's O(N/blocks * log N) claim.
+
+    Skips cleanly when no scaling report is committed; fails with a
+    named-cell message (never a ``KeyError``) when a cell lacks the
+    ``engine`` column.
+    """
+    report = _load_report(path)
+    if report is None:
+        print("  scaling/composed: no baseline (skip)")
+        return True
+    composed = []
+    for index, cell in enumerate(report.get("cells", [])):
+        if not isinstance(cell, dict):
+            print(f"  {path.name}: cell #{index} is not an object "
+                  f"-> FAIL")
+            return False
+        engine = _require_engine(cell, path.name, index)
+        if engine is None:
+            return False
+        if engine == "composed":
+            composed.append(cell)
+    if not composed:
+        print("  scaling/composed: no composed cells in baseline "
+              "(skip)")
+        return True
+
+    ok = True
+    guarded = [cell for cell in composed
+               if cell.get("order", 0) >= SCALING_MIN_ORDER
+               and cell.get("speedup_vs_serial") is not None]
+    if guarded:
+        best = max(guarded, key=lambda cell:
+                   float(cell["speedup_vs_serial"]))
+        speedup = float(best["speedup_vs_serial"])
+        status = "ok" if speedup >= SCALING_FLOOR else "FAIL"
+        print(f"  scaling/composed (order {best.get('order')}): "
+              f"committed {speedup:.1f}x vs serial, floor "
+              f"{SCALING_FLOOR:.1f}x -> {status}")
+        ok &= speedup >= SCALING_FLOOR
+    else:
+        print(f"  scaling/composed: no speedup_vs_serial cell at "
+              f"order >= {SCALING_MIN_ORDER} (skip)")
+
+    if not report.get("rss_isolated", False):
+        print("  scaling/rss: cells not subprocess-isolated, RSS is "
+              "a monotonic high-water mark (skip)")
+        return bool(ok)
+    by_order = {cell["order"]: cell for cell in composed
+                if cell.get("order") is not None
+                and cell.get("peak_rss_kb")}
+    top = max(by_order) if by_order else None
+    base = by_order.get(SCALING_RSS_BASE_ORDER)
+    if top is None or base is None or top <= SCALING_RSS_BASE_ORDER:
+        print(f"  scaling/rss: no composed RSS pair (order "
+              f"{SCALING_RSS_BASE_ORDER} + a higher order) (skip)")
+        return bool(ok)
+    ratio = float(by_order[top]["peak_rss_kb"]) / \
+        float(base["peak_rss_kb"])
+    status = "ok" if ratio < SCALING_RSS_CAP else "FAIL"
+    print(f"  scaling/rss (order {top} vs "
+          f"{SCALING_RSS_BASE_ORDER}): committed {ratio:.2f}x vs cap "
+          f"{SCALING_RSS_CAP:.1f}x -> {status}")
+    return bool(ok) and ratio < SCALING_RSS_CAP
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="guard the batch engine's headline speedup against "
@@ -291,6 +397,10 @@ def main(argv=None) -> int:
     # The serve guard is read-only: it asserts the committed
     # BENCH_serve.json still clears the coalescing acceptance floor.
     ok &= _check_serve_baseline(root / "BENCH_serve.json")
+
+    # So is the scaling guard: the committed BENCH_scaling.json must
+    # keep the composed engine's speedup and memory claims.
+    ok &= _check_scaling_baseline(root / "BENCH_scaling.json")
 
     return 0 if ok else 1
 
