@@ -1,0 +1,172 @@
+"""PACKET — throughput/latency vs offered load for the packet mode.
+
+Not a Nassimi-Sahni claim: the dynamic workload class of "A Benes
+Packet Network" (Huang & Walrand — PAPERS.md).  The time-stepped
+simulator (:mod:`repro.packet.sim`) injects Bernoulli traffic at a
+sweep of offered loads and measures the saturation curve: delivered
+throughput, drop rate, and end-to-end latency quantiles per load
+point.
+
+Invariants the committed report must keep (asserted read-only by
+``tools/check_bench_regression.py``):
+
+- at least ``3`` offered-load points (a curve, not a dot);
+- ``misrouted == 0`` in every cell — self-routing delivers every
+  packet that exits, under contention, backoff, and both steering
+  policies;
+- at the lowest committed load the network is **unsaturated**:
+  delivered throughput must reach at least 90% of the offered load.
+
+Under pytest (``pytest benchmarks -k packet``) the same invariants
+run at reduced scale, plus determinism of the seeded simulation.
+
+Run as a script to (re)generate the machine-readable report::
+
+    PYTHONPATH=src python benchmarks/bench_packet.py \
+        --json BENCH_packet.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import pytest
+from conftest import emit
+
+from repro.accel import have_numpy
+from repro.packet import PacketSimConfig, saturation_sweep, simulate
+
+DEFAULT_ORDER = 5
+DEFAULT_TICKS = 512
+DEFAULT_LOADS = (0.1, 0.3, 0.5, 0.7, 0.9)
+DEFAULT_QUEUE = 4
+DEFAULT_SEED = 1980
+
+
+# ----------------------------------------------------------------------
+# pytest smoke legs — reduced-scale invariants
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("policy", ["dest", "random"])
+def test_packet_sweep_invariants(policy):
+    reports = saturation_sweep(
+        (0.1, 0.5, 0.9), order=4, ticks=96, seed=DEFAULT_SEED,
+        policy=policy)
+    for report in reports:
+        assert report.misrouted == 0
+        assert report.delivered + report.dropped + \
+            report.stranded == report.offered
+        for latency in report.latencies:
+            assert latency >= 2 * report.config.order - 1
+    # unsaturated at the lowest load: nearly everything delivered
+    low = reports[0]
+    assert low.throughput >= 0.9 * low.config.offered_load
+
+
+def test_packet_sim_deterministic():
+    config = PacketSimConfig(order=4, ticks=64, offered_load=0.6,
+                             seed=7)
+    assert simulate(config).to_dict() == simulate(config).to_dict()
+
+
+def test_packet_throughput_bench(benchmark):
+    config = PacketSimConfig(order=4, ticks=64, offered_load=0.5,
+                             seed=DEFAULT_SEED)
+    report = benchmark(simulate, config)
+    assert report.misrouted == 0
+
+
+# ----------------------------------------------------------------------
+# report producer — the committed BENCH_packet.json
+# ----------------------------------------------------------------------
+
+def _cell(report) -> dict:
+    cell = report.to_dict()
+    cell["kind"] = "packet"
+    cell["engine"] = "sim"
+    # the guard keys on speedup for engine cells; packet cells have no
+    # scalar baseline to normalize against
+    cell["speedup"] = None
+    cell["batch_size"] = None
+    cell["parallel"] = False
+    return cell
+
+
+def build_report(order: int, loads, ticks: int, queue_capacity: int,
+                 policies, seed: int) -> dict:
+    cells = []
+    t0 = time.perf_counter()
+    for policy in policies:
+        for report in saturation_sweep(
+                loads, order=order, ticks=ticks,
+                queue_capacity=queue_capacity, policy=policy,
+                seed=seed):
+            cells.append(_cell(report))
+    return {
+        "benchmark": "packet",
+        "numpy": have_numpy(),
+        "cpu_count": os.cpu_count(),
+        "order": order,
+        "ticks": ticks,
+        "queue_capacity": queue_capacity,
+        "seed": seed,
+        "elapsed_s": round(time.perf_counter() - t0, 3),
+        "cells": cells,
+    }
+
+
+def _render(report: dict) -> str:
+    lines = [f"{'policy':>7} {'load':>6} {'thru':>8} {'drop%':>7} "
+             f"{'p50':>5} {'p99':>5}"]
+    for cell in report["cells"]:
+        lines.append(
+            f"{cell['policy']:>7} {cell['offered_load']:>6.2f} "
+            f"{cell['throughput']:>8.4f} "
+            f"{100 * cell['drop_rate']:>6.2f}% "
+            f"{cell['latency_p50'] if cell['latency_p50'] is not None else '-':>5} "
+            f"{cell['latency_p99'] if cell['latency_p99'] is not None else '-':>5}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="packet-mode saturation sweep")
+    parser.add_argument("--order", type=int, default=DEFAULT_ORDER)
+    parser.add_argument("--ticks", type=int, default=DEFAULT_TICKS)
+    parser.add_argument("--loads",
+                        default=",".join(str(v) for v in DEFAULT_LOADS))
+    parser.add_argument("--queue-capacity", type=int,
+                        default=DEFAULT_QUEUE)
+    parser.add_argument("--policies", default="dest,random")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the machine-readable report "
+                             "(e.g. BENCH_packet.json)")
+    args = parser.parse_args(argv)
+
+    loads = [float(tok) for tok in
+             args.loads.replace(" ", "").split(",")]
+    policies = args.policies.replace(" ", "").split(",")
+    report = build_report(args.order, loads, args.ticks,
+                          args.queue_capacity, policies, args.seed)
+    emit(f"PACKET saturation sweep (N={1 << args.order}, "
+         f"ticks={args.ticks})", _render(report))
+    bad = [cell for cell in report["cells"] if cell["misrouted"]]
+    if bad:
+        print(f"FAIL: {len(bad)} cell(s) with misrouted packets")
+        return 1
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -25,6 +25,7 @@ from __future__ import annotations
 __all__ = [
     "BatchRouteResult",
     "BitslicePlan",
+    "PartialBatchResult",
     "ComposedPlan",
     "ENGINES",
     "LRUCache",
@@ -33,7 +34,9 @@ __all__ = [
     "StateChunk",
     "autotune_cache_path",
     "autotune_clear",
+    "batch_complete_partial",
     "batch_in_class_f",
+    "batch_route_partial",
     "batch_route_two_pass",
     "batch_route_with_states",
     "batch_self_route",
@@ -50,6 +53,7 @@ __all__ = [
     "cache_stats",
     "cached_topology",
     "choose_engine",
+    "complete_partial_row",
     "composed_in_class_f",
     "composed_order_threshold",
     "composed_plan",
@@ -79,6 +83,7 @@ __all__ = [
 _EXPORTS = {
     "BatchRouteResult": "batch",
     "BitslicePlan": "bitslice",
+    "PartialBatchResult": "partial",
     "ComposedPlan": "composed",
     "ENGINES": "_np",
     "LRUCache": "lru",
@@ -87,7 +92,9 @@ _EXPORTS = {
     "StateChunk": "composed",
     "autotune_cache_path": "autotune",
     "autotune_clear": "autotune",
+    "batch_complete_partial": "partial",
     "batch_in_class_f": "batch",
+    "batch_route_partial": "partial",
     "batch_route_two_pass": "setup",
     "batch_route_with_states": "batch",
     "batch_self_route": "batch",
@@ -104,6 +111,7 @@ _EXPORTS = {
     "cache_stats": "plans",
     "cached_topology": "plans",
     "choose_engine": "autotune",
+    "complete_partial_row": "partial",
     "composed_in_class_f": "composed",
     "composed_order_threshold": "_np",
     "composed_plan": "composed",

@@ -51,6 +51,7 @@ from time import perf_counter as _perf_counter
 from typing import Dict, Optional
 
 from ._np import have_numpy
+from .. import obs as _obs
 
 __all__ = ["choose_engine", "crossover_table", "autotune_clear",
            "autotune_cache_path", "MAX_PROBE_ORDER"]
@@ -158,7 +159,10 @@ def _persist_locked() -> None:
         tmp.write_text(body + "\n", encoding="utf-8")
         os.replace(tmp, path)
     except OSError:
-        pass
+        # Still best-effort (read-only homes are a supported
+        # configuration), but no longer invisible: every later worker
+        # re-probing from scratch traces back to this counter.
+        _obs.inc("accel.autotune.cache_io_failed")
 
 
 def _probe_rows(order: int, count: int) -> list:
@@ -262,5 +266,7 @@ def autotune_clear(*, persistent: bool = False) -> None:
             if path is not None:
                 try:
                     path.unlink()
+                except FileNotFoundError:
+                    pass  # nothing persisted yet — not a fault
                 except OSError:
-                    pass
+                    _obs.inc("accel.autotune.cache_io_failed")

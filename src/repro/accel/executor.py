@@ -297,9 +297,11 @@ def shutdown(wait: bool = True) -> None:
                 delta = future.result(timeout=5.0)
                 if delta is not None:
                     _obs.merge(delta)
-        except Exception:
-            # A dying/broken pool must never fail the shutdown path.
-            pass
+        except Exception:  # noqa: BLE001 - shutdown must not raise
+            # A dying/broken pool must never fail the shutdown path,
+            # but a lost delta is invisible data loss for whoever is
+            # reading the merged registry — count it.
+            _obs.inc("executor.delta_flush_failed")
     pool.shutdown(wait=wait)
 
 

@@ -31,6 +31,10 @@ Subcommands::
     benes verify [--seed S]           differential cross-engine fuzzing,
                 [--budget 30s]        fault-injection parity, and the
                 [--json PATH]         planted-mutant self-test
+    benes packet --load 0.9           time-stepped packet simulation:
+                [--loads 0.2,..]      bounded per-switch queues,
+                [--policy random]     seeded contention arbitration,
+                [--json PATH]         drop/retry (see repro.packet)
     benes serve --port P              routing-as-a-service daemon:
                 [--max-batch B]       coalesce concurrent JSON-line
                 [--max-wait-us U]     requests into (B, N) engine
@@ -66,6 +70,7 @@ from .core import (
     setup_states,
 )
 from .core.bits import log2_exact
+from .errors import ReproError
 from .permclasses import (
     bit_reversal,
     is_bpc,
@@ -549,6 +554,84 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_packet(args: argparse.Namespace) -> int:
+    from .packet import PacketSimConfig, saturation_sweep, simulate
+
+    if args.profile:
+        _obs.enable()
+        _obs.inc("cli.command.packet")
+    if args.loads is not None:
+        loads = []
+        for token in args.loads.replace(" ", "").split(","):
+            try:
+                loads.append(float(token))
+            except ValueError:
+                raise SystemExit(
+                    f"cannot parse --loads entry {token!r}")
+    else:
+        loads = [args.load]
+    kwargs = dict(
+        order=args.order,
+        ticks=args.ticks,
+        queue_capacity=args.queue_capacity,
+        max_retries=args.max_retries,
+        backoff_base=args.backoff_base,
+        backoff_exp=args.backoff_exp,
+        policy=args.policy,
+        seed=args.seed if args.seed is not None else 1980,
+    )
+    try:
+        reports = saturation_sweep(loads, **kwargs)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    n = 1 << args.order
+    print(f"packet: N={n} (order {args.order})  ticks={args.ticks}  "
+          f"queue={args.queue_capacity}  policy={args.policy}  "
+          f"seed={kwargs['seed']}")
+    print(f"  {'load':>6} {'thru':>8} {'drop%':>7} {'lat_mean':>9} "
+          f"{'p50':>5} {'p99':>5} {'max':>5}")
+    for report in reports:
+        d = report.to_dict()
+        mean = d["latency_mean"]
+        print(f"  {d['offered_load']:>6.2f} {d['throughput']:>8.4f} "
+              f"{100 * d['drop_rate']:>6.2f}% "
+              f"{mean if mean is not None else '-':>9} "
+              f"{d['latency_p50'] if d['latency_p50'] is not None else '-':>5} "
+              f"{d['latency_p99'] if d['latency_p99'] is not None else '-':>5} "
+              f"{d['latency_max'] if d['latency_max'] is not None else '-':>5}")
+        if d["misrouted"]:
+            print(f"    WARNING: {d['misrouted']} misrouted packets")
+    if args.json:
+        import os
+
+        from .accel import have_numpy
+
+        # same cells schema as benchmarks/bench_packet.py, so the
+        # report feeds tools/bench_history.py and (if committed)
+        # tools/check_bench_regression.py unchanged
+        payload = {
+            "benchmark": "packet",
+            "numpy": have_numpy(),
+            "cpu_count": os.cpu_count(),
+            "order": args.order,
+            "ticks": args.ticks,
+            "queue_capacity": args.queue_capacity,
+            "seed": kwargs["seed"],
+            "cells": [
+                dict(report.to_dict(), kind="packet", engine="sim",
+                     speedup=None, batch_size=None, parallel=False)
+                for report in reports
+            ],
+        }
+        if args.profile:
+            payload["metrics"] = _obs.snapshot()
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if all(r.misrouted == 0 for r in reports) else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
@@ -818,7 +901,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="workload rows per (order, family) case")
     p_verify.add_argument("--families",
                           default="selfroute,membership,universal,"
-                                  "twopass,composed",
+                                  "twopass,composed,partial",
                           help="comma-separated comparison families")
     p_verify.add_argument("--engines", default=None,
                           help="comma-separated self-route engine "
@@ -835,6 +918,42 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also write the machine-readable report "
                                "(e.g. VERIFY.json)")
     p_verify.set_defaults(func=_cmd_verify, seed=0)
+
+    p_packet = sub.add_parser(
+        "packet", parents=[shared],
+        help="time-stepped packet simulation over the pipelined "
+             "network: bounded queues, seeded contention, drop/retry "
+             "(Huang & Walrand workload class)",
+    )
+    p_packet.add_argument("--order", type=int, default=4,
+                          help="network order n (N = 2^n inputs)")
+    p_packet.add_argument("--load", type=float, default=0.5,
+                          help="per-input injection probability per "
+                               "tick")
+    p_packet.add_argument("--loads", default=None,
+                          help="comma-separated offered loads for a "
+                               "saturation sweep (overrides --load)")
+    p_packet.add_argument("--ticks", type=int, default=512,
+                          help="injection window length in ticks")
+    p_packet.add_argument("--queue-capacity", type=int, default=4,
+                          help="per-switch buffer bound in packets")
+    p_packet.add_argument("--max-retries", type=int, default=16,
+                          help="losses a packet survives before drop")
+    p_packet.add_argument("--backoff-base", type=int, default=0,
+                          help="ticks a contention loser waits before "
+                               "re-arbitrating (0 = next tick)")
+    p_packet.add_argument("--backoff-exp", action="store_true",
+                          help="double the backoff per consecutive "
+                               "loss")
+    p_packet.add_argument("--policy", choices=("dest", "random"),
+                          default="dest",
+                          help="first-half steering: own destination "
+                               "bits, or seeded random distribution "
+                               "(Benes-packet load balancing)")
+    p_packet.add_argument("--json", default=None, metavar="PATH",
+                          help="also write the machine-readable "
+                               "report (e.g. BENCH_packet.json shape)")
+    p_packet.set_defaults(func=_cmd_packet)
 
     p_daemon = sub.add_parser(
         "serve", parents=[shared],

@@ -59,6 +59,7 @@ from .accel.batch import (
     batch_route_with_states,
     batch_self_route,
 )
+from .accel.partial import batch_route_partial, complete_partial_row
 from .core.benes import BenesNetwork
 from .core.fastpath import (
     fast_route_with_states,
@@ -69,11 +70,13 @@ from .errors import InvalidParameterError, MissingDependencyError
 
 __all__ = [
     "ALL_MEMBERSHIP_ENGINES",
+    "ALL_PARTIAL_ENGINES",
     "ALL_SELF_ROUTE_ENGINES",
     "ALL_STATES_ENGINES",
     "EngineRun",
     "EngineSpec",
     "MEMBERSHIP_ENGINES",
+    "PARTIAL_ENGINES",
     "SELF_ROUTE_ENGINES",
     "STATES_ENGINES",
     "default_selfroute_names",
@@ -87,6 +90,7 @@ __all__ = [
     "require_exec",
     "run_engine",
     "run_membership_engine",
+    "run_partial_engine",
     "run_states_engine",
 ]
 
@@ -132,9 +136,17 @@ class EngineSpec:
             adapter (key: ``membership_name``).
         states: ``(states_batch, order) -> Tuple[Row, ...]``
             external-state adapter (key: ``states_name``).
-        membership_name / states_name: historical per-family adapter
-            names kept stable for the verifier's reports and generated
-            regression tests.
+        partial: ``(rows, order, *, omega_mode, stuck_switches) ->
+            EngineRun`` adapter for **partial permutations** (dense
+            rows, idle lanes ``-1``); ``success`` is the per-instance
+            all-active-lanes-delivered verdict and ``mappings`` holds
+            each instance's arrival outputs for its active sources in
+            increasing source order — the masked currency the
+            ``partial`` verify family compares byte-for-byte
+            (key: ``partial_name``).
+        membership_name / states_name / partial_name: historical
+            per-family adapter names kept stable for the verifier's
+            reports and generated regression tests.
         exec_seam: True when :func:`repro.accel.resolve_engine` should
             accept ``name`` as a concrete batch execution engine.
         available: dependency gate — ``False`` means requesting the
@@ -149,8 +161,10 @@ class EngineSpec:
     selfroute: Optional[Callable[..., EngineRun]] = None
     membership: Optional[Callable[..., Tuple[bool, ...]]] = None
     states: Optional[Callable[..., Tuple[Row, ...]]] = None
+    partial: Optional[Callable[..., EngineRun]] = None
     membership_name: Optional[str] = None
     states_name: Optional[str] = None
+    partial_name: Optional[str] = None
     exec_seam: bool = False
     available: Callable[[], bool] = field(default=_always)
     default: bool = True
@@ -297,6 +311,13 @@ ALL_MEMBERSHIP_ENGINES: Mapping = _CapabilityView(
     "membership", "membership_name", default_only=False)
 ALL_STATES_ENGINES: Mapping = _CapabilityView(
     "states", "states_name", default_only=False)
+
+#: Partial-permutation views (dense rows, idle lanes ``-1``): the
+#: masked k-of-N call model every engine answers through canonical
+#: completion.  Same default/full split as the other capabilities.
+PARTIAL_ENGINES: Mapping = _CapabilityView("partial", "partial_name")
+ALL_PARTIAL_ENGINES: Mapping = _CapabilityView(
+    "partial", "partial_name", default_only=False)
 
 
 # ----------------------------------------------------------------------
@@ -447,6 +468,91 @@ def _composed_engine(rows, order, *, omega_mode=False,
     return _from_batch_result("composed", result)
 
 
+# ----------------------------------------------------------------------
+# Partial-permutation adapters — masked k-of-N calls, dense rows with
+# idle lanes -1.  Normalized currency: success = every active lane
+# delivered; mappings[b] = the arrival outputs of instance b's active
+# sources in increasing source order.
+# ----------------------------------------------------------------------
+
+def _partial_run_from_delivered(engine: str, dense_rows,
+                                delivered_rows) -> EngineRun:
+    """Mask full delivered mappings back to the active lanes — the one
+    normalization every partial adapter funnels through, so engines
+    only differ in how they *routed* the canonical completion."""
+    success, arrivals = [], []
+    for row, delivered in zip(dense_rows, delivered_rows):
+        inverse = {src: out for out, src in enumerate(delivered)}
+        oks, outs = [], []
+        for src, dst in enumerate(row):
+            if dst == -1:
+                continue
+            oks.append(delivered[dst] == src)
+            outs.append(inverse[src])
+        success.append(all(oks))
+        arrivals.append(tuple(int(v) for v in outs))
+    return EngineRun(engine, tuple(success), tuple(arrivals))
+
+
+def _partial_from_result(engine: str, result) -> EngineRun:
+    return EngineRun(
+        engine=engine,
+        success=tuple(bool(ok) for ok in result.success_mask),
+        mappings=tuple(
+            tuple(int(out) for _src, out in arrival)
+            for arrival in result.arrivals
+        ),
+    )
+
+
+def _partial_scalar_engine(rows, order, *, omega_mode=False,
+                           stuck_switches=None) -> EngineRun:
+    # The oracle leg: structural network on the canonical completion,
+    # masked here rather than through the accel result type.
+    net = BenesNetwork(order)
+    dense = [tuple(int(v) for v in row) for row in rows]
+    delivered_rows = []
+    for row in dense:
+        result = net.route(complete_partial_row(row),
+                           omega_mode=omega_mode,
+                           stuck_switches=stuck_switches)
+        delivered_rows.append(tuple(int(v) for v in result.delivered))
+    return _partial_run_from_delivered("partial-scalar", dense,
+                                       delivered_rows)
+
+
+def _partial_batch_engine(rows, order, *, omega_mode=False,
+                          stuck_switches=None) -> EngineRun:
+    result = batch_route_partial(list(rows), omega_mode=omega_mode,
+                                 stuck_switches=stuck_switches)
+    return _partial_from_result("partial-batch", result)
+
+
+def _partial_batch_fallback_engine(rows, order, *, omega_mode=False,
+                                   stuck_switches=None) -> EngineRun:
+    with force_fallback():
+        result = batch_route_partial(list(rows), omega_mode=omega_mode,
+                                     stuck_switches=stuck_switches,
+                                     engine="scalar")
+    return _partial_from_result("partial-batch-fallback", result)
+
+
+def _partial_bitslice_engine(rows, order, *, omega_mode=False,
+                             stuck_switches=None) -> EngineRun:
+    result = batch_route_partial(list(rows), omega_mode=omega_mode,
+                                 stuck_switches=stuck_switches,
+                                 engine="bitslice")
+    return _partial_from_result("partial-bitslice", result)
+
+
+def _partial_composed_engine(rows, order, *, omega_mode=False,
+                             stuck_switches=None) -> EngineRun:
+    result = batch_route_partial(list(rows), omega_mode=omega_mode,
+                                 stuck_switches=stuck_switches,
+                                 engine="composed")
+    return _partial_from_result("partial-composed", result)
+
+
 # --- the routing daemon, reached over its wire protocol ---------------
 
 _SERVE_HANDLE = None
@@ -508,6 +614,19 @@ def _membership_serve(rows, order) -> Tuple[bool, ...]:
     with _serve_client() as client:
         responses = client.membership_many(list(rows))
     return tuple(bool(r.success) for r in responses)
+
+
+def _partial_serve_engine(rows, order, *, omega_mode=False,
+                          stuck_switches=None) -> EngineRun:
+    dense = [tuple(int(v) for v in row) for row in rows]
+    with _serve_client() as client:
+        responses = client.packet_many(
+            dense, omega_mode=omega_mode,
+            stuck_switches=stuck_switches)
+    delivered_rows = [tuple(int(v) for v in r.mapping)
+                      for r in responses]
+    return _partial_run_from_delivered("partial-serve", dense,
+                                       delivered_rows)
 
 
 # ----------------------------------------------------------------------
@@ -625,6 +744,23 @@ def run_membership_engine(name: str, rows: Sequence[Sequence[int]],
     return engine(_as_rows(rows), order)
 
 
+def run_partial_engine(name: str, rows: Sequence[Sequence[int]],
+                       order: int, *, omega_mode: bool = False,
+                       stuck_switches: Optional[dict] = None
+                       ) -> EngineRun:
+    """Run one named partial-permutation engine over dense ``rows``
+    (idle lanes ``-1``)."""
+    try:
+        engine = ALL_PARTIAL_ENGINES[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown partial engine {name!r}; known: "
+            f"{sorted(ALL_PARTIAL_ENGINES)}"
+        )
+    return engine(_as_rows(rows), order, omega_mode=omega_mode,
+                  stuck_switches=stuck_switches)
+
+
 def run_states_engine(name: str, states_batch, order: int
                       ) -> Tuple[Row, ...]:
     """Realized permutations of ``B(order)`` under each instance of
@@ -653,6 +789,8 @@ register(EngineSpec(
     membership_name="theorem1",
     states=_states_scalar,
     states_name="states-scalar",
+    partial=_partial_scalar_engine,
+    partial_name="partial-scalar",
     exec_seam=True,
     description="structural BenesNetwork oracle / per-row scalar loop",
 ))
@@ -678,6 +816,8 @@ register(EngineSpec(
     membership_name="membership-batch",
     states=_states_batch,
     states_name="states-batch",
+    partial=_partial_batch_engine,
+    partial_name="partial-batch",
     description="accel batch entry points under auto resolution",
 ))
 register(EngineSpec(
@@ -687,6 +827,8 @@ register(EngineSpec(
     membership_name="membership-batch-fallback",
     states=_states_batch_fallback,
     states_name="states-batch-fallback",
+    partial=_partial_batch_fallback_engine,
+    partial_name="partial-batch-fallback",
     description="accel batch entry points with NumPy forced absent",
 ))
 register(EngineSpec(
@@ -696,6 +838,8 @@ register(EngineSpec(
     membership_name="membership-bitslice",
     states=_states_bitslice,
     states_name="states-bitslice",
+    partial=_partial_bitslice_engine,
+    partial_name="partial-bitslice",
     exec_seam=True,
     description="bit-sliced big-int lane-parallel kernel",
 ))
@@ -711,6 +855,8 @@ register(EngineSpec(
     membership_name="membership-composed",
     states=_states_composed,
     states_name="states-composed",
+    partial=_partial_composed_engine,
+    partial_name="partial-composed",
     exec_seam=True,
     description="block-composed sub-network engine: peel + per-block "
                 "dispatch with streaming state chunks",
@@ -720,6 +866,8 @@ register(EngineSpec(
     selfroute=_serve_engine,
     membership=_membership_serve,
     membership_name="membership-serve",
+    partial=_partial_serve_engine,
+    partial_name="partial-serve",
     default=False,
     description="the benes serve daemon, reached over its newline-"
                 "delimited JSON wire protocol (opt-in: live socket)",

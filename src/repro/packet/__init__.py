@@ -1,0 +1,61 @@
+"""``repro.packet`` — partial permutations and packet-switched routing.
+
+Every other surface in this repository routes *full one-shot
+permutations*; this package opens the dynamic workload class of
+"A Benes Packet Network" (Huang & Walrand — see PAPERS.md):
+
+- :mod:`~repro.packet.partial` — the normalized
+  :class:`PartialMapping` call model (``k`` of ``N`` inputs active),
+  routed through **any** registered engine via canonical completion +
+  masking (:func:`repro.accel.batch_route_partial`), byte-identical
+  across engine generations for the active lanes;
+- :mod:`~repro.packet.sim` — the time-stepped simulator: per-switch
+  bounded queues over the Section-IV pipeline transit model, seeded
+  contention arbitration, drop/retry with configurable backoff, and
+  ``packet.*`` metrics through :mod:`repro.obs`.
+
+Surfaces: the ``packet`` wire op of :mod:`repro.serve.protocol`, the
+``partial`` family of ``benes verify``, the ``benes packet`` CLI, and
+``benchmarks/bench_packet.py``'s saturation curves.
+
+Submodules load lazily (mirroring :mod:`repro.accel`) so importing
+``repro`` never pays for the simulator.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PacketSimConfig",
+    "PacketSimReport",
+    "PartialMapping",
+    "route_partial",
+    "saturation_sweep",
+    "simulate",
+]
+
+_EXPORTS = {
+    "PacketSimConfig": "sim",
+    "PacketSimReport": "sim",
+    "PartialMapping": "partial",
+    "route_partial": "partial",
+    "saturation_sweep": "sim",
+    "simulate": "sim",
+}
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,136 @@
+"""The normalized :class:`PartialMapping` call-model type.
+
+A partial permutation is the packet layer's unit of demand: ``k`` of
+the ``N`` inputs each request one distinct output (``src -> dst``
+calls), the rest are idle.  Two constructors cover both surfaces the
+repo speaks:
+
+- :meth:`PartialMapping.from_pairs` — the call model proper, a list of
+  ``(src, dst)`` pairs;
+- :meth:`PartialMapping.from_dense` — the wire/engine form, a dense
+  length-``N`` row whose idle lanes hold :data:`~repro.accel.partial.
+  IDLE` (``-1``); this is the exact shape a ``packet`` op carries in
+  its ``tags`` field and the shape every masked engine kernel
+  consumes.
+
+Normalization is canonical on construction (pairs sorted by source,
+validated dense form), so two equal mappings compare equal and encode
+to equal wire bytes.  :func:`route_partial` is the subsystem's
+one-call entry: mappings in, per-lane masked verdicts out, through any
+registered engine via :func:`repro.accel.batch_route_partial`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..accel.partial import (
+    IDLE,
+    PartialBatchResult,
+    batch_route_partial,
+    complete_partial_row,
+)
+from ..core.bits import log2_exact
+from ..errors import InvalidParameterError
+
+__all__ = ["PartialMapping", "route_partial"]
+
+Pair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class PartialMapping:
+    """``k`` distinct ``src -> dst`` calls on a ``2^order``-port
+    network, canonically normalized (pairs sorted by source).
+
+    Attributes:
+        order: network order ``n``; ``N = 2^n`` ports.
+        pairs: the active calls, sorted by source, sources and
+            destinations each distinct.
+    """
+
+    order: int
+    pairs: Tuple[Pair, ...]
+
+    def __post_init__(self):
+        if self.order < 1:
+            raise InvalidParameterError(
+                f"order must be >= 1, got {self.order}")
+        n = 1 << self.order
+        pairs = tuple(sorted(
+            (int(src), int(dst)) for src, dst in self.pairs))
+        srcs = [s for s, _ in pairs]
+        dsts = [d for _, d in pairs]
+        for value, what in ((srcs, "source"), (dsts, "destination")):
+            if any(not 0 <= v < n for v in value):
+                raise InvalidParameterError(
+                    f"{what}s must lie in [0, {n})")
+            if len(set(value)) != len(value):
+                raise InvalidParameterError(
+                    f"duplicate {what} in partial mapping")
+        object.__setattr__(self, "pairs", pairs)
+
+    @classmethod
+    def from_pairs(cls, order: int,
+                   pairs: Sequence[Sequence[int]]) -> "PartialMapping":
+        """Build from ``(src, dst)`` call pairs."""
+        return cls(order=order,
+                   pairs=tuple((int(s), int(d)) for s, d in pairs))
+
+    @classmethod
+    def from_dense(cls, row: Sequence[int]) -> "PartialMapping":
+        """Build from a dense row with :data:`IDLE` idle lanes (the
+        wire / engine-kernel form)."""
+        order = log2_exact(len(row))
+        pairs = [(src, int(dst)) for src, dst in enumerate(row)
+                 if int(dst) != IDLE]
+        return cls(order=order, pairs=tuple(pairs))
+
+    @property
+    def n(self) -> int:
+        """Port count ``N = 2^order``."""
+        return 1 << self.order
+
+    @property
+    def k(self) -> int:
+        """Number of active calls."""
+        return len(self.pairs)
+
+    def to_dense(self) -> Tuple[int, ...]:
+        """The dense length-``N`` row (idle lanes :data:`IDLE`)."""
+        row = [IDLE] * self.n
+        for src, dst in self.pairs:
+            row[src] = dst
+        return tuple(row)
+
+    def complete(self) -> Tuple[int, ...]:
+        """The canonical full-permutation completion this mapping
+        routes as (idle inputs take the unused outputs in increasing
+        order)."""
+        return complete_partial_row(self.to_dense())
+
+
+def _as_dense_rows(mappings) -> List[Tuple[int, ...]]:
+    rows: List[Tuple[int, ...]] = []
+    for mapping in mappings:
+        if isinstance(mapping, PartialMapping):
+            rows.append(mapping.to_dense())
+        else:
+            rows.append(tuple(int(v) for v in mapping))
+    return rows
+
+
+def route_partial(mappings: Sequence[Union[PartialMapping,
+                                           Sequence[int]]], *,
+                  omega_mode: bool = False,
+                  stuck_switches: Optional[dict] = None,
+                  parallel: object = False,
+                  engine: Optional[str] = None) -> PartialBatchResult:
+    """Route a batch of partial mappings (``PartialMapping`` objects
+    or dense rows, freely mixed) through any registered engine and
+    return the masked per-lane verdicts."""
+    return batch_route_partial(
+        _as_dense_rows(mappings), omega_mode=omega_mode,
+        stuck_switches=stuck_switches, parallel=parallel,
+        engine=engine)

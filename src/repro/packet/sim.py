@@ -1,0 +1,494 @@
+"""Time-stepped packet simulation over the Benes pipeline transit model.
+
+The paper's Section IV clocks the network as ``2 log N - 1`` pipeline
+register columns; :class:`~repro.core.pipeline.PipelinedBenes` models
+that for conflict-free permutation waves.  This module generalizes the
+same clocked transit to the *dynamic* workload class of "A Benes
+Packet Network" (Huang & Walrand): packets arrive over time, only some
+inputs are active, and conflicts are resolved by **buffering** instead
+of by the offline setup algorithm.
+
+Model, per simulated tick:
+
+- **injection** — each input terminal independently offers a packet
+  with probability ``offered_load`` (uniform random destination), or
+  an explicit arrival schedule drives it; a full input queue drops the
+  arrival at the door (``dropped_inject``);
+- **transit** — stages advance **last column first**, so a packet
+  moves at most one column per tick — exactly the pipeline-register
+  discipline (a conflict-free packet's latency is the paper's
+  ``2 log N - 1`` pipeline depth, which ``tests/test_packet.py`` pins
+  against :class:`~repro.core.pipeline.PipelinedBenes`);
+- **switching** — each 2x2 switch forwards at most one packet per
+  output port per tick.  A packet requests the port whose parity its
+  routing policy picks: ``dest`` reads bit ``min(s, 2n-2-s)`` of its
+  own destination tag in every column (purely self-routing — correct
+  from any row, verified exhaustively in tests), ``random`` uses
+  seeded random bits through the first ``n - 1`` distribution columns
+  and destination bits thereafter (the Benes packet network's
+  load-balancing policy);
+- **contention** — when two eligible packets want one port, a seeded
+  rotation of the FIFO scan order arbitrates (deterministic given the
+  seed, fair across ticks); losers stay queued, bump their retry
+  count, and back off ``backoff_base`` ticks (doubling per retry when
+  ``backoff_exp``) before becoming eligible again.  A packet that
+  loses more than ``max_retries`` times is dropped
+  (``dropped_retry``).  A full downstream queue blocks the move the
+  same way (``blocked``);
+- **delivery** — a packet leaving the last column at row ``r`` exits
+  at output ``r``; both policies provably land every packet at its own
+  destination, so ``misrouted`` stays zero (kept as a checked
+  invariant, not an assumption).
+
+After the ``ticks`` injection window the network **drains**: ticks
+continue without injection until every queue is empty (or the safety
+cap trips — survivors are reported ``stranded``).  Metrics flow
+through :mod:`repro.obs` under ``packet.*`` (see DESIGN.md's metric
+catalogue) and the whole run nests under one ``packet.sim`` span, so
+``benes packet --profile`` and ``BENES_TRACE`` reassemble a run into
+one trace tree.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .. import obs as _obs
+from ..accel.plans import cached_topology
+from ..errors import InvalidParameterError
+from ..obs import spans as _spans
+
+__all__ = [
+    "PacketSimConfig",
+    "PacketSimReport",
+    "StageStats",
+    "saturation_sweep",
+    "simulate",
+]
+
+#: Routing policies: own-destination-bit everywhere, or seeded random
+#: bits through the distribution half (Benes packet network style).
+POLICIES = ("dest", "random")
+
+
+@dataclass(frozen=True)
+class PacketSimConfig:
+    """One packet-simulation run, fully determined by its fields.
+
+    Attributes:
+        order: network order ``n`` (``N = 2^n`` terminals).
+        ticks: injection window length in clock ticks.
+        offered_load: per-input injection probability per tick
+            (ignored when an explicit arrival schedule drives
+            :func:`simulate`).
+        queue_capacity: per-switch buffer bound (packets).
+        max_retries: contention/blocking losses a packet survives
+            before being dropped.
+        backoff_base: ticks a loser waits before re-arbitrating
+            (0 = retry next tick).
+        backoff_exp: double the backoff per consecutive loss.
+        policy: ``dest`` or ``random`` (see module docstring).
+        seed: drives traffic, random-policy bits, and arbitration.
+        drain_limit: safety cap on extra drain ticks (``None`` = a
+            generous computed bound).
+    """
+
+    order: int
+    ticks: int = 512
+    offered_load: float = 0.5
+    queue_capacity: int = 4
+    max_retries: int = 16
+    backoff_base: int = 0
+    backoff_exp: bool = False
+    policy: str = "dest"
+    seed: int = 0
+    drain_limit: Optional[int] = None
+
+    def __post_init__(self):
+        if self.order < 1:
+            raise InvalidParameterError(
+                f"order must be >= 1, got {self.order}")
+        if self.ticks < 1:
+            raise InvalidParameterError(
+                f"ticks must be >= 1, got {self.ticks}")
+        if not 0.0 <= self.offered_load <= 1.0:
+            raise InvalidParameterError(
+                "offered_load must lie in [0, 1], got "
+                f"{self.offered_load}")
+        if self.queue_capacity < 1:
+            raise InvalidParameterError(
+                f"queue_capacity must be >= 1, got "
+                f"{self.queue_capacity}")
+        if self.max_retries < 0:
+            raise InvalidParameterError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise InvalidParameterError(
+                f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.policy not in POLICIES:
+            raise InvalidParameterError(
+                f"unknown policy {self.policy!r}; expected one of "
+                f"{', '.join(POLICIES)}")
+
+
+@dataclass
+class StageStats:
+    """Per-column congestion tallies."""
+
+    stage: int
+    contention: int = 0
+    blocked: int = 0
+    dropped: int = 0
+    max_occupancy: int = 0
+    occupancy_sum: int = 0
+
+    def to_dict(self, total_ticks: int) -> Dict[str, object]:
+        return {
+            "stage": self.stage,
+            "contention": self.contention,
+            "blocked": self.blocked,
+            "dropped": self.dropped,
+            "max_occupancy": self.max_occupancy,
+            "mean_occupancy": round(
+                self.occupancy_sum / max(1, total_ticks), 4),
+        }
+
+
+@dataclass
+class PacketSimReport:
+    """Everything one simulation run measured, JSON-ready."""
+
+    config: PacketSimConfig
+    total_ticks: int = 0
+    offered: int = 0
+    injected: int = 0
+    delivered: int = 0
+    misrouted: int = 0
+    dropped_inject: int = 0
+    dropped_retry: int = 0
+    stranded: int = 0
+    contention: int = 0
+    blocked: int = 0
+    latencies: List[int] = field(default_factory=list)
+    per_stage: List[StageStats] = field(default_factory=list)
+
+    @property
+    def dropped(self) -> int:
+        return self.dropped_inject + self.dropped_retry
+
+    @property
+    def throughput(self) -> float:
+        """Delivered packets per input per injection tick."""
+        n = 1 << self.config.order
+        return self.delivered / max(1, self.config.ticks * n)
+
+    @property
+    def accepted_load(self) -> float:
+        n = 1 << self.config.order
+        return self.injected / max(1, self.config.ticks * n)
+
+    @property
+    def drop_rate(self) -> float:
+        return self.dropped / max(1, self.offered)
+
+    def _latency_quantile(self, q: float) -> Optional[int]:
+        if not self.latencies:
+            return None
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1,
+                    max(0, int(round(q * (len(ordered) - 1)))))
+        return ordered[index]
+
+    @property
+    def latency_mean(self) -> Optional[float]:
+        if not self.latencies:
+            return None
+        return sum(self.latencies) / len(self.latencies)
+
+    def to_dict(self) -> Dict[str, object]:
+        mean = self.latency_mean
+        return {
+            "order": self.config.order,
+            "ticks": self.config.ticks,
+            "offered_load": self.config.offered_load,
+            "queue_capacity": self.config.queue_capacity,
+            "max_retries": self.config.max_retries,
+            "backoff_base": self.config.backoff_base,
+            "backoff_exp": self.config.backoff_exp,
+            "policy": self.config.policy,
+            "seed": self.config.seed,
+            "total_ticks": self.total_ticks,
+            "offered": self.offered,
+            "injected": self.injected,
+            "delivered": self.delivered,
+            "misrouted": self.misrouted,
+            "dropped_inject": self.dropped_inject,
+            "dropped_retry": self.dropped_retry,
+            "stranded": self.stranded,
+            "contention": self.contention,
+            "blocked": self.blocked,
+            "throughput": round(self.throughput, 6),
+            "accepted_load": round(self.accepted_load, 6),
+            "drop_rate": round(self.drop_rate, 6),
+            "latency_min": min(self.latencies) if self.latencies
+            else None,
+            "latency_mean": round(mean, 4) if mean is not None
+            else None,
+            "latency_p50": self._latency_quantile(0.50),
+            "latency_p99": self._latency_quantile(0.99),
+            "latency_max": max(self.latencies) if self.latencies
+            else None,
+            "per_stage": [s.to_dict(self.total_ticks)
+                          for s in self.per_stage],
+        }
+
+
+class _Packet:
+    __slots__ = ("src", "dst", "injected_at", "retries",
+                 "eligible_at", "rand_bits")
+
+    def __init__(self, src: int, dst: int, injected_at: int,
+                 rand_bits: int):
+        self.src = src
+        self.dst = dst
+        self.injected_at = injected_at
+        self.retries = 0
+        self.eligible_at = injected_at
+        self.rand_bits = rand_bits
+
+
+def _backoff_delay(config: PacketSimConfig, retries: int) -> int:
+    if config.backoff_base == 0:
+        return 0
+    if config.backoff_exp:
+        return config.backoff_base * (1 << min(retries - 1, 16))
+    return config.backoff_base
+
+
+def simulate(config: PacketSimConfig,
+             arrivals: Optional[Iterable[Tuple[int, int, int]]] = None
+             ) -> PacketSimReport:
+    """Run one packet simulation.
+
+    ``arrivals`` optionally replaces Bernoulli injection with an
+    explicit ``(tick, src, dst)`` schedule (the deterministic-wave
+    tests and trace replays use this); ``offered_load`` is then
+    ignored.  Same config, same schedule, same report — byte for
+    byte."""
+    order = config.order
+    n = 1 << order
+    half = max(1, n // 2)
+    topo = cached_topology(order)
+    n_stages = topo.n_stages
+    ctrl_bits = [min(s, 2 * order - 2 - s) for s in range(n_stages)]
+    dist_stages = order - 1  # the random policy's distribution half
+
+    traffic = random.Random(config.seed)
+    arbiter = random.Random(config.seed ^ 0x9E3779B9)
+
+    schedule: Optional[Dict[int, List[Tuple[int, int]]]] = None
+    if arrivals is not None:
+        schedule = {}
+        for tick, src, dst in arrivals:
+            tick, src, dst = int(tick), int(src), int(dst)
+            if not 0 <= src < n or not 0 <= dst < n:
+                raise InvalidParameterError(
+                    f"arrival ({tick}, {src}, {dst}) out of range "
+                    f"for N={n}")
+            if tick < 0:
+                raise InvalidParameterError(
+                    "arrival ticks must be >= 0")
+            schedule.setdefault(tick, []).append((src, dst))
+
+    queues: List[List[List[_Packet]]] = [
+        [[] for _ in range(half)] for _ in range(n_stages)
+    ]
+    report = PacketSimReport(config=config)
+    report.per_stage = [StageStats(stage=s) for s in range(n_stages)]
+    metrics_on = _obs.enabled()
+
+    def new_packet(src: int, dst: int, tick: int) -> _Packet:
+        bits = 0
+        if config.policy == "random" and dist_stages > 0:
+            bits = traffic.getrandbits(dist_stages)
+        return _Packet(src, dst, tick, bits)
+
+    def desired_parity(packet: _Packet, stage: int) -> int:
+        if config.policy == "random" and stage < dist_stages:
+            return (packet.rand_bits >> stage) & 1
+        return (packet.dst >> ctrl_bits[stage]) & 1
+
+    def inject(tick: int) -> None:
+        if schedule is not None:
+            offers = schedule.get(tick, ())
+        else:
+            offers = []
+            for src in range(n):
+                if traffic.random() < config.offered_load:
+                    offers.append((src, traffic.randrange(n)))
+        for src, dst in offers:
+            report.offered += 1
+            if metrics_on:
+                _obs.inc("packet.offered")
+            queue = queues[0][src // 2]
+            if len(queue) >= config.queue_capacity:
+                report.dropped_inject += 1
+                report.per_stage[0].dropped += 1
+                if metrics_on:
+                    _obs.inc("packet.dropped.inject")
+                _obs.trace_event("packet.drop", reason="inject",
+                                 tick=tick, src=src, dst=dst)
+                continue
+            queue.append(new_packet(src, dst, tick))
+            report.injected += 1
+            if metrics_on:
+                _obs.inc("packet.injected")
+
+    def lose(packet: _Packet, stage: int, tick: int,
+             reason: str) -> bool:
+        """Record a contention/blocking loss; True when the packet is
+        dropped (caller removes it from its queue)."""
+        stats = report.per_stage[stage]
+        if reason == "contention":
+            report.contention += 1
+            stats.contention += 1
+            if metrics_on:
+                _obs.inc("packet.contention")
+        else:
+            report.blocked += 1
+            stats.blocked += 1
+            if metrics_on:
+                _obs.inc("packet.blocked")
+        packet.retries += 1
+        if packet.retries > config.max_retries:
+            report.dropped_retry += 1
+            stats.dropped += 1
+            if metrics_on:
+                _obs.inc("packet.dropped.retry")
+            _obs.trace_event("packet.drop", reason="retry", tick=tick,
+                             stage=stage, src=packet.src,
+                             dst=packet.dst)
+            return True
+        packet.eligible_at = tick + 1 + _backoff_delay(
+            config, packet.retries)
+        return False
+
+    def advance(tick: int) -> None:
+        # Last column first: a moved packet lands in a column already
+        # processed this tick, so everything advances at most one
+        # register per tick — the pipeline discipline.
+        for stage in range(n_stages - 1, -1, -1):
+            last = stage == n_stages - 1
+            links = None if last else topo.links[stage]
+            for switch in range(half):
+                queue = queues[stage][switch]
+                if not queue:
+                    continue
+                scan = list(range(len(queue)))
+                if len(scan) > 1:
+                    # seeded rotation: deterministic, fair arbitration
+                    rot = arbiter.randrange(len(scan))
+                    scan = scan[rot:] + scan[:rot]
+                ports_taken = [False, False]
+                gone: set = set()
+                for i in scan:
+                    packet = queue[i]
+                    if packet.eligible_at > tick:
+                        continue
+                    parity = desired_parity(packet, stage)
+                    if ports_taken[parity]:
+                        if lose(packet, stage, tick, "contention"):
+                            gone.add(i)
+                        continue
+                    out_row = 2 * switch + parity
+                    if last:
+                        ports_taken[parity] = True
+                        gone.add(i)
+                        latency = tick - packet.injected_at + 1
+                        if out_row == packet.dst:
+                            report.delivered += 1
+                            report.latencies.append(latency)
+                            if metrics_on:
+                                _obs.inc("packet.delivered")
+                                _obs.observe("packet.latency_ticks",
+                                             latency,
+                                             _obs.POW2_BOUNDS)
+                        else:  # checked invariant, never expected
+                            report.misrouted += 1
+                            if metrics_on:
+                                _obs.inc("packet.misrouted")
+                        continue
+                    next_row = links[out_row]
+                    next_queue = queues[stage + 1][next_row // 2]
+                    if len(next_queue) >= config.queue_capacity:
+                        ports_taken[parity] = True
+                        if lose(packet, stage, tick, "blocked"):
+                            gone.add(i)
+                        continue
+                    ports_taken[parity] = True
+                    gone.add(i)
+                    next_queue.append(packet)
+                if gone:
+                    queues[stage][switch] = [
+                        p for i, p in enumerate(queue)
+                        if i not in gone
+                    ]
+
+    def occupancy(tick: int) -> int:
+        total = 0
+        for stage in range(n_stages):
+            stage_total = sum(len(q) for q in queues[stage])
+            stats = report.per_stage[stage]
+            stats.occupancy_sum += stage_total
+            stats.max_occupancy = max(stats.max_occupancy, stage_total)
+            total += stage_total
+        if metrics_on:
+            _obs.observe("packet.queue_occupancy", total,
+                         _obs.POW2_BOUNDS)
+        return total
+
+    drain_limit = config.drain_limit
+    if drain_limit is None:
+        # Worst case every buffered packet serializes through one
+        # port with maximal backoff between attempts.
+        per_retry = 1 + _backoff_delay(config, config.max_retries)
+        drain_limit = (n_stages * half * config.queue_capacity
+                       * (config.max_retries + 1) * per_retry + n_stages)
+
+    with _spans.span("packet.sim", order=order, ticks=config.ticks,
+                     offered_load=config.offered_load,
+                     policy=config.policy, seed=config.seed):
+        tick = 0
+        while tick < config.ticks:
+            inject(tick)
+            advance(tick)
+            occupancy(tick)
+            tick += 1
+        extra = 0
+        while extra < drain_limit:
+            if not any(q for stage in queues for q in stage):
+                break
+            advance(tick)
+            occupancy(tick)
+            tick += 1
+            extra += 1
+        report.total_ticks = tick
+        report.stranded = sum(
+            len(q) for stage in queues for q in stage)
+        if metrics_on and report.stranded:
+            _obs.inc("packet.stranded", report.stranded)
+    return report
+
+
+def saturation_sweep(loads: Sequence[float],
+                     **config_kwargs) -> List[PacketSimReport]:
+    """One :func:`simulate` run per offered load, shared config — the
+    saturation curve ``benchmarks/bench_packet.py`` plots."""
+    reports = []
+    for load in loads:
+        config = PacketSimConfig(offered_load=float(load),
+                                 **config_kwargs)
+        reports.append(simulate(config))
+    return reports

@@ -143,6 +143,23 @@ class ServeClient:
             for row in rows
         ])
 
+    def packet_many(self, rows: Sequence[Sequence[int]], *,
+                    omega_mode: bool = False,
+                    stuck_switches: Optional[dict] = None
+                    ) -> List[protocol.RouteResponse]:
+        """Partial-permutation routing for a burst of dense k-of-N
+        call patterns (idle lanes ``-1``); each response carries the
+        all-active-lanes verdict and the completed delivered
+        mapping."""
+        stuck = protocol.stuck_to_wire(stuck_switches)
+        return self.request_many([
+            protocol.RouteRequest(
+                op="packet", tags=tuple(int(v) for v in row),
+                id=self._take_id(), omega_mode=omega_mode,
+                stuck=stuck)
+            for row in rows
+        ])
+
     def setup_many(self, perms: Sequence[Sequence[int]]
                    ) -> List[protocol.RouteResponse]:
         """Universal Waksman setups for a burst of arbitrary

@@ -21,7 +21,20 @@ width, omega mode, fault map, states flag):
   calls it when its timer fires at :meth:`next_deadline`);
 - an offer that would push *total* queued items past ``queue_limit``
   is **rejected** — bounded memory under overload, the wire protocol's
-  429-style ``rejected`` status (shedding beats unbounded latency).
+  429-style ``rejected`` status (shedding beats unbounded latency) —
+  *unless* the offer completes an existing bucket to ``max_batch``, in
+  which case it is accepted and the full bucket flushes in the same
+  call: the capacity it occupies frees immediately, so shedding it
+  would only throw away work the engine is about to absorb for free.
+
+Zero-wait semantics (``max_wait=0``): a bucket created at ``now`` has
+``deadline == now``, and "due" means ``deadline <= now`` everywhere —
+:meth:`due` pops it the next time the driver ticks, and the driver's
+``delay = deadline - loop.time()`` comes out ``<= 0`` so it polls
+without sleeping.  :meth:`offer` still answers ``QUEUED`` (not
+``FLUSH``) for such a bucket: the flush happens on the next driver
+tick, which keeps the size cutoff the *only* reason ``offer`` itself
+returns a batch.
 """
 
 from __future__ import annotations
@@ -91,10 +104,21 @@ class CoalescingQueue:
         cleared), ``(QUEUED, None)`` when it waits for more lanes or
         the deadline, ``(REJECT, None)`` when the queue is full — the
         item was **not** queued and the caller owes the client a
-        ``rejected`` response."""
-        if self._pending >= self.queue_limit:
-            return REJECT, None
+        ``rejected`` response.
+
+        At ``queue_limit`` the offer is still accepted when it
+        completes an existing bucket to ``max_batch``: the bucket
+        flushes in this very call, so total occupancy drops by
+        ``max_batch - 1`` instead of growing — rejecting would shed
+        work whose capacity is about to free."""
         bucket = self._buckets.get(key)
+        if self._pending >= self.queue_limit:
+            if bucket is None or \
+                    len(bucket.items) + 1 < self.max_batch:
+                return REJECT, None
+            bucket.items.append(item)
+            self._pending += 1
+            return FLUSH, self._pop(key)
         if bucket is None:
             bucket = _Bucket(deadline=now + self.max_wait)
             self._buckets[key] = bucket
@@ -105,7 +129,9 @@ class CoalescingQueue:
         return QUEUED, None
 
     def due(self, now: float) -> List[Tuple[Hashable, List]]:
-        """Pop every bucket whose latency deadline has passed."""
+        """Pop every bucket whose latency deadline has passed —
+        ``deadline <= now``, so a ``max_wait=0`` bucket created at
+        ``now`` is already due on the same tick."""
         ready = [key for key, bucket in self._buckets.items()
                  if bucket.deadline <= now]
         return [(key, self._pop(key)) for key in ready]

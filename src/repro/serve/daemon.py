@@ -48,6 +48,7 @@ from ..accel.batch import (
     batch_in_class_f,
     batch_self_route,
 )
+from ..accel.partial import batch_route_partial
 from ..accel.plans import cached_topology, stage_plan
 from ..accel.setup import batch_setup_states, setup_plan
 from ..accel._np import resolve_engine
@@ -187,8 +188,10 @@ class RoutingDaemon:
         for writer in list(self._writers):
             try:
                 writer.close()
-            except Exception:
-                pass
+            except Exception:  # noqa: BLE001 - shutdown must proceed
+                # A transport that refuses to close is an operational
+                # fault worth counting, not worth failing shutdown for.
+                _obs.inc("serve.errors")
         while self._conn_tasks:
             await asyncio.gather(*list(self._conn_tasks),
                                  return_exceptions=True)
@@ -275,8 +278,10 @@ class RoutingDaemon:
                 try:
                     writer.close()
                     await writer.wait_closed()
-                except Exception:
-                    pass
+                except Exception:  # noqa: BLE001 - teardown continues
+                    # Peers that vanish mid-close (reset, aborted
+                    # handshake) surface here; count instead of hiding.
+                    _obs.inc("serve.errors")
                 if task is not None:
                     self._conn_tasks.discard(task)
                 _obs.inc("serve.connections.closed")
@@ -453,6 +458,16 @@ class RoutingDaemon:
                 responses = [
                     protocol.from_membership_mask(request, mask, index,
                                                   engine)
+                    for index, request in enumerate(requests)
+                ]
+            elif head.op == "packet":
+                result = batch_route_partial(
+                    rows, omega_mode=head.omega_mode,
+                    stuck_switches=head.stuck_switches,
+                    parallel=self.config.parallel, engine=engine)
+                responses = [
+                    protocol.from_partial_result(request, result,
+                                                 index, engine)
                     for index, request in enumerate(requests)
                 ]
             else:

@@ -30,6 +30,12 @@ Operations:
 ``setup``
     Universal Waksman setup for one arbitrary permutation: the
     realizing switch states in ``stage_states``.
+``packet``
+    Partial-permutation routing: ``tags`` is a dense k-of-N call
+    pattern with idle lanes ``-1`` (see
+    :mod:`repro.packet.partial`).  ``success`` means every *active*
+    lane delivered; ``mapping`` is the full delivered mapping of the
+    canonical completion; honors ``omega_mode``.
 """
 
 from __future__ import annotations
@@ -52,6 +58,7 @@ __all__ = [
     "error_response",
     "from_batch_result",
     "from_membership_mask",
+    "from_partial_result",
     "from_setup_states",
     "rejected_response",
     "stuck_to_wire",
@@ -62,7 +69,7 @@ __all__ = [
 PROTOCOL_VERSION = 1
 
 #: The operations the daemon understands.
-OPS = ("route", "membership", "setup")
+OPS = ("route", "membership", "setup", "packet")
 
 #: Response statuses: computed / failed / shed under backpressure.
 STATUSES = ("ok", "error", "rejected")
@@ -382,6 +389,23 @@ def from_membership_mask(request: RouteRequest, mask, index: int,
         id=request.id,
         status="ok",
         success=bool(mask[index]),
+        engine=engine,
+    )
+
+
+def from_partial_result(request: RouteRequest, result, index: int,
+                        engine: Optional[str] = None) -> RouteResponse:
+    """The response for lane ``index`` of a
+    :class:`~repro.accel.partial.PartialBatchResult`: per-instance
+    all-active-lanes-delivered verdict plus the delivered mapping of
+    the canonical completion (idle lanes carry the completion's
+    filler routes — clients mask by their own active set)."""
+    return RouteResponse(
+        op=request.op,
+        id=request.id,
+        status="ok",
+        success=bool(result.success_mask[index]),
+        mapping=tuple(int(v) for v in result.delivered[index]),
         engine=engine,
     )
 

@@ -30,12 +30,14 @@ __all__ = [
     "EngineRun",
     "FaultCampaignReport",
     "MEMBERSHIP_ENGINES",
+    "PARTIAL_ENGINES",
     "SELF_ROUTE_ENGINES",
     "STATES_ENGINES",
     "ShrinkResult",
     "VerifyConfig",
     "VerifyReport",
     "check_membership",
+    "check_partial",
     "check_selfroute",
     "check_twopass",
     "check_universal",
@@ -55,12 +57,14 @@ _EXPORTS = {
     "EngineRun": "engines",
     "FaultCampaignReport": "faults",
     "MEMBERSHIP_ENGINES": "engines",
+    "PARTIAL_ENGINES": "engines",
     "SELF_ROUTE_ENGINES": "engines",
     "STATES_ENGINES": "engines",
     "ShrinkResult": "shrink",
     "VerifyConfig": "harness",
     "VerifyReport": "harness",
     "check_membership": "fuzzer",
+    "check_partial": "fuzzer",
     "check_selfroute": "fuzzer",
     "check_twopass": "fuzzer",
     "check_universal": "fuzzer",

@@ -26,6 +26,7 @@ from ..core.bits import log2_exact
 from ..engines import (  # noqa: F401  (re-exported API)
     EngineRun,
     MEMBERSHIP_ENGINES,
+    PARTIAL_ENGINES,
     SELF_ROUTE_ENGINES,
     STATES_ENGINES,
     force_engine,
@@ -33,12 +34,14 @@ from ..engines import (  # noqa: F401  (re-exported API)
     low_shard_threshold,
     run_engine,
     run_membership_engine,
+    run_partial_engine,
     run_states_engine,
 )
 
 __all__ = [
     "EngineRun",
     "MEMBERSHIP_ENGINES",
+    "PARTIAL_ENGINES",
     "SELF_ROUTE_ENGINES",
     "STATES_ENGINES",
     "force_engine",
@@ -47,6 +50,7 @@ __all__ = [
     "mutant_self_route_engine",
     "run_engine",
     "run_membership_engine",
+    "run_partial_engine",
     "run_states_engine",
 ]
 

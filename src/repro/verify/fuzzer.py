@@ -8,6 +8,11 @@ Four comparison families mirror the repo's four public surfaces:
   tag vectors, with optional omega mode and fault injection; success
   flags, delivered mappings, and per-stage switch states must all be
   byte-identical, the strongest equivalence the engines promise.
+- **partial** — :data:`~repro.engines.PARTIAL_ENGINES` on dense
+  k-of-N partial permutations (idle lanes ``-1``): per-instance
+  success and the active lanes' arrival outputs, masked through every
+  engine via the one canonical completion, must match the scalar
+  oracle byte-for-byte — the packet subsystem's call-model parity.
 - **membership** — Theorem-1 recursion vs the batch verdict (both NumPy
   legs) vs actual routing success; the paper's membership ≡ routability
   equivalence, cross-engine.
@@ -51,6 +56,7 @@ from ..core.twopass import two_pass_decomposition
 from ..core.waksman import setup_states
 from .engines import (
     MEMBERSHIP_ENGINES,
+    PARTIAL_ENGINES,
     SELF_ROUTE_ENGINES,
     STATES_ENGINES,
     EngineRun,
@@ -60,6 +66,7 @@ __all__ = [
     "Disagreement",
     "check_composed",
     "check_membership",
+    "check_partial",
     "check_selfroute",
     "check_twopass",
     "check_universal",
@@ -180,6 +187,31 @@ def check_selfroute(rows: Sequence[Row], order: int, *,
     out: List[Disagreement] = []
     for candidate in runs[1:]:
         out.extend(_compare_runs("selfroute", order, rows, options,
+                                 oracle, candidate))
+    return out
+
+
+def check_partial(rows: Sequence[Row], order: int, *,
+                  omega_mode: bool = False,
+                  engines: Optional[Dict[str, object]] = None,
+                  ) -> List[Disagreement]:
+    """Partial-permutation parity: route dense k-of-N rows (idle lanes
+    ``-1``) through every partial engine and compare the masked
+    active-lane view — per-instance success and arrival outputs — to
+    the scalar oracle byte-for-byte.  ``rows`` may include full
+    permutations (``k = N``): a full row is a valid partial row, which
+    is what lets the shrinker's order probe reuse ``perm_rows``."""
+    table = engines if engines is not None else PARTIAL_ENGINES
+    options = {"omega_mode": omega_mode}
+    names = list(table)
+    runs = [
+        table[name](list(rows), order, omega_mode=omega_mode)
+        for name in names
+    ]
+    oracle = runs[0]
+    out: List[Disagreement] = []
+    for candidate in runs[1:]:
+        out.extend(_compare_runs("partial", order, rows, options,
                                  oracle, candidate))
     return out
 

@@ -5,7 +5,8 @@ One :func:`run_verify` call is a seeded, time-budgeted bug hunt:
 - every round sweeps all configured orders and comparison families
   (self-routing with plain / omega / fault-injected options, F(n)
   membership, Waksman universal setup, two-pass routing, composed
-  block decomposition), drawing fresh seeded workloads each time;
+  block decomposition, partial k-of-N call patterns), drawing fresh
+  seeded workloads each time;
 - the first round always completes in full — the budget bounds *extra*
   rounds, so even ``--budget 0`` yields a complete sweep;
 - fault-injection campaigns (:func:`~repro.verify.faults.run_campaign`)
@@ -35,6 +36,7 @@ from .. import obs as _obs
 from ..accel import have_numpy
 from .engines import (
     MEMBERSHIP_ENGINES,
+    PARTIAL_ENGINES,
     SELF_ROUTE_ENGINES,
     STATES_ENGINES,
     mutant_self_route_engine,
@@ -44,12 +46,13 @@ from .fuzzer import (
     Disagreement,
     check_composed,
     check_membership,
+    check_partial,
     check_selfroute,
     check_twopass,
     check_universal,
 )
 from .shrink import regression_test_source, shrink
-from .workloads import perm_rows, tag_rows
+from .workloads import partial_rows, perm_rows, tag_rows
 
 __all__ = ["VerifyConfig", "VerifyReport", "run_self_test",
            "run_verify"]
@@ -68,7 +71,8 @@ class VerifyConfig:
     orders: Tuple[int, ...] = (2, 3, 4, 5, 6)
     batch: int = 64
     families: Tuple[str, ...] = ("selfroute", "membership",
-                                 "universal", "twopass", "composed")
+                                 "universal", "twopass", "composed",
+                                 "partial")
     fault_orders: Tuple[int, ...] = (2, 3, 4, 5)
     fault_perms: int = 8
     engines: Optional[Tuple[str, ...]] = None  # None = all self-route
@@ -162,6 +166,12 @@ def _family_check(family: str):
         return lambda order, rows, options: (
             lambda found: _signature(found[0]) if found else None
         )(check_composed(rows, order))
+    if family == "partial":
+        return lambda order, rows, options: (
+            lambda found: _signature(found[0]) if found else None
+        )(check_partial(
+            rows, order,
+            omega_mode=bool(options.get("omega_mode"))))
     raise AssertionError(family)
 
 
@@ -257,6 +267,7 @@ def run_verify(config: VerifyConfig) -> VerifyReport:
             "twopass": ["twopass-scalar", "twopass-batch"],
             "composed": ["waksman-scalar", "waksman-composed",
                          "composed-stream"],
+            "partial": list(PARTIAL_ENGINES),
         },
     )
     cases = report.cases
@@ -305,6 +316,20 @@ def run_verify(config: VerifyConfig) -> VerifyReport:
                     for d in found[:config.max_shrinks]:
                         _shrink_and_record(report, d, leg_rows, check,
                                            rng)
+        elif family == "partial":
+            # the shrinker's order-probe falls back to perm_rows,
+            # which is fine: a full permutation is a legal dense
+            # partial row (k = N)
+            rows = partial_rows(order, config.batch, rng)
+            for options in ({"omega_mode": False},
+                            {"omega_mode": True}):
+                found = check_partial(
+                    rows, order,
+                    omega_mode=bool(options["omega_mode"]))
+                check = _family_check(family)
+                for d in found[:config.max_shrinks]:
+                    _shrink_and_record(report, d, rows, check, rng)
+            return
         else:
             rows = perm_rows(order, config.batch, rng)
             if family == "membership":

@@ -18,7 +18,10 @@ structure.  These generators therefore mix:
 - for the self-routing family only: tag vectors with *duplicate*
   destinations (not permutations), because the paper's switches route
   whatever tags arrive and every engine must agree on the resulting
-  collisions too.
+  collisions too;
+- for the partial family: dense k-of-N call patterns (idle lanes
+  ``-1``) always including the ``k = 0`` and ``k = 1`` edges, plus
+  restrictions of ``F(order)`` members and random partial mappings.
 
 Everything is driven by an explicit ``random.Random`` so a seed fully
 determines the campaign.
@@ -34,7 +37,7 @@ from ..core.sampling import random_class_f
 from ..permclasses.blocks import JPartition, within_blocks
 from ..permclasses.bpc import bit_reversal
 
-__all__ = ["perm_rows", "tag_rows", "structured_rows"]
+__all__ = ["partial_rows", "perm_rows", "tag_rows", "structured_rows"]
 
 Row = Tuple[int, ...]
 
@@ -93,6 +96,41 @@ def tag_rows(order: int, batch: int, rng: random.Random) -> List[Row]:
     for i in range(len(rows)):
         if i >= 3 and rng.randrange(4) == 0:
             rows[i] = tuple(rng.randrange(n) for _ in range(n))
+    return rows
+
+
+def partial_rows(order: int, batch: int,
+                 rng: random.Random) -> List[Row]:
+    """``batch`` dense **partial permutations** (idle lanes ``-1``) for
+    the ``partial`` family: the ``k = 0`` and ``k = 1`` edges first
+    (all-idle, single-call), then a seeded mix of full permutations
+    (``k = N``), k-lane restrictions of ``F(order)`` members (active
+    lanes of a routable permutation), and uniformly random k-of-N
+    call patterns."""
+    n = 1 << order
+    rows: List[Row] = [(-1,) * n]
+    single = [-1] * n
+    single[rng.randrange(n)] = rng.randrange(n)
+    rows.append(tuple(single))
+    rows = rows[:batch]
+    while len(rows) < batch:
+        kind = rng.randrange(4)
+        if kind == 0:
+            rows.append(random_permutation(n, rng).as_tuple())
+        elif kind == 1:
+            base = random_class_f(order, rng).as_tuple()
+            k = rng.randrange(1, n + 1)
+            row = [-1] * n
+            for src in rng.sample(range(n), k):
+                row[src] = base[src]
+            rows.append(tuple(row))
+        else:
+            k = rng.randrange(0, n + 1)
+            row = [-1] * n
+            for src, dst in zip(rng.sample(range(n), k),
+                                rng.sample(range(n), k)):
+                row[src] = dst
+            rows.append(tuple(row))
     return rows
 
 

@@ -247,3 +247,120 @@ class TestLRUClearRace:
         assert stats["hits"] >= 0 and stats["misses"] >= 0
         assert stats["hits"] + stats["misses"] <= \
             n_threads * lookups_per_thread
+
+
+class TestShutdownDeltaFlush:
+    def test_failed_delta_flush_is_counted(self, monkeypatch):
+        # regression: a broken pool raising during the best-effort
+        # metrics flush at shutdown was swallowed silently; the lost
+        # delta must bump executor.delta_flush_failed
+        class _BrokenPool:
+            def __init__(self):
+                self.shutdowns = []
+
+            def submit(self, fn, *args):
+                raise RuntimeError("pool is broken")
+
+            def shutdown(self, wait=True):
+                self.shutdowns.append(wait)
+
+        pool = _BrokenPool()
+        monkeypatch.setattr(_executor, "_POOL", pool)
+        monkeypatch.setattr(_executor, "_POOL_WORKERS", 2)
+        obs.enable()
+        _executor.shutdown(wait=True)
+        counters = obs.snapshot()["counters"]
+        assert counters["executor.delta_flush_failed"] == 1
+        # shutdown itself still proceeded
+        assert pool.shutdowns == [True]
+        assert _executor._POOL is None
+
+    def test_healthy_flush_not_counted(self, monkeypatch):
+        class _QuietFuture:
+            def result(self, timeout=None):
+                return None
+
+        class _QuietPool:
+            def submit(self, fn, *args):
+                return _QuietFuture()
+
+            def shutdown(self, wait=True):
+                pass
+
+        monkeypatch.setattr(_executor, "_POOL", _QuietPool())
+        monkeypatch.setattr(_executor, "_POOL_WORKERS", 1)
+        obs.enable()
+        _executor.shutdown(wait=True)
+        # obs.reset() zeroes counters without unregistering them, so a
+        # prior test may have left the name behind — assert the value
+        counters = obs.snapshot()["counters"]
+        assert counters.get("executor.delta_flush_failed", 0) == 0
+
+
+class TestAutotuneCacheIO:
+    """The persisted probe cache is best-effort, but a failed write or
+    a failed persistent clear must land on
+    ``accel.autotune.cache_io_failed`` instead of vanishing."""
+
+    @pytest.fixture(autouse=True)
+    def _isolated_table(self, monkeypatch):
+        from repro.accel import autotune as _autotune
+
+        monkeypatch.setattr(_autotune, "_TABLE", {
+            3: {"scalar_per_item": 1.0, "bitslice_overhead": 1.0,
+                "bitslice_per_item": 0.5, "crossover": 4},
+        })
+        monkeypatch.setattr(_autotune, "_DISK_LOADED", True)
+
+    def _count(self):
+        return obs.snapshot()["counters"].get(
+            "accel.autotune.cache_io_failed", 0)
+
+    def test_unwritable_cache_persist_is_counted(self, monkeypatch,
+                                                 tmp_path):
+        from repro.accel import autotune as _autotune
+
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory\n", encoding="utf-8")
+        monkeypatch.setenv("BENES_AUTOTUNE_CACHE",
+                           str(blocker / "cache.json"))
+        obs.enable()
+        with _autotune._LOCK:
+            _autotune._persist_locked()
+        assert self._count() == 1
+
+    def test_persistent_clear_unlink_failure_is_counted(
+            self, monkeypatch, tmp_path):
+        from repro.accel import autotune as _autotune
+
+        cache_dir = tmp_path / "cache-as-dir"
+        cache_dir.mkdir()
+        (cache_dir / "occupant").write_text("x\n", encoding="utf-8")
+        monkeypatch.setenv("BENES_AUTOTUNE_CACHE", str(cache_dir))
+        obs.enable()
+        _autotune.autotune_clear(persistent=True)
+        assert self._count() == 1
+
+    def test_missing_cache_file_is_not_a_fault(self, monkeypatch,
+                                               tmp_path):
+        from repro.accel import autotune as _autotune
+
+        monkeypatch.setenv("BENES_AUTOTUNE_CACHE",
+                           str(tmp_path / "never-written.json"))
+        obs.enable()
+        _autotune.autotune_clear(persistent=True)
+        assert self._count() == 0
+
+    def test_healthy_persist_round_trips(self, monkeypatch, tmp_path):
+        from repro.accel import autotune as _autotune
+
+        target = tmp_path / "cache.json"
+        monkeypatch.setenv("BENES_AUTOTUNE_CACHE", str(target))
+        obs.enable()
+        with _autotune._LOCK:
+            _autotune._persist_locked()
+        assert self._count() == 0
+        import json as _json
+
+        raw = _json.loads(target.read_text(encoding="utf-8"))
+        assert raw["orders"]["3"]["crossover"] == 4

@@ -197,6 +197,39 @@ class TestCoalescer:
         assert queue.pending == 2  # rejected item was not queued
         assert queue.due(now=2.0) == [("k", ["a", "b"])]
 
+    def test_full_bucket_accepted_and_flushed_at_limit(self):
+        # regression: an offer landing at queue_limit used to be shed
+        # even when it completed a full bucket that flushes in the same
+        # call — the capacity it occupies frees immediately
+        queue = CoalescingQueue(max_batch=3, max_wait=1.0,
+                                queue_limit=3)
+        assert queue.offer("k", "a", now=0.0)[0] == QUEUED
+        assert queue.offer("k", "b", now=0.0)[0] == QUEUED
+        assert queue.offer("other", "x", now=0.0)[0] == QUEUED
+        assert queue.pending == 3  # at the limit
+        verdict, batch = queue.offer("k", "c", now=0.0)
+        assert verdict == FLUSH
+        assert batch == ["a", "b", "c"]
+        assert queue.pending == 1  # only the other bucket remains
+        # back at the limit, an offer that would NOT complete a
+        # bucket is still shed
+        assert queue.offer("two", "y", now=0.0)[0] == QUEUED
+        assert queue.offer("three", "z", now=0.0)[0] == QUEUED
+        assert queue.pending == 3
+        assert queue.offer("fresh", "f", now=0.0) == (REJECT, None)
+        assert queue.offer("two", "w", now=0.0) == (REJECT, None)
+        assert queue.pending == 3
+
+    def test_zero_wait_flushes_on_next_tick(self):
+        # max_wait=0 pins the immediate-flush semantics: offer still
+        # answers QUEUED (size is the only flush reason inside offer),
+        # but the bucket is due the moment the driver ticks
+        queue = CoalescingQueue(max_batch=10, max_wait=0.0)
+        assert queue.offer("k", "a", now=5.0) == (QUEUED, None)
+        assert queue.next_deadline() == pytest.approx(5.0)
+        assert queue.due(now=5.0) == [("k", ["a"])]
+        assert queue.pending == 0
+
     def test_drain_pops_everything(self):
         queue = CoalescingQueue(max_batch=10, max_wait=60.0)
         queue.offer("a", 1, now=0.0)
@@ -431,6 +464,29 @@ class TestDaemon:
 
 
 class TestDaemonLifecycle:
+    def test_stop_counts_unclosable_writers(self):
+        # regression: a transport raising from close() during shutdown
+        # was swallowed silently; it must bump serve.errors instead
+        import asyncio
+
+        from repro.serve.daemon import RoutingDaemon
+
+        class _StubbornWriter:
+            def close(self):
+                raise RuntimeError("transport refuses to close")
+
+        obs.enable()
+
+        async def scenario():
+            daemon = RoutingDaemon(ServeConfig(port=0,
+                                               warm_orders=(2,)))
+            await daemon.start()
+            daemon._writers.add(_StubbornWriter())
+            await daemon.stop()
+
+        asyncio.run(scenario())
+        assert obs.snapshot()["counters"]["serve.errors"] == 1
+
     def test_start_raises_on_bad_engine(self):
         with pytest.raises(Exception):
             start_in_thread(ServeConfig(port=0, engine="warp-drive"))

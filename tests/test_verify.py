@@ -259,7 +259,7 @@ class TestHarness:
         assert payload["ok"] is True
         assert payload["cases"] == {"selfroute": 2, "membership": 2,
                                     "universal": 2, "twopass": 2,
-                                    "composed": 2}
+                                    "composed": 2, "partial": 2}
         assert payload["self_test"]["caught"] is True
 
     def test_self_test_shrinks_to_minimal(self):

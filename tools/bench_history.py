@@ -50,8 +50,11 @@ def summarize(report: dict, source: str, ts: int) -> dict:
         }
         # serve cells are identified by concurrency and mode, not just
         # (order, batch): keep both so the serve guard can find its
-        # headline cell in the trajectory.
-        for key in ("clients", "mode"):
+        # headline cell in the trajectory.  Packet cells likewise key
+        # on offered load and policy, and their trend signal is the
+        # delivered throughput / drop curve rather than a speedup.
+        for key in ("clients", "mode", "offered_load", "policy",
+                    "throughput", "drop_rate", "misrouted"):
             if key in cell:
                 kept[key] = cell[key]
         return kept

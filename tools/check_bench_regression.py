@@ -43,6 +43,13 @@ streaming decomposition's memory claim).  A scaling cell without an
 ``engine`` column is a schema error and fails with a clear message
 naming the cell, never a raw ``KeyError``.
 
+``BENCH_packet.json`` (the packet-mode saturation sweep from
+``benchmarks/bench_packet.py``) is guarded read-only too: every cell
+must carry the packet schema columns (unknown cells fail with a named
+message), each policy curve needs at least 3 offered-load points with
+zero misrouted packets, and the lowest load must be unsaturated
+(throughput >= 90% of offered).
+
 When a ``BENCH_history.jsonl`` trajectory exists (appended by
 ``tools/bench_history.py``), the baseline for each cell is the
 **median of its recent history** (last ``--window`` records, default
@@ -74,6 +81,10 @@ SCALING_FLOOR = 5.0    # composed vs serial Waksman, order >= 14
 SCALING_MIN_ORDER = 14     # order the composed floor is asserted at
 SCALING_RSS_BASE_ORDER = 14  # RSS-growth baseline order
 SCALING_RSS_CAP = 4.0  # composed peak-RSS ratio, top order vs base
+PACKET_MIN_POINTS = 3       # distinct offered loads per policy curve
+PACKET_LOWLOAD_EFF = 0.90   # throughput/offered at the lowest load
+PACKET_CELL_KEYS = ("offered_load", "policy", "throughput",
+                    "drop_rate", "misrouted")
 
 
 def _cell_engine(cell, report_numpy: bool) -> str:
@@ -301,6 +312,74 @@ def _check_scaling_baseline(path: pathlib.Path) -> bool:
     return bool(ok) and ratio < SCALING_RSS_CAP
 
 
+def _check_packet_baseline(path: pathlib.Path) -> bool:
+    """The packet-mode saturation curve, checked against the
+    **committed** ``BENCH_packet.json`` (read-only — the sweep is a
+    multi-second simulation):
+
+    - every cell must be a ``kind = "packet"`` object carrying the
+      packet schema columns (``offered_load`` / ``policy`` /
+      ``throughput`` / ``drop_rate`` / ``misrouted``) — an unknown or
+      incomplete cell fails with a message naming it, never a raw
+      ``KeyError``;
+    - each policy's curve must span at least ``PACKET_MIN_POINTS``
+      distinct offered loads;
+    - ``misrouted`` must be 0 everywhere — self-routing delivers every
+      packet that exits, under contention and retry;
+    - at the lowest committed load the network must be unsaturated:
+      throughput >= ``PACKET_LOWLOAD_EFF`` x offered load.
+
+    Skips cleanly when no packet report is committed."""
+    report = _load_report(path)
+    if report is None:
+        print("  packet/curve: no baseline (skip)")
+        return True
+    by_policy = {}
+    for index, cell in enumerate(report.get("cells", [])):
+        if not isinstance(cell, dict) or                 cell.get("kind") != "packet":
+            print(f"  {path.name}: cell #{index} is not a packet "
+                  f"cell (kind {cell.get('kind', '?') if isinstance(cell, dict) else '?'!r}) "
+                  f"-> FAIL (regenerate with "
+                  f"benchmarks/bench_packet.py)")
+            return False
+        missing = [key for key in PACKET_CELL_KEYS
+                   if cell.get(key) is None]
+        if missing:
+            print(f"  {path.name}: cell #{index} "
+                  f"(load {cell.get('offered_load', '?')}, policy "
+                  f"{cell.get('policy', '?')}) lacks "
+                  f"{', '.join(missing)} -> FAIL (regenerate with "
+                  f"benchmarks/bench_packet.py)")
+            return False
+        by_policy.setdefault(cell["policy"], []).append(cell)
+
+    ok = True
+    for policy, cells in sorted(by_policy.items()):
+        loads = sorted({float(cell["offered_load"])
+                        for cell in cells})
+        if len(loads) < PACKET_MIN_POINTS:
+            print(f"  packet/{policy}: only {len(loads)} load "
+                  f"point(s), need >= {PACKET_MIN_POINTS} -> FAIL")
+            ok = False
+            continue
+        misrouted = sum(int(cell["misrouted"]) for cell in cells)
+        if misrouted:
+            print(f"  packet/{policy}: {misrouted} misrouted "
+                  f"packet(s) in the committed curve -> FAIL")
+            ok = False
+            continue
+        low = min(cells, key=lambda cell: float(cell["offered_load"]))
+        eff = float(low["throughput"]) /             max(1e-9, float(low["offered_load"]))
+        status = "ok" if eff >= PACKET_LOWLOAD_EFF else "FAIL"
+        print(f"  packet/{policy}: {len(loads)} loads, low-load "
+              f"efficiency {eff:.2f} vs floor "
+              f"{PACKET_LOWLOAD_EFF:.2f} -> {status}")
+        ok &= eff >= PACKET_LOWLOAD_EFF
+    if not by_policy:
+        print("  packet/curve: report has no cells (skip)")
+    return bool(ok)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="guard the batch engine's headline speedup against "
@@ -401,6 +480,10 @@ def main(argv=None) -> int:
     # So is the scaling guard: the committed BENCH_scaling.json must
     # keep the composed engine's speedup and memory claims.
     ok &= _check_scaling_baseline(root / "BENCH_scaling.json")
+
+    # And the packet guard: the committed BENCH_packet.json saturation
+    # curve must keep its schema and delivery invariants.
+    ok &= _check_packet_baseline(root / "BENCH_packet.json")
 
     return 0 if ok else 1
 
